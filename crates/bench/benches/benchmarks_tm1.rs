@@ -1,0 +1,29 @@
+//! Criterion bench: end-to-end simulation cost of TM1 bulks on the GPU engine
+//! and the CPU counterpart.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gputx_bench::run_gpu_bulk;
+use gputx_core::{EngineConfig, StrategyKind};
+use gputx_cpu::engine::CpuEngine;
+use gputx_workloads::Tm1Config;
+
+fn bench_tm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tm1");
+    group.sample_size(10);
+    let mut bundle = Tm1Config { scale_factor: 1 }.build();
+    let sigs = bundle.generate_signatures(4_096, 0);
+
+    group.bench_function("gputx_kset_4k_txns", |b| {
+        b.iter(|| run_gpu_bulk(&bundle, sigs.clone(), StrategyKind::Kset, &EngineConfig::default()))
+    });
+    group.bench_function("cpu_engine_4k_txns", |b| {
+        b.iter(|| {
+            let mut db = bundle.db.clone();
+            CpuEngine::xeon_quad_core().execute_bulk(&mut db, &bundle.registry, &sigs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tm1);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: T-dependency graph construction and k-set computation
+//! (the bulk-generation hot path behind Figures 5, 12 and 17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gputx_sim::Gpu;
+use gputx_txn::kset::{gpu_rank_ksets, rank_ksets};
+use gputx_txn::{BasicOp, TDependencyGraph};
+use gputx_storage::DataItemId;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn random_txns(n: usize, items: u64, seed: u64) -> Vec<(u64, Vec<BasicOp>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n as u64)
+        .map(|id| {
+            let ops = (0..rng.random_range(1..4))
+                .map(|_| {
+                    let item = DataItemId::new(0, rng.random_range(0..items), 1);
+                    if rng.random_bool(0.5) {
+                        BasicOp::write(item)
+                    } else {
+                        BasicOp::read(item)
+                    }
+                })
+                .collect();
+            (id, ops)
+        })
+        .collect()
+}
+
+fn bench_kset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kset");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let txns = random_txns(n, (n / 2) as u64, 42);
+        group.bench_with_input(BenchmarkId::new("rank_ksets", n), &txns, |b, txns| {
+            b.iter(|| rank_ksets(std::hint::black_box(txns)))
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_rank_ksets", n), &txns, |b, txns| {
+            b.iter(|| {
+                let mut gpu = Gpu::c1060();
+                gpu_rank_ksets(&mut gpu, std::hint::black_box(txns))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tdg_build", n), &txns, |b, txns| {
+            b.iter(|| TDependencyGraph::build(std::hint::black_box(txns)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kset);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: the data-parallel primitives (radix sort, scan, compact)
+//! that implement GPUTx bulk generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gputx_sim::primitives::{compact, exclusive_scan, radix_sort_pairs};
+use gputx_sim::Gpu;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..1_000_000)).collect();
+        let vals: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::new("radix_sort_pairs", n), &n, |b, _| {
+            b.iter(|| {
+                let mut gpu = Gpu::c1060();
+                let mut k = keys.clone();
+                let mut v = vals.clone();
+                radix_sort_pairs(&mut gpu, &mut k, &mut v, 20)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exclusive_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut gpu = Gpu::c1060();
+                exclusive_scan(&mut gpu, std::hint::black_box(&keys))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compact", n), &n, |b, _| {
+            b.iter(|| {
+                let mut gpu = Gpu::c1060();
+                compact(&mut gpu, std::hint::black_box(&keys), |k| k % 3 == 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

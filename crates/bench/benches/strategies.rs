@@ -1,0 +1,30 @@
+//! Criterion bench: simulator-side cost of executing a micro-benchmark bulk
+//! with each strategy (wall-clock cost of the simulation itself, not the
+//! simulated throughput — the simulated numbers come from the `figures`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gputx_bench::run_gpu_bulk;
+use gputx_core::{EngineConfig, StrategyKind};
+use gputx_workloads::{MicroConfig, MicroWorkload};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategies");
+    group.sample_size(10);
+    let cfg = MicroConfig::default().with_types(8).with_compute(1).with_tuples(20_000);
+    let mut bundle = MicroWorkload::build(&cfg);
+    let sigs = bundle.generate_signatures(8_192, 0);
+    for strategy in [StrategyKind::Tpl, StrategyKind::Part, StrategyKind::Kset] {
+        group.bench_with_input(
+            BenchmarkId::new("micro_8k_txns", strategy.to_string()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| run_gpu_bulk(&bundle, sigs.clone(), strategy, &EngineConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Bulks and per-bulk execution reports.
+
+use crate::strategy::StrategyKind;
+use gputx_sim::{SimDuration, Throughput};
+use gputx_txn::{TxnId, TxnOutcome, TxnSignature};
+use serde::{Deserialize, Serialize};
+
+/// A bulk: the set of transactions executed as a single GPU task (§3.1).
+#[derive(Debug, Clone, Default)]
+pub struct Bulk {
+    /// The transaction signatures, in submission (timestamp) order.
+    pub txns: Vec<TxnSignature>,
+}
+
+impl Bulk {
+    /// Create a bulk from signatures (sorted by id to honour the timestamp
+    /// order of Definition 1).
+    pub fn new(mut txns: Vec<TxnSignature>) -> Self {
+        txns.sort_by_key(|t| t.id);
+        Bulk { txns }
+    }
+
+    /// Number of transactions in the bulk.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// True when the bulk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Total wire size of the bulk's parameters (host→device transfer).
+    pub fn wire_bytes(&self) -> u64 {
+        self.txns.iter().map(|t| t.wire_bytes()).sum()
+    }
+}
+
+/// Timing and outcome report of one bulk execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BulkReport {
+    /// Strategy that executed the bulk.
+    pub strategy: StrategyKind,
+    /// Number of transactions in the bulk.
+    pub transactions: usize,
+    /// Bulk generation time (sorting / rank computation / grouping) — the
+    /// "sort" component of the paper's Figure 5.
+    pub generation: SimDuration,
+    /// Kernel execution time — the "execution" component of Figure 5.
+    pub execution: SimDuration,
+    /// Host↔device transfer time for bulk inputs and results (Figure 16's
+    /// "input" + "output" components).
+    pub transfer: SimDuration,
+    /// Number of committed transactions.
+    pub committed: usize,
+    /// Number of aborted transactions.
+    pub aborted: usize,
+    /// Per-transaction outcomes (id, outcome).
+    #[serde(skip)]
+    pub outcomes: Vec<(TxnId, TxnOutcome)>,
+}
+
+impl BulkReport {
+    /// Total elapsed simulated time for the bulk.
+    pub fn total(&self) -> SimDuration {
+        self.generation + self.execution + self.transfer
+    }
+
+    /// Bulk throughput in transactions per second.
+    pub fn throughput(&self) -> Throughput {
+        Throughput::from_count(self.transactions as u64, self.total())
+    }
+
+    /// Fraction of the total time spent generating the bulk.
+    pub fn generation_fraction(&self) -> f64 {
+        if self.total().is_zero() {
+            0.0
+        } else {
+            self.generation.as_secs() / self.total().as_secs()
+        }
+    }
+
+    /// Merge another report into this one (used when a logical bulk is
+    /// executed as several waves or chunks).
+    pub fn merge(&mut self, other: &BulkReport) {
+        self.transactions += other.transactions;
+        self.generation += other.generation;
+        self.execution += other.execution;
+        self.transfer += other.transfer;
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.outcomes.extend(other.outcomes.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputx_storage::Value;
+
+    #[test]
+    fn bulk_sorts_by_timestamp() {
+        let bulk = Bulk::new(vec![
+            TxnSignature::new(5, 0, vec![]),
+            TxnSignature::new(2, 0, vec![Value::Int(1)]),
+            TxnSignature::new(9, 1, vec![]),
+        ]);
+        let ids: Vec<_> = bulk.txns.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+        assert_eq!(bulk.len(), 3);
+        assert!(!bulk.is_empty());
+        assert!(bulk.wire_bytes() > 0);
+    }
+
+    #[test]
+    fn report_totals_and_throughput() {
+        let mut r = BulkReport {
+            strategy: StrategyKind::Kset,
+            transactions: 1000,
+            generation: SimDuration::from_millis(2.0),
+            execution: SimDuration::from_millis(7.0),
+            transfer: SimDuration::from_millis(1.0),
+            committed: 990,
+            aborted: 10,
+            outcomes: vec![],
+        };
+        assert!((r.total().as_millis() - 10.0).abs() < 1e-9);
+        assert!((r.throughput().ktps() - 100.0).abs() < 1e-6);
+        assert!((r.generation_fraction() - 0.2).abs() < 1e-9);
+
+        let other = r.clone();
+        r.merge(&other);
+        assert_eq!(r.transactions, 2000);
+        assert_eq!(r.committed, 1980);
+        assert!((r.total().as_millis() - 20.0).abs() < 1e-9);
+    }
+}

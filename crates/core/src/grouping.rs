@@ -1,0 +1,155 @@
+//! Transaction-type grouping to reduce branch divergence.
+//!
+//! Transactions of different types take different branches of the combined
+//! kernel's `switch` clause; if threads of a warp run different types, the
+//! warp serializes the branches (Appendix A). GPUTx therefore groups the
+//! transactions of a bulk by type before execution. Grouping is a multi-pass
+//! radix partitioning of the type id; each pass separates one more bit, so
+//! after `p` passes a warp sees at most `ceil(T / 2^p)` distinct types. The
+//! number of passes is a tuning knob: more passes cost more grouping time but
+//! reduce divergence less and less (Appendix D, Figures 3 and 12).
+
+use gputx_sim::{Gpu, SimDuration, ThreadTrace};
+use gputx_txn::TxnTypeId;
+
+/// Result of grouping a bulk by transaction type.
+#[derive(Debug, Clone)]
+pub struct GroupingOutcome {
+    /// Permutation: `order[i]` is the index (into the original bulk) of the
+    /// transaction that should occupy thread slot `i`.
+    pub order: Vec<usize>,
+    /// Simulated time spent on the radix-partitioning passes.
+    pub time: SimDuration,
+    /// Number of passes actually performed.
+    pub passes: u32,
+}
+
+/// Number of grouping passes that fully groups `num_types` types (one bit per
+/// pass).
+pub fn passes_for_full_grouping(num_types: usize) -> u32 {
+    if num_types <= 1 {
+        0
+    } else {
+        (num_types as f64).log2().ceil() as u32
+    }
+}
+
+/// Group a bulk's thread slots by transaction type using at most `max_passes`
+/// single-bit radix-partitioning passes.
+///
+/// `types[i]` is the type of the transaction in slot `i`. The permutation is
+/// stable within equal keys so the timestamp order inside a type group is
+/// preserved.
+pub fn group_by_type(
+    gpu: &mut Gpu,
+    types: &[TxnTypeId],
+    num_types: usize,
+    max_passes: u32,
+) -> GroupingOutcome {
+    let needed = passes_for_full_grouping(num_types);
+    let passes = needed.min(max_passes);
+    let mut order: Vec<usize> = (0..types.len()).collect();
+    let mut time = SimDuration::ZERO;
+    // One radix pass reads the key and payload and scatters them.
+    let mut pass_trace = ThreadTrace::new(0);
+    pass_trace.read(12);
+    pass_trace.compute(8);
+    pass_trace.write(12);
+    for bit in 0..passes {
+        // Stable partition by the `bit`-th bit of the type id (LSD order).
+        let mut zeros: Vec<usize> = Vec::with_capacity(order.len());
+        let mut ones: Vec<usize> = Vec::with_capacity(order.len());
+        for &idx in &order {
+            if (types[idx] >> bit) & 1 == 0 {
+                zeros.push(idx);
+            } else {
+                ones.push(idx);
+            }
+        }
+        zeros.extend(ones);
+        order = zeros;
+        let report = gpu.launch_uniform(format!("group_by_type_pass_{bit}"), types.len(), &pass_trace);
+        time += report.time;
+    }
+    GroupingOutcome {
+        order,
+        time,
+        passes,
+    }
+}
+
+/// The maximum number of distinct types that can share a warp after `passes`
+/// single-bit passes over `num_types` types (used by tests and by the
+/// calibration in the figures harness).
+pub fn max_types_per_group(num_types: usize, passes: u32) -> usize {
+    let needed = passes_for_full_grouping(num_types);
+    let remaining_bits = needed.saturating_sub(passes);
+    (1usize << remaining_bits).min(num_types.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grouping_sorts_by_type() {
+        let mut gpu = Gpu::c1060();
+        let types: Vec<TxnTypeId> = (0..64).map(|i| (i % 8) as TxnTypeId).collect();
+        let g = group_by_type(&mut gpu, &types, 8, 8);
+        assert_eq!(g.passes, 3);
+        let grouped: Vec<TxnTypeId> = g.order.iter().map(|&i| types[i]).collect();
+        let mut sorted = grouped.clone();
+        sorted.sort_unstable();
+        assert_eq!(grouped, sorted, "full grouping must fully sort the types");
+        assert!(g.time.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn zero_passes_is_identity_and_free() {
+        let mut gpu = Gpu::c1060();
+        let types: Vec<TxnTypeId> = vec![3, 1, 2, 0];
+        let g = group_by_type(&mut gpu, &types, 4, 0);
+        assert_eq!(g.order, vec![0, 1, 2, 3]);
+        assert_eq!(g.passes, 0);
+        assert!(g.time.is_zero());
+    }
+
+    #[test]
+    fn grouping_is_stable_within_types() {
+        let mut gpu = Gpu::c1060();
+        // Two types, interleaved; indices within a type must stay ordered.
+        let types: Vec<TxnTypeId> = vec![1, 0, 1, 0, 1, 0];
+        let g = group_by_type(&mut gpu, &types, 2, 4);
+        assert_eq!(g.order, vec![1, 3, 5, 0, 2, 4]);
+    }
+
+    #[test]
+    fn partial_grouping_reduces_types_per_group() {
+        assert_eq!(max_types_per_group(16, 0), 16);
+        assert_eq!(max_types_per_group(16, 1), 8);
+        assert_eq!(max_types_per_group(16, 2), 4);
+        assert_eq!(max_types_per_group(16, 4), 1);
+        assert_eq!(max_types_per_group(16, 9), 1);
+        assert_eq!(max_types_per_group(1, 0), 1);
+    }
+
+    #[test]
+    fn more_passes_cost_more_time() {
+        let mut gpu = Gpu::c1060();
+        let types: Vec<TxnTypeId> = (0..10_000).map(|i| (i % 16) as TxnTypeId).collect();
+        let one = group_by_type(&mut gpu, &types, 16, 1);
+        let four = group_by_type(&mut gpu, &types, 16, 4);
+        assert!(four.time > one.time);
+        assert_eq!(one.passes, 1);
+        assert_eq!(four.passes, 4);
+    }
+
+    #[test]
+    fn passes_for_full_grouping_is_log2_ceiling() {
+        assert_eq!(passes_for_full_grouping(1), 0);
+        assert_eq!(passes_for_full_grouping(2), 1);
+        assert_eq!(passes_for_full_grouping(7), 3);
+        assert_eq!(passes_for_full_grouping(8), 3);
+        assert_eq!(passes_for_full_grouping(9), 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! Undo-logging policy (Appendix D, "Logging").
+//!
+//! Re-do logging for durability is out of scope for GPUTx (the paper assumes
+//! replication-style durability). For undo logging the paper distinguishes
+//! *two-phase* transaction types — all reads and the abort decision happen
+//! before any write, so no undo log is needed — from types that may abort
+//! after writing. When a non-two-phase type exists, the transaction types that
+//! can conflict with it also need undo logs, because a rollback of the
+//! non-two-phase type must not clobber their updates.
+//!
+//! The policy is computed once per registered workload from the procedure
+//! definitions and a conservative table-level conflict analysis: two types
+//! conflict when their declared read/write sets may touch the same table with
+//! at least one write.
+
+use gputx_storage::Database;
+use gputx_storage::Value;
+use gputx_txn::{OpKind, ProcedureRegistry, TxnTypeId};
+use std::collections::{HashMap, HashSet};
+
+/// Which transaction types must write undo logs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoggingPolicy {
+    undo_types: HashSet<TxnTypeId>,
+}
+
+impl LoggingPolicy {
+    /// A policy where no type needs undo logging.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Analyze a registry: probe each type's declared read/write set with the
+    /// given sample parameters to learn which tables it reads and writes, then
+    /// mark every non-two-phase type and every type that table-conflicts with
+    /// one as requiring undo logs.
+    pub fn analyze(
+        registry: &ProcedureRegistry,
+        db: &Database,
+        sample_params: &HashMap<TxnTypeId, Vec<Value>>,
+    ) -> Self {
+        #[derive(Default, Clone)]
+        struct TableAccess {
+            reads: HashSet<u32>,
+            writes: HashSet<u32>,
+        }
+        let mut access: Vec<TableAccess> = vec![TableAccess::default(); registry.num_types()];
+        for ty in 0..registry.num_types() as TxnTypeId {
+            if let Some(params) = sample_params.get(&ty) {
+                let sig = gputx_txn::TxnSignature::new(0, ty, params.clone());
+                for op in registry.read_write_set(&sig, db) {
+                    match op.kind {
+                        OpKind::Read => access[ty as usize].reads.insert(op.item.table()),
+                        OpKind::Write => access[ty as usize].writes.insert(op.item.table()),
+                    };
+                }
+            }
+        }
+        let table_conflict = |a: &TableAccess, b: &TableAccess| {
+            a.writes.iter().any(|t| b.writes.contains(t) || b.reads.contains(t))
+                || b.writes.iter().any(|t| a.reads.contains(t))
+        };
+
+        let mut undo_types = HashSet::new();
+        for ty in 0..registry.num_types() as TxnTypeId {
+            if !registry.get(ty).two_phase {
+                undo_types.insert(ty);
+                for other in 0..registry.num_types() as TxnTypeId {
+                    if other != ty && table_conflict(&access[ty as usize], &access[other as usize]) {
+                        undo_types.insert(other);
+                    }
+                }
+            }
+        }
+        LoggingPolicy { undo_types }
+    }
+
+    /// Whether the given type must write undo logs.
+    pub fn needs_undo(&self, ty: TxnTypeId) -> bool {
+        self.undo_types.contains(&ty)
+    }
+
+    /// Number of types that need undo logging.
+    pub fn num_logged_types(&self) -> usize {
+        self.undo_types.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputx_storage::schema::{ColumnDef, TableSchema};
+    use gputx_storage::{DataItemId, DataType};
+    use gputx_txn::{BasicOp, ProcedureDef};
+
+    fn setup() -> (Database, ProcedureRegistry, HashMap<TxnTypeId, Vec<Value>>) {
+        let mut db = Database::column_store();
+        let ta = db.create_table(TableSchema::new(
+            "a",
+            vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("v", DataType::Int)],
+            vec![0],
+        ));
+        let tb = db.create_table(TableSchema::new(
+            "b",
+            vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("v", DataType::Int)],
+            vec![0],
+        ));
+        db.table_mut(ta).insert(vec![Value::Int(0), Value::Int(0)]);
+        db.table_mut(tb).insert(vec![Value::Int(0), Value::Int(0)]);
+
+        let mut reg = ProcedureRegistry::new();
+        // Type 0: two-phase writer of table a.
+        reg.register(ProcedureDef::new(
+            "writer_a",
+            move |_p, _| vec![BasicOp::write(DataItemId::new(ta, 0, 1))],
+            |_| Some(0),
+            move |ctx| ctx.write(ta, 0, 1, Value::Int(1)),
+        ));
+        // Type 1: NOT two-phase, writes table a too.
+        reg.register(
+            ProcedureDef::new(
+                "risky_a",
+                move |_p, _| vec![BasicOp::write(DataItemId::new(ta, 0, 1))],
+                |_| Some(0),
+                move |ctx| {
+                    ctx.write(ta, 0, 1, Value::Int(2));
+                    ctx.abort("late abort");
+                },
+            )
+            .not_two_phase(),
+        );
+        // Type 2: two-phase writer of table b only.
+        reg.register(ProcedureDef::new(
+            "writer_b",
+            move |_p, _| vec![BasicOp::write(DataItemId::new(tb, 0, 1))],
+            |_| Some(0),
+            move |ctx| ctx.write(tb, 0, 1, Value::Int(3)),
+        ));
+        let params: HashMap<TxnTypeId, Vec<Value>> =
+            (0..3).map(|ty| (ty as TxnTypeId, vec![])).collect();
+        (db, reg, params)
+    }
+
+    #[test]
+    fn non_two_phase_and_conflicting_types_need_undo() {
+        let (db, reg, params) = setup();
+        let policy = LoggingPolicy::analyze(&reg, &db, &params);
+        assert!(policy.needs_undo(1), "the non-two-phase type itself");
+        assert!(policy.needs_undo(0), "types sharing table a with it");
+        assert!(!policy.needs_undo(2), "types on disjoint tables are exempt");
+        assert_eq!(policy.num_logged_types(), 2);
+    }
+
+    #[test]
+    fn all_two_phase_means_no_logging() {
+        let (db, reg, mut params) = setup();
+        // Re-register only the two-phase types in a fresh registry.
+        let mut clean = ProcedureRegistry::new();
+        clean.register(reg.get(0).clone());
+        clean.register(reg.get(2).clone());
+        params.remove(&2);
+        let policy = LoggingPolicy::analyze(&clean, &db, &params);
+        assert_eq!(policy, LoggingPolicy::none());
+        assert_eq!(policy.num_logged_types(), 0);
+    }
+}

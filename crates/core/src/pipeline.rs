@@ -1,0 +1,198 @@
+//! Arrival/response-time simulation (Figures 9 and 15).
+//!
+//! Transactions are submitted to GPUTx uniformly in time at a configurable
+//! rate; after every fixed interval `t` the engine cuts a bulk from the pool
+//! and executes it. Larger intervals produce larger bulks (better GPU
+//! utilization, higher throughput) at the cost of a higher average response
+//! time — the trade-off the paper's response-time figures chart.
+
+use crate::bulk::Bulk;
+use crate::config::EngineConfig;
+use crate::strategy::{execute_bulk, ExecContext, StrategyKind};
+use gputx_sim::{Gpu, SimDuration, Throughput};
+use gputx_storage::{Database, Value};
+use gputx_txn::{ProcedureRegistry, TxnSignature, TxnTypeId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one pipeline simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Transaction arrival rate in transactions per second.
+    pub arrival_rate_tps: f64,
+    /// Interval between bulk cuts.
+    pub interval: SimDuration,
+    /// Length of the simulated arrival window.
+    pub horizon: SimDuration,
+}
+
+/// Result of a pipeline simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Number of transactions that completed.
+    pub completed: u64,
+    /// Number of bulks executed.
+    pub bulks: usize,
+    /// Average response time (bulk completion − submission) over all
+    /// transactions.
+    pub avg_response: SimDuration,
+    /// Sustained throughput: completed transactions over the time until the
+    /// last bulk finished.
+    pub throughput: Throughput,
+}
+
+/// Simulate periodic bulk execution under a uniform arrival process.
+///
+/// `make_txn(i)` produces the type and parameters of the `i`-th arriving
+/// transaction; transactions are executed with the given strategy.
+pub fn simulate_pipeline(
+    db: &mut Database,
+    registry: &ProcedureRegistry,
+    config: &EngineConfig,
+    strategy: StrategyKind,
+    pipeline: &PipelineConfig,
+    mut make_txn: impl FnMut(u64) -> (TxnTypeId, Vec<Value>),
+) -> PipelineReport {
+    assert!(pipeline.arrival_rate_tps > 0.0, "arrival rate must be positive");
+    assert!(!pipeline.interval.is_zero(), "interval must be positive");
+    let total = (pipeline.arrival_rate_tps * pipeline.horizon.as_secs()).floor() as u64;
+    let inter_arrival = 1.0 / pipeline.arrival_rate_tps;
+
+    let mut gpu = Gpu::new(config.device.clone());
+    let mut completed = 0u64;
+    let mut bulks = 0usize;
+    let mut response_sum = 0.0f64;
+    let mut device_free_at = 0.0f64; // when the GPU finishes its current bulk
+    let mut next_txn = 0u64;
+    let mut window_start = 0.0f64;
+
+    while next_txn < total {
+        let window_end = window_start + pipeline.interval.as_secs();
+        // Collect the arrivals of this interval.
+        let mut sigs = Vec::new();
+        let mut arrivals = Vec::new();
+        while next_txn < total && (next_txn as f64) * inter_arrival < window_end {
+            let arrival = next_txn as f64 * inter_arrival;
+            let (ty, params) = make_txn(next_txn);
+            sigs.push(TxnSignature::new(next_txn, ty, params));
+            arrivals.push(arrival);
+            next_txn += 1;
+        }
+        window_start = window_end;
+        if sigs.is_empty() {
+            continue;
+        }
+        let bulk = Bulk::new(sigs);
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db,
+            registry,
+            config,
+        };
+        let outcome = execute_bulk(&mut ctx, strategy, &bulk);
+        // The bulk can start once the interval has elapsed and the device is free.
+        let start = window_end.max(device_free_at);
+        let finish = start + outcome.total().as_secs();
+        device_free_at = finish;
+        for arrival in arrivals {
+            response_sum += finish - arrival;
+        }
+        completed += outcome.transactions as u64;
+        bulks += 1;
+    }
+
+    let avg_response = if completed == 0 {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_secs(response_sum / completed as f64)
+    };
+    let throughput = Throughput::from_count(completed, SimDuration::from_secs(device_free_at.max(f64::EPSILON)));
+    PipelineReport {
+        completed,
+        bulks,
+        avg_response,
+        throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputx_storage::schema::{ColumnDef, TableSchema};
+    use gputx_storage::{DataItemId, DataType};
+    use gputx_txn::{BasicOp, ProcedureDef};
+
+    fn setup(rows: i64) -> (Database, ProcedureRegistry) {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "items",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            vec![0],
+        ));
+        for i in 0..rows {
+            db.table_mut(t).insert(vec![Value::Int(i), Value::Int(0)]);
+        }
+        let mut reg = ProcedureRegistry::new();
+        reg.register(ProcedureDef::new(
+            "touch",
+            move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let row = ctx.param_int(0) as u64;
+                let v = ctx.read(t, row, 1).as_int();
+                ctx.compute_calls(4);
+                ctx.write(t, row, 1, Value::Int(v + 1));
+            },
+        ));
+        (db, reg)
+    }
+
+    fn run(interval_ms: f64) -> PipelineReport {
+        let (mut db, reg) = setup(10_000);
+        let config = EngineConfig::default();
+        let pipeline = PipelineConfig {
+            arrival_rate_tps: 200_000.0,
+            interval: SimDuration::from_millis(interval_ms),
+            horizon: SimDuration::from_millis(100.0),
+        };
+        simulate_pipeline(&mut db, &reg, &config, StrategyKind::Kset, &pipeline, |i| {
+            (0, vec![Value::Int((i % 10_000) as i64)])
+        })
+    }
+
+    #[test]
+    fn all_arrivals_complete() {
+        let r = run(10.0);
+        assert_eq!(r.completed, 20_000);
+        assert_eq!(r.bulks, 10);
+        assert!(r.avg_response.as_millis() > 0.0);
+        assert!(r.throughput.tps() > 0.0);
+    }
+
+    #[test]
+    fn larger_intervals_increase_response_time_and_throughput() {
+        // The paper's Figure 9/15 trend: bigger bulks amortize overhead
+        // (higher throughput) but transactions wait longer (higher response
+        // time).
+        let small = run(2.0);
+        let large = run(25.0);
+        assert!(large.avg_response > small.avg_response);
+        assert!(large.throughput.tps() >= small.throughput.tps() * 0.9);
+        assert!(large.bulks < small.bulks);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let (mut db, reg) = setup(10);
+        let config = EngineConfig::default();
+        let pipeline = PipelineConfig {
+            arrival_rate_tps: 0.0,
+            interval: SimDuration::from_millis(1.0),
+            horizon: SimDuration::from_millis(1.0),
+        };
+        simulate_pipeline(&mut db, &reg, &config, StrategyKind::Tpl, &pipeline, |_| (0, vec![]));
+    }
+}

@@ -1,0 +1,106 @@
+//! Rule-based execution strategy selection (Appendix D, Algorithm 1).
+//!
+//! The choice is driven by three structural parameters of the bulk's
+//! T-dependency graph: the 0-set width `w0`, the cross-partition transaction
+//! count `c` and the depth `d`.
+//!
+//! * If `w0 ≥ w̄0`, K-SET can fully utilize the GPU with little runtime
+//!   overhead → choose K-SET.
+//! * Otherwise, if `c ≤ c̄` or `d ≥ d̄`, PART's per-partition serialization is
+//!   acceptable → choose PART.
+//! * Otherwise → TPL.
+
+use crate::config::{EngineConfig, SelectionThresholds, StrategyChoice};
+use crate::profiler::BulkProfile;
+use crate::strategy::StrategyKind;
+
+/// Apply Algorithm 1 to a bulk profile.
+pub fn choose_by_rule(profile: &BulkProfile, thresholds: &SelectionThresholds) -> StrategyKind {
+    if profile.zero_set_size >= thresholds.min_zero_set {
+        return StrategyKind::Kset;
+    }
+    if profile.cross_partition <= thresholds.max_cross_partition
+        || profile.depth >= thresholds.min_depth_for_part
+    {
+        return StrategyKind::Part;
+    }
+    StrategyKind::Tpl
+}
+
+/// Resolve the engine configuration's strategy choice for a concrete bulk.
+pub fn choose_strategy(config: &EngineConfig, profile: &BulkProfile) -> StrategyKind {
+    match config.strategy {
+        StrategyChoice::ForceTpl => StrategyKind::Tpl,
+        StrategyChoice::ForcePart => StrategyKind::Part,
+        StrategyChoice::ForceKset => StrategyKind::Kset,
+        StrategyChoice::Auto => choose_by_rule(profile, &config.thresholds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(zero: usize, cross: usize, depth: u32) -> BulkProfile {
+        BulkProfile {
+            size: 10_000,
+            depth,
+            zero_set_size: zero,
+            cross_partition: cross,
+            distinct_types: 1,
+            type_histogram: vec![10_000],
+        }
+    }
+
+    #[test]
+    fn wide_zero_set_picks_kset() {
+        let t = SelectionThresholds::default();
+        assert_eq!(choose_by_rule(&profile(t.min_zero_set, 0, 1), &t), StrategyKind::Kset);
+        assert_eq!(
+            choose_by_rule(&profile(t.min_zero_set * 10, 10_000, 100), &t),
+            StrategyKind::Kset
+        );
+    }
+
+    #[test]
+    fn narrow_zero_set_with_few_cross_partitions_picks_part() {
+        let t = SelectionThresholds::default();
+        assert_eq!(choose_by_rule(&profile(10, 0, 5), &t), StrategyKind::Part);
+        // Deep graphs also prefer PART even with many cross-partition txns.
+        assert_eq!(
+            choose_by_rule(&profile(10, 10_000, t.min_depth_for_part), &t),
+            StrategyKind::Part
+        );
+    }
+
+    #[test]
+    fn otherwise_tpl() {
+        let t = SelectionThresholds::default();
+        assert_eq!(
+            choose_by_rule(
+                &profile(10, t.max_cross_partition + 1, t.min_depth_for_part - 1),
+                &t
+            ),
+            StrategyKind::Tpl
+        );
+    }
+
+    #[test]
+    fn forced_choices_override_the_rule() {
+        let p = profile(1_000_000, 0, 0);
+        let base = EngineConfig::default();
+        assert_eq!(
+            choose_strategy(&base.clone().with_strategy(StrategyChoice::ForceTpl), &p),
+            StrategyKind::Tpl
+        );
+        assert_eq!(
+            choose_strategy(&base.clone().with_strategy(StrategyChoice::ForcePart), &p),
+            StrategyKind::Part
+        );
+        assert_eq!(
+            choose_strategy(&base.clone().with_strategy(StrategyChoice::ForceKset), &p),
+            StrategyKind::Kset
+        );
+        assert_eq!(choose_strategy(&base, &p), StrategyKind::Kset);
+    }
+}

@@ -1,0 +1,224 @@
+//! K-SET: k-set based execution (§5.3).
+//!
+//! The strategy repeatedly extracts the 0-set — the transactions without
+//! preceding conflicting transactions — and executes it as one fully parallel
+//! kernel: 0-set transactions are pairwise conflict-free (Property 1), so no
+//! locks and no partition serialization are needed. After a wave executes, the
+//! executed transactions are removed and the former 1-set becomes the new
+//! 0-set. The 0-set is maintained incrementally so later waves do not pay the
+//! full sort-based k-set computation again.
+
+use super::{run_transaction, tally, ExecContext, StrategyKind, StrategyOutcome};
+use crate::bulk::Bulk;
+use crate::grouping::group_by_type;
+use gputx_sim::primitives::map_cost;
+use gputx_sim::ThreadTrace;
+use gputx_txn::kset::{gpu_rank_ksets, IncrementalKSet};
+use gputx_txn::{TxnSignature, TxnTypeId};
+use std::collections::HashMap;
+
+/// Execute a bulk with iterative 0-set execution.
+pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
+    let mut outcome = StrategyOutcome::empty(StrategyKind::Kset);
+    if bulk.is_empty() {
+        return outcome;
+    }
+    outcome.transactions = bulk.len();
+
+    // ---- Bulk generation: initial k-set computation -----------------------
+    let ops: Vec<_> = bulk
+        .txns
+        .iter()
+        .map(|sig| (sig.id, ctx.registry.read_write_set(sig, ctx.db)))
+        .collect();
+    if !ctx.config.relax_timestamps {
+        // The strict variant sorts the operation tuples to build the k-sets
+        // (the "sort" cost of Figure 5). The relaxed variant (Appendix G)
+        // replaces the sort with counter-based grouping, modeled below as a
+        // cheap map + scan per wave.
+        let ranks = gpu_rank_ksets(ctx.gpu, &ops);
+        outcome.generation += ranks.gpu_time;
+    }
+    let mut pending = IncrementalKSet::new(&ops);
+    let by_id: HashMap<u64, &TxnSignature> = bulk.txns.iter().map(|t| (t.id, t)).collect();
+
+    // ---- Waves -------------------------------------------------------------
+    while !pending.is_empty() {
+        let wave = pending.zero_set();
+        assert!(!wave.is_empty(), "a non-empty pool always has a 0-set");
+
+        // Incremental extraction of the 0-set: one pass over the remaining
+        // transactions (flag + compact).
+        let extract = map_cost(ctx.gpu, "kset_extract_zero_set", pending.pending(), 4, 16, 1);
+        outcome.generation += extract.time;
+
+        // Group the wave's threads by transaction type for divergence.
+        let types: Vec<TxnTypeId> = wave.iter().map(|id| by_id[id].ty).collect();
+        let grouping = group_by_type(
+            ctx.gpu,
+            &types,
+            ctx.registry.num_types(),
+            ctx.config.grouping_passes,
+        );
+        outcome.generation += grouping.time;
+
+        // Execute the wave: one thread per transaction, no locks.
+        let mut traces: Vec<ThreadTrace> = Vec::with_capacity(wave.len());
+        for id in &wave {
+            let sig = by_id[id];
+            let (trace, txn_outcome) = run_transaction(ctx.db, ctx.registry, ctx.config, sig);
+            traces.push(trace);
+            outcome.outcomes.push((sig.id, txn_outcome));
+        }
+        let grouped: Vec<ThreadTrace> = grouping.order.iter().map(|&i| traces[i].clone()).collect();
+        let report = ctx.gpu.launch("kset_execute_wave", &grouped);
+        outcome.execution += report.time;
+
+        pending.remove(&wave);
+    }
+
+    outcome.outcomes.sort_by_key(|(id, _)| *id);
+    let (committed, aborted) = tally(&outcome.outcomes);
+    outcome.committed = committed;
+    outcome.aborted = aborted;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::strategy::execute_bulk;
+    use gputx_sim::Gpu;
+    use gputx_storage::schema::{ColumnDef, TableSchema};
+    use gputx_storage::{DataItemId, DataType, Database, Value};
+    use gputx_txn::{BasicOp, ProcedureDef, ProcedureRegistry};
+
+    fn counter_db(rows: i64) -> (Database, ProcedureRegistry) {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "counters",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("value", DataType::Int),
+            ],
+            vec![0],
+        ));
+        for i in 0..rows {
+            db.table_mut(t).insert(vec![Value::Int(i), Value::Int(0)]);
+        }
+        let mut reg = ProcedureRegistry::new();
+        reg.register(ProcedureDef::new(
+            "increment",
+            move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let row = ctx.param_int(0) as u64;
+                let v = ctx.read(t, row, 1).as_int();
+                ctx.write(t, row, 1, Value::Int(v + 1));
+            },
+        ));
+        (db, reg)
+    }
+
+    #[test]
+    fn kset_executes_conflict_free_bulk_in_one_wave() {
+        let (mut db, reg) = counter_db(512);
+        let mut gpu = Gpu::c1060();
+        let config = EngineConfig::default();
+        let bulk = Bulk::new(
+            (0..512)
+                .map(|i| TxnSignature::new(i, 0, vec![Value::Int(i as i64)]))
+                .collect(),
+        );
+        let kernels_before = gpu.stats().kernels;
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &reg,
+            config: &config,
+        };
+        let out = execute_bulk(&mut ctx, StrategyKind::Kset, &bulk);
+        assert_eq!(out.committed, 512);
+        for i in 0..512 {
+            assert_eq!(db.table_by_name("counters").get(i, 1), Value::Int(1));
+        }
+        // Exactly one execution wave was launched (plus generation kernels).
+        let wave_kernels = gpu.stats().kernels - kernels_before;
+        assert!(wave_kernels >= 1);
+        assert!(out.execution.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn kset_serializes_conflicting_chain_over_waves() {
+        let (mut db, reg) = counter_db(4);
+        let mut gpu = Gpu::c1060();
+        let config = EngineConfig::default();
+        // 20 increments of the same row: 20 waves of one transaction each.
+        let bulk = Bulk::new(
+            (0..20)
+                .map(|i| TxnSignature::new(i, 0, vec![Value::Int(1)]))
+                .collect(),
+        );
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &reg,
+            config: &config,
+        };
+        let out = execute_bulk(&mut ctx, StrategyKind::Kset, &bulk);
+        assert_eq!(out.committed, 20);
+        assert_eq!(db.table_by_name("counters").get(1, 1), Value::Int(20));
+    }
+
+    #[test]
+    fn kset_matches_sequential_replay() {
+        let (db0, reg) = counter_db(64);
+        let bulk = Bulk::new(
+            (0..500)
+                .map(|i| TxnSignature::new(i, 0, vec![Value::Int((i % 7) as i64)]))
+                .collect(),
+        );
+        // Sequential replay in timestamp order.
+        let mut seq_db = db0.clone();
+        for sig in &bulk.txns {
+            reg.execute(sig, &mut seq_db);
+        }
+        seq_db.apply_insert_buffers();
+        // K-SET execution.
+        let mut db = db0.clone();
+        let mut gpu = Gpu::c1060();
+        let config = EngineConfig::default();
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &reg,
+            config: &config,
+        };
+        execute_bulk(&mut ctx, StrategyKind::Kset, &bulk);
+        assert!(db == seq_db, "Definition 1: bulk result must equal the sequential result");
+    }
+
+    #[test]
+    fn relaxed_kset_generation_is_cheaper() {
+        let (db0, reg) = counter_db(256);
+        let bulk = Bulk::new(
+            (0..1000)
+                .map(|i| TxnSignature::new(i, 0, vec![Value::Int((i % 256) as i64)]))
+                .collect(),
+        );
+        let run_with = |relax: bool| {
+            let mut db = db0.clone();
+            let mut gpu = Gpu::c1060();
+            let config = EngineConfig::default().with_relaxed_timestamps(relax);
+            let mut ctx = ExecContext {
+                gpu: &mut gpu,
+                db: &mut db,
+                registry: &reg,
+                config: &config,
+            };
+            execute_bulk(&mut ctx, StrategyKind::Kset, &bulk).generation
+        };
+        assert!(run_with(true) < run_with(false));
+    }
+}

@@ -1,0 +1,188 @@
+//! The three bulk execution strategies (§5) and their shared machinery.
+//!
+//! All strategies execute the transaction logic *functionally* against the
+//! in-memory database in an order that the concurrency-control argument proves
+//! equivalent to the timestamp order (Definition 1), while recording one
+//! [`ThreadTrace`] per logical GPU thread. The traces are then replayed
+//! through the simulated device's cost model to obtain kernel timings.
+
+pub mod kset;
+pub mod part;
+pub mod tpl;
+
+use crate::bulk::{Bulk, BulkReport};
+use crate::config::EngineConfig;
+use gputx_sim::{Gpu, SimDuration, ThreadTrace};
+use gputx_storage::Database;
+use gputx_txn::{ProcedureRegistry, TxnId, TxnOutcome, TxnSignature};
+use serde::{Deserialize, Serialize};
+
+/// Which execution strategy ran a bulk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Two-phase locking with counter-based spin locks (§5.1).
+    Tpl,
+    /// Partition-based execution, one thread per partition (§5.2).
+    Part,
+    /// Iterative 0-set execution (§5.3).
+    Kset,
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyKind::Tpl => write!(f, "TPL"),
+            StrategyKind::Part => write!(f, "PART"),
+            StrategyKind::Kset => write!(f, "K-SET"),
+        }
+    }
+}
+
+/// Everything a strategy needs to execute a bulk.
+pub struct ExecContext<'a> {
+    /// The simulated GPU.
+    pub gpu: &'a mut Gpu,
+    /// The database (device resident; mutated by the execution).
+    pub db: &'a mut Database,
+    /// The registered transaction types.
+    pub registry: &'a ProcedureRegistry,
+    /// Engine configuration.
+    pub config: &'a EngineConfig,
+}
+
+/// Outcome of executing one bulk with one strategy.
+#[derive(Debug, Clone)]
+pub struct StrategyOutcome {
+    /// The strategy that was requested.
+    pub strategy: StrategyKind,
+    /// Number of transactions executed.
+    pub transactions: usize,
+    /// Bulk generation time (rank computation, sorting, grouping).
+    pub generation: SimDuration,
+    /// Kernel execution time.
+    pub execution: SimDuration,
+    /// Host↔device transfer time for inputs and results.
+    pub transfer: SimDuration,
+    /// Committed transaction count.
+    pub committed: usize,
+    /// Aborted transaction count.
+    pub aborted: usize,
+    /// Per-transaction outcomes.
+    pub outcomes: Vec<(TxnId, TxnOutcome)>,
+    /// True when PART detected cross-partition transactions and fell back to
+    /// TPL for the whole bulk (§5.2).
+    pub fell_back_to_tpl: bool,
+}
+
+impl StrategyOutcome {
+    pub(crate) fn empty(strategy: StrategyKind) -> Self {
+        StrategyOutcome {
+            strategy,
+            transactions: 0,
+            generation: SimDuration::ZERO,
+            execution: SimDuration::ZERO,
+            transfer: SimDuration::ZERO,
+            committed: 0,
+            aborted: 0,
+            outcomes: Vec::new(),
+            fell_back_to_tpl: false,
+        }
+    }
+
+    /// Total simulated time.
+    pub fn total(&self) -> SimDuration {
+        self.generation + self.execution + self.transfer
+    }
+
+    /// Convert into the engine-level bulk report.
+    pub fn into_report(self) -> BulkReport {
+        BulkReport {
+            strategy: self.strategy,
+            transactions: self.transactions,
+            generation: self.generation,
+            execution: self.execution,
+            transfer: self.transfer,
+            committed: self.committed,
+            aborted: self.aborted,
+            outcomes: self.outcomes,
+        }
+    }
+}
+
+/// Execute one transaction functionally, returning its trace and outcome. The
+/// trace includes the undo-logging traffic when the engine's logging policy
+/// requires it for this transaction type (Appendix D).
+pub(crate) fn run_transaction(
+    db: &mut Database,
+    registry: &ProcedureRegistry,
+    config: &EngineConfig,
+    sig: &TxnSignature,
+) -> (ThreadTrace, TxnOutcome) {
+    let (mut trace, outcome, undo_records) = registry.execute(sig, db);
+    let def = registry.get(sig.ty);
+    if config.undo_logging && !def.two_phase && undo_records > 0 {
+        // Writing the undo log into device memory: old value + item id per record.
+        trace.write(24 * undo_records as u64);
+    }
+    if !outcome.is_committed() && undo_records > 0 {
+        // Log-based recovery replays the undo records (roll back in place).
+        trace.read(24 * undo_records as u64);
+        trace.write(8 * undo_records as u64);
+    }
+    (trace, outcome)
+}
+
+/// Account for the PCIe transfers of one bulk: parameters in, results out
+/// (Appendix F.2 / Figure 16: "input" and "output" components).
+pub(crate) fn account_transfers(gpu: &mut Gpu, bulk: &Bulk) -> SimDuration {
+    let input = gpu.transfer_to_device("bulk parameters", bulk.wire_bytes());
+    // Result record: transaction id + status + a result value.
+    let output = gpu.transfer_to_host("bulk results", 16 * bulk.len() as u64);
+    input + output
+}
+
+/// Tally commit/abort counts from per-transaction outcomes.
+pub(crate) fn tally(outcomes: &[(TxnId, TxnOutcome)]) -> (usize, usize) {
+    let committed = outcomes.iter().filter(|(_, o)| o.is_committed()).count();
+    (committed, outcomes.len() - committed)
+}
+
+/// Execute a bulk with the given strategy, applying insert buffers afterwards
+/// (the batched update of §3.2).
+pub fn execute_bulk(ctx: &mut ExecContext<'_>, strategy: StrategyKind, bulk: &Bulk) -> StrategyOutcome {
+    let mut outcome = match strategy {
+        StrategyKind::Tpl => tpl::run(ctx, bulk),
+        StrategyKind::Part => part::run(ctx, bulk),
+        StrategyKind::Kset => kset::run(ctx, bulk),
+    };
+    ctx.db.apply_insert_buffers();
+    outcome.transfer += account_transfers(ctx.gpu, bulk);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_kind_display() {
+        assert_eq!(StrategyKind::Tpl.to_string(), "TPL");
+        assert_eq!(StrategyKind::Part.to_string(), "PART");
+        assert_eq!(StrategyKind::Kset.to_string(), "K-SET");
+    }
+
+    #[test]
+    fn outcome_total_and_report_round_trip() {
+        let mut o = StrategyOutcome::empty(StrategyKind::Kset);
+        o.transactions = 10;
+        o.generation = SimDuration::from_millis(1.0);
+        o.execution = SimDuration::from_millis(2.0);
+        o.transfer = SimDuration::from_millis(0.5);
+        o.committed = 10;
+        assert!((o.total().as_millis() - 3.5).abs() < 1e-9);
+        let report = o.into_report();
+        assert_eq!(report.transactions, 10);
+        assert_eq!(report.committed, 10);
+        assert!((report.total().as_millis() - 3.5).abs() < 1e-9);
+    }
+}

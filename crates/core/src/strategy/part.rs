@@ -1,0 +1,252 @@
+//! PART: partition-based execution (§5.2).
+//!
+//! The database is partitioned on the workload's partitioning key; one GPU
+//! thread executes all transactions of one partition sequentially, so no locks
+//! are needed within a partition (the H-Store execution model transplanted to
+//! the GPU). In contrast with the CPU engines' push model, the GPU execution
+//! is a *pull* model: a map kernel computes each transaction's partition id,
+//! the transactions are radix-sorted by partition id, and each thread binary
+//! searches the boundaries of its partition before executing it.
+//!
+//! PART only works for single-partition transactions; if the bulk contains
+//! cross-partition transactions the whole bulk falls back to TPL, which the
+//! paper notes "can severely degrade the performance".
+
+use super::{run_transaction, tally, tpl, ExecContext, StrategyKind, StrategyOutcome};
+use crate::bulk::Bulk;
+use gputx_sim::primitives::{map_cost, radix_sort_pairs};
+use gputx_sim::ThreadTrace;
+use std::collections::BTreeMap;
+
+/// Execute a bulk with partition-based execution.
+pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
+    let mut outcome = StrategyOutcome::empty(StrategyKind::Part);
+    if bulk.is_empty() {
+        return outcome;
+    }
+
+    // Step 1 (map): compute the partition id of every transaction.
+    let keys: Vec<Option<u64>> = bulk
+        .txns
+        .iter()
+        .map(|sig| ctx.registry.partition_key(sig))
+        .collect();
+    if keys.iter().any(|k| k.is_none()) {
+        // Cross-partition transactions present: fall back to TPL (§5.2).
+        let mut fallback = tpl::run(ctx, bulk);
+        fallback.strategy = StrategyKind::Part;
+        fallback.fell_back_to_tpl = true;
+        return fallback;
+    }
+    outcome.transactions = bulk.len();
+    let map_out = map_cost(ctx.gpu, "part_partition_ids", bulk.len(), 8, 16, 8);
+    outcome.generation += map_out.time;
+
+    let partition_of = |key: u64| key / ctx.config.partition_size;
+
+    // Step 2 (sort): radix sort the (partition id, transaction index) pairs.
+    let mut sort_keys: Vec<u64> = keys.iter().map(|k| partition_of(k.expect("checked"))).collect();
+    let mut payload: Vec<u64> = (0..bulk.len() as u64).collect();
+    let max_partition = sort_keys.iter().copied().max().unwrap_or(0);
+    let significant_bits = 64 - max_partition.leading_zeros().min(63);
+    let sort_out = radix_sort_pairs(ctx.gpu, &mut sort_keys, &mut payload, significant_bits.max(1));
+    outcome.generation += sort_out.time;
+
+    // Step 3: one thread per partition finds its boundaries with binary
+    // searches and executes its transactions sequentially in timestamp order.
+    let mut partitions: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (pos, &txn_idx) in payload.iter().enumerate() {
+        partitions
+            .entry(sort_keys[pos])
+            .or_default()
+            .push(txn_idx as usize);
+    }
+
+    let search_steps = (bulk.len().max(2) as f64).log2().ceil() as u64;
+    let mut thread_traces: Vec<ThreadTrace> = Vec::with_capacity(partitions.len());
+    for (_partition, txn_indices) in partitions {
+        // All PART threads run the same partition loop, so they share one SPMD
+        // path; the per-thread cost differences come from partition sizes.
+        let mut thread = ThreadTrace::new(0);
+        // Two binary searches over the sorted array for the start/end bounds.
+        thread.compute(4 * 2 * search_steps);
+        for _ in 0..2 * search_steps {
+            thread.read(8);
+        }
+        let mut indices = txn_indices;
+        indices.sort_by_key(|&i| bulk.txns[i].id);
+        for idx in indices {
+            let sig = &bulk.txns[idx];
+            let (trace, txn_outcome) = run_transaction(ctx.db, ctx.registry, ctx.config, sig);
+            thread.absorb(&trace);
+            outcome.outcomes.push((sig.id, txn_outcome));
+        }
+        thread_traces.push(thread);
+    }
+    let report = ctx.gpu.launch("part_execute", &thread_traces);
+    outcome.execution += report.time;
+
+    outcome.outcomes.sort_by_key(|(id, _)| *id);
+    let (committed, aborted) = tally(&outcome.outcomes);
+    outcome.committed = committed;
+    outcome.aborted = aborted;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::strategy::execute_bulk;
+    use gputx_sim::Gpu;
+    use gputx_storage::schema::{ColumnDef, TableSchema};
+    use gputx_storage::{DataItemId, DataType, Database, Value};
+    use gputx_txn::{BasicOp, ProcedureDef, ProcedureRegistry, TxnSignature};
+
+    /// A bank with one row per branch; type 0 deposits into one branch
+    /// (single-partition), type 1 transfers between two branches
+    /// (cross-partition).
+    fn bank(branches: i64) -> (Database, ProcedureRegistry) {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "branches",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("balance", DataType::Double),
+            ],
+            vec![0],
+        ));
+        for i in 0..branches {
+            db.table_mut(t).insert(vec![Value::Int(i), Value::Double(0.0)]);
+        }
+        let mut reg = ProcedureRegistry::new();
+        reg.register(ProcedureDef::new(
+            "deposit",
+            move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let row = ctx.param_int(0) as u64;
+                let v = ctx.read(t, row, 1).as_double();
+                ctx.write(t, row, 1, Value::Double(v + ctx.param_double(1)));
+            },
+        ));
+        reg.register(ProcedureDef::new(
+            "transfer",
+            move |p, _| {
+                vec![
+                    BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1)),
+                    BasicOp::write(DataItemId::new(t, p[1].as_int() as u64, 1)),
+                ]
+            },
+            |_| None,
+            move |ctx| {
+                let from = ctx.param_int(0) as u64;
+                let to = ctx.param_int(1) as u64;
+                let amount = ctx.param_double(2);
+                let f = ctx.read(t, from, 1).as_double();
+                let g = ctx.read(t, to, 1).as_double();
+                ctx.write(t, from, 1, Value::Double(f - amount));
+                ctx.write(t, to, 1, Value::Double(g + amount));
+            },
+        ));
+        (db, reg)
+    }
+
+    #[test]
+    fn part_executes_single_partition_bulk() {
+        let (mut db, reg) = bank(32);
+        let mut gpu = Gpu::c1060();
+        let config = EngineConfig::default().with_partition_size(1);
+        // 10 deposits of 1.0 into each of the 32 branches.
+        let bulk = Bulk::new(
+            (0..320)
+                .map(|i| TxnSignature::new(i, 0, vec![Value::Int((i % 32) as i64), Value::Double(1.0)]))
+                .collect(),
+        );
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &reg,
+            config: &config,
+        };
+        let out = execute_bulk(&mut ctx, StrategyKind::Part, &bulk);
+        assert_eq!(out.committed, 320);
+        assert!(!out.fell_back_to_tpl);
+        for b in 0..32 {
+            assert_eq!(db.table_by_name("branches").get(b, 1), Value::Double(10.0));
+        }
+        assert!(out.generation.as_secs() > 0.0);
+        assert!(out.execution.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn cross_partition_bulk_falls_back_to_tpl() {
+        let (mut db, reg) = bank(8);
+        let mut gpu = Gpu::c1060();
+        let config = EngineConfig::default();
+        let bulk = Bulk::new(vec![
+            TxnSignature::new(0, 0, vec![Value::Int(0), Value::Double(5.0)]),
+            TxnSignature::new(1, 1, vec![Value::Int(0), Value::Int(3), Value::Double(2.0)]),
+        ]);
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &reg,
+            config: &config,
+        };
+        let out = execute_bulk(&mut ctx, StrategyKind::Part, &bulk);
+        assert!(out.fell_back_to_tpl);
+        assert_eq!(out.strategy, StrategyKind::Part);
+        assert_eq!(out.committed, 2);
+        assert_eq!(db.table_by_name("branches").get(0, 1), Value::Double(3.0));
+        assert_eq!(db.table_by_name("branches").get(3, 1), Value::Double(2.0));
+    }
+
+    #[test]
+    fn partition_size_changes_thread_count_and_cost() {
+        // With fewer, larger partitions the critical path grows (Figure 13's
+        // concave throughput curve beyond the optimum).
+        let (db0, reg) = bank(256);
+        let bulk = Bulk::new(
+            (0..2048)
+                .map(|i| TxnSignature::new(i, 0, vec![Value::Int((i % 256) as i64), Value::Double(1.0)]))
+                .collect(),
+        );
+        let mut times = Vec::new();
+        for partition_size in [1u64, 256] {
+            let mut db = db0.clone();
+            let mut gpu = Gpu::c1060();
+            let config = EngineConfig::default().with_partition_size(partition_size);
+            let mut ctx = ExecContext {
+                gpu: &mut gpu,
+                db: &mut db,
+                registry: &reg,
+                config: &config,
+            };
+            let out = execute_bulk(&mut ctx, StrategyKind::Part, &bulk);
+            assert_eq!(out.committed, 2048);
+            times.push(out.execution);
+        }
+        assert!(
+            times[1] > times[0],
+            "a single giant partition ({:?}) must be slower than one branch per partition ({:?})",
+            times[1],
+            times[0]
+        );
+    }
+
+    #[test]
+    fn empty_bulk_is_a_noop() {
+        let (mut db, reg) = bank(2);
+        let mut gpu = Gpu::c1060();
+        let config = EngineConfig::default();
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &reg,
+            config: &config,
+        };
+        let out = super::run(&mut ctx, &Bulk::default());
+        assert_eq!(out.transactions, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Ad-hoc (one-at-a-time) execution models.
+//!
+//! Two baselines from the paper's evaluation:
+//!
+//! * **Ad-hoc on one GPU core** (§6.3): every transaction is executed
+//!   sequentially by a single GPU core — its own kernel launch, no latency
+//!   hiding, no parallelism. The paper reports the bulk execution model is
+//!   16–146× faster than this, and that a single GPU core reaches only
+//!   25–50 % of a single CPU core.
+//! * **Ad-hoc on one CPU core**: the CPU engine restricted to a single core,
+//!   processing one transaction at a time — the normalization baseline of
+//!   Figure 7.
+
+use crate::cost::{trace_cpu_seconds, CPU_DISPATCH_OVERHEAD_NS};
+use gputx_sim::cost::CostModel;
+use gputx_sim::{CpuSpec, DeviceSpec, SimDuration, Throughput};
+use gputx_storage::Database;
+use gputx_txn::{ProcedureRegistry, TxnSignature};
+use serde::{Deserialize, Serialize};
+
+/// Result of an ad-hoc execution run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdhocReport {
+    /// Number of transactions executed.
+    pub transactions: usize,
+    /// Total elapsed time.
+    pub elapsed: SimDuration,
+    /// Committed transaction count.
+    pub committed: usize,
+}
+
+impl AdhocReport {
+    /// Throughput of the run.
+    pub fn throughput(&self) -> Throughput {
+        Throughput::from_count(self.transactions as u64, self.elapsed)
+    }
+}
+
+/// Execute every transaction sequentially on a single CPU core.
+pub fn adhoc_cpu_single_core(
+    db: &mut Database,
+    registry: &ProcedureRegistry,
+    bulk: &[TxnSignature],
+    spec: &CpuSpec,
+) -> AdhocReport {
+    let single = spec.single_core();
+    let mut elapsed = 0.0f64;
+    let mut committed = 0usize;
+    let mut sorted: Vec<&TxnSignature> = bulk.iter().collect();
+    sorted.sort_by_key(|s| s.id);
+    for sig in sorted {
+        let (trace, outcome, _) = registry.execute(sig, db);
+        elapsed += trace_cpu_seconds(&trace, &single) + CPU_DISPATCH_OVERHEAD_NS * 1e-9;
+        if outcome.is_committed() {
+            committed += 1;
+        }
+    }
+    db.apply_insert_buffers();
+    AdhocReport {
+        transactions: bulk.len(),
+        elapsed: SimDuration::from_secs(elapsed),
+        committed,
+    }
+}
+
+/// Execute every transaction sequentially on a single GPU core, one kernel per
+/// transaction (the paper's simulation of ad-hoc transaction execution on the
+/// GPU).
+pub fn adhoc_gpu_single_core(
+    db: &mut Database,
+    registry: &ProcedureRegistry,
+    bulk: &[TxnSignature],
+    spec: &DeviceSpec,
+) -> AdhocReport {
+    let model = CostModel::new(spec.clone());
+    let mut elapsed = 0.0f64;
+    let mut committed = 0usize;
+    let launch_overhead_s = spec.kernel_launch_overhead_us * 1e-6;
+    let mut sorted: Vec<&TxnSignature> = bulk.iter().collect();
+    sorted.sort_by_key(|s| s.id);
+    for sig in sorted {
+        let (trace, outcome, _) = registry.execute(sig, db);
+        let cycles = model.isolated_thread_cycles(&trace);
+        elapsed += cycles / (spec.clock_ghz * 1e9) + launch_overhead_s;
+        if outcome.is_committed() {
+            committed += 1;
+        }
+    }
+    db.apply_insert_buffers();
+    AdhocReport {
+        transactions: bulk.len(),
+        elapsed: SimDuration::from_secs(elapsed),
+        committed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputx_storage::schema::{ColumnDef, TableSchema};
+    use gputx_storage::{DataItemId, DataType, Value};
+    use gputx_txn::{BasicOp, ProcedureDef};
+
+    fn setup(rows: i64) -> (Database, ProcedureRegistry) {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "items",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            vec![0],
+        ));
+        for i in 0..rows {
+            db.table_mut(t).insert(vec![Value::Int(i), Value::Int(0)]);
+        }
+        let mut reg = ProcedureRegistry::new();
+        reg.register(ProcedureDef::new(
+            "touch",
+            move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let row = ctx.param_int(0) as u64;
+                let v = ctx.read(t, row, 1).as_int();
+                ctx.compute_calls(16);
+                ctx.write(t, row, 1, Value::Int(v + 1));
+            },
+        ));
+        (db, reg)
+    }
+
+    fn bulk(n: u64, rows: u64) -> Vec<TxnSignature> {
+        (0..n)
+            .map(|i| TxnSignature::new(i, 0, vec![Value::Int((i % rows) as i64)]))
+            .collect()
+    }
+
+    #[test]
+    fn adhoc_gpu_core_is_slower_than_adhoc_cpu_core() {
+        let (db0, reg) = setup(128);
+        let work = bulk(1000, 128);
+        let mut db1 = db0.clone();
+        let cpu = adhoc_cpu_single_core(&mut db1, &reg, &work, &CpuSpec::xeon_e5520());
+        let mut db2 = db0.clone();
+        let gpu = adhoc_gpu_single_core(&mut db2, &reg, &work, &DeviceSpec::tesla_c1060());
+        assert!(db1 == db2, "both ad-hoc models produce the same state");
+        assert_eq!(cpu.committed, 1000);
+        assert_eq!(gpu.committed, 1000);
+        assert!(gpu.elapsed > cpu.elapsed, "a single GPU core is slower than a CPU core");
+        // The single-GPU-core throughput should be a modest fraction of the
+        // CPU core's, in the spirit of the paper's 25–50 % observation.
+        let ratio = gpu.throughput().tps() / cpu.throughput().tps();
+        assert!(ratio < 1.0 && ratio > 0.01, "ratio {ratio} out of plausible range");
+    }
+
+    #[test]
+    fn results_match_between_models() {
+        let (db0, reg) = setup(16);
+        let work = bulk(200, 5);
+        let mut db1 = db0.clone();
+        adhoc_cpu_single_core(&mut db1, &reg, &work, &CpuSpec::xeon_e5520());
+        let mut serial = db0.clone();
+        for sig in &work {
+            reg.execute(sig, &mut serial);
+        }
+        serial.apply_insert_buffers();
+        assert!(db1 == serial, "ad-hoc execution must match the sequential replay");
+    }
+}

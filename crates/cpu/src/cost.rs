@@ -1,0 +1,88 @@
+//! CPU cost model.
+//!
+//! The CPU engine executes exactly the same stored-procedure logic as GPUTx
+//! (the functional execution records a [`ThreadTrace`]); this module converts
+//! a trace into time on one CPU core using the paper's Xeon E5520 parameters:
+//! higher clock and IPC than a single GPU core, and a cache hierarchy that
+//! makes individual data accesses much cheaper than an uncached GPU global
+//! memory access.
+
+use gputx_sim::{CpuSpec, SimDuration, ThreadTrace};
+
+/// Fixed per-transaction dispatch overhead of the CPU engine, in nanoseconds
+/// (procedure call, routing to the partition's worker, result hand-off).
+pub const CPU_DISPATCH_OVERHEAD_NS: f64 = 150.0;
+
+/// Time one CPU core needs to execute a transaction with the given trace.
+pub fn trace_cpu_seconds(trace: &ThreadTrace, spec: &CpuSpec) -> f64 {
+    let compute_s = trace.compute_cycles as f64 / spec.ipc / (spec.clock_ghz * 1e9);
+    let accesses = trace.memory_requests() as f64 + trace.atomic_ops as f64;
+    let memory_s = accesses * spec.avg_access_ns() * 1e-9;
+    // Spin rounds do not occur in the single-threaded-per-partition engine,
+    // but charge them if present (e.g. when replaying a TPL-style trace).
+    let spin_s = trace.lock_spin_rounds as f64 * 20.0e-9;
+    compute_s + memory_s + spin_s
+}
+
+/// Time one CPU core needs to execute a sequence of transactions, including
+/// per-transaction dispatch overhead.
+pub fn traces_cpu_seconds(traces: &[ThreadTrace], spec: &CpuSpec) -> SimDuration {
+    let body: f64 = traces.iter().map(|t| trace_cpu_seconds(t, spec)).sum();
+    let overhead = traces.len() as f64 * CPU_DISPATCH_OVERHEAD_NS * 1e-9;
+    SimDuration::from_secs(body + overhead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(compute: u64, reads: u32) -> ThreadTrace {
+        let mut t = ThreadTrace::new(0);
+        t.compute(compute);
+        for _ in 0..reads {
+            t.read(8);
+        }
+        t
+    }
+
+    #[test]
+    fn compute_and_memory_both_contribute() {
+        let spec = CpuSpec::xeon_e5520();
+        let cpu_only = trace_cpu_seconds(&trace(1000, 0), &spec);
+        let mem_only = trace_cpu_seconds(&trace(0, 10), &spec);
+        let both = trace_cpu_seconds(&trace(1000, 10), &spec);
+        assert!(cpu_only > 0.0 && mem_only > 0.0);
+        assert!((both - (cpu_only + mem_only)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_clock_is_faster() {
+        let base = CpuSpec::xeon_e5520();
+        let mut fast = base.clone();
+        fast.clock_ghz = base.clock_ghz * 2.0;
+        let t = trace(10_000, 2);
+        assert!(trace_cpu_seconds(&t, &fast) < trace_cpu_seconds(&t, &base));
+    }
+
+    #[test]
+    fn batch_includes_dispatch_overhead() {
+        let spec = CpuSpec::xeon_e5520();
+        let traces = vec![trace(0, 0); 1000];
+        let total = traces_cpu_seconds(&traces, &spec);
+        assert!((total.as_secs() - 1000.0 * CPU_DISPATCH_OVERHEAD_NS * 1e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_core_beats_isolated_gpu_core_on_small_transactions() {
+        // The paper observes a single GPU core reaches only 25–50 % of a CPU
+        // core: verify the ordering (GPU core slower) holds in the models.
+        use gputx_sim::cost::CostModel;
+        use gputx_sim::DeviceSpec;
+        let cpu = CpuSpec::xeon_e5520();
+        let gpu_model = CostModel::new(DeviceSpec::tesla_c1060());
+        let t = trace(1600, 4);
+        let cpu_s = trace_cpu_seconds(&t, &cpu);
+        let gpu_s = gpu_model.isolated_thread_cycles(&t) / 1.3e9;
+        assert!(gpu_s > cpu_s, "a lone GPU core must be slower than a CPU core");
+    }
+}

@@ -1,0 +1,28 @@
+//! # gputx-cpu — the CPU-based counterpart engine and ad-hoc execution models
+//!
+//! The paper compares GPUTx against a "homegrown CPU-based counterpart
+//! [that] adopts the design of H-Store" on a quad-core Xeon E5520 (§6.3).
+//! This crate implements that counterpart:
+//!
+//! * [`cost`] — a CPU cost model that converts the same functional execution
+//!   traces used by the GPU simulator into CPU core time (clock, IPC, cache /
+//!   memory latency of the paper's Xeon).
+//! * [`engine`] — an H-Store-style engine: the database is partitioned on the
+//!   workload's partitioning key, each partition is owned by one worker
+//!   (core), transactions are routed to their partition's worker (push model)
+//!   and executed serially without locks; cross-partition transactions are
+//!   executed in a serial global phase.
+//! * [`adhoc`] — ad-hoc (one transaction at a time) execution models for both
+//!   a single CPU core and a single GPU core, used for the paper's
+//!   normalization baseline and for the bulk-vs-ad-hoc comparison (16–146×).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adhoc;
+pub mod cost;
+pub mod engine;
+
+pub use adhoc::{adhoc_cpu_single_core, adhoc_gpu_single_core};
+pub use cost::trace_cpu_seconds;
+pub use engine::{CpuBulkReport, CpuEngine};

@@ -1,0 +1,398 @@
+//! The SIMT cost model.
+//!
+//! The model converts per-thread [`ThreadTrace`] aggregates into simulated
+//! kernel cycles, capturing the effects the paper's evaluation depends on:
+//!
+//! * **Branch divergence** (§ Appendix A): threads of a warp that take
+//!   different paths are serialized; the warp's cost is the sum over distinct
+//!   paths of the per-path maximum, instead of a single maximum.
+//! * **Latency hiding**: the effective global-memory latency observed by a
+//!   warp shrinks with the number of warps resident on the SM, because the
+//!   scheduler switches to other warps while a memory request is in flight.
+//! * **Bandwidth bound**: a kernel can never finish faster than moving its
+//!   total bytes at the device bandwidth allows.
+//! * **Atomics and spin locks**: atomic operations and spin-lock rounds charge
+//!   fixed per-operation costs; a transaction whose lock key is `k` spins for
+//!   `k` rounds (the counter-based lock of §5.1), so dependency depth converts
+//!   directly into serialization time.
+
+use crate::device::DeviceSpec;
+use crate::trace::ThreadTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Minimum cycles charged for a fully-hidden memory access (issue cost).
+const MIN_MEM_ACCESS_CYCLES: f64 = 4.0;
+
+/// Per-warp cost decomposition produced by [`CostModel::warp_cost`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WarpCost {
+    /// Total serialized cycles for the warp (what the SM spends on it).
+    pub cycles: f64,
+    /// Cycles attributable to arithmetic/compute work.
+    pub compute_cycles: f64,
+    /// Cycles attributable to global memory accesses.
+    pub memory_cycles: f64,
+    /// Cycles attributable to atomics and spin-lock waiting.
+    pub sync_cycles: f64,
+    /// Extra cycles caused by branch divergence (cost above the cost the warp
+    /// would have had if all threads shared one path).
+    pub divergence_cycles: f64,
+    /// Number of distinct branch paths taken inside the warp.
+    pub paths: usize,
+}
+
+/// Cost decomposition of an entire kernel launch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Critical-path cycles of the kernel (the busiest SM, or the bandwidth
+    /// bound if that is larger), including launch overhead.
+    pub cycles: f64,
+    /// Compute cycles along the critical SM.
+    pub compute_cycles: f64,
+    /// Memory cycles along the critical SM.
+    pub memory_cycles: f64,
+    /// Synchronization (atomics + spin locks) cycles along the critical SM.
+    pub sync_cycles: f64,
+    /// Divergence overhead cycles along the critical SM.
+    pub divergence_cycles: f64,
+    /// True when the kernel time was limited by memory bandwidth rather than
+    /// by the busiest SM.
+    pub bandwidth_bound: bool,
+    /// Number of warps launched.
+    pub warps: usize,
+    /// Number of resident warps per SM assumed for latency hiding.
+    pub resident_warps: u32,
+}
+
+/// The SIMT cost model for one device.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    spec: DeviceSpec,
+}
+
+impl CostModel {
+    /// Create a cost model for a device.
+    pub fn new(spec: DeviceSpec) -> Self {
+        spec.validate().expect("invalid device spec");
+        CostModel { spec }
+    }
+
+    /// The device specification this model was built from.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Effective latency of one global memory access when `resident_warps`
+    /// warps are available per SM to hide latency.
+    pub fn effective_mem_latency(&self, resident_warps: u32) -> f64 {
+        let hiding = resident_warps
+            .clamp(1, self.spec.max_resident_warps_per_sm)
+            .max(1) as f64;
+        (self.spec.mem_latency_cycles as f64 / hiding).max(MIN_MEM_ACCESS_CYCLES)
+    }
+
+    /// Number of warp-instruction issue cycles per thread instruction: a warp
+    /// of 32 threads on an 8-core SM needs 4 cycles per instruction.
+    pub fn issue_factor(&self) -> f64 {
+        self.spec.warp_size as f64 / self.spec.cores_per_sm as f64
+    }
+
+    /// Cost of a single thread executed in isolation with no latency hiding
+    /// (used for the "ad-hoc, one GPU core" execution model of §6.3).
+    pub fn isolated_thread_cycles(&self, trace: &ThreadTrace) -> f64 {
+        let compute = trace.compute_cycles as f64;
+        let memory = trace.memory_requests() as f64 * self.spec.mem_latency_cycles as f64;
+        let sync = self.sync_cycles(trace);
+        compute + memory + sync
+    }
+
+    fn sync_cycles(&self, trace: &ThreadTrace) -> f64 {
+        let atomic = (trace.atomic_ops + trace.atomic_retries) as f64 * self.spec.atomic_cycles as f64;
+        let lock_acquire = trace.lock_acquisitions as f64 * self.spec.atomic_cycles as f64;
+        let spin = trace.lock_spin_rounds as f64 * self.spec.spin_iteration_cycles as f64;
+        atomic + lock_acquire + spin
+    }
+
+    /// Per-thread cost components, given latency hiding from `resident_warps`.
+    fn thread_components(&self, trace: &ThreadTrace, resident_warps: u32) -> (f64, f64, f64) {
+        let compute = trace.compute_cycles as f64 * self.issue_factor();
+        let memory = trace.memory_requests() as f64 * self.effective_mem_latency(resident_warps);
+        let sync = self.sync_cycles(trace);
+        (compute, memory, sync)
+    }
+
+    /// Cost of a warp: threads sharing a path proceed in lockstep (max cost);
+    /// distinct paths are serialized (sum of per-path maxima).
+    pub fn warp_cost(&self, warp: &[ThreadTrace], resident_warps: u32) -> WarpCost {
+        if warp.is_empty() {
+            return WarpCost::default();
+        }
+        // Group threads by path and take the per-path maximum of each component.
+        let mut per_path: HashMap<u32, (f64, f64, f64)> = HashMap::new();
+        // Also track the global maximum to quantify divergence overhead.
+        let mut converged = (0.0f64, 0.0f64, 0.0f64);
+        for t in warp {
+            let (c, m, s) = self.thread_components(t, resident_warps);
+            let entry = per_path.entry(t.path).or_insert((0.0, 0.0, 0.0));
+            entry.0 = entry.0.max(c);
+            entry.1 = entry.1.max(m);
+            entry.2 = entry.2.max(s);
+            converged.0 = converged.0.max(c);
+            converged.1 = converged.1.max(m);
+            converged.2 = converged.2.max(s);
+        }
+        let compute: f64 = per_path.values().map(|v| v.0).sum();
+        let memory: f64 = per_path.values().map(|v| v.1).sum();
+        let sync: f64 = per_path.values().map(|v| v.2).sum();
+        let total = compute + memory + sync;
+        let converged_total = converged.0 + converged.1 + converged.2;
+        WarpCost {
+            cycles: total,
+            compute_cycles: compute,
+            memory_cycles: memory,
+            sync_cycles: sync,
+            divergence_cycles: (total - converged_total).max(0.0),
+            paths: per_path.len(),
+        }
+    }
+
+    /// Split a flat slice of thread traces into warps of `warp_size`.
+    pub fn split_warps<'a>(&self, traces: &'a [ThreadTrace]) -> Vec<&'a [ThreadTrace]> {
+        traces.chunks(self.spec.warp_size as usize).collect()
+    }
+
+    /// Number of warps resident per SM for a launch of `num_warps` warps.
+    pub fn resident_warps(&self, num_warps: usize) -> u32 {
+        let per_sm = num_warps.div_ceil(self.spec.num_sms as usize).max(1) as u32;
+        per_sm.min(self.spec.max_resident_warps_per_sm)
+    }
+
+    /// Kernel cost for `count` threads that all execute the same trace.
+    ///
+    /// Data-parallel primitives (sort passes, scans, maps) launch millions of
+    /// identical threads; computing their cost analytically avoids
+    /// materializing one `ThreadTrace` per element.
+    pub fn uniform_kernel_cost(&self, count: usize, proto: &ThreadTrace) -> KernelCost {
+        let launch_overhead =
+            self.spec.kernel_launch_overhead_us * 1e-6 * self.spec.clock_ghz * 1e9;
+        if count == 0 {
+            return KernelCost {
+                cycles: launch_overhead,
+                warps: 0,
+                resident_warps: 0,
+                ..Default::default()
+            };
+        }
+        let warps = count.div_ceil(self.spec.warp_size as usize);
+        let resident = self.resident_warps(warps);
+        let warp_cost = self.warp_cost(std::slice::from_ref(proto), resident);
+        let warps_on_critical_sm = warps.div_ceil(self.spec.num_sms as usize) as f64;
+        let critical_cycles = warp_cost.cycles * warps_on_critical_sm;
+        let total_bytes = proto.bytes_moved() * count as u64;
+        let bandwidth_cycles = total_bytes as f64 / self.spec.bytes_per_cycle();
+        let bandwidth_bound = bandwidth_cycles > critical_cycles;
+        let body = critical_cycles.max(bandwidth_cycles);
+        KernelCost {
+            cycles: body + launch_overhead,
+            compute_cycles: warp_cost.compute_cycles * warps_on_critical_sm,
+            memory_cycles: if bandwidth_bound {
+                warp_cost.memory_cycles * warps_on_critical_sm + (bandwidth_cycles - critical_cycles)
+            } else {
+                warp_cost.memory_cycles * warps_on_critical_sm
+            },
+            sync_cycles: warp_cost.sync_cycles * warps_on_critical_sm,
+            divergence_cycles: 0.0,
+            bandwidth_bound,
+            warps,
+            resident_warps: resident,
+        }
+    }
+
+    /// Full kernel cost for a set of thread traces.
+    ///
+    /// Warps are distributed round-robin over SMs; the kernel finishes when the
+    /// busiest SM finishes, unless the launch is bandwidth bound.
+    pub fn kernel_cost(&self, traces: &[ThreadTrace]) -> KernelCost {
+        let launch_overhead =
+            self.spec.kernel_launch_overhead_us * 1e-6 * self.spec.clock_ghz * 1e9;
+        if traces.is_empty() {
+            return KernelCost {
+                cycles: launch_overhead,
+                warps: 0,
+                resident_warps: 0,
+                ..Default::default()
+            };
+        }
+        let warps = self.split_warps(traces);
+        let resident = self.resident_warps(warps.len());
+        let num_sms = self.spec.num_sms as usize;
+
+        // Accumulate per-SM cost with round-robin warp assignment.
+        let mut sm_cycles = vec![0.0f64; num_sms];
+        let mut sm_breakdown = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64); num_sms];
+        for (i, warp) in warps.iter().enumerate() {
+            let cost = self.warp_cost(warp, resident);
+            let sm = i % num_sms;
+            sm_cycles[sm] += cost.cycles;
+            sm_breakdown[sm].0 += cost.compute_cycles;
+            sm_breakdown[sm].1 += cost.memory_cycles;
+            sm_breakdown[sm].2 += cost.sync_cycles;
+            sm_breakdown[sm].3 += cost.divergence_cycles;
+        }
+        let (critical_sm, &critical_cycles) = sm_cycles
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("cycle counts are finite"))
+            .expect("at least one SM");
+
+        // Bandwidth bound: moving all bytes at peak bandwidth.
+        let total_bytes: u64 = traces.iter().map(|t| t.bytes_moved()).sum();
+        let bandwidth_cycles = total_bytes as f64 / self.spec.bytes_per_cycle();
+
+        let bandwidth_bound = bandwidth_cycles > critical_cycles;
+        let body = critical_cycles.max(bandwidth_cycles);
+        let (compute, memory, sync, divergence) = sm_breakdown[critical_sm];
+        KernelCost {
+            cycles: body + launch_overhead,
+            compute_cycles: compute,
+            memory_cycles: if bandwidth_bound {
+                memory + (bandwidth_cycles - critical_cycles)
+            } else {
+                memory
+            },
+            sync_cycles: sync,
+            divergence_cycles: divergence,
+            bandwidth_bound,
+            warps: warps.len(),
+            resident_warps: resident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with(path: u32, compute: u64, reads: u32) -> ThreadTrace {
+        let mut t = ThreadTrace::new(path);
+        t.compute(compute);
+        for _ in 0..reads {
+            t.read(8);
+        }
+        t
+    }
+
+    #[test]
+    fn latency_hiding_shrinks_with_resident_warps() {
+        let m = CostModel::new(DeviceSpec::tesla_c1060());
+        let full = m.effective_mem_latency(1);
+        let hidden = m.effective_mem_latency(32);
+        assert!(full > hidden);
+        assert!((full - 500.0).abs() < 1e-9);
+        assert!(hidden >= MIN_MEM_ACCESS_CYCLES);
+    }
+
+    #[test]
+    fn issue_factor_c1060_is_four() {
+        let m = CostModel::new(DeviceSpec::tesla_c1060());
+        assert!((m.issue_factor() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warp_with_single_path_takes_max() {
+        let m = CostModel::new(DeviceSpec::tesla_c1060());
+        let warp = vec![trace_with(0, 100, 0), trace_with(0, 300, 0)];
+        let c = m.warp_cost(&warp, 1);
+        // Max compute 300 * issue factor 4 = 1200 cycles, no divergence.
+        assert!((c.compute_cycles - 1200.0).abs() < 1e-9);
+        assert_eq!(c.divergence_cycles, 0.0);
+        assert_eq!(c.paths, 1);
+    }
+
+    #[test]
+    fn divergent_warp_serializes_paths() {
+        let m = CostModel::new(DeviceSpec::tesla_c1060());
+        let warp = vec![trace_with(0, 100, 0), trace_with(1, 100, 0)];
+        let c = m.warp_cost(&warp, 1);
+        // Two paths of 100 compute cycles each are serialized: 2 * 100 * 4.
+        assert!((c.compute_cycles - 800.0).abs() < 1e-9);
+        assert!((c.divergence_cycles - 400.0).abs() < 1e-9);
+        assert_eq!(c.paths, 2);
+    }
+
+    #[test]
+    fn grouped_warps_cost_less_than_mixed_warps() {
+        // The essence of the paper's Figure 3: grouping transactions by type
+        // removes intra-warp divergence.
+        let m = CostModel::new(DeviceSpec::tesla_c1060());
+        let mixed: Vec<ThreadTrace> = (0..64).map(|i| trace_with(i % 8, 200, 2)).collect();
+        let grouped: Vec<ThreadTrace> = (0..64).map(|i| trace_with(i / 8, 200, 2)).collect();
+        let mixed_cost = m.kernel_cost(&mixed);
+        let grouped_cost = m.kernel_cost(&grouped);
+        assert!(
+            mixed_cost.cycles > grouped_cost.cycles,
+            "mixed {} should exceed grouped {}",
+            mixed_cost.cycles,
+            grouped_cost.cycles
+        );
+    }
+
+    #[test]
+    fn spin_rounds_add_serialization() {
+        let m = CostModel::new(DeviceSpec::tesla_c1060());
+        let mut free = ThreadTrace::new(0);
+        free.lock_wait(0);
+        let mut waiting = ThreadTrace::new(0);
+        waiting.lock_wait(50);
+        let c_free = m.warp_cost(&[free], 1);
+        let c_wait = m.warp_cost(&[waiting], 1);
+        assert!(c_wait.sync_cycles > c_free.sync_cycles);
+    }
+
+    #[test]
+    fn kernel_cost_scales_down_with_parallelism() {
+        // Doubling the thread count of light threads should not double the
+        // kernel time once all SMs are busy (throughput scaling).
+        let m = CostModel::new(DeviceSpec::tesla_c1060());
+        let small: Vec<ThreadTrace> = (0..960).map(|_| trace_with(0, 100, 2)).collect();
+        let large: Vec<ThreadTrace> = (0..9600).map(|_| trace_with(0, 100, 2)).collect();
+        let c_small = m.kernel_cost(&small);
+        let c_large = m.kernel_cost(&large);
+        // 10x threads should be well under 10x cycles thanks to latency hiding.
+        assert!(c_large.cycles < c_small.cycles * 10.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_kicks_in_for_heavy_io() {
+        let m = CostModel::new(DeviceSpec::tesla_c1060());
+        let traces: Vec<ThreadTrace> = (0..240 * 32)
+            .map(|_| {
+                let mut t = ThreadTrace::new(0);
+                // 1 MB of reads per thread: clearly bandwidth bound.
+                for _ in 0..128 {
+                    t.read(8192);
+                }
+                t
+            })
+            .collect();
+        let c = m.kernel_cost(&traces);
+        assert!(c.bandwidth_bound);
+    }
+
+    #[test]
+    fn empty_launch_only_costs_overhead() {
+        let m = CostModel::new(DeviceSpec::tesla_c1060());
+        let c = m.kernel_cost(&[]);
+        assert_eq!(c.warps, 0);
+        assert!(c.cycles > 0.0);
+    }
+
+    #[test]
+    fn resident_warps_capped_by_device_limit() {
+        let m = CostModel::new(DeviceSpec::tesla_c1060());
+        assert_eq!(m.resident_warps(30), 1);
+        assert_eq!(m.resident_warps(30 * 32), 32);
+        assert_eq!(m.resident_warps(30 * 1000), 32);
+    }
+}

@@ -1,0 +1,257 @@
+//! Hardware descriptions: GPU device specifications and CPU specifications.
+//!
+//! The defaults mirror the hardware used in the paper's evaluation (§6.1 and
+//! Appendix E): an NVIDIA Tesla C1060 and an Intel Xeon E5520.
+
+use serde::{Deserialize, Serialize};
+
+/// Description of a (simulated) GPU device.
+///
+/// The parameters drive the SIMT cost model in [`crate::cost`]. The
+/// [`DeviceSpec::tesla_c1060`] preset matches the paper's hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors (SMs).
+    pub num_sms: u32,
+    /// Scalar cores per SM.
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Threads per warp (the SIMT width).
+    pub warp_size: u32,
+    /// Maximum number of warps that can be resident on one SM at a time.
+    /// Resident warps hide memory latency.
+    pub max_resident_warps_per_sm: u32,
+    /// Device (global) memory capacity in bytes.
+    pub device_memory_bytes: u64,
+    /// Device memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Device memory access latency in core cycles (uncoalesced access).
+    pub mem_latency_cycles: u32,
+    /// Extra cycles charged for one atomic read-modify-write operation.
+    pub atomic_cycles: u32,
+    /// Cycles for one iteration of a spin-lock loop (atomic + fence + branch).
+    pub spin_iteration_cycles: u32,
+    /// Fixed kernel launch overhead, in microseconds.
+    pub kernel_launch_overhead_us: f64,
+    /// PCIe bandwidth between host and device, in GB/s.
+    pub pcie_bandwidth_gbps: f64,
+    /// PCIe transfer latency (per transfer), in microseconds.
+    pub pcie_latency_us: f64,
+    /// Approximate unit price in US dollars (used for cost-efficiency figures).
+    pub price_usd: f64,
+}
+
+impl DeviceSpec {
+    /// The NVIDIA Tesla C1060 used in the paper: 30 SMs × 8 cores = 240 cores
+    /// at 1.3 GHz, 4 GB of device memory at a measured 73 GB/s, PCIe at a
+    /// measured 3.4 GB/s, priced at US$ 1,699 (paper §6.3, Appendix E).
+    pub fn tesla_c1060() -> Self {
+        DeviceSpec {
+            name: "NVIDIA Tesla C1060".to_string(),
+            num_sms: 30,
+            cores_per_sm: 8,
+            clock_ghz: 1.3,
+            warp_size: 32,
+            max_resident_warps_per_sm: 32,
+            device_memory_bytes: 4 * 1024 * 1024 * 1024,
+            mem_bandwidth_gbps: 73.0,
+            mem_latency_cycles: 500,
+            atomic_cycles: 300,
+            spin_iteration_cycles: 600,
+            kernel_launch_overhead_us: 10.0,
+            pcie_bandwidth_gbps: 3.4,
+            pcie_latency_us: 10.0,
+            price_usd: 1699.0,
+        }
+    }
+
+    /// A small test device: 2 SMs × 8 cores, useful for unit tests that want
+    /// to reason about warp/SM assignment with small thread counts.
+    pub fn tiny_test_device() -> Self {
+        DeviceSpec {
+            name: "tiny test device".to_string(),
+            num_sms: 2,
+            cores_per_sm: 8,
+            warp_size: 4,
+            max_resident_warps_per_sm: 8,
+            device_memory_bytes: 64 * 1024 * 1024,
+            ..Self::tesla_c1060()
+        }
+    }
+
+    /// Total number of scalar cores.
+    pub fn total_cores(&self) -> u32 {
+        self.num_sms * self.cores_per_sm
+    }
+
+    /// Device memory bandwidth in bytes per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        (self.mem_bandwidth_gbps * 1e9) / (self.clock_ghz * 1e9)
+    }
+
+    /// Validate internal consistency of the specification.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_sms == 0 || self.cores_per_sm == 0 {
+            return Err("device must have at least one SM and one core".into());
+        }
+        if self.warp_size == 0 {
+            return Err("warp size must be positive".into());
+        }
+        if self.clock_ghz <= 0.0 {
+            return Err("clock must be positive".into());
+        }
+        if self.mem_bandwidth_gbps <= 0.0 || self.pcie_bandwidth_gbps <= 0.0 {
+            return Err("bandwidths must be positive".into());
+        }
+        if self.max_resident_warps_per_sm == 0 {
+            return Err("at least one resident warp per SM is required".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::tesla_c1060()
+    }
+}
+
+/// Description of a (simulated) multi-core CPU.
+///
+/// Used by the CPU-based counterpart engine (`gputx-cpu`) so that the
+/// GPU-vs-CPU comparison of the paper's Figure 7 is made on the same simulated
+/// hardware generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Human readable CPU name.
+    pub name: String,
+    /// Number of physical cores.
+    pub cores: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained instructions per cycle for this transaction-processing
+    /// workload (superscalar CPUs retire several instructions per cycle).
+    pub ipc: f64,
+    /// Main memory access latency in nanoseconds (cache miss).
+    pub mem_latency_ns: f64,
+    /// Fraction of data accesses that hit in the cache hierarchy.
+    pub cache_hit_ratio: f64,
+    /// Cache hit latency in nanoseconds.
+    pub cache_latency_ns: f64,
+    /// Main memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Approximate unit price in US dollars.
+    pub price_usd: f64,
+}
+
+impl CpuSpec {
+    /// The Intel Xeon E5520 used in the paper: 4 cores at 2.26 GHz with an
+    /// 8 MB shared L3, priced at US$ 649 (paper §6.3, Appendix E).
+    pub fn xeon_e5520() -> Self {
+        CpuSpec {
+            name: "Intel Xeon E5520".to_string(),
+            cores: 4,
+            clock_ghz: 2.26,
+            ipc: 1.6,
+            mem_latency_ns: 80.0,
+            cache_hit_ratio: 0.85,
+            cache_latency_ns: 8.0,
+            mem_bandwidth_gbps: 25.6,
+            price_usd: 649.0,
+        }
+    }
+
+    /// Single-core variant of this CPU (used for the paper's normalization to
+    /// "the CPU-based engine on a single core").
+    pub fn single_core(&self) -> Self {
+        CpuSpec {
+            cores: 1,
+            ..self.clone()
+        }
+    }
+
+    /// Average data access latency in nanoseconds, given the cache hit ratio.
+    pub fn avg_access_ns(&self) -> f64 {
+        self.cache_hit_ratio * self.cache_latency_ns
+            + (1.0 - self.cache_hit_ratio) * self.mem_latency_ns
+    }
+
+    /// Validate internal consistency of the specification.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("CPU must have at least one core".into());
+        }
+        if self.clock_ghz <= 0.0 || self.ipc <= 0.0 {
+            return Err("clock and IPC must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.cache_hit_ratio) {
+            return Err("cache hit ratio must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CpuSpec {
+    fn default() -> Self {
+        Self::xeon_e5520()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1060_matches_paper_parameters() {
+        let d = DeviceSpec::tesla_c1060();
+        assert_eq!(d.total_cores(), 240);
+        assert_eq!(d.warp_size, 32);
+        assert!((d.clock_ghz - 1.3).abs() < 1e-9);
+        assert!((d.mem_bandwidth_gbps - 73.0).abs() < 1e-9);
+        assert!((d.pcie_bandwidth_gbps - 3.4).abs() < 1e-9);
+        assert!((d.price_usd - 1699.0).abs() < 1e-9);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn xeon_matches_paper_parameters() {
+        let c = CpuSpec::xeon_e5520();
+        assert_eq!(c.cores, 4);
+        assert!((c.clock_ghz - 2.26).abs() < 1e-9);
+        assert!((c.price_usd - 649.0).abs() < 1e-9);
+        c.validate().unwrap();
+        assert_eq!(c.single_core().cores, 1);
+    }
+
+    #[test]
+    fn bytes_per_cycle_is_bandwidth_over_clock() {
+        let d = DeviceSpec::tesla_c1060();
+        // 73 GB/s at 1.3 GHz is about 56 bytes per cycle.
+        assert!((d.bytes_per_cycle() - 73.0 / 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_access_latency_interpolates() {
+        let mut c = CpuSpec::xeon_e5520();
+        c.cache_hit_ratio = 1.0;
+        assert!((c.avg_access_ns() - c.cache_latency_ns).abs() < 1e-9);
+        c.cache_hit_ratio = 0.0;
+        assert!((c.avg_access_ns() - c.mem_latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut d = DeviceSpec::tesla_c1060();
+        d.num_sms = 0;
+        assert!(d.validate().is_err());
+        let mut d = DeviceSpec::tesla_c1060();
+        d.clock_ghz = 0.0;
+        assert!(d.validate().is_err());
+        let mut c = CpuSpec::xeon_e5520();
+        c.cache_hit_ratio = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Kernel launches and the [`Gpu`] facade.
+//!
+//! A [`Gpu`] owns a device specification, its device-memory allocator, a PCIe
+//! transfer engine and cumulative statistics. Engine code builds per-thread
+//! [`ThreadTrace`]s during functional execution and calls [`Gpu::launch`] to
+//! obtain the simulated kernel time.
+
+use crate::cost::{CostModel, KernelCost};
+use crate::device::DeviceSpec;
+use crate::memory::{DeviceMemory, TransferDirection, TransferEngine};
+use crate::timing::SimDuration;
+use crate::trace::ThreadTrace;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a kernel launch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Label used in reports and breakdowns ("tpl_execute", "radix_sort_pass", ...).
+    pub label: String,
+    /// Threads per block. The cost model groups threads into warps directly,
+    /// so the block size only matters for occupancy book-keeping; it is kept
+    /// for API fidelity with CUDA launches.
+    pub block_size: u32,
+}
+
+impl LaunchConfig {
+    /// A launch configuration with the default block size of 256 threads.
+    pub fn new(label: impl Into<String>) -> Self {
+        LaunchConfig {
+            label: label.into(),
+            block_size: 256,
+        }
+    }
+}
+
+/// Result of one simulated kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Label from the launch configuration.
+    pub label: String,
+    /// Number of logical threads launched.
+    pub threads: usize,
+    /// Number of warps.
+    pub warps: usize,
+    /// Simulated elapsed time of the kernel.
+    pub time: SimDuration,
+    /// Critical-path cycles.
+    pub cycles: f64,
+    /// Compute cycles on the critical SM.
+    pub compute_cycles: f64,
+    /// Memory cycles on the critical SM (or the bandwidth bound surplus).
+    pub memory_cycles: f64,
+    /// Synchronization (atomic + spin lock) cycles on the critical SM.
+    pub sync_cycles: f64,
+    /// Branch-divergence overhead cycles on the critical SM.
+    pub divergence_cycles: f64,
+    /// Whether the kernel was bound by memory bandwidth.
+    pub bandwidth_bound: bool,
+}
+
+impl KernelReport {
+    fn from_cost(label: String, threads: usize, cost: KernelCost, clock_ghz: f64) -> Self {
+        KernelReport {
+            label,
+            threads,
+            warps: cost.warps,
+            time: SimDuration::from_secs(cost.cycles / (clock_ghz * 1e9)),
+            cycles: cost.cycles,
+            compute_cycles: cost.compute_cycles,
+            memory_cycles: cost.memory_cycles,
+            sync_cycles: cost.sync_cycles,
+            divergence_cycles: cost.divergence_cycles,
+            bandwidth_bound: cost.bandwidth_bound,
+        }
+    }
+}
+
+/// Cumulative statistics across the lifetime of a [`Gpu`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GpuStats {
+    /// Number of kernels launched.
+    pub kernels: u64,
+    /// Total simulated kernel time.
+    pub kernel_time: SimDuration,
+    /// Total simulated host→device transfer time.
+    pub h2d_time: SimDuration,
+    /// Total simulated device→host transfer time.
+    pub d2h_time: SimDuration,
+    /// Total bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Total bytes moved device→host.
+    pub d2h_bytes: u64,
+}
+
+/// The simulated GPU: device spec + memory + transfer engine + statistics.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    spec: DeviceSpec,
+    cost: CostModel,
+    /// Device-memory allocator (public so storage code can account for tables).
+    pub memory: DeviceMemory,
+    transfers: TransferEngine,
+    stats: GpuStats,
+}
+
+impl Gpu {
+    /// Create a simulated GPU from a device specification.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let memory = DeviceMemory::for_device(&spec);
+        let cost = CostModel::new(spec.clone());
+        Gpu {
+            spec,
+            cost,
+            memory,
+            transfers: TransferEngine::new(),
+            stats: GpuStats::default(),
+        }
+    }
+
+    /// A GPU with the paper's Tesla C1060 parameters.
+    pub fn c1060() -> Self {
+        Self::new(DeviceSpec::tesla_c1060())
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The cost model for this device.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Launch a kernel described by per-thread traces and return its report.
+    pub fn launch(&mut self, label: impl Into<String>, traces: &[ThreadTrace]) -> KernelReport {
+        self.launch_with(LaunchConfig::new(label), traces)
+    }
+
+    /// Launch with an explicit configuration.
+    pub fn launch_with(&mut self, cfg: LaunchConfig, traces: &[ThreadTrace]) -> KernelReport {
+        let cost = self.cost.kernel_cost(traces);
+        let report = KernelReport::from_cost(cfg.label, traces.len(), cost, self.spec.clock_ghz);
+        self.stats.kernels += 1;
+        self.stats.kernel_time += report.time;
+        report
+    }
+
+    /// Launch a kernel of `count` identical threads described by a prototype
+    /// trace. Used by the data-parallel primitives where every thread does the
+    /// same per-element work.
+    pub fn launch_uniform(
+        &mut self,
+        label: impl Into<String>,
+        count: usize,
+        proto: &ThreadTrace,
+    ) -> KernelReport {
+        let cost = self.cost.uniform_kernel_cost(count, proto);
+        let report = KernelReport::from_cost(label.into(), count, cost, self.spec.clock_ghz);
+        self.stats.kernels += 1;
+        self.stats.kernel_time += report.time;
+        report
+    }
+
+    /// Account for a host→device transfer (bulk parameters, initial load).
+    pub fn transfer_to_device(&mut self, label: impl Into<String>, bytes: u64) -> SimDuration {
+        let t = self
+            .transfers
+            .transfer(&self.spec, TransferDirection::HostToDevice, label, bytes);
+        self.stats.h2d_time += t;
+        self.stats.h2d_bytes += bytes;
+        t
+    }
+
+    /// Account for a device→host transfer (bulk results).
+    pub fn transfer_to_host(&mut self, label: impl Into<String>, bytes: u64) -> SimDuration {
+        let t = self
+            .transfers
+            .transfer(&self.spec, TransferDirection::DeviceToHost, label, bytes);
+        self.stats.d2h_time += t;
+        self.stats.d2h_bytes += bytes;
+        t
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &GpuStats {
+        &self.stats
+    }
+
+    /// Transfer log (every individual PCIe transfer).
+    pub fn transfers(&self) -> &TransferEngine {
+        &self.transfers
+    }
+
+    /// Reset cumulative statistics and the transfer log (device memory
+    /// allocations are kept — the database stays resident).
+    pub fn reset_stats(&mut self) {
+        self.stats = GpuStats::default();
+        self.transfers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_trace(path: u32) -> ThreadTrace {
+        let mut t = ThreadTrace::new(path);
+        t.compute(100);
+        t.read(8);
+        t.write(8);
+        t
+    }
+
+    #[test]
+    fn launch_produces_positive_time() {
+        let mut gpu = Gpu::c1060();
+        let traces: Vec<ThreadTrace> = (0..1024).map(|_| busy_trace(0)).collect();
+        let report = gpu.launch("test", &traces);
+        assert_eq!(report.threads, 1024);
+        assert_eq!(report.warps, 1024 / 32);
+        assert!(report.time.as_secs() > 0.0);
+        assert_eq!(gpu.stats().kernels, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_across_launches_and_transfers() {
+        let mut gpu = Gpu::c1060();
+        let traces: Vec<ThreadTrace> = (0..64).map(|_| busy_trace(0)).collect();
+        gpu.launch("a", &traces);
+        gpu.launch("b", &traces);
+        gpu.transfer_to_device("params", 4096);
+        gpu.transfer_to_host("results", 2048);
+        let s = gpu.stats();
+        assert_eq!(s.kernels, 2);
+        assert_eq!(s.h2d_bytes, 4096);
+        assert_eq!(s.d2h_bytes, 2048);
+        assert!(s.kernel_time.as_secs() > 0.0);
+        assert!(s.h2d_time.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_memory_allocations() {
+        let mut gpu = Gpu::c1060();
+        gpu.memory.alloc("table", 1024).unwrap();
+        gpu.transfer_to_device("load", 1024);
+        gpu.reset_stats();
+        assert_eq!(gpu.stats().kernels, 0);
+        assert_eq!(gpu.memory.used(), 1024);
+        assert!(gpu.transfers().records().is_empty());
+    }
+
+    #[test]
+    fn divergence_visible_in_report() {
+        let mut gpu = Gpu::c1060();
+        let mixed: Vec<ThreadTrace> = (0..256).map(|i| busy_trace(i % 8)).collect();
+        let grouped: Vec<ThreadTrace> = (0..256).map(|i| busy_trace(i / 32)).collect();
+        let r_mixed = gpu.launch("mixed", &mixed);
+        let r_grouped = gpu.launch("grouped", &grouped);
+        assert!(r_mixed.divergence_cycles > r_grouped.divergence_cycles);
+        assert!(r_mixed.time > r_grouped.time);
+    }
+}

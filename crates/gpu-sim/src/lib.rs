@@ -1,0 +1,51 @@
+//! # gputx-sim — a SIMT/SPMD execution simulator
+//!
+//! This crate is the *GPU substrate* for the GPUTx reproduction. The original
+//! paper (He & Yu, VLDB 2011) runs CUDA kernels on an NVIDIA Tesla C1060; this
+//! environment has no GPU, so the substrate models the architectural effects
+//! that drive the paper's results:
+//!
+//! * **SPMD/SIMT execution** — logical threads are grouped into warps of 32;
+//!   threads of a warp that take different branch paths are serialized
+//!   (branch divergence), different warps execute independently.
+//! * **Massive thread parallelism** — warps are distributed over many
+//!   multiprocessors (SMs) and memory latency is hidden in proportion to the
+//!   number of resident warps.
+//! * **Device memory** — a capacity-limited allocator with a bandwidth/latency
+//!   model, plus a PCIe transfer model for host ↔ device copies.
+//! * **Atomic operations** — `atomicCAS` / `atomicAdd` equivalents used to
+//!   build spin locks, with contention accounting.
+//! * **Data-parallel primitives** — radix sort, prefix sum (scan), map,
+//!   gather/scatter, reduce, compact and binary search, each accounted through
+//!   the same cost model. These are the building blocks of the paper's bulk
+//!   generation (k-set computation, partition sorting, type grouping).
+//!
+//! The simulator is *trace based*: transaction logic executes functionally in
+//! ordinary Rust against the in-memory store (so correctness is real), while
+//! each logical GPU thread records an aggregate [`trace::ThreadTrace`]
+//! (compute cycles, global memory accesses, atomics, lock spin rounds). A
+//! kernel "launch" replays the traces through the cost model and returns a
+//! [`kernel::KernelReport`] with simulated elapsed time.
+//!
+//! The default [`device::DeviceSpec`] is calibrated to the Tesla C1060 used in
+//! the paper (240 cores, 30 SMs, 1.3 GHz, 73 GB/s). A CPU core model
+//! ([`device::CpuSpec`]) with the paper's Xeon E5520 parameters is provided so
+//! the CPU baseline and the GPU engine are compared on the same simulated
+//! 2011-era hardware.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod cost;
+pub mod device;
+pub mod kernel;
+pub mod memory;
+pub mod primitives;
+pub mod timing;
+pub mod trace;
+
+pub use device::{CpuSpec, DeviceSpec};
+pub use kernel::{Gpu, KernelReport, LaunchConfig};
+pub use timing::{SimDuration, Throughput};
+pub use trace::ThreadTrace;

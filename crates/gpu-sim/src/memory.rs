@@ -1,0 +1,295 @@
+//! Device memory accounting and the PCIe transfer model.
+//!
+//! GPUTx keeps the working database resident in device memory (§3.2, §7). The
+//! simulator does not copy actual bytes — table data lives in the host-side
+//! column store — but it *accounts* for capacity (the paper's "database fits
+//! into device memory" constraint) and for host↔device transfer time of bulk
+//! inputs and results (Appendix F.2, Figure 16).
+
+use crate::device::DeviceSpec;
+use crate::timing::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error returned when a device-memory allocation cannot be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutOfDeviceMemory {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes still available on the device.
+    pub available: u64,
+}
+
+impl fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// Identifier of a device-memory allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AllocationId(u64);
+
+/// Capacity-tracking allocator for device (global) memory.
+#[derive(Debug, Clone)]
+pub struct DeviceMemory {
+    capacity: u64,
+    next_id: u64,
+    allocations: BTreeMap<AllocationId, Allocation>,
+}
+
+/// One named allocation in device memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Human readable label ("subscriber.s_id column", "lock table", ...).
+    pub label: String,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+impl DeviceMemory {
+    /// Create an allocator with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory {
+            capacity,
+            next_id: 0,
+            allocations: BTreeMap::new(),
+        }
+    }
+
+    /// Create an allocator sized after a device specification.
+    pub fn for_device(spec: &DeviceSpec) -> Self {
+        Self::new(spec.device_memory_bytes)
+    }
+
+    /// Allocate `bytes` bytes under a label.
+    pub fn alloc(&mut self, label: impl Into<String>, bytes: u64) -> Result<AllocationId, OutOfDeviceMemory> {
+        let available = self.available();
+        if bytes > available {
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        self.allocations.insert(
+            id,
+            Allocation {
+                label: label.into(),
+                bytes,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Free a previous allocation. Returns the allocation if it existed.
+    pub fn free(&mut self, id: AllocationId) -> Option<Allocation> {
+        self.allocations.remove(&id)
+    }
+
+    /// Grow or shrink an existing allocation to a new size.
+    pub fn resize(&mut self, id: AllocationId, bytes: u64) -> Result<(), OutOfDeviceMemory> {
+        let current = match self.allocations.get(&id) {
+            Some(a) => a.bytes,
+            None => 0,
+        };
+        let others = self.used() - current;
+        if others + bytes > self.capacity {
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                available: self.capacity - others,
+            });
+        }
+        if let Some(a) = self.allocations.get_mut(&id) {
+            a.bytes = bytes;
+        }
+        Ok(())
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.allocations.values().map(|a| a.bytes).sum()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Iterate over current allocations (id, allocation), ordered by id.
+    pub fn allocations(&self) -> impl Iterator<Item = (&AllocationId, &Allocation)> {
+        self.allocations.iter()
+    }
+}
+
+/// Direction of a host↔device transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferDirection {
+    /// Host → device (bulk parameters, initial tables and indexes).
+    HostToDevice,
+    /// Device → host (bulk results).
+    DeviceToHost,
+}
+
+/// Record of a single PCIe transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Direction of the transfer.
+    pub direction: TransferDirection,
+    /// Label describing what was transferred.
+    pub label: String,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Simulated time taken.
+    pub time: SimDuration,
+}
+
+/// PCIe transfer cost model and log.
+#[derive(Debug, Clone, Default)]
+pub struct TransferEngine {
+    records: Vec<TransferRecord>,
+}
+
+impl TransferEngine {
+    /// Create an empty transfer log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time to move `bytes` bytes over PCIe for the given device.
+    pub fn transfer_time(spec: &DeviceSpec, bytes: u64) -> SimDuration {
+        let latency = SimDuration::from_micros(spec.pcie_latency_us);
+        let payload = SimDuration::from_secs(bytes as f64 / (spec.pcie_bandwidth_gbps * 1e9));
+        latency + payload
+    }
+
+    /// Perform (account for) a transfer and log it.
+    pub fn transfer(
+        &mut self,
+        spec: &DeviceSpec,
+        direction: TransferDirection,
+        label: impl Into<String>,
+        bytes: u64,
+    ) -> SimDuration {
+        let time = Self::transfer_time(spec, bytes);
+        self.records.push(TransferRecord {
+            direction,
+            label: label.into(),
+            bytes,
+            time,
+        });
+        time
+    }
+
+    /// All transfers performed so far.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Total time spent in transfers of the given direction.
+    pub fn total_time(&self, direction: TransferDirection) -> SimDuration {
+        self.records
+            .iter()
+            .filter(|r| r.direction == direction)
+            .map(|r| r.time)
+            .sum()
+    }
+
+    /// Total bytes moved in the given direction.
+    pub fn total_bytes(&self, direction: TransferDirection) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.direction == direction)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Clear the transfer log.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_tracks_usage() {
+        let mut mem = DeviceMemory::new(1000);
+        let a = mem.alloc("a", 400).unwrap();
+        let _b = mem.alloc("b", 500).unwrap();
+        assert_eq!(mem.used(), 900);
+        assert_eq!(mem.available(), 100);
+        assert!(mem.alloc("c", 200).is_err());
+        let freed = mem.free(a).unwrap();
+        assert_eq!(freed.bytes, 400);
+        assert_eq!(mem.available(), 500);
+        assert!(mem.alloc("c", 200).is_ok());
+    }
+
+    #[test]
+    fn oversized_alloc_reports_available() {
+        let mut mem = DeviceMemory::new(100);
+        let err = mem.alloc("big", 200).unwrap_err();
+        assert_eq!(err.requested, 200);
+        assert_eq!(err.available, 100);
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn resize_respects_capacity() {
+        let mut mem = DeviceMemory::new(1000);
+        let a = mem.alloc("a", 100).unwrap();
+        mem.resize(a, 900).unwrap();
+        assert_eq!(mem.used(), 900);
+        assert!(mem.resize(a, 1100).is_err());
+        // Failed resize leaves size unchanged.
+        assert_eq!(mem.used(), 900);
+    }
+
+    #[test]
+    fn device_sized_allocator() {
+        let spec = DeviceSpec::tesla_c1060();
+        let mem = DeviceMemory::for_device(&spec);
+        assert_eq!(mem.capacity(), spec.device_memory_bytes);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let spec = DeviceSpec::tesla_c1060();
+        let small = TransferEngine::transfer_time(&spec, 0);
+        assert!((small.as_micros() - spec.pcie_latency_us).abs() < 1e-9);
+        // 3.4 GB at 3.4 GB/s is about one second.
+        let big = TransferEngine::transfer_time(&spec, 3_400_000_000);
+        assert!((big.as_secs() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn transfer_log_accumulates_by_direction() {
+        let spec = DeviceSpec::tesla_c1060();
+        let mut engine = TransferEngine::new();
+        engine.transfer(&spec, TransferDirection::HostToDevice, "params", 1024);
+        engine.transfer(&spec, TransferDirection::HostToDevice, "params", 2048);
+        engine.transfer(&spec, TransferDirection::DeviceToHost, "results", 512);
+        assert_eq!(engine.total_bytes(TransferDirection::HostToDevice), 3072);
+        assert_eq!(engine.total_bytes(TransferDirection::DeviceToHost), 512);
+        assert!(engine.total_time(TransferDirection::HostToDevice).as_secs() > 0.0);
+        assert_eq!(engine.records().len(), 3);
+        engine.clear();
+        assert!(engine.records().is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! Stream compaction (filter).
+//!
+//! Used by K-SET to extract the 0-set from the transaction pool and drop the
+//! executed transactions between rounds (§5.3).
+
+use super::PrimOutput;
+use crate::kernel::Gpu;
+use crate::trace::ThreadTrace;
+
+/// Keep the elements for which `keep` returns true, preserving order.
+///
+/// Modeled as a flag pass + scan + scatter (the standard GPU compaction), so
+/// the cost is roughly three element-wise passes.
+pub fn compact<T: Clone>(
+    gpu: &mut Gpu,
+    input: &[T],
+    mut keep: impl FnMut(&T) -> bool,
+) -> PrimOutput<Vec<T>> {
+    let out: Vec<T> = input.iter().filter(|x| keep(x)).cloned().collect();
+    let mut flag = ThreadTrace::new(0);
+    flag.read(8);
+    flag.compute(2);
+    flag.write(1);
+    let mut scatter = ThreadTrace::new(0);
+    scatter.read(16);
+    scatter.write(8);
+    let r1 = gpu.launch_uniform("compact_flag", input.len(), &flag);
+    let r2 = gpu.launch_uniform("compact_scan", input.len(), &flag);
+    let r3 = gpu.launch_uniform("compact_scatter", input.len(), &scatter);
+    PrimOutput::new(out, vec![r1, r2, r3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_matching_elements_in_order() {
+        let mut gpu = Gpu::c1060();
+        let input = vec![1, 2, 3, 4, 5, 6];
+        let out = compact(&mut gpu, &input, |x| x % 2 == 0);
+        assert_eq!(out.value, vec![2, 4, 6]);
+        assert_eq!(out.reports.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_and_no_matches() {
+        let mut gpu = Gpu::c1060();
+        let empty: Vec<i32> = vec![];
+        assert!(compact(&mut gpu, &empty, |_| true).value.is_empty());
+        assert!(compact(&mut gpu, &[1, 3, 5], |x| x % 2 == 0).value.is_empty());
+    }
+}

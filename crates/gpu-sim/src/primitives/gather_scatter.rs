@@ -1,0 +1,90 @@
+//! Gather and scatter primitives.
+//!
+//! Random-access reads (gather) and writes (scatter) through an index array.
+//! These model the fine-grained, field-level data accesses of GPUTx (§3.2) and
+//! are used by the storage layer's batched insert application.
+
+use super::PrimOutput;
+use crate::kernel::Gpu;
+use crate::trace::ThreadTrace;
+
+fn access_trace(bytes: u64, read: bool) -> ThreadTrace {
+    let mut t = ThreadTrace::new(0);
+    // Read the index, then access the target element.
+    t.read(8);
+    if read {
+        t.read(bytes);
+        t.write(bytes);
+    } else {
+        t.read(bytes);
+        t.write(bytes);
+    }
+    t
+}
+
+/// Gather: `out[i] = source[indices[i]]`.
+pub fn gather<T: Clone>(
+    gpu: &mut Gpu,
+    source: &[T],
+    indices: &[usize],
+    element_bytes: u64,
+) -> PrimOutput<Vec<T>> {
+    let out: Vec<T> = indices.iter().map(|&i| source[i].clone()).collect();
+    let report = gpu.launch_uniform("gather", indices.len(), &access_trace(element_bytes, true));
+    PrimOutput::new(out, vec![report])
+}
+
+/// Scatter: `target[indices[i]] = values[i]`.
+///
+/// Indices must be unique; duplicate indices would be a data race on a real
+/// GPU, so they are rejected in debug builds.
+pub fn scatter<T: Clone>(
+    gpu: &mut Gpu,
+    target: &mut [T],
+    indices: &[usize],
+    values: &[T],
+    element_bytes: u64,
+) -> PrimOutput<()> {
+    assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = std::collections::HashSet::new();
+        for &i in indices {
+            assert!(seen.insert(i), "duplicate scatter index {i} would be a data race");
+        }
+    }
+    for (&i, v) in indices.iter().zip(values.iter()) {
+        target[i] = v.clone();
+    }
+    let report = gpu.launch_uniform("scatter", indices.len(), &access_trace(element_bytes, false));
+    PrimOutput::new((), vec![report])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_picks_indexed_elements() {
+        let mut gpu = Gpu::c1060();
+        let source = vec![10, 20, 30, 40, 50];
+        let out = gather(&mut gpu, &source, &[4, 0, 2], 4);
+        assert_eq!(out.value, vec![50, 10, 30]);
+    }
+
+    #[test]
+    fn scatter_writes_indexed_elements() {
+        let mut gpu = Gpu::c1060();
+        let mut target = vec![0; 5];
+        scatter(&mut gpu, &mut target, &[1, 3], &[11, 33], 4);
+        assert_eq!(target, vec![0, 11, 0, 33, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data race")]
+    fn duplicate_scatter_indices_rejected_in_debug() {
+        let mut gpu = Gpu::c1060();
+        let mut target = vec![0; 3];
+        scatter(&mut gpu, &mut target, &[1, 1], &[5, 6], 4);
+    }
+}

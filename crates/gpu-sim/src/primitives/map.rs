@@ -1,0 +1,89 @@
+//! The map primitive: apply a function to every element.
+//!
+//! GPUTx uses map kernels to compute partition ids (§5.2 step 1), to find
+//! group boundaries (§4.2 steps 2 and 5) and for other element-wise passes.
+
+use super::PrimOutput;
+use crate::kernel::Gpu;
+use crate::trace::ThreadTrace;
+
+/// Build the per-element trace of a map kernel.
+fn map_trace(op_cycles: u64, bytes_in: u64, bytes_out: u64) -> ThreadTrace {
+    let mut t = ThreadTrace::new(0);
+    if bytes_in > 0 {
+        t.read(bytes_in);
+    }
+    t.compute(op_cycles);
+    if bytes_out > 0 {
+        t.write(bytes_out);
+    }
+    t
+}
+
+/// Apply `f` to every element of `input`, charging `op_cycles` of compute and
+/// `bytes_in`/`bytes_out` of memory traffic per element.
+pub fn map<T, U>(
+    gpu: &mut Gpu,
+    input: &[T],
+    op_cycles: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    mut f: impl FnMut(&T) -> U,
+) -> PrimOutput<Vec<U>> {
+    let out: Vec<U> = input.iter().map(&mut f).collect();
+    let report = gpu.launch_uniform(
+        "map",
+        input.len(),
+        &map_trace(op_cycles, bytes_in, bytes_out),
+    );
+    PrimOutput::new(out, vec![report])
+}
+
+/// Account for a map kernel over `n` elements without materializing a result
+/// (used when the functional work was already done elsewhere, e.g. boundary
+/// detection fused into another pass).
+pub fn map_cost(
+    gpu: &mut Gpu,
+    label: &str,
+    n: usize,
+    op_cycles: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+) -> PrimOutput<()> {
+    let report = gpu.launch_uniform(label, n, &map_trace(op_cycles, bytes_in, bytes_out));
+    PrimOutput::new((), vec![report])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_applies_function() {
+        let mut gpu = Gpu::c1060();
+        let input = vec![1u32, 2, 3, 4];
+        let out = map(&mut gpu, &input, 2, 4, 4, |x| x * 10);
+        assert_eq!(out.value, vec![10, 20, 30, 40]);
+        assert!(out.time.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn larger_maps_take_longer() {
+        let mut gpu = Gpu::c1060();
+        let small: Vec<u32> = (0..1_000).collect();
+        let large: Vec<u32> = (0..1_000_000).collect();
+        let t_small = map(&mut gpu, &small, 4, 8, 8, |x| *x).time;
+        let t_large = map(&mut gpu, &large, 4, 8, 8, |x| *x).time;
+        assert!(t_large > t_small);
+    }
+
+    #[test]
+    fn map_cost_only_accounts_time() {
+        let mut gpu = Gpu::c1060();
+        let before = gpu.stats().kernels;
+        let out = map_cost(&mut gpu, "boundary", 1000, 2, 8, 1);
+        assert_eq!(gpu.stats().kernels, before + 1);
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(out.reports[0].label, "boundary");
+    }
+}

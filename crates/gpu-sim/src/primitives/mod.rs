@@ -1,0 +1,83 @@
+//! Data-parallel primitives over the simulated device.
+//!
+//! The paper's bulk generation is built from "existing efficient data-parallel
+//! primitives on the GPU" (§4.2): sort, map, scan, gather/scatter, compaction
+//! and binary search. This module provides the same building blocks. Each
+//! primitive performs the real computation on host memory (so downstream code
+//! gets correct results) and accounts for the simulated GPU time of the
+//! equivalent kernels through [`Gpu::launch_uniform`].
+
+mod compact;
+mod gather_scatter;
+mod map;
+mod radix_sort;
+mod reduce;
+mod scan;
+mod search;
+
+pub use compact::compact;
+pub use gather_scatter::{gather, scatter};
+pub use map::{map, map_cost};
+pub use radix_sort::{radix_sort_pairs, radix_sort_pairs_partial, RADIX_BITS_PER_PASS};
+pub use reduce::{reduce_max, reduce_sum};
+pub use scan::exclusive_scan;
+pub use search::{lower_bound, segment_boundaries, upper_bound};
+
+use crate::kernel::KernelReport;
+use crate::timing::SimDuration;
+
+/// Result of a primitive: the functional value plus simulated timing.
+#[derive(Debug, Clone)]
+pub struct PrimOutput<T> {
+    /// The functional result of the primitive.
+    pub value: T,
+    /// Total simulated time across all kernels the primitive launched.
+    pub time: SimDuration,
+    /// Individual kernel reports (one per pass/step).
+    pub reports: Vec<KernelReport>,
+}
+
+impl<T> PrimOutput<T> {
+    /// Wrap a value with its kernel reports, summing their time.
+    pub fn new(value: T, reports: Vec<KernelReport>) -> Self {
+        let time = reports.iter().map(|r| r.time).sum();
+        PrimOutput {
+            value,
+            time,
+            reports,
+        }
+    }
+
+    /// Map the functional value while keeping the timing.
+    pub fn map_value<U>(self, f: impl FnOnce(T) -> U) -> PrimOutput<U> {
+        PrimOutput {
+            value: f(self.value),
+            time: self.time,
+            reports: self.reports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Gpu;
+    use crate::trace::ThreadTrace;
+
+    #[test]
+    fn prim_output_sums_report_time() {
+        let mut gpu = Gpu::c1060();
+        let mut proto = ThreadTrace::new(0);
+        proto.read(8);
+        proto.write(8);
+        let r1 = gpu.launch_uniform("a", 1000, &proto);
+        let r2 = gpu.launch_uniform("b", 1000, &proto);
+        let expected = r1.time + r2.time;
+        let out = PrimOutput::new(42u32, vec![r1, r2]);
+        assert_eq!(out.value, 42);
+        assert!((out.time.as_secs() - expected.as_secs()).abs() < 1e-15);
+        let mapped = out.map_value(|v| v * 2);
+        assert_eq!(mapped.value, 84);
+        assert_eq!(mapped.reports.len(), 2);
+    }
+}

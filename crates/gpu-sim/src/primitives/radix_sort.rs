@@ -1,0 +1,166 @@
+//! LSD radix sort of (key, value) pairs with per-pass cost accounting.
+//!
+//! Radix sort is the workhorse of GPUTx bulk generation: it groups basic
+//! operations by data item for the k-set computation (§4.2), sorts
+//! transactions by partition for PART (§5.2) and groups transactions by type
+//! to reduce branch divergence (Appendix D). The *partial* variant stops after
+//! a configurable number of passes — the paper's early-stop optimization for
+//! divergence grouping, where later passes yield diminishing returns.
+
+use super::PrimOutput;
+use crate::kernel::Gpu;
+use crate::trace::ThreadTrace;
+
+/// Number of key bits consumed per radix pass (a common GPU choice).
+pub const RADIX_BITS_PER_PASS: u32 = 8;
+
+fn pass_trace() -> ThreadTrace {
+    // One radix pass: read the key/value pair, histogram update (atomic-free
+    // per-block counters modeled as compute), scatter to the output position.
+    let mut t = ThreadTrace::new(0);
+    t.read(16);
+    t.compute(12);
+    t.write(16);
+    t
+}
+
+fn num_passes_for_bits(significant_bits: u32) -> u32 {
+    significant_bits.div_ceil(RADIX_BITS_PER_PASS).max(1)
+}
+
+fn one_pass(keys: &mut Vec<u64>, vals: &mut Vec<u64>, shift: u32) {
+    let n = keys.len();
+    let radix = 1usize << RADIX_BITS_PER_PASS;
+    let mask = (radix - 1) as u64;
+    let mut counts = vec![0usize; radix];
+    for &k in keys.iter() {
+        counts[((k >> shift) & mask) as usize] += 1;
+    }
+    let mut offsets = vec![0usize; radix];
+    let mut acc = 0;
+    for (d, &c) in counts.iter().enumerate() {
+        offsets[d] = acc;
+        acc += c;
+    }
+    let mut out_keys = vec![0u64; n];
+    let mut out_vals = vec![0u64; n];
+    for i in 0..n {
+        let d = ((keys[i] >> shift) & mask) as usize;
+        out_keys[offsets[d]] = keys[i];
+        out_vals[offsets[d]] = vals[i];
+        offsets[d] += 1;
+    }
+    *keys = out_keys;
+    *vals = out_vals;
+}
+
+/// Sort pairs by key using full LSD radix sort over `significant_bits` key bits.
+///
+/// The sort is stable, which the k-set computation relies on (operations with
+/// the same data item stay ordered by transaction id when the id is encoded in
+/// the low bits or sorted in a subsequent pass).
+pub fn radix_sort_pairs(
+    gpu: &mut Gpu,
+    keys: &mut Vec<u64>,
+    vals: &mut Vec<u64>,
+    significant_bits: u32,
+) -> PrimOutput<()> {
+    let passes = num_passes_for_bits(significant_bits);
+    radix_sort_pairs_partial(gpu, keys, vals, significant_bits, passes)
+}
+
+/// Sort pairs by key but stop after `max_passes` LSD passes.
+///
+/// With fewer passes than needed the output is only *partially* grouped (keys
+/// agreeing on the low `max_passes * 8` bits are contiguous). This mirrors the
+/// early-stop radix partitioning used for branch-divergence grouping
+/// (Appendix D / Figure 12).
+pub fn radix_sort_pairs_partial(
+    gpu: &mut Gpu,
+    keys: &mut Vec<u64>,
+    vals: &mut Vec<u64>,
+    significant_bits: u32,
+    max_passes: u32,
+) -> PrimOutput<()> {
+    assert_eq!(
+        keys.len(),
+        vals.len(),
+        "keys and values must have the same length"
+    );
+    let needed = num_passes_for_bits(significant_bits);
+    let passes = needed.min(max_passes);
+    let n = keys.len();
+    let mut reports = Vec::with_capacity(passes as usize);
+    for p in 0..passes {
+        one_pass(keys, vals, p * RADIX_BITS_PER_PASS);
+        reports.push(gpu.launch_uniform(format!("radix_sort_pass_{p}"), n, &pass_trace()));
+    }
+    PrimOutput::new((), reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn sorts_random_pairs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut keys: Vec<u64> = (0..10_000).map(|_| rng.random_range(0..1_000_000)).collect();
+        let mut vals: Vec<u64> = (0..10_000u64).collect();
+        let mut expected: Vec<(u64, u64)> =
+            keys.iter().copied().zip(vals.iter().copied()).collect();
+        expected.sort_by_key(|&(k, _)| k);
+
+        let mut gpu = Gpu::c1060();
+        let out = radix_sort_pairs(&mut gpu, &mut keys, &mut vals, 20);
+        let got: Vec<(u64, u64)> = keys.into_iter().zip(vals).collect();
+        // Radix sort is stable, std's sort_by_key is stable too.
+        assert_eq!(got, expected);
+        assert!(out.time.as_secs() > 0.0);
+        assert_eq!(out.reports.len(), 3); // ceil(20 / 8)
+    }
+
+    #[test]
+    fn stability_preserved_for_equal_keys() {
+        let mut keys = vec![5u64, 3, 5, 3, 5];
+        let mut vals = vec![0u64, 1, 2, 3, 4];
+        let mut gpu = Gpu::c1060();
+        radix_sort_pairs(&mut gpu, &mut keys, &mut vals, 8);
+        assert_eq!(keys, vec![3, 3, 5, 5, 5]);
+        assert_eq!(vals, vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn partial_sort_uses_fewer_passes_and_less_time() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let make = |rng: &mut StdRng| -> (Vec<u64>, Vec<u64>) {
+            let keys: Vec<u64> = (0..50_000).map(|_| rng.random_range(0..u32::MAX as u64)).collect();
+            let vals: Vec<u64> = (0..50_000u64).collect();
+            (keys, vals)
+        };
+        let (mut k1, mut v1) = make(&mut rng);
+        let (mut k2, mut v2) = (k1.clone(), v1.clone());
+        let mut gpu = Gpu::c1060();
+        let full = radix_sort_pairs(&mut gpu, &mut k1, &mut v1, 32);
+        let partial = radix_sort_pairs_partial(&mut gpu, &mut k2, &mut v2, 32, 1);
+        assert_eq!(full.reports.len(), 4);
+        assert_eq!(partial.reports.len(), 1);
+        assert!(partial.time < full.time);
+        // After one pass, the low 8 bits are sorted.
+        for w in k2.windows(2) {
+            assert!(w[0] & 0xff <= w[1] & 0xff);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut gpu = Gpu::c1060();
+        let mut keys: Vec<u64> = vec![];
+        let mut vals: Vec<u64> = vec![];
+        let out = radix_sort_pairs(&mut gpu, &mut keys, &mut vals, 8);
+        assert!(keys.is_empty());
+        assert_eq!(out.reports.len(), 1);
+    }
+}

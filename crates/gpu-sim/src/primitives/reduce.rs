@@ -1,0 +1,43 @@
+//! Reduction primitives (sum, max).
+
+use super::PrimOutput;
+use crate::kernel::Gpu;
+use crate::trace::ThreadTrace;
+
+fn reduce_trace() -> ThreadTrace {
+    // Tree reduction: each element is read once; log-depth combine modeled as
+    // a handful of compute cycles per element.
+    let mut t = ThreadTrace::new(0);
+    t.read(8);
+    t.compute(6);
+    t
+}
+
+/// Sum of all elements.
+pub fn reduce_sum(gpu: &mut Gpu, input: &[u64]) -> PrimOutput<u64> {
+    let sum = input.iter().sum();
+    let report = gpu.launch_uniform("reduce_sum", input.len(), &reduce_trace());
+    PrimOutput::new(sum, vec![report])
+}
+
+/// Maximum element, or `None` for an empty slice.
+pub fn reduce_max(gpu: &mut Gpu, input: &[u64]) -> PrimOutput<Option<u64>> {
+    let max = input.iter().copied().max();
+    let report = gpu.launch_uniform("reduce_max", input.len(), &reduce_trace());
+    PrimOutput::new(max, vec![report])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_max() {
+        let mut gpu = Gpu::c1060();
+        let data = vec![5u64, 3, 9, 1];
+        assert_eq!(reduce_sum(&mut gpu, &data).value, 18);
+        assert_eq!(reduce_max(&mut gpu, &data).value, Some(9));
+        assert_eq!(reduce_max(&mut gpu, &[]).value, None);
+        assert_eq!(reduce_sum(&mut gpu, &[]).value, 0);
+    }
+}

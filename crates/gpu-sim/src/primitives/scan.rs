@@ -1,0 +1,62 @@
+//! Prefix sum (scan).
+//!
+//! Used by the relaxed (Appendix G) bulk generation to turn per-partition
+//! counters into start offsets, and internally by compaction.
+
+use super::PrimOutput;
+use crate::kernel::Gpu;
+use crate::trace::ThreadTrace;
+
+/// Exclusive prefix sum of `input`.
+///
+/// `output[i] = sum(input[0..i])`; the total sum is returned alongside.
+pub fn exclusive_scan(gpu: &mut Gpu, input: &[u64]) -> PrimOutput<(Vec<u64>, u64)> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0u64;
+    for &v in input {
+        out.push(acc);
+        acc += v;
+    }
+    // A work-efficient GPU scan does O(2n) element reads/writes over log n
+    // sweeps; model it as two n-element passes.
+    let mut proto = ThreadTrace::new(0);
+    proto.read(8);
+    proto.compute(4);
+    proto.write(8);
+    let r1 = gpu.launch_uniform("scan_upsweep", input.len(), &proto);
+    let r2 = gpu.launch_uniform("scan_downsweep", input.len(), &proto);
+    PrimOutput::new((out, acc), vec![r1, r2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_matches_manual_prefix_sum() {
+        let mut gpu = Gpu::c1060();
+        let input = vec![3u64, 1, 4, 1, 5, 9];
+        let out = exclusive_scan(&mut gpu, &input);
+        assert_eq!(out.value.0, vec![0, 3, 4, 8, 9, 14]);
+        assert_eq!(out.value.1, 23);
+        assert_eq!(out.reports.len(), 2);
+    }
+
+    #[test]
+    fn scan_of_empty_is_empty() {
+        let mut gpu = Gpu::c1060();
+        let out = exclusive_scan(&mut gpu, &[]);
+        assert!(out.value.0.is_empty());
+        assert_eq!(out.value.1, 0);
+    }
+
+    #[test]
+    fn scan_of_ones_is_iota() {
+        let mut gpu = Gpu::c1060();
+        let input = vec![1u64; 100];
+        let out = exclusive_scan(&mut gpu, &input);
+        let expected: Vec<u64> = (0..100).collect();
+        assert_eq!(out.value.0, expected);
+        assert_eq!(out.value.1, 100);
+    }
+}

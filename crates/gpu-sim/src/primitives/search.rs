@@ -1,0 +1,98 @@
+//! Binary search and group-boundary primitives.
+//!
+//! PART threads locate the start/end of their partition in the sorted
+//! transaction array with binary searches (§5.2 step 3); the k-set computation
+//! identifies group boundaries after sorting (§4.2 steps 2 and 5).
+
+use super::PrimOutput;
+use crate::kernel::Gpu;
+use crate::trace::ThreadTrace;
+use std::ops::Range;
+
+fn search_trace(n: usize) -> ThreadTrace {
+    let mut t = ThreadTrace::new(0);
+    let steps = (n.max(2) as f64).log2().ceil() as u32;
+    for _ in 0..steps {
+        t.read(8);
+        t.compute(4);
+    }
+    t
+}
+
+/// For each query key, the index of the first element of `sorted` that is
+/// `>= key` (lower bound). One simulated thread per query.
+pub fn lower_bound(gpu: &mut Gpu, sorted: &[u64], queries: &[u64]) -> PrimOutput<Vec<usize>> {
+    let out = queries
+        .iter()
+        .map(|&q| sorted.partition_point(|&x| x < q))
+        .collect();
+    let report = gpu.launch_uniform("lower_bound", queries.len(), &search_trace(sorted.len()));
+    PrimOutput::new(out, vec![report])
+}
+
+/// For each query key, the index of the first element of `sorted` that is
+/// `> key` (upper bound).
+pub fn upper_bound(gpu: &mut Gpu, sorted: &[u64], queries: &[u64]) -> PrimOutput<Vec<usize>> {
+    let out = queries
+        .iter()
+        .map(|&q| sorted.partition_point(|&x| x <= q))
+        .collect();
+    let report = gpu.launch_uniform("upper_bound", queries.len(), &search_trace(sorted.len()));
+    PrimOutput::new(out, vec![report])
+}
+
+/// Identify the boundaries of runs of equal keys in a sorted array.
+///
+/// Returns one `(key, range)` pair per group, in key order. This is the "map
+/// primitive to identify the boundary of the groups" of §4.2.
+pub fn segment_boundaries(gpu: &mut Gpu, sorted_keys: &[u64]) -> PrimOutput<Vec<(u64, Range<usize>)>> {
+    let mut groups = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=sorted_keys.len() {
+        if i == sorted_keys.len() || sorted_keys[i] != sorted_keys[start] {
+            groups.push((sorted_keys[start], start..i));
+            start = i;
+        }
+    }
+    // Boundary detection is an element-wise comparison with the neighbour.
+    let mut proto = ThreadTrace::new(0);
+    proto.read(16);
+    proto.compute(2);
+    proto.write(1);
+    let report = gpu.launch_uniform("segment_boundaries", sorted_keys.len(), &proto);
+    PrimOutput::new(groups, vec![report])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_and_upper_bound_agree_with_std() {
+        let mut gpu = Gpu::c1060();
+        let sorted = vec![1u64, 3, 3, 3, 7, 9];
+        let queries = vec![0u64, 3, 4, 9, 10];
+        let lo = lower_bound(&mut gpu, &sorted, &queries).value;
+        let hi = upper_bound(&mut gpu, &sorted, &queries).value;
+        assert_eq!(lo, vec![0, 1, 4, 5, 6]);
+        assert_eq!(hi, vec![0, 4, 4, 6, 6]);
+    }
+
+    #[test]
+    fn boundaries_of_sorted_groups() {
+        let mut gpu = Gpu::c1060();
+        let keys = vec![2u64, 2, 2, 5, 5, 9];
+        let groups = segment_boundaries(&mut gpu, &keys).value;
+        assert_eq!(
+            groups,
+            vec![(2, 0..3), (5, 3..5), (9, 5..6)]
+        );
+    }
+
+    #[test]
+    fn boundaries_of_empty_and_singleton() {
+        let mut gpu = Gpu::c1060();
+        assert!(segment_boundaries(&mut gpu, &[]).value.is_empty());
+        assert_eq!(segment_boundaries(&mut gpu, &[4]).value, vec![(4, 0..1)]);
+    }
+}

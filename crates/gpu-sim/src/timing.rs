@@ -1,0 +1,223 @@
+//! Simulated time and throughput types.
+//!
+//! All simulated durations are represented as `f64` seconds wrapped in
+//! [`SimDuration`]. Durations produced by the cost model are *simulated*
+//! hardware time, not wall-clock time of the simulator process.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of simulated time, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimDuration(f64);
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Create a duration from seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs >= 0.0, "durations must be non-negative, got {secs}");
+        SimDuration(secs)
+    }
+
+    /// Create a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// Create a duration from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// Create a duration from a cycle count at a given clock frequency (GHz).
+    pub fn from_cycles(cycles: u64, clock_ghz: f64) -> Self {
+        assert!(clock_ghz > 0.0, "clock must be positive");
+        Self::from_secs(cycles as f64 / (clock_ghz * 1e9))
+    }
+
+    /// Duration in seconds.
+    pub fn as_secs(&self) -> f64 {
+        self.0
+    }
+
+    /// Duration in milliseconds.
+    pub fn as_millis(&self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Duration in microseconds.
+    pub fn as_micros(&self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Equivalent number of cycles at the given clock frequency (GHz).
+    pub fn as_cycles(&self, clock_ghz: f64) -> u64 {
+        (self.0 * clock_ghz * 1e9).round() as u64
+    }
+
+    /// True when the duration is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+/// A transaction throughput measurement.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Transactions per second.
+    tps: f64,
+}
+
+impl Throughput {
+    /// Compute throughput from a transaction count and elapsed simulated time.
+    ///
+    /// Returns zero throughput when the duration is zero.
+    pub fn from_count(transactions: u64, elapsed: SimDuration) -> Self {
+        if elapsed.is_zero() {
+            Throughput { tps: 0.0 }
+        } else {
+            Throughput {
+                tps: transactions as f64 / elapsed.as_secs(),
+            }
+        }
+    }
+
+    /// Construct directly from transactions per second.
+    pub fn from_tps(tps: f64) -> Self {
+        Throughput { tps }
+    }
+
+    /// Transactions per second.
+    pub fn tps(&self) -> f64 {
+        self.tps
+    }
+
+    /// Thousands of transactions per second (the unit the paper reports).
+    pub fn ktps(&self) -> f64 {
+        self.tps / 1e3
+    }
+
+    /// Ratio of this throughput to another (used for normalized figures).
+    pub fn normalized_to(&self, baseline: Throughput) -> f64 {
+        if baseline.tps == 0.0 {
+            0.0
+        } else {
+            self.tps / baseline.tps
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversions_round_trip() {
+        let d = SimDuration::from_millis(2.5);
+        assert!((d.as_secs() - 0.0025).abs() < 1e-12);
+        assert!((d.as_millis() - 2.5).abs() < 1e-9);
+        assert!((d.as_micros() - 2500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duration_from_cycles_uses_clock() {
+        // 1.3 GHz, 1.3e9 cycles => 1 second.
+        let d = SimDuration::from_cycles(1_300_000_000, 1.3);
+        assert!((d.as_secs() - 1.0).abs() < 1e-9);
+        assert_eq!(d.as_cycles(1.3), 1_300_000_000);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_secs(1.0);
+        let b = SimDuration::from_secs(0.5);
+        assert!(((a + b).as_secs() - 1.5).abs() < 1e-12);
+        assert!(((a - b).as_secs() - 0.5).abs() < 1e-12);
+        // Subtraction saturates at zero rather than going negative.
+        assert!((b - a).is_zero());
+        assert!(((a * 2.0).as_secs() - 2.0).abs() < 1e-12);
+        assert!(((a / 4.0).as_secs() - 0.25).abs() < 1e-12);
+        let total: SimDuration = vec![a, b, b].into_iter().sum();
+        assert!((total.as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_rejected() {
+        let _ = SimDuration::from_secs(-1.0);
+    }
+
+    #[test]
+    fn throughput_from_count() {
+        let t = Throughput::from_count(10_000, SimDuration::from_secs(2.0));
+        assert!((t.tps() - 5_000.0).abs() < 1e-9);
+        assert!((t.ktps() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_zero_duration_is_zero() {
+        let t = Throughput::from_count(10, SimDuration::ZERO);
+        assert_eq!(t.tps(), 0.0);
+    }
+
+    #[test]
+    fn throughput_normalization() {
+        let gpu = Throughput::from_tps(40_000.0);
+        let cpu = Throughput::from_tps(10_000.0);
+        assert!((gpu.normalized_to(cpu) - 4.0).abs() < 1e-9);
+        assert_eq!(gpu.normalized_to(Throughput::from_tps(0.0)), 0.0);
+    }
+}

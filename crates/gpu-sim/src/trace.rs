@@ -1,0 +1,219 @@
+//! Per-thread execution traces.
+//!
+//! During functional execution of a transaction (one transaction per logical
+//! GPU thread under the bulk execution model), the executor records an
+//! *aggregate* trace of the work the thread performed: compute cycles, global
+//! memory reads/writes, atomic operations and spin-lock rounds. The cost model
+//! replays these aggregates to produce simulated kernel timings.
+//!
+//! Traces are aggregates rather than op-by-op logs so that bulks of millions
+//! of transactions stay cheap to simulate.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate execution trace of one logical GPU thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadTrace {
+    /// Branch path identifier taken by this thread within the SPMD kernel.
+    ///
+    /// In GPUTx the path is the *transaction type*: threads of the same warp
+    /// running different transaction types diverge and are serialized.
+    pub path: u32,
+    /// Dynamic compute work, in core cycles.
+    pub compute_cycles: u64,
+    /// Number of global-memory read requests.
+    pub global_reads: u32,
+    /// Bytes read from global memory.
+    pub read_bytes: u64,
+    /// Number of global-memory write requests.
+    pub global_writes: u32,
+    /// Bytes written to global memory.
+    pub write_bytes: u64,
+    /// Number of atomic read-modify-write operations.
+    pub atomic_ops: u32,
+    /// Extra retries of atomic operations caused by contention.
+    pub atomic_retries: u32,
+    /// Number of lock acquisitions performed by the thread.
+    pub lock_acquisitions: u32,
+    /// Total spin-loop iterations spent waiting for locks.
+    pub lock_spin_rounds: u64,
+}
+
+impl ThreadTrace {
+    /// Create an empty trace for a thread taking the given branch path.
+    pub fn new(path: u32) -> Self {
+        ThreadTrace {
+            path,
+            ..Default::default()
+        }
+    }
+
+    /// Record `cycles` of pure computation.
+    pub fn compute(&mut self, cycles: u64) {
+        self.compute_cycles += cycles;
+    }
+
+    /// Record a global-memory read of `bytes` bytes.
+    pub fn read(&mut self, bytes: u64) {
+        self.global_reads += 1;
+        self.read_bytes += bytes;
+    }
+
+    /// Record a global-memory write of `bytes` bytes.
+    pub fn write(&mut self, bytes: u64) {
+        self.global_writes += 1;
+        self.write_bytes += bytes;
+    }
+
+    /// Record one atomic operation with `retries` additional contended retries.
+    pub fn atomic(&mut self, retries: u32) {
+        self.atomic_ops += 1;
+        self.atomic_retries += retries;
+    }
+
+    /// Record acquisition of a lock after spinning for `rounds` iterations.
+    ///
+    /// With the paper's counter-based lock (§5.1), a thread whose key value is
+    /// `k` spins for `k` rounds before the lock counter reaches its key.
+    pub fn lock_wait(&mut self, rounds: u64) {
+        self.lock_acquisitions += 1;
+        self.lock_spin_rounds += rounds;
+    }
+
+    /// Total number of global memory requests (reads + writes).
+    pub fn memory_requests(&self) -> u64 {
+        self.global_reads as u64 + self.global_writes as u64
+    }
+
+    /// Total bytes moved to/from global memory.
+    pub fn bytes_moved(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Merge another trace into this one (used when a single simulated thread
+    /// executes several transactions sequentially, e.g. PART).
+    pub fn absorb(&mut self, other: &ThreadTrace) {
+        self.compute_cycles += other.compute_cycles;
+        self.global_reads += other.global_reads;
+        self.read_bytes += other.read_bytes;
+        self.global_writes += other.global_writes;
+        self.write_bytes += other.write_bytes;
+        self.atomic_ops += other.atomic_ops;
+        self.atomic_retries += other.atomic_retries;
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.lock_spin_rounds += other.lock_spin_rounds;
+    }
+}
+
+/// Summary statistics over a collection of thread traces.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of threads.
+    pub threads: usize,
+    /// Total compute cycles across all threads.
+    pub compute_cycles: u64,
+    /// Total global memory requests across all threads.
+    pub memory_requests: u64,
+    /// Total bytes moved across all threads.
+    pub bytes_moved: u64,
+    /// Total atomic operations across all threads.
+    pub atomic_ops: u64,
+    /// Total spin rounds across all threads.
+    pub lock_spin_rounds: u64,
+    /// Number of distinct branch paths taken.
+    pub distinct_paths: usize,
+}
+
+impl TraceSummary {
+    /// Summarize a slice of traces.
+    pub fn from_traces(traces: &[ThreadTrace]) -> Self {
+        let mut paths: Vec<u32> = traces.iter().map(|t| t.path).collect();
+        paths.sort_unstable();
+        paths.dedup();
+        TraceSummary {
+            threads: traces.len(),
+            compute_cycles: traces.iter().map(|t| t.compute_cycles).sum(),
+            memory_requests: traces.iter().map(|t| t.memory_requests()).sum(),
+            bytes_moved: traces.iter().map(|t| t.bytes_moved()).sum(),
+            atomic_ops: traces.iter().map(|t| t.atomic_ops as u64).sum(),
+            lock_spin_rounds: traces.iter().map(|t| t.lock_spin_rounds).sum(),
+            distinct_paths: paths.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_aggregates() {
+        let mut t = ThreadTrace::new(3);
+        t.compute(100);
+        t.read(8);
+        t.read(4);
+        t.write(8);
+        t.atomic(2);
+        t.lock_wait(5);
+        assert_eq!(t.path, 3);
+        assert_eq!(t.compute_cycles, 100);
+        assert_eq!(t.global_reads, 2);
+        assert_eq!(t.read_bytes, 12);
+        assert_eq!(t.global_writes, 1);
+        assert_eq!(t.write_bytes, 8);
+        assert_eq!(t.atomic_ops, 1);
+        assert_eq!(t.atomic_retries, 2);
+        assert_eq!(t.lock_acquisitions, 1);
+        assert_eq!(t.lock_spin_rounds, 5);
+        assert_eq!(t.memory_requests(), 3);
+        assert_eq!(t.bytes_moved(), 20);
+    }
+
+    #[test]
+    fn absorb_merges_everything() {
+        let mut a = ThreadTrace::new(0);
+        a.compute(10);
+        a.read(8);
+        let mut b = ThreadTrace::new(1);
+        b.compute(20);
+        b.write(16);
+        b.lock_wait(3);
+        a.absorb(&b);
+        assert_eq!(a.compute_cycles, 30);
+        assert_eq!(a.global_reads, 1);
+        assert_eq!(a.global_writes, 1);
+        assert_eq!(a.bytes_moved(), 24);
+        assert_eq!(a.lock_spin_rounds, 3);
+        // The path of the absorbing thread is preserved.
+        assert_eq!(a.path, 0);
+    }
+
+    #[test]
+    fn summary_counts_distinct_paths() {
+        let traces = vec![
+            ThreadTrace::new(0),
+            ThreadTrace::new(1),
+            ThreadTrace::new(1),
+            ThreadTrace::new(7),
+        ];
+        let s = TraceSummary::from_traces(&traces);
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.distinct_paths, 3);
+    }
+
+    #[test]
+    fn summary_totals() {
+        let mut a = ThreadTrace::new(0);
+        a.compute(5);
+        a.read(4);
+        let mut b = ThreadTrace::new(0);
+        b.compute(7);
+        b.write(4);
+        b.atomic(0);
+        let s = TraceSummary::from_traces(&[a, b]);
+        assert_eq!(s.compute_cycles, 12);
+        assert_eq!(s.memory_requests, 2);
+        assert_eq!(s.bytes_moved, 8);
+        assert_eq!(s.atomic_ops, 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! The database catalog: named tables, their indexes and device residency.
+
+use crate::index::{HashIndex, IndexKey};
+use crate::item::DataItemId;
+use crate::schema::TableSchema;
+use crate::table::{RowId, StorageLayout, Table};
+use crate::value::Value;
+use gputx_sim::{Gpu, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a table within a [`Database`].
+pub type TableId = u32;
+
+/// An in-memory database: a set of tables plus their indexes.
+///
+/// The database is `Clone` so tests can snapshot it, execute a bulk with one
+/// strategy and compare against a sequential replay on the snapshot
+/// (Definition 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Database {
+    layout: StorageLayout,
+    tables: Vec<Table>,
+    names: HashMap<String, TableId>,
+    indexes: Vec<Vec<HashIndex>>,
+}
+
+impl Database {
+    /// Create an empty database using the given storage layout for all tables.
+    pub fn new(layout: StorageLayout) -> Self {
+        Database {
+            layout,
+            tables: Vec::new(),
+            names: HashMap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Create an empty column-store database (the GPUTx default).
+    pub fn column_store() -> Self {
+        Self::new(StorageLayout::Column)
+    }
+
+    /// The storage layout used by this database.
+    pub fn layout(&self) -> StorageLayout {
+        self.layout
+    }
+
+    /// Create a table from a schema and return its id.
+    pub fn create_table(&mut self, schema: TableSchema) -> TableId {
+        assert!(
+            !self.names.contains_key(&schema.name),
+            "table {} already exists",
+            schema.name
+        );
+        let id = self.tables.len() as TableId;
+        self.names.insert(schema.name.clone(), id);
+        self.tables.push(Table::new(schema, self.layout));
+        self.indexes.push(Vec::new());
+        id
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.names.get(name).copied()
+    }
+
+    /// Access a table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id as usize]
+    }
+
+    /// Mutably access a table by id.
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id as usize]
+    }
+
+    /// Access a table by name, panicking when missing.
+    pub fn table_by_name(&self, name: &str) -> &Table {
+        let id = self.table_id(name).unwrap_or_else(|| panic!("no table named {name}"));
+        self.table(id)
+    }
+
+    /// Create a hash index on a table; returns the index position for that table.
+    pub fn create_index(
+        &mut self,
+        table: TableId,
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        unique: bool,
+    ) -> usize {
+        let idx = HashIndex::new(name, columns, unique);
+        self.indexes[table as usize].push(idx);
+        self.indexes[table as usize].len() - 1
+    }
+
+    /// Access an index by table and name.
+    pub fn index(&self, table: TableId, name: &str) -> Option<&HashIndex> {
+        self.indexes[table as usize].iter().find(|i| i.name == name)
+    }
+
+    /// Mutably access an index by table and name.
+    pub fn index_mut(&mut self, table: TableId, name: &str) -> Option<&mut HashIndex> {
+        self.indexes[table as usize]
+            .iter_mut()
+            .find(|i| i.name == name)
+    }
+
+    /// Insert a row and update every index of the table. Returns the row id.
+    pub fn insert_indexed(&mut self, table: TableId, row: Vec<Value>) -> RowId {
+        let row_id = self.tables[table as usize].insert(row.clone());
+        for idx in &mut self.indexes[table as usize] {
+            let key = idx.key_of(&row);
+            idx.insert(key, row_id)
+                .unwrap_or_else(|e| panic!("index {} on table {}: {e}", idx.name, table));
+        }
+        row_id
+    }
+
+    /// Look up a single row through a unique index.
+    pub fn lookup_unique(&self, table: TableId, index_name: &str, key: &IndexKey) -> Option<RowId> {
+        self.index(table, index_name)
+            .and_then(|idx| idx.get_unique(key))
+    }
+
+    /// Look up all rows matching a key through a (possibly non-unique) index.
+    pub fn lookup(&self, table: TableId, index_name: &str, key: &IndexKey) -> Vec<RowId> {
+        self.index(table, index_name)
+            .map(|idx| idx.get(key).to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The data-item identifier of one field of one row.
+    pub fn item(&self, table: TableId, row: RowId, col: usize) -> DataItemId {
+        DataItemId::new(table, row, col as u32)
+    }
+
+    /// Apply every table's insert buffer as a batched update (the post-kernel
+    /// step of §3.2), maintaining indexes for the newly visible rows.
+    pub fn apply_insert_buffers(&mut self) {
+        for t in 0..self.tables.len() {
+            let new_rows = self.tables[t].apply_insert_buffer();
+            for row_id in new_rows {
+                let row = self.tables[t].get_row(row_id);
+                for idx in &mut self.indexes[t] {
+                    let key = idx.key_of(&row);
+                    // Buffered inserts from aborted transactions were already
+                    // discarded, so duplicates here are programming errors.
+                    idx.insert(key, row_id)
+                        .unwrap_or_else(|e| panic!("index {}: {e}", idx.name));
+                }
+            }
+        }
+    }
+
+    /// Total host-memory bytes of all tables.
+    pub fn total_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.total_bytes()).sum::<u64>() + self.index_bytes()
+    }
+
+    /// Bytes that must be resident in device memory (tables + indexes).
+    pub fn device_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.device_bytes()).sum::<u64>() + self.index_bytes()
+    }
+
+    /// Bytes used by all indexes.
+    pub fn index_bytes(&self) -> u64 {
+        self.indexes
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|i| i.bytes())
+            .sum()
+    }
+
+    /// Rebuild this database's live rows and index definitions under a
+    /// different storage layout. Used by the Appendix F.2 column-vs-row
+    /// comparison. Row ids are re-assigned densely over the live rows.
+    pub fn rebuilt_with_layout(&self, layout: StorageLayout) -> Database {
+        let mut out = Database::new(layout);
+        for (t, table) in self.tables.iter().enumerate() {
+            let id = out.create_table(table.schema().clone());
+            for idx in &self.indexes[t] {
+                out.create_index(id, idx.name.clone(), idx.columns.clone(), idx.unique);
+            }
+            for row in table.live_rows() {
+                out.insert_indexed(id, table.get_row(row));
+            }
+        }
+        out
+    }
+
+    /// Account for loading the database into GPU device memory: allocates the
+    /// device footprint and models the PCIe transfer ("initialization" in
+    /// Figure 16). Returns the simulated transfer time.
+    pub fn load_to_device(&self, gpu: &mut Gpu) -> SimDuration {
+        let bytes = self.device_bytes();
+        gpu.memory
+            .alloc("database tables and indexes", bytes)
+            .unwrap_or_else(|e| panic!("database does not fit in device memory: {e}"));
+        gpu.transfer_to_device("database initialization", bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn accounts_schema() -> TableSchema {
+        TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("balance", DataType::Double),
+            ],
+            vec![0],
+        )
+    }
+
+    fn setup() -> (Database, TableId) {
+        let mut db = Database::column_store();
+        let t = db.create_table(accounts_schema());
+        db.create_index(t, "pk", vec![0], true);
+        for i in 0..10i64 {
+            db.insert_indexed(t, vec![Value::Int(i), Value::Double(100.0 * i as f64)]);
+        }
+        (db, t)
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let (db, t) = setup();
+        assert_eq!(db.num_tables(), 1);
+        assert_eq!(db.table_id("accounts"), Some(t));
+        assert!(db.table_id("missing").is_none());
+        let row = db.lookup_unique(t, "pk", &IndexKey::single(7i64)).unwrap();
+        assert_eq!(db.table(t).get(row, 1), Value::Double(700.0));
+        assert_eq!(db.table_by_name("accounts").num_rows(), 10);
+    }
+
+    #[test]
+    fn insert_buffers_maintain_indexes() {
+        let (mut db, t) = setup();
+        db.table_mut(t)
+            .buffered_insert(0, vec![Value::Int(100), Value::Double(5.0)]);
+        assert!(db.lookup_unique(t, "pk", &IndexKey::single(100i64)).is_none());
+        db.apply_insert_buffers();
+        let row = db.lookup_unique(t, "pk", &IndexKey::single(100i64)).unwrap();
+        assert_eq!(db.table(t).get(row, 1), Value::Double(5.0));
+    }
+
+    #[test]
+    fn clone_snapshot_is_equal_then_diverges() {
+        let (mut db, t) = setup();
+        let snapshot = db.clone();
+        assert_eq!(db, snapshot);
+        db.table_mut(t).set(0, 1, &Value::Double(-1.0));
+        assert_ne!(db, snapshot);
+    }
+
+    #[test]
+    fn device_bytes_smaller_with_host_only_columns() {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::host_only("comment", DataType::Str),
+            ],
+            vec![0],
+        ));
+        for i in 0..100i64 {
+            db.insert_indexed(t, vec![Value::Int(i), Value::Str("some text here".into())]);
+        }
+        assert!(db.device_bytes() < db.total_bytes());
+    }
+
+    #[test]
+    fn load_to_device_accounts_memory_and_transfer() {
+        let (db, _) = setup();
+        let mut gpu = Gpu::c1060();
+        let time = db.load_to_device(&mut gpu);
+        assert!(time.as_secs() > 0.0);
+        assert_eq!(gpu.memory.used(), db.device_bytes());
+        assert_eq!(gpu.stats().h2d_bytes, db.device_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_table_rejected() {
+        let mut db = Database::column_store();
+        db.create_table(accounts_schema());
+        db.create_table(accounts_schema());
+    }
+
+    #[test]
+    fn item_ids_reflect_table_row_col() {
+        let (db, t) = setup();
+        let item = db.item(t, 3, 1);
+        assert_eq!(item.table(), t);
+        assert_eq!(item.row(), 3);
+        assert_eq!(item.column(), 1);
+    }
+}

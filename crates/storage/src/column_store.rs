@@ -1,0 +1,260 @@
+//! The column-based storage layout.
+//!
+//! Fixed-length columns are stored as flat typed arrays; variable-length
+//! (string) columns are stored as `(offset, len)` descriptors into a shared
+//! byte heap, exactly as described in Appendix E of the paper. The column
+//! store is the default layout of GPUTx because it copies only the necessary
+//! columns to the device and gives better access locality under SPMD
+//! execution (Appendix F.2).
+
+use crate::schema::TableSchema;
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// Storage for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnData {
+    /// Fixed-length 64-bit integers.
+    Int(Vec<i64>),
+    /// Fixed-length 64-bit doubles.
+    Double(Vec<f64>),
+    /// Variable-length strings: per-row `(offset, len)` descriptors plus a
+    /// shared byte heap.
+    Str {
+        /// Per-row descriptors into `heap`.
+        slots: Vec<(u64, u32)>,
+        /// Concatenated string bytes.
+        heap: Vec<u8>,
+    },
+}
+
+impl ColumnData {
+    /// Create empty storage for a data type.
+    pub fn new(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Double => ColumnData::Double(Vec::new()),
+            DataType::Str => ColumnData::Str {
+                slots: Vec::new(),
+                heap: Vec::new(),
+            },
+        }
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Double(v) => v.len(),
+            ColumnData::Str { slots, .. } => slots.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a value. NULLs are stored as the type's default.
+    pub fn push(&mut self, value: &Value) {
+        match (self, value) {
+            (ColumnData::Int(v), Value::Int(x)) => v.push(*x),
+            (ColumnData::Int(v), Value::Null) => v.push(0),
+            (ColumnData::Double(v), Value::Double(x)) => v.push(*x),
+            (ColumnData::Double(v), Value::Int(x)) => v.push(*x as f64),
+            (ColumnData::Double(v), Value::Null) => v.push(0.0),
+            (ColumnData::Str { slots, heap }, Value::Str(s)) => {
+                let offset = heap.len() as u64;
+                heap.extend_from_slice(s.as_bytes());
+                slots.push((offset, s.len() as u32));
+            }
+            (ColumnData::Str { slots, .. }, Value::Null) => slots.push((0, 0)),
+            (col, v) => panic!("type mismatch storing {v:?} into {col:?}"),
+        }
+    }
+
+    /// Read the value at `row`.
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Double(v) => Value::Double(v[row]),
+            ColumnData::Str { slots, heap } => {
+                let (offset, len) = slots[row];
+                let bytes = &heap[offset as usize..offset as usize + len as usize];
+                Value::Str(String::from_utf8_lossy(bytes).into_owned())
+            }
+        }
+    }
+
+    /// Overwrite the value at `row`.
+    ///
+    /// For strings the new value is appended to the heap and the descriptor
+    /// re-pointed (the old bytes become garbage until a rebuild), which is how
+    /// an append-only device heap behaves.
+    pub fn set(&mut self, row: usize, value: &Value) {
+        match (self, value) {
+            (ColumnData::Int(v), Value::Int(x)) => v[row] = *x,
+            (ColumnData::Double(v), Value::Double(x)) => v[row] = *x,
+            (ColumnData::Double(v), Value::Int(x)) => v[row] = *x as f64,
+            (ColumnData::Str { slots, heap }, Value::Str(s)) => {
+                let offset = heap.len() as u64;
+                heap.extend_from_slice(s.as_bytes());
+                slots[row] = (offset, s.len() as u32);
+            }
+            (col, v) => panic!("type mismatch storing {v:?} into {col:?}"),
+        }
+    }
+
+    /// Bytes used by this column.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            ColumnData::Int(v) => 8 * v.len() as u64,
+            ColumnData::Double(v) => 8 * v.len() as u64,
+            ColumnData::Str { slots, heap } => 8 * slots.len() as u64 + heap.len() as u64,
+        }
+    }
+}
+
+/// A table stored column-wise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStore {
+    columns: Vec<ColumnData>,
+    rows: usize,
+}
+
+impl ColumnStore {
+    /// Create an empty column store for a schema.
+    pub fn new(schema: &TableSchema) -> Self {
+        ColumnStore {
+            columns: schema
+                .columns
+                .iter()
+                .map(|c| ColumnData::new(c.data_type))
+                .collect(),
+            rows: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Append a full row (validated by the caller).
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Read one field.
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Write one field.
+    pub fn set(&mut self, row: usize, col: usize, value: &Value) {
+        self.columns[col].set(row, value);
+    }
+
+    /// Read a full row.
+    pub fn get_row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Total bytes used by all columns.
+    pub fn total_bytes(&self) -> u64 {
+        self.columns.iter().map(|c| c.bytes()).sum()
+    }
+
+    /// Bytes used by device-resident columns only.
+    pub fn device_bytes(&self, schema: &TableSchema) -> u64 {
+        self.columns
+            .iter()
+            .zip(&schema.columns)
+            .filter(|(_, def)| def.device_resident)
+            .map(|(c, _)| c.bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("bal", DataType::Double),
+                ColumnDef::host_only("name", DataType::Str),
+            ],
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn push_get_set_round_trip() {
+        let s = schema();
+        let mut cs = ColumnStore::new(&s);
+        cs.push_row(&[Value::Int(1), Value::Double(10.0), Value::Str("alice".into())]);
+        cs.push_row(&[Value::Int(2), Value::Double(20.0), Value::Str("bob".into())]);
+        assert_eq!(cs.num_rows(), 2);
+        assert_eq!(cs.get(0, 0), Value::Int(1));
+        assert_eq!(cs.get(1, 2), Value::Str("bob".into()));
+        cs.set(0, 1, &Value::Double(99.5));
+        assert_eq!(cs.get(0, 1), Value::Double(99.5));
+        assert_eq!(
+            cs.get_row(1),
+            vec![Value::Int(2), Value::Double(20.0), Value::Str("bob".into())]
+        );
+    }
+
+    #[test]
+    fn string_updates_re_point_descriptors() {
+        let s = schema();
+        let mut cs = ColumnStore::new(&s);
+        cs.push_row(&[Value::Int(1), Value::Double(0.0), Value::Str("short".into())]);
+        cs.set(0, 2, &Value::Str("a much longer string".into()));
+        assert_eq!(cs.get(0, 2), Value::Str("a much longer string".into()));
+    }
+
+    #[test]
+    fn null_stored_as_default() {
+        let s = schema();
+        let mut cs = ColumnStore::new(&s);
+        cs.push_row(&[Value::Null, Value::Null, Value::Null]);
+        assert_eq!(cs.get(0, 0), Value::Int(0));
+        assert_eq!(cs.get(0, 1), Value::Double(0.0));
+        assert_eq!(cs.get(0, 2), Value::Str(String::new()));
+    }
+
+    #[test]
+    fn device_bytes_exclude_host_only_columns() {
+        let s = schema();
+        let mut cs = ColumnStore::new(&s);
+        for i in 0..100 {
+            cs.push_row(&[
+                Value::Int(i),
+                Value::Double(i as f64),
+                Value::Str("abcdefgh".into()),
+            ]);
+        }
+        let total = cs.total_bytes();
+        let device = cs.device_bytes(&s);
+        assert!(device < total);
+        assert_eq!(device, 100 * 16); // id + bal columns only
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let s = schema();
+        let mut cs = ColumnStore::new(&s);
+        cs.push_row(&[Value::Str("oops".into()), Value::Double(0.0), Value::Null]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Hash indexes.
+//!
+//! OLTP transactions in the public benchmarks fetch a small number of tuples
+//! by primary key (§5.1), so GPUTx keeps hash indexes on the device alongside
+//! the column data. A unique index maps a key to a single row; a non-unique
+//! index maps a key to the ordered set of matching rows (e.g. customers by
+//! last name in TPC-C, call-forwarding rows by subscriber in TM1).
+
+use crate::table::RowId;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Composite index key: one or more column values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IndexKey(pub Vec<Value>);
+
+impl IndexKey {
+    /// Single-column key.
+    pub fn single(v: impl Into<Value>) -> Self {
+        IndexKey(vec![v.into()])
+    }
+
+    /// Two-column composite key.
+    pub fn pair(a: impl Into<Value>, b: impl Into<Value>) -> Self {
+        IndexKey(vec![a.into(), b.into()])
+    }
+
+    /// Three-column composite key.
+    pub fn triple(a: impl Into<Value>, b: impl Into<Value>, c: impl Into<Value>) -> Self {
+        IndexKey(vec![a.into(), b.into(), c.into()])
+    }
+}
+
+impl From<Vec<Value>> for IndexKey {
+    fn from(v: Vec<Value>) -> Self {
+        IndexKey(v)
+    }
+}
+
+/// Error returned when a unique index would receive a duplicate key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateKey(pub IndexKey);
+
+impl std::fmt::Display for DuplicateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "duplicate key {:?} in unique index", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateKey {}
+
+/// A hash index over one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HashIndex {
+    /// Name of the index.
+    pub name: String,
+    /// Indices of the indexed columns in the table schema.
+    pub columns: Vec<usize>,
+    /// Whether keys are unique.
+    pub unique: bool,
+    entries: HashMap<IndexKey, Vec<RowId>>,
+}
+
+impl HashIndex {
+    /// Create an empty index.
+    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool) -> Self {
+        HashIndex {
+            name: name.into(),
+            columns,
+            unique,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Build the key for a full row according to the indexed columns.
+    pub fn key_of(&self, row: &[Value]) -> IndexKey {
+        IndexKey(self.columns.iter().map(|&c| row[c].clone()).collect())
+    }
+
+    /// Insert a (key, row) pair.
+    pub fn insert(&mut self, key: IndexKey, row: RowId) -> Result<(), DuplicateKey> {
+        let rows = self.entries.entry(key.clone()).or_default();
+        if self.unique && !rows.is_empty() {
+            return Err(DuplicateKey(key));
+        }
+        rows.push(row);
+        Ok(())
+    }
+
+    /// Look up the single row for a key in a unique index.
+    pub fn get_unique(&self, key: &IndexKey) -> Option<RowId> {
+        self.entries.get(key).and_then(|rows| rows.first().copied())
+    }
+
+    /// Look up all rows for a key.
+    pub fn get(&self, key: &IndexKey) -> &[RowId] {
+        self.entries.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Remove one (key, row) pair. Returns true if it was present.
+    pub fn remove(&mut self, key: &IndexKey, row: RowId) -> bool {
+        if let Some(rows) = self.entries.get_mut(key) {
+            if let Some(pos) = rows.iter().position(|&r| r == row) {
+                rows.remove(pos);
+                if rows.is_empty() {
+                    self.entries.remove(key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Approximate device-memory footprint of the index in bytes.
+    pub fn bytes(&self) -> u64 {
+        // Bucket array + one 8-byte key hash and 8-byte row id per entry.
+        let entries: u64 = self.entries.values().map(|v| v.len() as u64).sum();
+        16 * entries + 8 * self.entries.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_index_round_trip() {
+        let mut idx = HashIndex::new("pk", vec![0], true);
+        idx.insert(IndexKey::single(5i64), 0).unwrap();
+        idx.insert(IndexKey::single(9i64), 1).unwrap();
+        assert_eq!(idx.get_unique(&IndexKey::single(5i64)), Some(0));
+        assert_eq!(idx.get_unique(&IndexKey::single(7i64)), None);
+        assert!(idx.insert(IndexKey::single(5i64), 2).is_err());
+        assert_eq!(idx.num_keys(), 2);
+    }
+
+    #[test]
+    fn non_unique_index_collects_rows() {
+        let mut idx = HashIndex::new("by_name", vec![1], false);
+        idx.insert(IndexKey::single("smith"), 3).unwrap();
+        idx.insert(IndexKey::single("smith"), 7).unwrap();
+        idx.insert(IndexKey::single("jones"), 1).unwrap();
+        assert_eq!(idx.get(&IndexKey::single("smith")), &[3, 7]);
+        assert_eq!(idx.get(&IndexKey::single("none")), &[] as &[RowId]);
+    }
+
+    #[test]
+    fn remove_deletes_entries() {
+        let mut idx = HashIndex::new("i", vec![0], false);
+        idx.insert(IndexKey::single(1i64), 10).unwrap();
+        idx.insert(IndexKey::single(1i64), 11).unwrap();
+        assert!(idx.remove(&IndexKey::single(1i64), 10));
+        assert!(!idx.remove(&IndexKey::single(1i64), 10));
+        assert_eq!(idx.get(&IndexKey::single(1i64)), &[11]);
+        assert!(idx.remove(&IndexKey::single(1i64), 11));
+        assert_eq!(idx.num_keys(), 0);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut idx = HashIndex::new("pk", vec![0, 1], true);
+        idx.insert(IndexKey::pair(1i64, 2i64), 0).unwrap();
+        idx.insert(IndexKey::pair(1i64, 3i64), 1).unwrap();
+        assert_eq!(idx.get_unique(&IndexKey::pair(1i64, 3i64)), Some(1));
+        let key3 = IndexKey::triple(1i64, 2i64, 3i64);
+        assert_eq!(key3.0.len(), 3);
+    }
+
+    #[test]
+    fn key_of_extracts_indexed_columns() {
+        let idx = HashIndex::new("pk", vec![2, 0], true);
+        let row = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(idx.key_of(&row), IndexKey(vec![Value::Int(3), Value::Int(1)]));
+    }
+
+    #[test]
+    fn bytes_grow_with_entries() {
+        let mut idx = HashIndex::new("i", vec![0], false);
+        let empty = idx.bytes();
+        for i in 0..100i64 {
+            idx.insert(IndexKey::single(i), i as RowId).unwrap();
+        }
+        assert!(idx.bytes() > empty);
+    }
+}

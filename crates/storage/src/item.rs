@@ -1,0 +1,134 @@
+//! Data-item identifiers.
+//!
+//! GPUTx performs data accesses and conflict detection at the granularity of
+//! a *data field* — one column of one row of one table (§3.2, §4.1). A
+//! [`DataItemId`] packs (table, row, column) into a single `u64` so that basic
+//! operations can be sorted and grouped by the data-parallel primitives.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one data field: (table, row, column) packed into a `u64`.
+///
+/// Layout (most-significant to least-significant bits):
+/// `table:12 | column:12 | row:40`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataItemId(u64);
+
+const ROW_BITS: u32 = 40;
+const COL_BITS: u32 = 12;
+const TABLE_BITS: u32 = 12;
+
+impl DataItemId {
+    /// Maximum representable row id.
+    pub const MAX_ROW: u64 = (1 << ROW_BITS) - 1;
+    /// Maximum representable column id.
+    pub const MAX_COL: u32 = (1 << COL_BITS) - 1;
+    /// Maximum representable table id.
+    pub const MAX_TABLE: u32 = (1 << TABLE_BITS) - 1;
+
+    /// Pack a (table, row, column) triple.
+    pub fn new(table: u32, row: u64, column: u32) -> Self {
+        assert!(table <= Self::MAX_TABLE, "table id {table} out of range");
+        assert!(row <= Self::MAX_ROW, "row id {row} out of range");
+        assert!(column <= Self::MAX_COL, "column id {column} out of range");
+        DataItemId(((table as u64) << (ROW_BITS + COL_BITS)) | ((column as u64) << ROW_BITS) | row)
+    }
+
+    /// An item covering a whole row (used when a transaction conflicts at row
+    /// granularity, e.g. inserts/deletes): column id is the maximum sentinel.
+    pub fn whole_row(table: u32, row: u64) -> Self {
+        Self::new(table, row, Self::MAX_COL)
+    }
+
+    /// The table component.
+    pub fn table(&self) -> u32 {
+        (self.0 >> (ROW_BITS + COL_BITS)) as u32
+    }
+
+    /// The column component.
+    pub fn column(&self) -> u32 {
+        ((self.0 >> ROW_BITS) & (Self::MAX_COL as u64)) as u32
+    }
+
+    /// The row component.
+    pub fn row(&self) -> u64 {
+        self.0 & Self::MAX_ROW
+    }
+
+    /// The packed representation (used as a radix-sort key).
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a packed representation.
+    pub fn from_u64(raw: u64) -> Self {
+        DataItemId(raw)
+    }
+}
+
+impl fmt::Display for DataItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}r{}c{}", self.table(), self.row(), self.column())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let id = DataItemId::new(3, 123_456_789, 17);
+        assert_eq!(id.table(), 3);
+        assert_eq!(id.row(), 123_456_789);
+        assert_eq!(id.column(), 17);
+        assert_eq!(DataItemId::from_u64(id.as_u64()), id);
+    }
+
+    #[test]
+    fn whole_row_uses_sentinel_column() {
+        let id = DataItemId::whole_row(1, 42);
+        assert_eq!(id.column(), DataItemId::MAX_COL);
+        assert_eq!(id.row(), 42);
+    }
+
+    #[test]
+    fn ordering_groups_by_table_then_column_then_row() {
+        let a = DataItemId::new(0, 999, 0);
+        let b = DataItemId::new(0, 0, 1);
+        let c = DataItemId::new(1, 0, 0);
+        assert!(a < b, "same table: lower column sorts first");
+        assert!(b < c, "lower table sorts first");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_row_rejected() {
+        DataItemId::new(0, DataItemId::MAX_ROW + 1, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(table in 0u32..=DataItemId::MAX_TABLE,
+                           row in 0u64..=DataItemId::MAX_ROW,
+                           col in 0u32..=DataItemId::MAX_COL) {
+            let id = DataItemId::new(table, row, col);
+            prop_assert_eq!(id.table(), table);
+            prop_assert_eq!(id.row(), row);
+            prop_assert_eq!(id.column(), col);
+            prop_assert_eq!(DataItemId::from_u64(id.as_u64()), id);
+        }
+
+        #[test]
+        fn prop_distinct_triples_distinct_ids(
+            a in (0u32..16, 0u64..1000, 0u32..16),
+            b in (0u32..16, 0u64..1000, 0u32..16)
+        ) {
+            let ia = DataItemId::new(a.0, a.1, a.2);
+            let ib = DataItemId::new(b.0, b.1, b.2);
+            prop_assert_eq!(ia == ib, a == b);
+        }
+    }
+}

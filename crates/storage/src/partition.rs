@@ -1,0 +1,104 @@
+//! Partitioning support.
+//!
+//! The PART strategy and the H-Store-style CPU engine both rely on a
+//! partitioned database: every transaction is routed to a partition derived
+//! from its partitioning key (branch id for TPC-B, subscriber id for TM1,
+//! warehouse×district for TPC-C — Appendix E). The *partition size* (keys per
+//! partition) is a tuning parameter studied in Figure 13.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a partition.
+pub type PartitionId = u32;
+
+/// Maps partitioning-key values to partitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionMap {
+    /// Number of distinct partitioning-key values (e.g. number of branches).
+    pub key_cardinality: u64,
+    /// Number of key values grouped into one partition.
+    pub partition_size: u64,
+}
+
+impl PartitionMap {
+    /// Create a map over `key_cardinality` keys with `partition_size` keys per
+    /// partition.
+    pub fn new(key_cardinality: u64, partition_size: u64) -> Self {
+        assert!(partition_size > 0, "partition size must be positive");
+        assert!(key_cardinality > 0, "key cardinality must be positive");
+        PartitionMap {
+            key_cardinality,
+            partition_size,
+        }
+    }
+
+    /// One key value per partition (the maximum number of partitions, as in
+    /// the paper's "maximum number of partitions is f million" for TM1).
+    pub fn one_key_per_partition(key_cardinality: u64) -> Self {
+        Self::new(key_cardinality, 1)
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> u64 {
+        self.key_cardinality.div_ceil(self.partition_size)
+    }
+
+    /// Partition of a key value.
+    pub fn partition_of(&self, key: u64) -> PartitionId {
+        debug_assert!(key < self.key_cardinality, "key {key} out of range");
+        (key / self.partition_size) as PartitionId
+    }
+
+    /// Re-derive a map with a different partition size over the same keys.
+    pub fn with_partition_size(&self, partition_size: u64) -> Self {
+        Self::new(self.key_cardinality, partition_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn partitions_cover_keys() {
+        let m = PartitionMap::new(1000, 128);
+        assert_eq!(m.num_partitions(), 8);
+        assert_eq!(m.partition_of(0), 0);
+        assert_eq!(m.partition_of(127), 0);
+        assert_eq!(m.partition_of(128), 1);
+        assert_eq!(m.partition_of(999), 7);
+    }
+
+    #[test]
+    fn one_key_per_partition_maps_identity() {
+        let m = PartitionMap::one_key_per_partition(50);
+        assert_eq!(m.num_partitions(), 50);
+        assert_eq!(m.partition_of(37), 37);
+    }
+
+    #[test]
+    fn resizing_preserves_cardinality() {
+        let m = PartitionMap::new(1_000_000, 1).with_partition_size(128);
+        assert_eq!(m.key_cardinality, 1_000_000);
+        assert_eq!(m.num_partitions(), 7813);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_partition_size_rejected() {
+        PartitionMap::new(10, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_ids_dense_and_bounded(card in 1u64..10_000, size in 1u64..512, key_frac in 0.0f64..1.0) {
+            let m = PartitionMap::new(card, size);
+            let key = ((card - 1) as f64 * key_frac) as u64;
+            let p = m.partition_of(key) as u64;
+            prop_assert!(p < m.num_partitions());
+            // Keys within one partition are contiguous.
+            prop_assert_eq!(p, key / size);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Table schemas and column metadata.
+
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether the column must be resident in GPU device memory.
+    ///
+    /// The paper's column store copies only the necessary columns to the GPU
+    /// (Appendix E); read-only columns needed solely for result construction
+    /// stay in host memory (`device_resident = false`).
+    pub device_resident: bool,
+}
+
+impl ColumnDef {
+    /// A device-resident column (the default for columns touched by
+    /// transaction logic).
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            device_resident: true,
+        }
+    }
+
+    /// A host-only column used only for result construction.
+    pub fn host_only(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            device_resident: false,
+        }
+    }
+}
+
+/// Schema of a table: ordered columns plus the primary-key column set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Indices (into `columns`) of the primary-key columns.
+    pub primary_key: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Create a schema. Panics if the primary key references unknown columns
+    /// or if column names are not unique.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, primary_key: Vec<usize>) -> Self {
+        let name = name.into();
+        for &pk in &primary_key {
+            assert!(pk < columns.len(), "primary key column {pk} out of range in table {name}");
+        }
+        for i in 0..columns.len() {
+            for j in (i + 1)..columns.len() {
+                assert_ne!(
+                    columns[i].name, columns[j].name,
+                    "duplicate column name {} in table {}",
+                    columns[i].name, name
+                );
+            }
+        }
+        TableSchema {
+            name,
+            columns,
+            primary_key,
+        }
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The column definition at `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// Extract the primary-key values from a full row.
+    pub fn primary_key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.primary_key.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Validate that a row matches the schema arity and types.
+    pub fn validate_row(&self, row: &[Value]) -> Result<(), String> {
+        if row.len() != self.columns.len() {
+            return Err(format!(
+                "row has {} values but table {} has {} columns",
+                row.len(),
+                self.name,
+                self.columns.len()
+            ));
+        }
+        for (i, v) in row.iter().enumerate() {
+            if let Some(dt) = v.data_type() {
+                if dt != self.columns[i].data_type {
+                    return Err(format!(
+                        "column {} of table {} expects {:?}, got {:?}",
+                        self.columns[i].name, self.name, self.columns[i].data_type, dt
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes per row when stored row-wise (all columns).
+    pub fn row_width_bytes(&self) -> u64 {
+        self.columns.iter().map(|c| c.data_type.width()).sum()
+    }
+
+    /// Bytes per row when only device-resident columns are stored (the
+    /// column-store layout on the GPU).
+    pub fn device_row_width_bytes(&self) -> u64 {
+        self.columns
+            .iter()
+            .filter(|c| c.device_resident)
+            .map(|c| c.data_type.width())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> TableSchema {
+        TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("balance", DataType::Double),
+                ColumnDef::host_only("name", DataType::Str),
+            ],
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn column_lookup_and_pk_extraction() {
+        let s = sample_schema();
+        assert_eq!(s.num_columns(), 3);
+        assert_eq!(s.column_index("balance"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+        let row = vec![Value::Int(7), Value::Double(1.0), Value::Str("a".into())];
+        assert_eq!(s.primary_key_of(&row), vec![Value::Int(7)]);
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = sample_schema();
+        let good = vec![Value::Int(1), Value::Double(2.0), Value::Str("x".into())];
+        assert!(s.validate_row(&good).is_ok());
+        let short = vec![Value::Int(1)];
+        assert!(s.validate_row(&short).is_err());
+        let wrong_type = vec![Value::Str("no".into()), Value::Double(2.0), Value::Null];
+        assert!(s.validate_row(&wrong_type).is_err());
+        // NULLs are allowed in any column.
+        let with_null = vec![Value::Int(1), Value::Null, Value::Null];
+        assert!(s.validate_row(&with_null).is_ok());
+    }
+
+    #[test]
+    fn width_excludes_host_only_columns_on_device() {
+        let s = sample_schema();
+        assert_eq!(s.row_width_bytes(), 24);
+        assert_eq!(s.device_row_width_bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_column_names_rejected() {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("a", DataType::Int),
+            ],
+            vec![0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_primary_key_rejected() {
+        TableSchema::new("t", vec![ColumnDef::new("a", DataType::Int)], vec![5]);
+    }
+}

@@ -1,0 +1,281 @@
+//! The table abstraction: a schema plus data in either storage layout, with
+//! an insert buffer and delete bitmap.
+//!
+//! GPUTx handles inserts by writing them into a temporary buffer that is
+//! sufficiently large for the new data and applying them as a batched update
+//! after the kernel execution (§3.2). Deletes are handled with a bitmap so
+//! row ids stay stable within a bulk.
+
+use crate::column_store::ColumnStore;
+use crate::row_store::RowStore;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Row identifier within a table.
+pub type RowId = u64;
+
+/// Which physical layout backs a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageLayout {
+    /// Column-based (the GPUTx default).
+    Column,
+    /// Row-based (Appendix F.2 comparison).
+    Row,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum TableData {
+    Column(ColumnStore),
+    Row(RowStore),
+}
+
+/// A table: schema + data + insert buffer + delete bitmap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    schema: TableSchema,
+    data: TableData,
+    deleted: Vec<bool>,
+    /// Buffered inserts tagged with the id (timestamp) of the inserting
+    /// transaction, so the batched update can apply them in timestamp order
+    /// regardless of the execution strategy's functional order.
+    insert_buffer: Vec<(u64, Vec<Value>)>,
+}
+
+impl Table {
+    /// Create an empty table with the given layout.
+    pub fn new(schema: TableSchema, layout: StorageLayout) -> Self {
+        let data = match layout {
+            StorageLayout::Column => TableData::Column(ColumnStore::new(&schema)),
+            StorageLayout::Row => TableData::Row(RowStore::new(&schema)),
+        };
+        Table {
+            schema,
+            data,
+            deleted: Vec::new(),
+            insert_buffer: Vec::new(),
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The storage layout in use.
+    pub fn layout(&self) -> StorageLayout {
+        match self.data {
+            TableData::Column(_) => StorageLayout::Column,
+            TableData::Row(_) => StorageLayout::Row,
+        }
+    }
+
+    /// Number of rows, including deleted ones (row ids are never reused).
+    pub fn num_rows(&self) -> usize {
+        match &self.data {
+            TableData::Column(c) => c.num_rows(),
+            TableData::Row(r) => r.num_rows(),
+        }
+    }
+
+    /// Number of live (non-deleted) rows.
+    pub fn num_live_rows(&self) -> usize {
+        self.num_rows() - self.deleted.iter().filter(|&&d| d).count()
+    }
+
+    /// Insert a row immediately (used for initial data loading) and return its
+    /// row id.
+    pub fn insert(&mut self, row: Vec<Value>) -> RowId {
+        self.schema
+            .validate_row(&row)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let id = self.num_rows() as RowId;
+        match &mut self.data {
+            TableData::Column(c) => c.push_row(&row),
+            TableData::Row(r) => r.push_row(&row),
+        }
+        self.deleted.push(false);
+        id
+    }
+
+    /// Queue a row in the insert buffer (the in-kernel insert path of §3.2),
+    /// tagged with the inserting transaction's id. The row becomes visible
+    /// after [`Table::apply_insert_buffer`], which applies buffered rows in
+    /// ascending tag order.
+    pub fn buffered_insert(&mut self, tag: u64, row: Vec<Value>) {
+        self.schema
+            .validate_row(&row)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.insert_buffer.push((tag, row));
+    }
+
+    /// Number of rows waiting in the insert buffer.
+    pub fn pending_inserts(&self) -> usize {
+        self.insert_buffer.len()
+    }
+
+    /// Apply the insert buffer as a batched update in ascending tag
+    /// (timestamp) order, returning the row ids assigned to the buffered rows.
+    pub fn apply_insert_buffer(&mut self) -> Vec<RowId> {
+        let mut rows: Vec<(u64, Vec<Value>)> = std::mem::take(&mut self.insert_buffer);
+        rows.sort_by_key(|(tag, _)| *tag);
+        rows.into_iter().map(|(_, r)| self.insert(r)).collect()
+    }
+
+    /// Discard the insert buffer (used when a bulk aborts before applying it).
+    pub fn clear_insert_buffer(&mut self) {
+        self.insert_buffer.clear();
+    }
+
+    /// Remove and return the most recently buffered insert (undo of a single
+    /// transaction's insert during rollback).
+    pub fn pop_last_buffered_insert(&mut self) -> Option<Vec<Value>> {
+        self.insert_buffer.pop().map(|(_, row)| row)
+    }
+
+    /// Read one field.
+    pub fn get(&self, row: RowId, col: usize) -> Value {
+        match &self.data {
+            TableData::Column(c) => c.get(row as usize, col),
+            TableData::Row(r) => r.get(row as usize, col),
+        }
+    }
+
+    /// Write one field.
+    pub fn set(&mut self, row: RowId, col: usize, value: &Value) {
+        match &mut self.data {
+            TableData::Column(c) => c.set(row as usize, col, value),
+            TableData::Row(r) => r.set(row as usize, col, value),
+        }
+    }
+
+    /// Read a full row.
+    pub fn get_row(&self, row: RowId) -> Vec<Value> {
+        match &self.data {
+            TableData::Column(c) => c.get_row(row as usize),
+            TableData::Row(r) => r.get_row(row as usize),
+        }
+    }
+
+    /// Mark a row deleted.
+    pub fn delete(&mut self, row: RowId) {
+        self.deleted[row as usize] = true;
+    }
+
+    /// Un-delete a row (used by undo-log rollback).
+    pub fn undelete(&mut self, row: RowId) {
+        self.deleted[row as usize] = false;
+    }
+
+    /// Whether a row is deleted.
+    pub fn is_deleted(&self, row: RowId) -> bool {
+        self.deleted[row as usize]
+    }
+
+    /// Iterate over live row ids.
+    pub fn live_rows(&self) -> impl Iterator<Item = RowId> + '_ {
+        (0..self.num_rows() as RowId).filter(move |&r| !self.is_deleted(r))
+    }
+
+    /// Total host-memory bytes used by the table data.
+    pub fn total_bytes(&self) -> u64 {
+        match &self.data {
+            TableData::Column(c) => c.total_bytes(),
+            TableData::Row(r) => r.total_bytes(),
+        }
+    }
+
+    /// Bytes that must reside in GPU device memory for this table.
+    pub fn device_bytes(&self) -> u64 {
+        match &self.data {
+            TableData::Column(c) => c.device_bytes(&self.schema),
+            TableData::Row(r) => r.device_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("balance", DataType::Double),
+            ],
+            vec![0],
+        )
+    }
+
+    fn row(id: i64, bal: f64) -> Vec<Value> {
+        vec![Value::Int(id), Value::Double(bal)]
+    }
+
+    #[test]
+    fn insert_and_read_both_layouts() {
+        for layout in [StorageLayout::Column, StorageLayout::Row] {
+            let mut t = Table::new(schema(), layout);
+            let r0 = t.insert(row(1, 10.0));
+            let r1 = t.insert(row(2, 20.0));
+            assert_eq!((r0, r1), (0, 1));
+            assert_eq!(t.num_rows(), 2);
+            assert_eq!(t.get(1, 1), Value::Double(20.0));
+            t.set(0, 1, &Value::Double(11.0));
+            assert_eq!(t.get(0, 1), Value::Double(11.0));
+            assert_eq!(t.layout(), layout);
+        }
+    }
+
+    #[test]
+    fn insert_buffer_is_applied_as_a_batch_in_tag_order() {
+        let mut t = Table::new(schema(), StorageLayout::Column);
+        t.insert(row(1, 1.0));
+        // Buffered out of timestamp order: the batch applies them sorted.
+        t.buffered_insert(7, row(3, 3.0));
+        t.buffered_insert(2, row(2, 2.0));
+        assert_eq!(t.num_rows(), 1, "buffered rows are not visible yet");
+        assert_eq!(t.pending_inserts(), 2);
+        let ids = t.apply_insert_buffer();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.pending_inserts(), 0);
+        assert_eq!(t.get(1, 0), Value::Int(2), "lower tag applied first");
+        assert_eq!(t.get(2, 0), Value::Int(3));
+    }
+
+    #[test]
+    fn clear_insert_buffer_discards_rows() {
+        let mut t = Table::new(schema(), StorageLayout::Column);
+        t.buffered_insert(0, row(1, 1.0));
+        t.clear_insert_buffer();
+        assert_eq!(t.apply_insert_buffer(), Vec::<RowId>::new());
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn delete_bitmap_and_live_rows() {
+        let mut t = Table::new(schema(), StorageLayout::Column);
+        for i in 0..5 {
+            t.insert(row(i, 0.0));
+        }
+        t.delete(1);
+        t.delete(3);
+        assert!(t.is_deleted(1));
+        assert_eq!(t.num_live_rows(), 3);
+        let live: Vec<RowId> = t.live_rows().collect();
+        assert_eq!(live, vec![0, 2, 4]);
+        t.undelete(1);
+        assert_eq!(t.num_live_rows(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(schema(), StorageLayout::Column);
+        t.insert(vec![Value::Int(1)]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Typed values and data types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The data types supported by the storage layer.
+///
+/// The public OLTP benchmarks only need integers, floating-point amounts and
+/// (short) strings; keeping the type system small keeps field-granularity
+/// access cheap, which is what GPUTx optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE double.
+    Double,
+    /// Variable-length UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// Fixed width in bytes for fixed-length types; the descriptor width
+    /// (offset + length) for strings.
+    pub fn width(&self) -> u64 {
+        match self {
+            DataType::Int => 8,
+            DataType::Double => 8,
+            DataType::Str => 8,
+        }
+    }
+}
+
+/// A single typed value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE double.
+    Double(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// The data type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int(_) => Some(DataType::Int),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Null => None,
+        }
+    }
+
+    /// Interpret the value as an integer, panicking with context otherwise.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+
+    /// Interpret the value as a double (integers widen losslessly enough for
+    /// benchmark balances).
+    pub fn as_double(&self) -> f64 {
+        match self {
+            Value::Double(v) => *v,
+            Value::Int(v) => *v as f64,
+            other => panic!("expected Double, found {other:?}"),
+        }
+    }
+
+    /// Interpret the value as a string slice.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(v) => v,
+            other => panic!("expected Str, found {other:?}"),
+        }
+    }
+
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Approximate size of this value in bytes when stored.
+    pub fn storage_bytes(&self) -> u64 {
+        match self {
+            Value::Int(_) | Value::Double(_) => 8,
+            Value::Str(s) => 8 + s.len() as u64,
+            Value::Null => 8,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            // Bitwise comparison keeps Eq/Hash consistent for doubles.
+            (Value::Double(a), Value::Double(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Null, Value::Null) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Value::Double(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            Value::Null => 3u8.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn accessors_and_types() {
+        assert_eq!(Value::Int(7).as_int(), 7);
+        assert_eq!(Value::Double(2.5).as_double(), 2.5);
+        assert_eq!(Value::Int(3).as_double(), 3.0);
+        assert_eq!(Value::Str("hi".into()).as_str(), "hi");
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn wrong_accessor_panics() {
+        Value::Str("x".into()).as_int();
+    }
+
+    #[test]
+    fn values_work_as_hash_keys() {
+        let mut m = HashMap::new();
+        m.insert(Value::Int(5), "five");
+        m.insert(Value::Str("k".into()), "str");
+        m.insert(Value::Double(1.5), "dbl");
+        assert_eq!(m[&Value::Int(5)], "five");
+        assert_eq!(m[&Value::Double(1.5)], "dbl");
+        assert_eq!(m[&Value::Str("k".into())], "str");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(4i32), Value::Int(4));
+        assert_eq!(Value::from(4u64), Value::Int(4));
+        assert_eq!(Value::from("a"), Value::Str("a".into()));
+        assert_eq!(Value::from(0.5), Value::Double(0.5));
+    }
+
+    #[test]
+    fn storage_bytes_accounts_string_length() {
+        assert_eq!(Value::Int(1).storage_bytes(), 8);
+        assert_eq!(Value::Str("abcd".into()).storage_bytes(), 12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn width_of_types() {
+        assert_eq!(DataType::Int.width(), 8);
+        assert_eq!(DataType::Double.width(), 8);
+        assert_eq!(DataType::Str.width(), 8);
+    }
+}

@@ -1,0 +1,512 @@
+//! K-set computation (§4.2) and incremental 0-set extraction (§5.3).
+//!
+//! The K-SET execution strategy and the counter-based TPL lock both need, for
+//! every transaction, the *rank* of each of its accesses within the per-item
+//! access sequence, and the transaction's overall depth (its k-set). The
+//! paper computes these without building the T-dependency graph, using a
+//! data-oriented algorithm over `(data item, transaction id)` tuples:
+//!
+//! 1. sort the tuples by data item, then by transaction id,
+//! 2. find the group boundaries,
+//! 3. assign ranks inside each group (a write bumps the rank; consecutive
+//!    reads share it),
+//! 4. sort the resulting `(transaction id, rank)` pairs by transaction id,
+//! 5. find the group boundaries again; the maximum rank of a transaction is
+//!    its depth.
+//!
+//! Note that this per-item rank is a *local* quantity: it equals the
+//! T-dependency-graph depth for workloads whose transactions touch one
+//! conflict group (the public benchmarks with a tree-shaped schema and a
+//! partitioning key, §5.1), but it can under-estimate the depth when
+//! dependencies chain across different data items. What GPUTx actually relies
+//! on is weaker and always holds: a transaction has maximum rank 0 **iff** it
+//! has no preceding conflicting transaction, so the extracted 0-set is exactly
+//! the source set of the T-dependency graph, and 0-set transactions are
+//! pairwise conflict-free. The property tests in this module and the
+//! integration suite verify both facts against the graph-based computation.
+
+use crate::op::{dedup_strongest, BasicOp, OpKind};
+use crate::signature::TxnId;
+use gputx_sim::primitives::{radix_sort_pairs, segment_boundaries};
+use gputx_sim::{Gpu, SimDuration, ThreadTrace};
+use std::collections::HashMap;
+
+/// Result of the rank-based k-set computation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KSetResult {
+    /// Depth (maximum rank) per transaction.
+    pub depth_of: HashMap<TxnId, u32>,
+    /// Rank of each (transaction, data item) access — the key values used by
+    /// the counter-based TPL lock (§5.1).
+    pub item_ranks: HashMap<(TxnId, u64), u32>,
+    /// Simulated time spent computing the k-sets on the GPU (zero for the
+    /// host-side reference implementation).
+    pub gpu_time: SimDuration,
+}
+
+impl KSetResult {
+    /// Transactions with depth 0 (no preceding conflicting transactions), in
+    /// ascending id order.
+    pub fn zero_set(&self) -> Vec<TxnId> {
+        let mut zs: Vec<TxnId> = self
+            .depth_of
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        zs.sort_unstable();
+        zs
+    }
+
+    /// The k-set for a given depth, in ascending id order.
+    pub fn k_set(&self, k: u32) -> Vec<TxnId> {
+        let mut s: Vec<TxnId> = self
+            .depth_of
+            .iter()
+            .filter(|(_, &d)| d == k)
+            .map(|(&id, _)| id)
+            .collect();
+        s.sort_unstable();
+        s
+    }
+
+    /// Maximum depth over all transactions (0 when empty).
+    pub fn max_depth(&self) -> u32 {
+        self.depth_of.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Assign ranks within one per-item group of `(txn, kind)` accesses sorted by
+/// transaction id, following §4.2: the first access has rank 0; a write gets
+/// the previous rank + 1; a read after a read keeps the previous rank; a read
+/// after a write gets the previous rank + 1.
+fn rank_group(group: &[(TxnId, OpKind)]) -> Vec<(TxnId, u32)> {
+    let mut out = Vec::with_capacity(group.len());
+    let mut prev_rank = 0u32;
+    let mut prev_kind = OpKind::Read;
+    for (i, &(id, kind)) in group.iter().enumerate() {
+        let rank = if i == 0 {
+            0
+        } else if kind == OpKind::Write {
+            prev_rank + 1
+        } else if prev_kind == OpKind::Read {
+            prev_rank
+        } else {
+            prev_rank + 1
+        };
+        out.push((id, rank));
+        prev_rank = rank;
+        prev_kind = kind;
+    }
+    out
+}
+
+/// Host-side reference implementation of the rank algorithm.
+pub fn rank_ksets(transactions: &[(TxnId, Vec<BasicOp>)]) -> KSetResult {
+    // Group deduplicated accesses by data item.
+    let mut groups: HashMap<u64, Vec<(TxnId, OpKind)>> = HashMap::new();
+    for (id, ops) in transactions {
+        for op in dedup_strongest(ops) {
+            groups.entry(op.item.as_u64()).or_default().push((*id, op.kind));
+        }
+    }
+    let mut result = KSetResult::default();
+    // Transactions with no operations still belong to the 0-set.
+    for (id, _) in transactions {
+        result.depth_of.entry(*id).or_insert(0);
+    }
+    for (item, mut group) in groups {
+        group.sort_by_key(|&(id, _)| id);
+        for (id, rank) in rank_group(&group) {
+            result.item_ranks.insert((id, item), rank);
+            let depth = result.depth_of.entry(id).or_insert(0);
+            *depth = (*depth).max(rank);
+        }
+    }
+    result
+}
+
+/// GPU implementation of the five-step algorithm of §4.2, built on the
+/// data-parallel primitives. Produces the same result as [`rank_ksets`] and a
+/// simulated execution time (the "sort" component of the paper's time
+/// breakdowns).
+pub fn gpu_rank_ksets(gpu: &mut Gpu, transactions: &[(TxnId, Vec<BasicOp>)]) -> KSetResult {
+    let mut time = SimDuration::ZERO;
+
+    // Flatten to (item, txn, kind) tuples after per-transaction dedup. Data
+    // item ids are remapped to a dense dictionary (as a real implementation
+    // would reference a compact item dictionary) so the radix sorts only need
+    // as many key bits as there are distinct items / transactions.
+    let mut items: Vec<u64> = Vec::new();
+    let mut txn_ids: Vec<u64> = Vec::new();
+    let mut kinds: Vec<OpKind> = Vec::new();
+    let mut dict: HashMap<u64, u64> = HashMap::new();
+    let mut dict_rev: Vec<u64> = Vec::new();
+    for (id, ops) in transactions {
+        for op in dedup_strongest(ops) {
+            let raw = op.item.as_u64();
+            let dense = *dict.entry(raw).or_insert_with(|| {
+                dict_rev.push(raw);
+                (dict_rev.len() - 1) as u64
+            });
+            items.push(dense);
+            txn_ids.push(*id);
+            kinds.push(op.kind);
+        }
+    }
+    // Transfer of the operation tuples to the device (id + item + kind).
+    time += gpu.transfer_to_device("kset operation tuples", 17 * items.len() as u64);
+
+    let bits_for = |max: u64| 64 - max.max(1).leading_zeros();
+    let item_bits = bits_for(dict_rev.len() as u64);
+    let id_bits = bits_for(txn_ids.iter().copied().max().unwrap_or(0));
+
+    // Step 1: sort by item then id. Two stable LSD radix sorts: first by id,
+    // then by item (stability preserves the id order inside each item group).
+    let mut payload: Vec<u64> = (0..items.len() as u64).collect();
+    let mut id_keys = txn_ids.clone();
+    let s1 = radix_sort_pairs(gpu, &mut id_keys, &mut payload, id_bits);
+    time += s1.time;
+    let mut item_keys: Vec<u64> = payload.iter().map(|&p| items[p as usize]).collect();
+    let s2 = radix_sort_pairs(gpu, &mut item_keys, &mut payload, item_bits);
+    time += s2.time;
+
+    // Step 2: identify the boundaries of the per-item groups.
+    let b = segment_boundaries(gpu, &item_keys);
+    time += b.time;
+    let groups = b.value;
+
+    // Step 3: one thread per group evaluates the ranks.
+    let mut rank_pairs: Vec<(TxnId, u64, u32)> = Vec::with_capacity(items.len());
+    let mut group_traces: Vec<ThreadTrace> = Vec::with_capacity(groups.len());
+    for (item, range) in &groups {
+        let group: Vec<(TxnId, OpKind)> = range
+            .clone()
+            .map(|i| {
+                let p = payload[i] as usize;
+                (txn_ids[p], kinds[p])
+            })
+            .collect();
+        let mut trace = ThreadTrace::new(0);
+        trace.read(16 * group.len() as u64);
+        trace.compute(4 * group.len() as u64);
+        trace.write(8 * group.len() as u64);
+        group_traces.push(trace);
+        // Translate the dense dictionary id back to the original item id so
+        // the returned ranks are keyed the same way as the host reference.
+        let original_item = dict_rev[*item as usize];
+        for (id, rank) in rank_group(&group) {
+            rank_pairs.push((id, original_item, rank));
+        }
+    }
+    let r3 = gpu.launch("kset_rank_groups", &group_traces);
+    time += r3.time;
+
+    // Step 4: sort the (id, rank) pairs by transaction id.
+    let mut keys: Vec<u64> = rank_pairs.iter().map(|&(id, _, _)| id).collect();
+    let mut vals: Vec<u64> = (0..rank_pairs.len() as u64).collect();
+    let s4 = radix_sort_pairs(gpu, &mut keys, &mut vals, id_bits);
+    time += s4.time;
+
+    // Step 5: per-transaction boundaries; the maximum rank is the depth.
+    let b5 = segment_boundaries(gpu, &keys);
+    time += b5.time;
+
+    let mut result = KSetResult::default();
+    for (id, _) in transactions {
+        result.depth_of.entry(*id).or_insert(0);
+    }
+    for (txn, range) in b5.value {
+        let mut max_rank = 0;
+        for i in range {
+            let (_, item, rank) = rank_pairs[vals[i] as usize];
+            result.item_ranks.insert((txn, item), rank);
+            max_rank = max_rank.max(rank);
+        }
+        result.depth_of.insert(txn, max_rank);
+    }
+    result.gpu_time = time;
+    result
+}
+
+/// Incrementally maintained 0-set extraction, used by the K-SET strategy:
+/// after executing the current 0-set the executed transactions are removed and
+/// the next 0-set can be read off without recomputing everything (§5.3).
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalKSet {
+    /// Per data item, the pending accesses in timestamp order.
+    item_queues: HashMap<u64, Vec<(TxnId, OpKind)>>,
+    /// Per pending transaction, its deduplicated accesses.
+    txn_items: HashMap<TxnId, Vec<(u64, OpKind)>>,
+}
+
+impl IncrementalKSet {
+    /// Build from an initial set of transactions.
+    pub fn new(transactions: &[(TxnId, Vec<BasicOp>)]) -> Self {
+        let mut s = IncrementalKSet::default();
+        let mut sorted: Vec<&(TxnId, Vec<BasicOp>)> = transactions.iter().collect();
+        sorted.sort_by_key(|(id, _)| *id);
+        for (id, ops) in sorted {
+            s.add_transaction(*id, ops);
+        }
+        s
+    }
+
+    /// Add a newly submitted transaction (merge its operations into the sorted
+    /// per-item arrays).
+    pub fn add_transaction(&mut self, id: TxnId, ops: &[BasicOp]) {
+        let merged = dedup_strongest(ops);
+        let mut items = Vec::with_capacity(merged.len());
+        for op in merged {
+            let queue = self.item_queues.entry(op.item.as_u64()).or_default();
+            // Keep per-item queues sorted by id; submissions normally arrive in
+            // id order so this is an append.
+            let pos = queue.partition_point(|&(q, _)| q < id);
+            queue.insert(pos, (id, op.kind));
+            items.push((op.item.as_u64(), op.kind));
+        }
+        self.txn_items.insert(id, items);
+    }
+
+    /// Number of pending transactions.
+    pub fn pending(&self) -> usize {
+        self.txn_items.len()
+    }
+
+    /// True when no transactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.txn_items.is_empty()
+    }
+
+    /// The current 0-set: pending transactions with no preceding conflicting
+    /// pending transaction, in ascending id order.
+    pub fn zero_set(&self) -> Vec<TxnId> {
+        let mut zs: Vec<TxnId> = self
+            .txn_items
+            .iter()
+            .filter(|(id, items)| self.is_source(**id, items))
+            .map(|(&id, _)| id)
+            .collect();
+        zs.sort_unstable();
+        zs
+    }
+
+    fn is_source(&self, id: TxnId, items: &[(u64, OpKind)]) -> bool {
+        items.iter().all(|&(item, kind)| {
+            let queue = &self.item_queues[&item];
+            let pos = queue.partition_point(|&(q, _)| q < id);
+            match kind {
+                // A writer must be the first pending access of the item.
+                OpKind::Write => pos == 0,
+                // A reader must only have readers before it.
+                OpKind::Read => queue[..pos].iter().all(|&(_, k)| k == OpKind::Read),
+            }
+        })
+    }
+
+    /// Remove executed transactions (normally the previously returned 0-set).
+    pub fn remove(&mut self, executed: &[TxnId]) {
+        for id in executed {
+            if let Some(items) = self.txn_items.remove(id) {
+                for (item, _) in items {
+                    if let Some(queue) = self.item_queues.get_mut(&item) {
+                        queue.retain(|&(q, _)| q != *id);
+                        if queue.is_empty() {
+                            self.item_queues.remove(&item);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tdg::TDependencyGraph;
+    use gputx_storage::DataItemId;
+    use proptest::prelude::*;
+
+    fn item(n: u64) -> DataItemId {
+        DataItemId::new(0, n, 0)
+    }
+
+    /// The Figure 1 example.
+    fn figure1() -> Vec<(TxnId, Vec<BasicOp>)> {
+        let a = item(0);
+        let b = item(1);
+        let c = item(2);
+        vec![
+            (1, vec![BasicOp::read(a), BasicOp::read(b), BasicOp::write(a), BasicOp::write(b)]),
+            (2, vec![BasicOp::read(a)]),
+            (3, vec![BasicOp::read(a), BasicOp::read(b)]),
+            (4, vec![BasicOp::read(c), BasicOp::write(c), BasicOp::read(a), BasicOp::write(a)]),
+        ]
+    }
+
+    #[test]
+    fn figure1_ranks_match_paper() {
+        let r = rank_ksets(&figure1());
+        // Ranks in group a: T1=0, T2=1, T3=1, T4=2; group b: T1=0, T3=1; group c: T4=0.
+        assert_eq!(r.item_ranks[&(1, item(0).as_u64())], 0);
+        assert_eq!(r.item_ranks[&(2, item(0).as_u64())], 1);
+        assert_eq!(r.item_ranks[&(3, item(0).as_u64())], 1);
+        assert_eq!(r.item_ranks[&(4, item(0).as_u64())], 2);
+        assert_eq!(r.item_ranks[&(1, item(1).as_u64())], 0);
+        assert_eq!(r.item_ranks[&(3, item(1).as_u64())], 1);
+        assert_eq!(r.item_ranks[&(4, item(2).as_u64())], 0);
+        // Depths: T1 ∈ 0-set, T2/T3 ∈ 1-set, T4 ∈ 2-set.
+        assert_eq!(r.depth_of[&1], 0);
+        assert_eq!(r.depth_of[&2], 1);
+        assert_eq!(r.depth_of[&3], 1);
+        assert_eq!(r.depth_of[&4], 2);
+        assert_eq!(r.zero_set(), vec![1]);
+        assert_eq!(r.k_set(1), vec![2, 3]);
+        assert_eq!(r.max_depth(), 2);
+    }
+
+    #[test]
+    fn gpu_version_matches_host_reference() {
+        let mut gpu = Gpu::c1060();
+        let txns = figure1();
+        let host = rank_ksets(&txns);
+        let dev = gpu_rank_ksets(&mut gpu, &txns);
+        assert_eq!(dev.depth_of, host.depth_of);
+        assert_eq!(dev.item_ranks, host.item_ranks);
+        assert!(dev.gpu_time.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn empty_and_opless_transactions_are_sources() {
+        let r = rank_ksets(&[(7, vec![])]);
+        assert_eq!(r.depth_of[&7], 0);
+        assert_eq!(r.zero_set(), vec![7]);
+        let r2 = rank_ksets(&[]);
+        assert_eq!(r2.max_depth(), 0);
+        assert!(r2.zero_set().is_empty());
+    }
+
+    #[test]
+    fn incremental_zero_set_matches_and_advances() {
+        let txns = figure1();
+        let mut inc = IncrementalKSet::new(&txns);
+        assert_eq!(inc.pending(), 4);
+        assert_eq!(inc.zero_set(), vec![1]);
+        inc.remove(&[1]);
+        // After removing T1, the former 1-set becomes the new 0-set (§5.3).
+        assert_eq!(inc.zero_set(), vec![2, 3]);
+        inc.remove(&[2, 3]);
+        assert_eq!(inc.zero_set(), vec![4]);
+        inc.remove(&[4]);
+        assert!(inc.is_empty());
+        assert!(inc.zero_set().is_empty());
+    }
+
+    #[test]
+    fn incremental_accepts_new_submissions() {
+        let mut inc = IncrementalKSet::new(&[(0, vec![BasicOp::write(item(0))])]);
+        inc.add_transaction(5, &[BasicOp::write(item(0))]);
+        inc.add_transaction(6, &[BasicOp::write(item(9))]);
+        // T5 conflicts with the pending T0; T6 does not conflict with anything.
+        assert_eq!(inc.zero_set(), vec![0, 6]);
+        inc.remove(&[0, 6]);
+        assert_eq!(inc.zero_set(), vec![5]);
+    }
+
+    /// Random transaction generator for the property tests: up to 40
+    /// transactions over up to 12 items.
+    fn arb_txns() -> impl Strategy<Value = Vec<(TxnId, Vec<BasicOp>)>> {
+        prop::collection::vec(
+            prop::collection::vec((0u64..12, prop::bool::ANY), 1..6),
+            1..40,
+        )
+        .prop_map(|txns| {
+            txns.into_iter()
+                .enumerate()
+                .map(|(i, ops)| {
+                    let ops = ops
+                        .into_iter()
+                        .map(|(it, w)| {
+                            if w {
+                                BasicOp::write(item(it))
+                            } else {
+                                BasicOp::read(item(it))
+                            }
+                        })
+                        .collect();
+                    (i as TxnId, ops)
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The rank-based 0-set equals the T-dependency graph's source set.
+        #[test]
+        fn prop_zero_set_equals_graph_sources(txns in arb_txns()) {
+            let ranks = rank_ksets(&txns);
+            let graph = TDependencyGraph::build(&txns);
+            prop_assert_eq!(ranks.zero_set(), graph.sources());
+        }
+
+        /// 0-set transactions are pairwise conflict-free (Property 1 for k=0).
+        #[test]
+        fn prop_zero_set_conflict_free(txns in arb_txns()) {
+            let ranks = rank_ksets(&txns);
+            let zs = ranks.zero_set();
+            let ops_of: HashMap<TxnId, &Vec<BasicOp>> = txns.iter().map(|(id, ops)| (*id, ops)).collect();
+            for (i, &a) in zs.iter().enumerate() {
+                for &b in &zs[i + 1..] {
+                    prop_assert!(!crate::op::transactions_conflict(ops_of[&a], ops_of[&b]),
+                        "0-set members {a} and {b} conflict");
+                }
+            }
+        }
+
+        /// The GPU five-step implementation always matches the host reference.
+        #[test]
+        fn prop_gpu_matches_host(txns in arb_txns()) {
+            let mut gpu = Gpu::c1060();
+            let host = rank_ksets(&txns);
+            let dev = gpu_rank_ksets(&mut gpu, &txns);
+            prop_assert_eq!(host.depth_of, dev.depth_of);
+            prop_assert_eq!(host.item_ranks, dev.item_ranks);
+        }
+
+        /// Iteratively extracting and removing the incremental 0-set consumes
+        /// every transaction, and each extracted wave is conflict-free.
+        #[test]
+        fn prop_incremental_waves_partition_all_txns(txns in arb_txns()) {
+            let mut inc = IncrementalKSet::new(&txns);
+            let total = txns.len();
+            let mut seen = 0usize;
+            let mut rounds = 0;
+            while !inc.is_empty() {
+                let wave = inc.zero_set();
+                prop_assert!(!wave.is_empty(), "non-empty pool must have a source");
+                seen += wave.len();
+                inc.remove(&wave);
+                rounds += 1;
+                prop_assert!(rounds <= total, "must terminate");
+            }
+            prop_assert_eq!(seen, total);
+        }
+
+        /// The per-item ranks are monotone along each item's access sequence.
+        #[test]
+        fn prop_item_ranks_monotone(txns in arb_txns()) {
+            let ranks = rank_ksets(&txns);
+            let mut per_item: HashMap<u64, Vec<(TxnId, u32)>> = HashMap::new();
+            for (&(id, it), &r) in &ranks.item_ranks {
+                per_item.entry(it).or_default().push((id, r));
+            }
+            for (_, mut seq) in per_item {
+                seq.sort_unstable();
+                for w in seq.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].1, "ranks must not decrease along the timestamp order");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # gputx-txn — transaction model, T-dependency graph and k-set computation
+//!
+//! This crate implements the transaction-level concepts of the GPUTx paper:
+//!
+//! * [`op`] — *basic operations* (a read or a write on one data item) and the
+//!   conflict relation between them (§4.1).
+//! * [`signature`] — transaction signatures `<id, type, parameter values>`;
+//!   the transaction id doubles as its submission timestamp (§3.2).
+//! * [`procedure`] — registered transaction types (stored procedures), the
+//!   combined "switch clause" dispatcher, the execution context that records
+//!   traces and undo information, and transaction outcomes.
+//! * [`pool`] — the transaction pool that buffers submitted signatures until a
+//!   bulk is generated (§3.2).
+//! * [`tdg`] — the T-dependency graph: construction (Appendix B), depths,
+//!   k-sets and its two structural properties (§4.1).
+//! * [`kset`] — the data-oriented rank algorithm of §4.2 that computes k-sets
+//!   without materializing the graph, its GPU-primitive implementation
+//!   (the five steps), and the incremental 0-set extraction used by the K-SET
+//!   execution strategy (§5.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kset;
+pub mod op;
+pub mod pool;
+pub mod procedure;
+pub mod signature;
+pub mod tdg;
+
+pub use kset::{IncrementalKSet, KSetResult};
+pub use op::{BasicOp, OpKind};
+pub use pool::TransactionPool;
+pub use procedure::{ProcedureDef, ProcedureRegistry, TxnCtx, TxnOutcome};
+pub use signature::{TxnId, TxnSignature, TxnTypeId};
+pub use tdg::TDependencyGraph;

@@ -1,0 +1,139 @@
+//! Basic operations and the conflict relation.
+//!
+//! A basic operation is a read or a write on a data item (§4.1). Two basic
+//! operations *conflict* when they target the same data item and at least one
+//! of them is a write. Two transactions conflict when they contain conflicting
+//! basic operations.
+
+use gputx_storage::DataItemId;
+use serde::{Deserialize, Serialize};
+
+/// Whether a basic operation reads or writes its data item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read access.
+    Read,
+    /// Write access.
+    Write,
+}
+
+impl OpKind {
+    /// The stronger of two access kinds (write dominates read).
+    pub fn strongest(self, other: OpKind) -> OpKind {
+        if self == OpKind::Write || other == OpKind::Write {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        }
+    }
+}
+
+/// A basic operation: one read or write on one data item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BasicOp {
+    /// The data item accessed.
+    pub item: DataItemId,
+    /// Read or write.
+    pub kind: OpKind,
+}
+
+impl BasicOp {
+    /// A read of `item`.
+    pub fn read(item: DataItemId) -> Self {
+        BasicOp {
+            item,
+            kind: OpKind::Read,
+        }
+    }
+
+    /// A write of `item`.
+    pub fn write(item: DataItemId) -> Self {
+        BasicOp {
+            item,
+            kind: OpKind::Write,
+        }
+    }
+
+    /// Two basic operations conflict when they target the same data item and
+    /// at least one is a write (§4.1).
+    pub fn conflicts_with(&self, other: &BasicOp) -> bool {
+        self.item == other.item && (self.kind == OpKind::Write || other.kind == OpKind::Write)
+    }
+}
+
+/// Whether two transactions' operation sets conflict.
+pub fn transactions_conflict(a: &[BasicOp], b: &[BasicOp]) -> bool {
+    a.iter().any(|oa| b.iter().any(|ob| oa.conflicts_with(ob)))
+}
+
+/// Deduplicate a transaction's operations per data item, keeping the strongest
+/// access kind (a transaction that reads and later writes `x` is treated as a
+/// writer of `x`, as in the paper's Figure 1 example).
+pub fn dedup_strongest(ops: &[BasicOp]) -> Vec<BasicOp> {
+    let mut merged: Vec<BasicOp> = Vec::with_capacity(ops.len());
+    for op in ops {
+        if let Some(existing) = merged.iter_mut().find(|o| o.item == op.item) {
+            existing.kind = existing.kind.strongest(op.kind);
+        } else {
+            merged.push(*op);
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(row: u64) -> DataItemId {
+        DataItemId::new(0, row, 0)
+    }
+
+    #[test]
+    fn conflict_requires_same_item_and_a_write() {
+        let r1 = BasicOp::read(item(1));
+        let w1 = BasicOp::write(item(1));
+        let r2 = BasicOp::read(item(2));
+        let w2 = BasicOp::write(item(2));
+        assert!(!r1.conflicts_with(&r1), "read-read never conflicts");
+        assert!(r1.conflicts_with(&w1));
+        assert!(w1.conflicts_with(&r1));
+        assert!(w1.conflicts_with(&w1));
+        assert!(!r1.conflicts_with(&w2), "different items never conflict");
+        assert!(!w1.conflicts_with(&r2));
+    }
+
+    #[test]
+    fn transaction_conflict_any_pair() {
+        let t1 = vec![BasicOp::read(item(1)), BasicOp::write(item(2))];
+        let t2 = vec![BasicOp::read(item(2))];
+        let t3 = vec![BasicOp::read(item(1)), BasicOp::read(item(2))];
+        assert!(transactions_conflict(&t1, &t2));
+        assert!(!transactions_conflict(&t2, &t3));
+        assert!(transactions_conflict(&t1, &t3));
+    }
+
+    #[test]
+    fn strongest_kind() {
+        assert_eq!(OpKind::Read.strongest(OpKind::Read), OpKind::Read);
+        assert_eq!(OpKind::Read.strongest(OpKind::Write), OpKind::Write);
+        assert_eq!(OpKind::Write.strongest(OpKind::Read), OpKind::Write);
+    }
+
+    #[test]
+    fn dedup_keeps_strongest_per_item() {
+        // T1 of Figure 1: Ra Rb Wa Wb collapses to {Wa, Wb}.
+        let ops = vec![
+            BasicOp::read(item(0)),
+            BasicOp::read(item(1)),
+            BasicOp::write(item(0)),
+            BasicOp::write(item(1)),
+        ];
+        let merged = dedup_strongest(&ops);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.iter().all(|o| o.kind == OpKind::Write));
+        // Read-only accesses stay reads.
+        let merged2 = dedup_strongest(&[BasicOp::read(item(5)), BasicOp::read(item(5))]);
+        assert_eq!(merged2, vec![BasicOp::read(item(5))]);
+    }
+}

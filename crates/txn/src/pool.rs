@@ -1,0 +1,111 @@
+//! The transaction pool.
+//!
+//! Submitted transactions are buffered in the pool until the engine picks a
+//! set of them as a bulk (§3.2). The pool assigns the unique, auto-increment
+//! transaction id that doubles as the submission timestamp.
+
+use crate::signature::{TxnId, TxnSignature, TxnTypeId};
+use gputx_storage::Value;
+use std::collections::VecDeque;
+
+/// FIFO pool of submitted transaction signatures.
+#[derive(Debug, Clone, Default)]
+pub struct TransactionPool {
+    next_id: TxnId,
+    pending: VecDeque<TxnSignature>,
+}
+
+impl TransactionPool {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submit a transaction of the given type with parameters. Returns the
+    /// assigned id (timestamp).
+    pub fn submit(&mut self, ty: TxnTypeId, params: Vec<Value>) -> TxnId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push_back(TxnSignature::new(id, ty, params));
+        id
+    }
+
+    /// Submit a pre-built signature batch in order (ids are re-assigned so the
+    /// pool's timestamps stay monotone).
+    pub fn submit_all(&mut self, batch: impl IntoIterator<Item = (TxnTypeId, Vec<Value>)>) {
+        for (ty, params) in batch {
+            self.submit(ty, params);
+        }
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no transactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Remove and return up to `max` transactions in submission order — the
+    /// engine's periodic "pick a set of transactions from the pool" step.
+    pub fn drain(&mut self, max: usize) -> Vec<TxnSignature> {
+        let n = max.min(self.pending.len());
+        self.pending.drain(..n).collect()
+    }
+
+    /// Remove and return every pending transaction.
+    pub fn drain_all(&mut self) -> Vec<TxnSignature> {
+        self.pending.drain(..).collect()
+    }
+
+    /// Peek at the pending transactions without removing them.
+    pub fn peek(&self) -> impl Iterator<Item = &TxnSignature> {
+        self.pending.iter()
+    }
+
+    /// The id that will be assigned to the next submission.
+    pub fn next_id(&self) -> TxnId {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotone_timestamps() {
+        let mut pool = TransactionPool::new();
+        let a = pool.submit(0, vec![]);
+        let b = pool.submit(1, vec![Value::Int(1)]);
+        let c = pool.submit(0, vec![]);
+        assert!(a < b && b < c);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.next_id(), 3);
+    }
+
+    #[test]
+    fn drain_preserves_submission_order() {
+        let mut pool = TransactionPool::new();
+        pool.submit_all((0..5).map(|i| (0, vec![Value::Int(i)])));
+        let first = pool.drain(2);
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].params[0], Value::Int(0));
+        assert_eq!(first[1].params[0], Value::Int(1));
+        let rest = pool.drain_all();
+        assert_eq!(rest.len(), 3);
+        assert!(pool.is_empty());
+        // Draining more than available returns what exists.
+        assert!(pool.drain(10).is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut pool = TransactionPool::new();
+        pool.submit(0, vec![]);
+        assert_eq!(pool.peek().count(), 1);
+        assert_eq!(pool.len(), 1);
+    }
+}

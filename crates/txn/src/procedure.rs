@@ -1,0 +1,510 @@
+//! Registered transaction types (stored procedures) and their execution.
+//!
+//! GPUTx only supports pre-defined transaction types; every type is registered
+//! as a stored procedure and the registered procedures are combined into a
+//! single kernel with a `switch` clause over the type id (§3.2). In this
+//! reproduction a procedure is an ordinary Rust closure executed against the
+//! in-memory database through a [`TxnCtx`], which:
+//!
+//! * performs the reads/writes/inserts/deletes,
+//! * records the per-thread [`ThreadTrace`] fed to the GPU cost model,
+//! * records undo information so aborted transactions roll back, and
+//! * reports the outcome.
+//!
+//! A procedure also declares its *read/write set* (the basic operations it
+//! will perform given its parameters) and its partitioning key. The paper
+//! derives this information from primary-key accesses, tree-shaped schemas and
+//! DBA annotations (Appendix B and E); here each workload provides it
+//! explicitly as a function of the parameters.
+
+use crate::op::BasicOp;
+use crate::signature::{TxnSignature, TxnTypeId};
+use gputx_sim::ThreadTrace;
+use gputx_storage::catalog::TableId;
+use gputx_storage::index::IndexKey;
+use gputx_storage::{Database, RowId, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Outcome of executing one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// The transaction committed.
+    Committed,
+    /// The transaction aborted (user abort or failed lookup); all its writes
+    /// were rolled back.
+    Aborted(String),
+}
+
+impl TxnOutcome {
+    /// True when the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed)
+    }
+}
+
+/// Undo-log record for one change made by a transaction.
+#[derive(Debug, Clone, PartialEq)]
+enum UndoRecord {
+    /// A field update: restore the old value.
+    Update {
+        table: TableId,
+        row: RowId,
+        col: usize,
+        old: Value,
+    },
+    /// A delete: clear the deleted flag again.
+    Delete { table: TableId, row: RowId },
+    /// A buffered insert: drop the last `count` rows from the table's insert
+    /// buffer.
+    BufferedInsert { table: TableId, count: usize },
+}
+
+/// Execution context handed to a stored procedure.
+///
+/// All data access goes through this context so that the engine can observe
+/// (a) the memory traffic for the GPU cost model and (b) the undo information
+/// for rollback.
+pub struct TxnCtx<'a> {
+    db: &'a mut Database,
+    params: &'a [Value],
+    txn_id: u64,
+    trace: ThreadTrace,
+    undo: Vec<UndoRecord>,
+    aborted: Option<String>,
+    /// Extra compute cycles charged per `sinf`-style math call (micro benchmark).
+    compute_per_call: u64,
+}
+
+/// Cycles charged for one transcendental math call (`sinf` in the paper's
+/// micro benchmark).
+pub const SINF_CYCLES: u64 = 16;
+
+impl<'a> TxnCtx<'a> {
+    /// Create a context for one transaction execution. `txn_id` is the
+    /// transaction's id/timestamp (used to tag buffered inserts so batched
+    /// updates apply in timestamp order).
+    pub fn new(db: &'a mut Database, params: &'a [Value], path: u32, txn_id: u64) -> Self {
+        TxnCtx {
+            db,
+            params,
+            txn_id,
+            trace: ThreadTrace::new(path),
+            undo: Vec::new(),
+            aborted: None,
+            compute_per_call: SINF_CYCLES,
+        }
+    }
+
+    /// The executing transaction's id (timestamp).
+    pub fn txn_id(&self) -> u64 {
+        self.txn_id
+    }
+
+    /// The transaction's parameters.
+    pub fn params(&self) -> &[Value] {
+        self.params
+    }
+
+    /// Parameter `i` as an integer.
+    pub fn param_int(&self, i: usize) -> i64 {
+        self.params[i].as_int()
+    }
+
+    /// Parameter `i` as a double.
+    pub fn param_double(&self, i: usize) -> f64 {
+        self.params[i].as_double()
+    }
+
+    /// Parameter `i` as a string.
+    pub fn param_str(&self, i: usize) -> &str {
+        self.params[i].as_str()
+    }
+
+    /// Bytes a single field access moves through global memory. With the
+    /// column layout neighbouring threads read adjacent 8-byte fields
+    /// (coalesced); with the row layout each access drags the whole row in
+    /// (Appendix F.2's locality argument).
+    fn field_bytes(&self, table: TableId) -> u64 {
+        match self.db.layout() {
+            gputx_storage::StorageLayout::Column => 8,
+            gputx_storage::StorageLayout::Row => {
+                self.db.table(table).schema().row_width_bytes()
+            }
+        }
+    }
+
+    /// Read one field.
+    pub fn read(&mut self, table: TableId, row: RowId, col: usize) -> Value {
+        let bytes = self.field_bytes(table);
+        self.trace.read(bytes);
+        self.db.table(table).get(row, col)
+    }
+
+    /// Write one field (undo-logged).
+    pub fn write(&mut self, table: TableId, row: RowId, col: usize, value: Value) {
+        let old = self.db.table(table).get(row, col);
+        self.undo.push(UndoRecord::Update {
+            table,
+            row,
+            col,
+            old,
+        });
+        let bytes = self.field_bytes(table);
+        self.trace.write(bytes);
+        self.db.table_mut(table).set(row, col, &value);
+    }
+
+    /// Look up a row through a unique index (charges an index probe).
+    pub fn lookup_unique(&mut self, table: TableId, index: &str, key: &IndexKey) -> Option<RowId> {
+        // Hash probe: bucket header + entry.
+        self.trace.read(8);
+        self.trace.read(16);
+        self.db.lookup_unique(table, index, key)
+    }
+
+    /// Look up all rows matching a key through an index.
+    pub fn lookup(&mut self, table: TableId, index: &str, key: &IndexKey) -> Vec<RowId> {
+        self.trace.read(8);
+        let rows = self.db.lookup(table, index, key);
+        self.trace.read(16 * rows.len().max(1) as u64);
+        rows
+    }
+
+    /// Insert a row through the table's insert buffer (§3.2): the row becomes
+    /// visible when the engine applies the buffers after the bulk.
+    pub fn insert(&mut self, table: TableId, row: Vec<Value>) {
+        self.trace.write(self.db.table(table).schema().row_width_bytes());
+        let tag = self.txn_id;
+        self.db.table_mut(table).buffered_insert(tag, row);
+        self.undo.push(UndoRecord::BufferedInsert { table, count: 1 });
+    }
+
+    /// Delete a row (undo-logged).
+    pub fn delete(&mut self, table: TableId, row: RowId) {
+        self.trace.write(1);
+        self.db.table_mut(table).delete(row);
+        self.undo.push(UndoRecord::Delete { table, row });
+    }
+
+    /// Charge `calls` transcendental math calls of compute (the micro
+    /// benchmark's `sinf(100·x)` loop).
+    pub fn compute_calls(&mut self, calls: u64) {
+        self.trace.compute(calls * self.compute_per_call);
+    }
+
+    /// Charge raw compute cycles.
+    pub fn compute_cycles(&mut self, cycles: u64) {
+        self.trace.compute(cycles);
+    }
+
+    /// Abort the transaction; all changes made so far are rolled back after
+    /// the procedure returns.
+    pub fn abort(&mut self, reason: impl Into<String>) {
+        if self.aborted.is_none() {
+            self.aborted = Some(reason.into());
+        }
+    }
+
+    /// Whether `abort` has been called.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.is_some()
+    }
+
+    /// Direct access to the database for read-only helpers (e.g. row counts).
+    pub fn db(&self) -> &Database {
+        self.db
+    }
+
+    fn rollback(&mut self) {
+        // Undo in reverse order.
+        while let Some(rec) = self.undo.pop() {
+            match rec {
+                UndoRecord::Update {
+                    table,
+                    row,
+                    col,
+                    old,
+                } => self.db.table_mut(table).set(row, col, &old),
+                UndoRecord::Delete { table, row } => self.db.table_mut(table).undelete(row),
+                UndoRecord::BufferedInsert { table, count } => {
+                    // The buffered rows of this transaction are the most recent
+                    // `count` entries of the table's insert buffer.
+                    for _ in 0..count {
+                        self.db
+                            .table_mut(table)
+                            .pop_last_buffered_insert()
+                            .expect("undo of buffered insert with empty buffer");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finish the execution: roll back if aborted, and return the trace,
+    /// outcome and number of undo records written.
+    fn finish(mut self) -> (ThreadTrace, TxnOutcome, usize) {
+        let undo_records = self.undo.len();
+        match self.aborted.take() {
+            Some(reason) => {
+                self.rollback();
+                (self.trace, TxnOutcome::Aborted(reason), undo_records)
+            }
+            None => (self.trace, TxnOutcome::Committed, undo_records),
+        }
+    }
+}
+
+/// A registered transaction type.
+#[derive(Clone)]
+pub struct ProcedureDef {
+    /// Name of the stored procedure.
+    pub name: String,
+    /// Whether the procedure is *two-phase* in the H-Store sense (all reads
+    /// and the abort decision happen before any write), which lets the engine
+    /// skip undo logging for it (Appendix D, "Logging").
+    pub two_phase: bool,
+    /// Declared read/write set for a given parameter list. Evaluated against
+    /// the current database (index lookups resolve row ids).
+    pub read_write_set: Arc<dyn Fn(&[Value], &Database) -> Vec<BasicOp> + Send + Sync>,
+    /// Partitioning key for a given parameter list; `None` marks a
+    /// cross-partition transaction.
+    pub partition_key: Arc<dyn Fn(&[Value]) -> Option<u64> + Send + Sync>,
+    /// The procedure body.
+    pub execute: Arc<dyn Fn(&mut TxnCtx<'_>) + Send + Sync>,
+}
+
+impl fmt::Debug for ProcedureDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcedureDef")
+            .field("name", &self.name)
+            .field("two_phase", &self.two_phase)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProcedureDef {
+    /// Create a procedure definition.
+    pub fn new(
+        name: impl Into<String>,
+        read_write_set: impl Fn(&[Value], &Database) -> Vec<BasicOp> + Send + Sync + 'static,
+        partition_key: impl Fn(&[Value]) -> Option<u64> + Send + Sync + 'static,
+        execute: impl Fn(&mut TxnCtx<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        ProcedureDef {
+            name: name.into(),
+            two_phase: true,
+            read_write_set: Arc::new(read_write_set),
+            partition_key: Arc::new(partition_key),
+            execute: Arc::new(execute),
+        }
+    }
+
+    /// Mark the procedure as not two-phase (it may abort after writing), which
+    /// forces undo logging for conflicting types.
+    pub fn not_two_phase(mut self) -> Self {
+        self.two_phase = false;
+        self
+    }
+}
+
+/// The registry of transaction types: the paper's combined kernel with a
+/// `switch` clause over the type id.
+#[derive(Debug, Clone, Default)]
+pub struct ProcedureRegistry {
+    procedures: Vec<ProcedureDef>,
+}
+
+impl ProcedureRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a transaction type ("add the stored procedure into the switch
+    /// clause and recompile the kernel"). Returns its type id.
+    pub fn register(&mut self, def: ProcedureDef) -> TxnTypeId {
+        self.procedures.push(def);
+        (self.procedures.len() - 1) as TxnTypeId
+    }
+
+    /// Number of registered types (`T`, the number of branches in the switch).
+    pub fn num_types(&self) -> usize {
+        self.procedures.len()
+    }
+
+    /// The definition of a type.
+    pub fn get(&self, ty: TxnTypeId) -> &ProcedureDef {
+        &self.procedures[ty as usize]
+    }
+
+    /// Declared read/write set of a signature against the current database.
+    pub fn read_write_set(&self, sig: &TxnSignature, db: &Database) -> Vec<BasicOp> {
+        (self.get(sig.ty).read_write_set)(&sig.params, db)
+    }
+
+    /// Partitioning key of a signature.
+    pub fn partition_key(&self, sig: &TxnSignature) -> Option<u64> {
+        (self.get(sig.ty).partition_key)(&sig.params)
+    }
+
+    /// Execute one transaction: the "switch clause" dispatch. Returns the
+    /// thread trace (for the cost model), the outcome, and the number of undo
+    /// records the transaction wrote before committing/aborting.
+    pub fn execute(&self, sig: &TxnSignature, db: &mut Database) -> (ThreadTrace, TxnOutcome, usize) {
+        let def = self.get(sig.ty);
+        let mut ctx = TxnCtx::new(db, &sig.params, sig.ty, sig.id);
+        (def.execute)(&mut ctx);
+        ctx.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputx_storage::schema::{ColumnDef, TableSchema};
+    use gputx_storage::{DataType, StorageLayout, Table};
+
+    fn test_db() -> (Database, TableId) {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("balance", DataType::Double),
+            ],
+            vec![0],
+        ));
+        db.create_index(t, "pk", vec![0], true);
+        for i in 0..4i64 {
+            db.insert_indexed(t, vec![Value::Int(i), Value::Double(100.0)]);
+        }
+        (db, t)
+    }
+
+    fn transfer_proc(table: TableId) -> ProcedureDef {
+        ProcedureDef::new(
+            "transfer",
+            move |params, _db| {
+                let from = params[0].as_int() as u64;
+                let to = params[1].as_int() as u64;
+                vec![
+                    BasicOp::write(gputx_storage::DataItemId::new(table, from, 1)),
+                    BasicOp::write(gputx_storage::DataItemId::new(table, to, 1)),
+                ]
+            },
+            |params| Some(params[0].as_int() as u64),
+            move |ctx| {
+                let from = ctx.param_int(0) as RowId;
+                let to = ctx.param_int(1) as RowId;
+                let amount = ctx.param_double(2);
+                let from_bal = ctx.read(table, from, 1).as_double();
+                if from_bal < amount {
+                    ctx.abort("insufficient funds");
+                    return;
+                }
+                let to_bal = ctx.read(table, to, 1).as_double();
+                ctx.write(table, from, 1, Value::Double(from_bal - amount));
+                ctx.write(table, to, 1, Value::Double(to_bal + amount));
+            },
+        )
+    }
+
+    #[test]
+    fn committed_transaction_applies_writes_and_traces() {
+        let (mut db, t) = test_db();
+        let mut reg = ProcedureRegistry::new();
+        let ty = reg.register(transfer_proc(t));
+        let sig = TxnSignature::new(0, ty, vec![Value::Int(0), Value::Int(1), Value::Double(25.0)]);
+        let (trace, outcome, undo) = reg.execute(&sig, &mut db);
+        assert_eq!(outcome, TxnOutcome::Committed);
+        assert_eq!(db.table(t).get(0, 1), Value::Double(75.0));
+        assert_eq!(db.table(t).get(1, 1), Value::Double(125.0));
+        assert_eq!(trace.global_reads, 2);
+        assert_eq!(trace.global_writes, 2);
+        assert_eq!(undo, 2);
+        assert_eq!(trace.path, ty);
+    }
+
+    #[test]
+    fn aborted_transaction_rolls_back() {
+        let (mut db, t) = test_db();
+        let before = db.clone();
+        let mut reg = ProcedureRegistry::new();
+        let ty = reg.register(transfer_proc(t));
+        // Asking to move more money than row 0 has triggers an abort before
+        // any write, so the database must be unchanged.
+        let sig = TxnSignature::new(0, ty, vec![Value::Int(0), Value::Int(1), Value::Double(1e9)]);
+        let (_, outcome, _) = reg.execute(&sig, &mut db);
+        assert!(matches!(outcome, TxnOutcome::Aborted(_)));
+        assert!(db == before, "abort before any write must leave the database unchanged");
+    }
+
+    #[test]
+    fn abort_after_write_restores_old_values() {
+        let (mut db, t) = test_db();
+        let before = db.clone();
+        let mut reg = ProcedureRegistry::new();
+        let ty = reg.register(
+            ProcedureDef::new(
+                "write_then_abort",
+                move |_p, _d| vec![BasicOp::write(gputx_storage::DataItemId::new(t, 0, 1))],
+                |_p| Some(0),
+                move |ctx| {
+                    ctx.write(t, 0, 1, Value::Double(-1.0));
+                    ctx.delete(t, 2);
+                    ctx.insert(t, vec![Value::Int(99), Value::Double(1.0)]);
+                    ctx.abort("changed my mind");
+                },
+            )
+            .not_two_phase(),
+        );
+        let sig = TxnSignature::new(0, ty, vec![]);
+        let (_, outcome, _) = reg.execute(&sig, &mut db);
+        assert!(matches!(outcome, TxnOutcome::Aborted(_)));
+        assert!(db == before, "rollback must restore the database exactly");
+        assert_eq!(db.table(t).pending_inserts(), 0);
+        assert!(!db.table(t).is_deleted(2));
+    }
+
+    #[test]
+    fn registry_dispatch_uses_type_ids() {
+        let (mut db, t) = test_db();
+        let mut reg = ProcedureRegistry::new();
+        let noop = ProcedureDef::new(
+            "noop",
+            |_p, _d| vec![],
+            |_p| None,
+            |ctx| ctx.compute_calls(1),
+        );
+        let ty0 = reg.register(noop.clone());
+        let ty1 = reg.register(transfer_proc(t));
+        assert_eq!(reg.num_types(), 2);
+        assert_eq!(reg.get(ty0).name, "noop");
+        assert_eq!(reg.get(ty1).name, "transfer");
+        let sig = TxnSignature::new(5, ty0, vec![]);
+        let (trace, outcome, _) = reg.execute(&sig, &mut db);
+        assert!(outcome.is_committed());
+        assert_eq!(trace.compute_cycles, SINF_CYCLES);
+        assert_eq!(reg.partition_key(&sig), None);
+        assert!(reg.read_write_set(&sig, &db).is_empty());
+    }
+
+    #[test]
+    fn lookup_helpers_charge_trace_reads() {
+        let (mut db, t) = test_db();
+        let params = vec![Value::Int(2)];
+        let mut ctx = TxnCtx::new(&mut db, &params, 0, 9);
+        assert_eq!(ctx.txn_id(), 9);
+        let row = ctx
+            .lookup_unique(t, "pk", &IndexKey::single(2i64))
+            .expect("row exists");
+        assert_eq!(row, 2);
+        assert!(ctx.trace.global_reads >= 2);
+        assert_eq!(ctx.param_int(0), 2);
+    }
+
+    // Unused import guard: Table/StorageLayout are exercised indirectly.
+    #[allow(dead_code)]
+    fn _silence(_: StorageLayout, _: &Table) {}
+}

@@ -1,0 +1,51 @@
+//! Transaction signatures.
+//!
+//! A submitted transaction is represented by its *signature*
+//! `<id, type, parameter value list>` (§3.2). The id is unique and
+//! auto-incremented, and GPUTx uses it as the submission timestamp.
+
+use gputx_storage::Value;
+use serde::{Deserialize, Serialize};
+
+/// Unique, auto-incremented transaction identifier; doubles as the timestamp.
+pub type TxnId = u64;
+
+/// Identifier of a registered transaction type (stored procedure).
+pub type TxnTypeId = u32;
+
+/// The signature of one submitted transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnSignature {
+    /// Unique id; also the submission timestamp.
+    pub id: TxnId,
+    /// Transaction type (which stored procedure to run).
+    pub ty: TxnTypeId,
+    /// Parameter values passed to the stored procedure.
+    pub params: Vec<Value>,
+}
+
+impl TxnSignature {
+    /// Create a signature.
+    pub fn new(id: TxnId, ty: TxnTypeId, params: Vec<Value>) -> Self {
+        TxnSignature { id, ty, params }
+    }
+
+    /// Approximate wire size of the signature in bytes (id + type + params),
+    /// used to account for the host→device transfer of bulk inputs.
+    pub fn wire_bytes(&self) -> u64 {
+        8 + 4 + self.params.iter().map(|p| p.storage_bytes()).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_counts_params() {
+        let s = TxnSignature::new(1, 0, vec![Value::Int(5), Value::Double(1.0)]);
+        assert_eq!(s.wire_bytes(), 8 + 4 + 16);
+        let t = TxnSignature::new(2, 1, vec![Value::Str("abcd".into())]);
+        assert_eq!(t.wire_bytes(), 8 + 4 + 12);
+    }
+}

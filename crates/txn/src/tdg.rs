@@ -1,0 +1,401 @@
+//! The T-dependency graph (§4.1, Appendix B).
+//!
+//! A T-dependency graph is a DAG whose vertices are transactions and whose
+//! edges capture data dependencies restricted by submission timestamps:
+//! `t1 → t2` is added if and only if
+//!
+//! 1. `t1` and `t2` are conflicting transactions,
+//! 2. `t1` has a smaller timestamp than `t2`, and
+//! 3. there is no transaction `t` with a timestamp between them that conflicts
+//!    with both.
+//!
+//! The graph exposes the parallelism inside a bulk: the *sources* (vertices
+//! without predecessors) can run concurrently without concurrency control; the
+//! *depth* of the graph is the length of the critical path of the bulk; the
+//! *k-set* is the set of vertices at depth `k`.
+//!
+//! Construction follows the data-oriented algorithm of Appendix B: per data
+//! item we keep the ordered list of transactions accessing it, and a new
+//! transaction only needs to inspect the tails of the lists of the items it
+//! touches.
+
+use crate::op::{dedup_strongest, transactions_conflict, BasicOp, OpKind};
+use crate::signature::TxnId;
+use std::collections::HashMap;
+
+/// The T-dependency graph over one set of transactions.
+#[derive(Debug, Clone, Default)]
+pub struct TDependencyGraph {
+    /// Transaction ids in increasing timestamp order.
+    txns: Vec<TxnId>,
+    /// Deduplicated operations per transaction (index-aligned with `txns`).
+    ops: Vec<Vec<BasicOp>>,
+    /// Successor lists (indices into `txns`).
+    succs: Vec<Vec<usize>>,
+    /// Predecessor lists (indices into `txns`).
+    preds: Vec<Vec<usize>>,
+    /// Depth of each vertex.
+    depths: Vec<u32>,
+    /// Map from transaction id to vertex index.
+    index_of: HashMap<TxnId, usize>,
+    /// Per data item: ordered list of (vertex index, strongest access kind).
+    item_lists: HashMap<u64, Vec<(usize, OpKind)>>,
+}
+
+impl TDependencyGraph {
+    /// Build a graph from transactions given as `(id, basic operations)`.
+    ///
+    /// Transactions may be passed in any order; they are inserted in
+    /// increasing timestamp (id) order as the incremental construction of
+    /// Appendix B requires.
+    pub fn build(transactions: &[(TxnId, Vec<BasicOp>)]) -> Self {
+        let mut sorted: Vec<&(TxnId, Vec<BasicOp>)> = transactions.iter().collect();
+        sorted.sort_by_key(|(id, _)| *id);
+        let mut graph = TDependencyGraph::default();
+        for (id, ops) in sorted {
+            graph.add_transaction(*id, ops);
+        }
+        graph
+    }
+
+    /// Add one transaction (must have a larger timestamp than every
+    /// transaction already in the graph).
+    pub fn add_transaction(&mut self, id: TxnId, ops: &[BasicOp]) {
+        if let Some(&last) = self.txns.last() {
+            assert!(
+                id > last,
+                "transactions must be added in increasing timestamp order ({id} after {last})"
+            );
+        }
+        let n = self.txns.len();
+        let merged = dedup_strongest(ops);
+        self.txns.push(id);
+        self.index_of.insert(id, n);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+
+        let mut new_preds: Vec<usize> = Vec::new();
+        for op in &merged {
+            let list = self.item_lists.entry(op.item.as_u64()).or_default();
+            if list.is_empty() {
+                list.push((n, op.kind));
+                continue;
+            }
+            match op.kind {
+                OpKind::Write => {
+                    // Scan from the tail until the last writer; every reader
+                    // after it (and the writer itself if it is the tail) is an
+                    // immediate predecessor.
+                    let mut found_writer = false;
+                    let mut readers_after_writer = Vec::new();
+                    for &(v, kind) in list.iter().rev() {
+                        if kind == OpKind::Write {
+                            if readers_after_writer.is_empty() {
+                                new_preds.push(v);
+                            }
+                            found_writer = true;
+                            break;
+                        } else {
+                            readers_after_writer.push(v);
+                        }
+                    }
+                    if !found_writer && !readers_after_writer.is_empty() {
+                        // Only reads so far: all of them precede this writer.
+                    }
+                    new_preds.extend(readers_after_writer);
+                }
+                OpKind::Read => {
+                    // A read depends on the most recent writer, wherever it is.
+                    if let Some(&(v, _)) = list.iter().rev().find(|(_, k)| *k == OpKind::Write) {
+                        new_preds.push(v);
+                    }
+                }
+            }
+            list.push((n, op.kind));
+        }
+        new_preds.sort_unstable();
+        new_preds.dedup();
+        let mut depth = 0;
+        for &p in &new_preds {
+            self.succs[p].push(n);
+            depth = depth.max(self.depths[p] + 1);
+        }
+        self.preds.push(new_preds);
+        // `preds` was pushed twice (placeholder + real): fix up.
+        let real = self.preds.pop().expect("just pushed");
+        self.preds[n] = real;
+        self.depths.push(depth);
+        self.ops.push(merged);
+    }
+
+    /// Number of transactions (vertices).
+    pub fn num_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.succs.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the edge `a → b` exists.
+    pub fn has_edge(&self, a: TxnId, b: TxnId) -> bool {
+        match (self.index_of.get(&a), self.index_of.get(&b)) {
+            (Some(&ia), Some(&ib)) => self.succs[ia].contains(&ib),
+            _ => false,
+        }
+    }
+
+    /// Depth of a transaction (length of the longest path from a source).
+    pub fn depth_of(&self, id: TxnId) -> Option<u32> {
+        self.index_of.get(&id).map(|&i| self.depths[i])
+    }
+
+    /// Depth of the graph: the maximum vertex depth (0 for an empty graph).
+    pub fn depth(&self) -> u32 {
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The transactions at depth `k` (the paper's k-set), in timestamp order.
+    pub fn k_set(&self, k: u32) -> Vec<TxnId> {
+        self.txns
+            .iter()
+            .zip(&self.depths)
+            .filter(|(_, &d)| d == k)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// All k-sets, indexed by depth.
+    pub fn k_sets(&self) -> Vec<Vec<TxnId>> {
+        let mut sets = vec![Vec::new(); self.depth() as usize + 1];
+        if self.txns.is_empty() {
+            return Vec::new();
+        }
+        for (i, &id) in self.txns.iter().enumerate() {
+            sets[self.depths[i] as usize].push(id);
+        }
+        sets
+    }
+
+    /// The sources (0-set): transactions without preceding conflicting
+    /// transactions.
+    pub fn sources(&self) -> Vec<TxnId> {
+        self.k_set(0)
+    }
+
+    /// Number of transactions with more than one predecessor — the paper uses
+    /// this as its indicator `c` of cross-partition transactions (Appendix D).
+    pub fn multi_pred_count(&self) -> usize {
+        self.preds.iter().filter(|p| p.len() > 1).count()
+    }
+
+    /// Check Property 1: transactions within the same k-set are pairwise
+    /// conflict-free. Returns the first violating pair, if any. Quadratic in
+    /// the k-set size — intended for tests.
+    pub fn check_property1(&self) -> Option<(TxnId, TxnId)> {
+        for set in self.k_sets() {
+            for (i, &a) in set.iter().enumerate() {
+                for &b in &set[i + 1..] {
+                    let ia = self.index_of[&a];
+                    let ib = self.index_of[&b];
+                    if transactions_conflict(&self.ops[ia], &self.ops[ib]) {
+                        return Some((a, b));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Check Property 2: every transaction at depth `k ≥ 1` conflicts with at
+    /// least one transaction at depth `k − 1`. Returns the first violator.
+    pub fn check_property2(&self) -> Option<TxnId> {
+        for (i, &id) in self.txns.iter().enumerate() {
+            let d = self.depths[i];
+            if d == 0 {
+                continue;
+            }
+            let has_conflicting_parent = (0..self.txns.len()).any(|j| {
+                self.depths[j] == d - 1 && transactions_conflict(&self.ops[i], &self.ops[j])
+            });
+            if !has_conflicting_parent {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Verify the graph is acyclic (edges only go from smaller to larger
+    /// timestamps by construction, so this should always hold).
+    pub fn is_dag(&self) -> bool {
+        self.succs
+            .iter()
+            .enumerate()
+            .all(|(i, succs)| succs.iter().all(|&j| j > i))
+    }
+
+    /// Transaction ids in timestamp order.
+    pub fn txn_ids(&self) -> &[TxnId] {
+        &self.txns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputx_storage::DataItemId;
+
+    fn item(name: u64) -> DataItemId {
+        DataItemId::new(0, name, 0)
+    }
+
+    /// The four-transaction example of Figure 1.
+    fn figure1() -> Vec<(TxnId, Vec<BasicOp>)> {
+        let a = item(0);
+        let b = item(1);
+        let c = item(2);
+        vec![
+            // T1: Ra Rb Wa Wb
+            (
+                1,
+                vec![
+                    BasicOp::read(a),
+                    BasicOp::read(b),
+                    BasicOp::write(a),
+                    BasicOp::write(b),
+                ],
+            ),
+            // T2: Ra
+            (2, vec![BasicOp::read(a)]),
+            // T3: Ra Rb
+            (3, vec![BasicOp::read(a), BasicOp::read(b)]),
+            // T4: Rc Wc Ra Wa
+            (
+                4,
+                vec![
+                    BasicOp::read(c),
+                    BasicOp::write(c),
+                    BasicOp::read(a),
+                    BasicOp::write(a),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn figure1_edges_and_ksets() {
+        let g = TDependencyGraph::build(&figure1());
+        assert_eq!(g.num_txns(), 4);
+        // Edges of Figure 1(a): T1→T2, T1→T3, T2→T4, T3→T4. T1 and T4 conflict
+        // but have no edge because of condition (c).
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(2, 4));
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(1, 4));
+        assert!(!g.has_edge(2, 3));
+        // k-sets of Figure 1(b): {T1}, {T2, T3}, {T4}.
+        assert_eq!(g.k_set(0), vec![1]);
+        assert_eq!(g.k_set(1), vec![2, 3]);
+        assert_eq!(g.k_set(2), vec![4]);
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.sources(), vec![1]);
+        assert!(g.is_dag());
+        assert_eq!(g.check_property1(), None);
+        assert_eq!(g.check_property2(), None);
+    }
+
+    #[test]
+    fn independent_transactions_are_all_sources() {
+        let txns: Vec<(TxnId, Vec<BasicOp>)> = (0..10)
+            .map(|i| (i, vec![BasicOp::write(item(i))]))
+            .collect();
+        let g = TDependencyGraph::build(&txns);
+        assert_eq!(g.depth(), 0);
+        assert_eq!(g.sources().len(), 10);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.multi_pred_count(), 0);
+    }
+
+    #[test]
+    fn chain_of_writers_forms_a_path() {
+        // All transactions write the same item: a single path, depth n-1.
+        let txns: Vec<(TxnId, Vec<BasicOp>)> =
+            (0..6).map(|i| (i, vec![BasicOp::write(item(7))])).collect();
+        let g = TDependencyGraph::build(&txns);
+        assert_eq!(g.depth(), 5);
+        for k in 0..6 {
+            assert_eq!(g.k_set(k), vec![k as TxnId]);
+        }
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn readers_between_writers_depend_on_writer_only() {
+        // W(0), then two readers, then a writer: readers depend on the first
+        // writer; the final writer depends on both readers (not on the first
+        // writer, by condition (c)).
+        let txns = vec![
+            (0, vec![BasicOp::write(item(3))]),
+            (1, vec![BasicOp::read(item(3))]),
+            (2, vec![BasicOp::read(item(3))]),
+            (3, vec![BasicOp::write(item(3))]),
+        ];
+        let g = TDependencyGraph::build(&txns);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.depth(), 2);
+    }
+
+    #[test]
+    fn transitive_dependency_across_items_increases_depth() {
+        // T0 writes a; T1 reads a and writes b; T2 reads b. The graph depth of
+        // T2 is 2 even though each item only sees two transactions.
+        let a = item(0);
+        let b = item(1);
+        let txns = vec![
+            (0, vec![BasicOp::write(a)]),
+            (1, vec![BasicOp::read(a), BasicOp::write(b)]),
+            (2, vec![BasicOp::read(b)]),
+        ];
+        let g = TDependencyGraph::build(&txns);
+        assert_eq!(g.depth_of(0), Some(0));
+        assert_eq!(g.depth_of(1), Some(1));
+        assert_eq!(g.depth_of(2), Some(2));
+    }
+
+    #[test]
+    fn cross_partition_transactions_have_multiple_preds() {
+        // Two independent writers, then one transaction touching both items.
+        let txns = vec![
+            (0, vec![BasicOp::write(item(0))]),
+            (1, vec![BasicOp::write(item(1))]),
+            (2, vec![BasicOp::write(item(0)), BasicOp::write(item(1))]),
+        ];
+        let g = TDependencyGraph::build(&txns);
+        assert_eq!(g.multi_pred_count(), 1);
+        assert_eq!(g.depth_of(2), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing timestamp order")]
+    fn out_of_order_insertion_rejected() {
+        let mut g = TDependencyGraph::build(&[(5, vec![BasicOp::read(item(0))])]);
+        g.add_transaction(3, &[BasicOp::read(item(0))]);
+    }
+
+    #[test]
+    fn empty_graph_defaults() {
+        let g = TDependencyGraph::build(&[]);
+        assert_eq!(g.num_txns(), 0);
+        assert_eq!(g.depth(), 0);
+        assert!(g.k_sets().is_empty());
+        assert!(g.sources().is_empty());
+        assert!(g.is_dag());
+    }
+}

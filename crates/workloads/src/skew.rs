@@ -1,0 +1,88 @@
+//! Skewed key generators.
+//!
+//! The micro benchmark skews lock acquisition with a parameter `α`:
+//! transactions acquire the *first* lock with probability `α` and the
+//! remaining locks uniformly (§6.1). A larger `α` produces a deeper
+//! T-dependency graph.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Picker that returns key 0 with probability `alpha`, otherwise a uniformly
+/// random key from `1..cardinality`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewedPicker {
+    /// Probability of picking key 0 (the hot key).
+    pub alpha: f64,
+    /// Number of distinct keys.
+    pub cardinality: u64,
+}
+
+impl SkewedPicker {
+    /// Create a picker. `alpha` must be in `[0, 1]` and there must be at least
+    /// one key.
+    pub fn new(alpha: f64, cardinality: u64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        assert!(cardinality >= 1, "cardinality must be at least 1");
+        SkewedPicker { alpha, cardinality }
+    }
+
+    /// A uniform picker (no skew).
+    pub fn uniform(cardinality: u64) -> Self {
+        Self::new(0.0, cardinality)
+    }
+
+    /// Draw one key.
+    pub fn pick(&self, rng: &mut StdRng) -> u64 {
+        if self.cardinality == 1 {
+            return 0;
+        }
+        if rng.random_bool(self.alpha) {
+            0
+        } else {
+            rng.random_range(1..self.cardinality)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alpha_one_always_picks_zero() {
+        let p = SkewedPicker::new(1.0, 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| p.pick(&mut rng) == 0));
+    }
+
+    #[test]
+    fn alpha_zero_never_picks_zero_when_many_keys() {
+        let p = SkewedPicker::new(0.0, 100);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..1000).all(|_| p.pick(&mut rng) != 0));
+    }
+
+    #[test]
+    fn skew_concentrates_on_hot_key() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hot = SkewedPicker::new(0.8, 50);
+        let hits = (0..10_000).filter(|_| hot.pick(&mut rng) == 0).count();
+        assert!((7_500..8_500).contains(&hits), "got {hits} hot hits out of 10000");
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = SkewedPicker::new(0.3, 7);
+        assert!((0..1000).all(|_| p.pick(&mut rng) < 7));
+        assert_eq!(SkewedPicker::uniform(1).pick(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        SkewedPicker::new(1.5, 10);
+    }
+}

@@ -1,0 +1,74 @@
+//! Banking scenario: the TPC-B workload executed with all three strategies,
+//! plus the H-Store-style CPU counterpart for comparison — a miniature version
+//! of the paper's Figure 7 on one benchmark.
+//!
+//! Run with: `cargo run --release --example banking`
+
+use gputx_core::{execute_bulk, Bulk, EngineConfig, ExecContext, StrategyKind};
+use gputx_cpu::engine::CpuEngine;
+use gputx_sim::Gpu;
+use gputx_workloads::TpcbConfig;
+
+fn main() {
+    let n_txns = 50_000;
+    let mut bundle = TpcbConfig::default().with_scale_factor(32).build();
+    println!(
+        "TPC-B with {} branches, {} accounts",
+        bundle.db.table_by_name("branch").num_rows(),
+        bundle.db.table_by_name("account").num_rows()
+    );
+    let sigs = bundle.generate_signatures(n_txns, 0);
+
+    // GPU: each strategy on its own copy of the database.
+    for strategy in [StrategyKind::Tpl, StrategyKind::Part, StrategyKind::Kset] {
+        let mut db = bundle.db.clone();
+        let mut gpu = Gpu::c1060();
+        let config = EngineConfig::default();
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &bundle.registry,
+            config: &config,
+        };
+        let out = execute_bulk(&mut ctx, strategy, &Bulk::new(sigs.clone()));
+        let report = out.into_report();
+        println!(
+            "GPU {strategy:<5}: {:>8.0} ktps  (generation {:.2} ms, execution {:.2} ms)",
+            report.throughput().ktps(),
+            report.generation.as_millis(),
+            report.execution.as_millis()
+        );
+    }
+
+    // CPU counterpart: quad core and single core.
+    for (label, engine) in [
+        ("CPU 4-core", CpuEngine::xeon_quad_core()),
+        ("CPU 1-core", CpuEngine::xeon_quad_core().single_core()),
+    ] {
+        let mut db = bundle.db.clone();
+        let report = engine.execute_bulk(&mut db, &bundle.registry, &sigs);
+        println!("{label}: {:>8.0} ktps", report.throughput().ktps());
+    }
+
+    // Consistency check: branch balances equal the sum of history deltas.
+    let mut db = bundle.db.clone();
+    let mut gpu = Gpu::c1060();
+    let config = EngineConfig::default();
+    let mut ctx = ExecContext {
+        gpu: &mut gpu,
+        db: &mut db,
+        registry: &bundle.registry,
+        config: &config,
+    };
+    execute_bulk(&mut ctx, StrategyKind::Kset, &Bulk::new(sigs));
+    let branch = db.table_by_name("branch");
+    let total: f64 = (0..branch.num_rows() as u64)
+        .map(|r| branch.get(r, 1).as_double())
+        .sum();
+    let history = db.table_by_name("history");
+    let deltas: f64 = (0..history.num_rows() as u64)
+        .map(|r| history.get(r, 3).as_double())
+        .sum();
+    println!("sum(branch balances) = {total:.2}, sum(history deltas) = {deltas:.2}");
+    assert!((total - deltas).abs() < 1e-6);
+}

@@ -1,0 +1,81 @@
+//! Quickstart: register a stored procedure, submit transactions, execute a
+//! bulk on the simulated GPU and inspect the report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gputx_core::{EngineConfig, GpuTxEngine};
+use gputx_storage::schema::{ColumnDef, TableSchema};
+use gputx_storage::{DataItemId, DataType, Database, Value};
+use gputx_txn::{BasicOp, ProcedureDef, ProcedureRegistry};
+
+fn main() {
+    // 1. Define the schema and load some data.
+    let mut db = Database::column_store();
+    let accounts = db.create_table(TableSchema::new(
+        "accounts",
+        vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("balance", DataType::Double),
+        ],
+        vec![0],
+    ));
+    for i in 0..10_000i64 {
+        db.table_mut(accounts)
+            .insert(vec![Value::Int(i), Value::Double(100.0)]);
+    }
+
+    // 2. Register a transaction type (a stored procedure): a deposit.
+    //    Each type declares its read/write set and partitioning key so the
+    //    engine can build the T-dependency graph and pick a strategy.
+    let mut registry = ProcedureRegistry::new();
+    let deposit = registry.register(ProcedureDef::new(
+        "deposit",
+        move |params, _db| vec![BasicOp::write(DataItemId::new(accounts, params[0].as_int() as u64, 1))],
+        |params| Some(params[0].as_int() as u64),
+        move |ctx| {
+            let row = ctx.param_int(0) as u64;
+            let amount = ctx.param_double(1);
+            let balance = ctx.read(accounts, row, 1).as_double();
+            if amount < 0.0 && balance + amount < 0.0 {
+                ctx.abort("insufficient funds");
+                return;
+            }
+            ctx.write(accounts, row, 1, Value::Double(balance + amount));
+        },
+    ));
+
+    // 3. Create the engine (loads the database into simulated device memory).
+    let mut engine = GpuTxEngine::new(db, registry, EngineConfig::default());
+    println!(
+        "database loaded to device in {:.3} ms ({} bytes resident)",
+        engine.load_time().as_millis(),
+        engine.gpu().memory.used()
+    );
+
+    // 4. Submit a burst of transactions and execute them as bulks.
+    for i in 0..100_000u64 {
+        engine.submit(deposit, vec![Value::Int((i % 10_000) as i64), Value::Double(5.0)]);
+    }
+    let reports = engine.run_until_empty();
+
+    // 5. Inspect the results.
+    for (i, report) in reports.iter().enumerate() {
+        println!(
+            "bulk {i}: {} txns via {} — gen {:.3} ms, exec {:.3} ms, {:.0} ktps",
+            report.transactions,
+            report.strategy,
+            report.generation.as_millis(),
+            report.execution.as_millis(),
+            report.throughput().ktps()
+        );
+    }
+    println!(
+        "total committed: {}, aborted: {}, overall throughput: {:.0} ktps",
+        engine.total_committed(),
+        engine.total_aborted(),
+        engine.overall_throughput().ktps()
+    );
+    let final_balance = engine.db().table_by_name("accounts").get(0, 1);
+    println!("account 0 balance after 10 deposits of 5.0: {final_balance}");
+    assert_eq!(final_balance, Value::Double(150.0));
+}

@@ -1,0 +1,57 @@
+//! Retail scenario: the TPC-C workload, showing how cross-partition
+//! transactions steer the rule-based strategy selection (Appendix D,
+//! Algorithm 1) and what they cost PART.
+//!
+//! Run with: `cargo run --release --example retail`
+
+use gputx_core::profiler::profile_bulk;
+use gputx_core::select::choose_by_rule;
+use gputx_core::{execute_bulk, Bulk, EngineConfig, ExecContext, StrategyKind};
+use gputx_sim::Gpu;
+use gputx_workloads::TpccConfig;
+
+fn run_case(label: &str, cfg: TpccConfig, n_txns: usize) {
+    let mut bundle = cfg.build();
+    let sigs = bundle.generate_signatures(n_txns, 0);
+    let engine_cfg = EngineConfig::default();
+    let profile = profile_bulk(&bundle.registry, &bundle.db, &sigs);
+    let chosen = choose_by_rule(&profile, &engine_cfg.thresholds);
+    println!(
+        "\n{label}: {} txns, 0-set {} / depth {} / cross-partition {} -> Algorithm 1 picks {chosen}",
+        profile.size, profile.zero_set_size, profile.depth, profile.cross_partition
+    );
+    for strategy in [StrategyKind::Tpl, StrategyKind::Part, StrategyKind::Kset] {
+        let mut db = bundle.db.clone();
+        let mut gpu = Gpu::c1060();
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &bundle.registry,
+            config: &engine_cfg,
+        };
+        let out = execute_bulk(&mut ctx, strategy, &Bulk::new(sigs.clone()));
+        println!(
+            "  {strategy:<5} {:>8.0} ktps{}  ({} committed, {} aborted)",
+            gputx_sim::Throughput::from_count(out.transactions as u64, out.total()).ktps(),
+            if out.fell_back_to_tpl { "  [fell back to TPL]" } else { "" },
+            out.committed,
+            out.aborted
+        );
+    }
+}
+
+fn main() {
+    // Standard mix: 15 % remote payments and ~1 % remote new-orders make some
+    // transactions cross-partition.
+    run_case(
+        "TPC-C standard mix (with cross-partition transactions)",
+        TpccConfig::default().with_warehouses(4),
+        20_000,
+    );
+    // Single-partition variant: everything stays within its home warehouse.
+    run_case(
+        "TPC-C single-partition variant",
+        TpccConfig::default().with_warehouses(4).single_partition_only(),
+        20_000,
+    );
+}

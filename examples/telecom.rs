@@ -1,0 +1,69 @@
+//! Telecom scenario: the TM1 benchmark driven through the full engine with
+//! automatic strategy selection, plus a response-time/throughput sweep like
+//! the paper's Figure 9.
+//!
+//! Run with: `cargo run --release --example telecom`
+
+use gputx_core::pipeline::{simulate_pipeline, PipelineConfig};
+use gputx_core::{EngineConfig, GpuTxEngine, StrategyKind};
+use gputx_sim::SimDuration;
+use gputx_workloads::Tm1Config;
+
+fn main() {
+    let mut bundle = Tm1Config { scale_factor: 4 }.build();
+    println!(
+        "TM1 with {} subscribers, {} call-forwarding rows",
+        bundle.db.table_by_name("subscriber").num_rows(),
+        bundle.db.table_by_name("call_forwarding").num_rows()
+    );
+
+    // Drive the engine end to end with automatic strategy selection.
+    let mut engine = GpuTxEngine::new(
+        bundle.db.clone(),
+        bundle.registry.clone(),
+        EngineConfig::default().with_bulk_size(16_384),
+    );
+    for (ty, params) in bundle.generate(80_000) {
+        engine.submit(ty, params);
+    }
+    let reports = engine.run_until_empty();
+    println!(
+        "{} bulks, {:.0} ktps overall, {} committed / {} aborted",
+        reports.len(),
+        engine.overall_throughput().ktps(),
+        engine.total_committed(),
+        engine.total_aborted()
+    );
+    let stats = engine.gpu().stats();
+    println!(
+        "PCIe traffic: {:.1} KB in, {:.1} KB out ({:.2} ms total transfer time)",
+        stats.h2d_bytes as f64 / 1024.0,
+        stats.d2h_bytes as f64 / 1024.0,
+        (stats.h2d_time + stats.d2h_time).as_millis()
+    );
+
+    // Response time vs throughput, varying the bulk-cut interval (Figure 9).
+    println!("\ninterval(ms)  avg response(ms)  throughput(ktps)");
+    for interval_ms in [2.0f64, 10.0, 40.0, 100.0] {
+        let mut db = bundle.db.clone();
+        let registry = bundle.registry.clone();
+        let pipeline = PipelineConfig {
+            arrival_rate_tps: 1_000_000.0,
+            interval: SimDuration::from_millis(interval_ms),
+            horizon: SimDuration::from_millis(80.0),
+        };
+        let report = simulate_pipeline(
+            &mut db,
+            &registry,
+            &EngineConfig::default(),
+            StrategyKind::Kset,
+            &pipeline,
+            |_| bundle.next_txn(),
+        );
+        println!(
+            "{interval_ms:>11.0}  {:>16.1}  {:>17.0}",
+            report.avg_response.as_millis(),
+            report.throughput.ktps()
+        );
+    }
+}

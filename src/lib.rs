@@ -1,0 +1,13 @@
+//! gputx-suite — top-level facade for the GPUTx reproduction workspace.
+//!
+//! Re-exports the individual crates under short names so the examples and the
+//! cross-crate integration tests can use one import root.
+
+#![forbid(unsafe_code)]
+
+pub use gputx_core as core;
+pub use gputx_cpu as cpu;
+pub use gputx_sim as sim;
+pub use gputx_storage as storage;
+pub use gputx_txn as txn;
+pub use gputx_workloads as workloads;

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: Definition 1 correctness of every execution
+//! strategy on every workload, and agreement between the GPU engine, the CPU
+//! counterpart and a plain sequential replay.
+
+use gputx_core::{execute_bulk, Bulk, EngineConfig, ExecContext, StrategyKind};
+use gputx_cpu::engine::CpuEngine;
+use gputx_sim::Gpu;
+use gputx_storage::Database;
+use gputx_txn::{ProcedureRegistry, TxnSignature};
+use gputx_workloads::{MicroConfig, MicroWorkload, Tm1Config, TpcbConfig, TpccConfig, WorkloadBundle};
+
+/// Sequentially execute a bulk in timestamp order (the reference of
+/// Definition 1).
+fn sequential_replay(db: &Database, registry: &ProcedureRegistry, sigs: &[TxnSignature]) -> Database {
+    let mut out = db.clone();
+    let mut sorted: Vec<&TxnSignature> = sigs.iter().collect();
+    sorted.sort_by_key(|s| s.id);
+    for sig in sorted {
+        registry.execute(sig, &mut out);
+    }
+    out.apply_insert_buffers();
+    out
+}
+
+fn all_workloads() -> Vec<WorkloadBundle> {
+    vec![
+        MicroWorkload::build(&MicroConfig::default().with_types(4).with_compute(1).with_tuples(2_000).with_skew(0.3)),
+        TpcbConfig::default().with_scale_factor(4).build(),
+        Tm1Config { scale_factor: 1 }.build(),
+        TpccConfig::default().with_warehouses(2).build(),
+    ]
+}
+
+#[test]
+fn every_strategy_matches_sequential_replay_on_every_workload() {
+    for mut bundle in all_workloads() {
+        let sigs = bundle.generate_signatures(1200, 0);
+        let reference = sequential_replay(&bundle.db, &bundle.registry, &sigs);
+        for strategy in [StrategyKind::Tpl, StrategyKind::Part, StrategyKind::Kset] {
+            let mut db = bundle.db.clone();
+            let mut gpu = Gpu::c1060();
+            let config = EngineConfig::default();
+            let mut ctx = ExecContext {
+                gpu: &mut gpu,
+                db: &mut db,
+                registry: &bundle.registry,
+                config: &config,
+            };
+            let out = execute_bulk(&mut ctx, strategy, &Bulk::new(sigs.clone()));
+            assert_eq!(out.transactions, sigs.len());
+            assert!(
+                db == reference,
+                "workload {} with {strategy} diverged from the sequential replay",
+                bundle.name
+            );
+        }
+    }
+}
+
+#[test]
+fn relaxed_mode_also_matches_sequential_replay() {
+    for mut bundle in all_workloads() {
+        let sigs = bundle.generate_signatures(800, 0);
+        let reference = sequential_replay(&bundle.db, &bundle.registry, &sigs);
+        for strategy in [StrategyKind::Tpl, StrategyKind::Part, StrategyKind::Kset] {
+            let mut db = bundle.db.clone();
+            let mut gpu = Gpu::c1060();
+            let config = EngineConfig::default().with_relaxed_timestamps(true);
+            let mut ctx = ExecContext {
+                gpu: &mut gpu,
+                db: &mut db,
+                registry: &bundle.registry,
+                config: &config,
+            };
+            execute_bulk(&mut ctx, strategy, &Bulk::new(sigs.clone()));
+            assert!(
+                db == reference,
+                "workload {} with relaxed {strategy} diverged from the sequential replay",
+                bundle.name
+            );
+        }
+    }
+}
+
+#[test]
+fn cpu_engine_matches_gpu_engine_results() {
+    for mut bundle in all_workloads() {
+        let sigs = bundle.generate_signatures(1000, 0);
+        // GPU side.
+        let mut gpu_db = bundle.db.clone();
+        let mut gpu = Gpu::c1060();
+        let config = EngineConfig::default();
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut gpu_db,
+            registry: &bundle.registry,
+            config: &config,
+        };
+        execute_bulk(&mut ctx, StrategyKind::Kset, &Bulk::new(sigs.clone()));
+        // CPU side.
+        let mut cpu_db = bundle.db.clone();
+        CpuEngine::xeon_quad_core().execute_bulk(&mut cpu_db, &bundle.registry, &sigs);
+        assert!(
+            gpu_db == cpu_db,
+            "workload {}: GPU and CPU engines disagree on the final database",
+            bundle.name
+        );
+    }
+}
+
+#[test]
+fn splitting_into_multiple_bulks_preserves_the_result() {
+    let mut bundle = TpcbConfig::default().with_scale_factor(4).build();
+    let sigs = bundle.generate_signatures(2000, 0);
+    let reference = sequential_replay(&bundle.db, &bundle.registry, &sigs);
+
+    let mut db = bundle.db.clone();
+    let mut gpu = Gpu::c1060();
+    let config = EngineConfig::default();
+    for chunk in sigs.chunks(257) {
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &bundle.registry,
+            config: &config,
+        };
+        execute_bulk(&mut ctx, StrategyKind::Part, &Bulk::new(chunk.to_vec()));
+    }
+    assert!(db == reference, "chunked bulk execution diverged");
+}

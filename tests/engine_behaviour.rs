@@ -1,0 +1,120 @@
+//! Cross-crate integration tests for engine-level behaviour: automatic
+//! strategy selection, performance-model sanity (the qualitative claims of the
+//! paper's evaluation), and device-memory accounting.
+
+use gputx_core::config::StrategyChoice;
+use gputx_core::{EngineConfig, GpuTxEngine, StrategyKind};
+use gputx_cpu::engine::CpuEngine;
+use gputx_sim::CpuSpec;
+use gputx_workloads::{MicroConfig, MicroWorkload, Tm1Config, TpccConfig};
+
+#[test]
+fn auto_selection_prefers_kset_on_wide_workloads_and_part_on_narrow_ones() {
+    // Wide: 20k independent transactions — a huge 0-set.
+    let mut wide = MicroWorkload::build(&MicroConfig::default().with_types(4).with_compute(1).with_tuples(100_000));
+    let mut engine = GpuTxEngine::new(
+        wide.db.clone(),
+        wide.registry.clone(),
+        EngineConfig::default().with_bulk_size(20_000),
+    );
+    for (ty, params) in wide.generate(20_000) {
+        engine.submit(ty, params);
+    }
+    let report = engine.execute_pending().unwrap();
+    assert_eq!(report.strategy, StrategyKind::Kset);
+
+    // Narrow: extreme skew — a tiny 0-set and a deep graph.
+    let mut narrow =
+        MicroWorkload::build(&MicroConfig::default().with_types(4).with_compute(1).with_tuples(1_000).with_skew(0.98));
+    let mut engine = GpuTxEngine::new(
+        narrow.db.clone(),
+        narrow.registry.clone(),
+        EngineConfig::default().with_bulk_size(4_000),
+    );
+    for (ty, params) in narrow.generate(4_000) {
+        engine.submit(ty, params);
+    }
+    let report = engine.execute_pending().unwrap();
+    assert_ne!(report.strategy, StrategyKind::Kset, "a tiny 0-set must not pick K-SET");
+}
+
+#[test]
+fn gputx_outperforms_the_quad_core_cpu_on_tm1() {
+    // The qualitative headline of Figure 7: the full GPU engine beats the
+    // 4-core CPU engine on the public benchmarks.
+    let mut bundle = Tm1Config { scale_factor: 2 }.build();
+    let n = 20_000;
+    let gpu = gputx_bench_helpers::gpu_throughput(&mut bundle, n);
+    let sigs = bundle.generate_signatures(n, 0);
+    let mut cpu_db = bundle.db.clone();
+    let cpu_report = CpuEngine::new(CpuSpec::xeon_e5520()).execute_bulk(&mut cpu_db, &bundle.registry, &sigs);
+    assert!(
+        gpu.tps() > cpu_report.throughput().tps(),
+        "GPUTx ({:.0} ktps) should outperform the quad-core CPU ({:.0} ktps)",
+        gpu.ktps(),
+        cpu_report.throughput().ktps()
+    );
+}
+
+#[test]
+fn grouping_by_type_improves_throughput_under_divergence() {
+    // Figure 3's qualitative claim for high-cost transactions with many types.
+    let cfg = MicroConfig::default().with_types(32).with_compute(16).with_tuples(50_000);
+    let run = |passes: u32| {
+        let mut bundle = MicroWorkload::build(&cfg);
+        let mut engine = GpuTxEngine::new(
+            bundle.db.clone(),
+            bundle.registry.clone(),
+            EngineConfig::default()
+                .with_bulk_size(16_384)
+                .with_strategy(StrategyChoice::ForceKset)
+                .with_grouping_passes(passes),
+        );
+        for (ty, params) in bundle.generate(16_384) {
+            engine.submit(ty, params);
+        }
+        engine.execute_pending().unwrap().throughput()
+    };
+    let ungrouped = run(0);
+    let grouped = run(8);
+    assert!(
+        grouped.tps() > ungrouped.tps(),
+        "grouping ({:.0} ktps) should beat no grouping ({:.0} ktps)",
+        grouped.ktps(),
+        ungrouped.ktps()
+    );
+}
+
+#[test]
+fn device_memory_accounts_for_the_resident_database() {
+    let bundle = TpccConfig::default().with_warehouses(2).build();
+    let engine = GpuTxEngine::new(bundle.db.clone(), bundle.registry.clone(), EngineConfig::default());
+    assert_eq!(engine.gpu().memory.used(), bundle.db.device_bytes());
+    assert!(engine.load_time().as_millis() > 0.0);
+    // Column layout keeps host-only columns (strings) off the device.
+    assert!(bundle.db.device_bytes() < bundle.db.total_bytes());
+}
+
+/// Tiny local helper namespace (kept out of the bench crate to avoid a
+/// dev-dependency cycle).
+mod gputx_bench_helpers {
+    use gputx_core::{execute_bulk, Bulk, EngineConfig, ExecContext};
+    use gputx_sim::{Gpu, SimDuration, Throughput};
+    use gputx_workloads::WorkloadBundle;
+
+    pub fn gpu_throughput(bundle: &mut WorkloadBundle, n: usize) -> Throughput {
+        let sigs = bundle.generate_signatures(n, 0);
+        let mut db = bundle.db.clone();
+        let mut gpu = Gpu::c1060();
+        let config = EngineConfig::default().with_bulk_size(n);
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &bundle.registry,
+            config: &config,
+        };
+        let out = execute_bulk(&mut ctx, gputx_core::StrategyKind::Kset, &Bulk::new(sigs));
+        let total: SimDuration = out.total();
+        Throughput::from_count(out.transactions as u64, total)
+    }
+}
