@@ -14,7 +14,14 @@ fn bench_tm1(c: &mut Criterion) {
     let sigs = bundle.generate_signatures(4_096, 0);
 
     group.bench_function("gputx_kset_4k_txns", |b| {
-        b.iter(|| run_gpu_bulk(&bundle, sigs.clone(), StrategyKind::Kset, &EngineConfig::default()))
+        b.iter(|| {
+            run_gpu_bulk(
+                &bundle,
+                sigs.clone(),
+                StrategyKind::Kset,
+                &EngineConfig::default(),
+            )
+        })
     });
     group.bench_function("cpu_engine_4k_txns", |b| {
         b.iter(|| {

@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gputx_sim::Gpu;
+use gputx_storage::DataItemId;
 use gputx_txn::kset::{gpu_rank_ksets, rank_ksets};
 use gputx_txn::{BasicOp, TDependencyGraph};
-use gputx_storage::DataItemId;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 

@@ -11,7 +11,10 @@ use gputx_workloads::{MicroConfig, MicroWorkload};
 fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("strategies");
     group.sample_size(10);
-    let cfg = MicroConfig::default().with_types(8).with_compute(1).with_tuples(20_000);
+    let cfg = MicroConfig::default()
+        .with_types(8)
+        .with_compute(1)
+        .with_tuples(20_000);
     let mut bundle = MicroWorkload::build(&cfg);
     let sigs = bundle.generate_signatures(8_192, 0);
     for strategy in [StrategyKind::Tpl, StrategyKind::Part, StrategyKind::Kset] {

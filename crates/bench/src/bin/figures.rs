@@ -142,7 +142,10 @@ fn fig4() {
 /// Figure 5: time breakdown (bulk generation vs execution) per strategy.
 fn fig5() {
     banner("Figure 5 — time breakdown: sort (generation) vs execution");
-    let cfg = MicroConfig::default().with_types(8).with_compute(1).with_tuples(1 << 18);
+    let cfg = MicroConfig::default()
+        .with_types(8)
+        .with_compute(1)
+        .with_tuples(1 << 18);
     let n_txns = 262_144;
     let mut table = TextTable::new(&["strategy", "sort %", "execution %", "total (ms)"]);
     for strategy in STRATEGIES {
@@ -199,14 +202,16 @@ fn fig6() {
                         .iter()
                         .map(|s| (s.id, bundle.registry.read_write_set(s, &db)))
                         .collect();
-                    let zero: std::collections::HashSet<u64> =
-                        gputx_txn::kset::rank_ksets(&ops).zero_set().into_iter().collect();
+                    let zero: std::collections::HashSet<u64> = gputx_txn::kset::rank_ksets(&ops)
+                        .zero_set()
+                        .into_iter()
+                        .collect();
                     let (take, keep): (Vec<_>, Vec<_>) =
                         pool.drain(..).partition(|s| zero.contains(&s.id));
                     pool = keep;
                     take
                 } else {
-                    pool.drain(..).collect()
+                    std::mem::take(&mut pool)
                 };
                 let count = selected.len() as u64;
                 let mut ctx = gputx_core::ExecContext {
@@ -229,9 +234,24 @@ fn fig6() {
 
 fn public_workloads(scale: u64) -> Vec<(&'static str, gputx_workloads::WorkloadBundle)> {
     vec![
-        ("TM-1", Tm1Config { scale_factor: scale }.build()),
-        ("TPC-B", TpcbConfig { scale_factor: scale * 256 }.build()),
-        ("TPC-C", TpccConfig::default().with_warehouses(scale * 16).build()),
+        (
+            "TM-1",
+            Tm1Config {
+                scale_factor: scale,
+            }
+            .build(),
+        ),
+        (
+            "TPC-B",
+            TpcbConfig {
+                scale_factor: scale * 256,
+            }
+            .build(),
+        ),
+        (
+            "TPC-C",
+            TpccConfig::default().with_warehouses(scale * 16).build(),
+        ),
     ]
 }
 
@@ -253,8 +273,11 @@ fn fig7() {
             let cpu1 = adhoc_cpu_throughput(&mut bundle, n_txns);
             let gpu1 = adhoc_gpu_throughput(&mut bundle, n_txns);
             let cpu4 = cpu_workload_throughput(&mut bundle, n_txns, &CpuSpec::xeon_e5520());
-            let gputx =
-                gpu_workload_throughput(&mut bundle, n_txns, &EngineConfig::default().with_bulk_size(n_txns));
+            let gputx = gpu_workload_throughput(
+                &mut bundle,
+                n_txns,
+                &EngineConfig::default().with_bulk_size(n_txns),
+            );
             table.row(vec![
                 name.to_string(),
                 scale.to_string(),
@@ -280,8 +303,11 @@ fn cost_efficiency() {
         "GPUTx advantage",
     ]);
     for (name, mut bundle) in public_workloads(2) {
-        let gputx =
-            gpu_workload_throughput(&mut bundle, n_txns, &EngineConfig::default().with_bulk_size(n_txns));
+        let gputx = gpu_workload_throughput(
+            &mut bundle,
+            n_txns,
+            &EngineConfig::default().with_bulk_size(n_txns),
+        );
         let cpu4 = cpu_workload_throughput(&mut bundle, n_txns, &CpuSpec::xeon_e5520());
         let gpu_eff = gputx.tps() / 1699.0;
         let cpu_eff = cpu4.tps() / 649.0;
@@ -347,9 +373,18 @@ fn fig9() {
 /// (partitions) grows.
 fn fig12() {
     banner("Figure 12 — grouping vs execution time (x=32, T=16)");
-    let cfg = MicroConfig::default().with_types(16).with_compute(32).with_tuples(1 << 18);
+    let cfg = MicroConfig::default()
+        .with_types(16)
+        .with_compute(32)
+        .with_tuples(1 << 18);
     let n_txns = 65_536;
-    let mut table = TextTable::new(&["passes", "groups", "grouping (ms)", "execution (ms)", "total (ms)"]);
+    let mut table = TextTable::new(&[
+        "passes",
+        "groups",
+        "grouping (ms)",
+        "execution (ms)",
+        "total (ms)",
+    ]);
     for passes in 0..=4u32 {
         let mut bundle = MicroWorkload::build(&cfg);
         let sigs = bundle.generate_signatures(n_txns, 0);
@@ -371,7 +406,10 @@ fn fig12() {
 /// Figure 13: PART throughput varying the partition size.
 fn fig13() {
     banner("Figure 13 — PART throughput vs partition size (x=16)");
-    let cfg = MicroConfig::default().with_types(8).with_compute(16).with_tuples(1 << 16);
+    let cfg = MicroConfig::default()
+        .with_types(8)
+        .with_compute(16)
+        .with_tuples(1 << 16);
     let n_txns = 65_536;
     let mut table = TextTable::new(&["partition size", "throughput (ktps)"]);
     for partition_size in [1u64, 8, 32, 128, 512, 2048, 8192] {
@@ -393,7 +431,10 @@ fn fig14() {
     let n_txns = 65_536;
     let mut table = TextTable::new(&["tuples", "TPL (ktps)", "PART (ktps)", "K-SET (ktps)"]);
     for tuples in [1u64 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20] {
-        let cfg = MicroConfig::default().with_types(8).with_compute(1).with_tuples(tuples);
+        let cfg = MicroConfig::default()
+            .with_types(8)
+            .with_compute(1)
+            .with_tuples(tuples);
         let mut cells = vec![tuples.to_string()];
         for strategy in STRATEGIES {
             let mut bundle = MicroWorkload::build(&cfg);
@@ -418,7 +459,10 @@ fn fig15() {
     for interval_ms in [1.0f64, 10.0, 50.0, 200.0] {
         let mut cells = vec![format!("{interval_ms:.0}")];
         for strategy in STRATEGIES {
-            let cfg = MicroConfig::default().with_types(8).with_compute(1).with_tuples(1 << 16);
+            let cfg = MicroConfig::default()
+                .with_types(8)
+                .with_compute(1)
+                .with_tuples(1 << 16);
             let mut bundle = MicroWorkload::build(&cfg);
             let mut db = bundle.db.clone();
             let registry = bundle.registry.clone();
@@ -486,7 +530,10 @@ fn fig16() {
 /// Figure 17: time breakdown without the timestamp constraint (Appendix G).
 fn fig17() {
     banner("Figure 17 — time breakdown with relaxed timestamp constraint");
-    let cfg = MicroConfig::default().with_types(8).with_compute(1).with_tuples(1 << 18);
+    let cfg = MicroConfig::default()
+        .with_types(8)
+        .with_compute(1)
+        .with_tuples(1 << 18);
     let n_txns = 262_144;
     let mut table = TextTable::new(&[
         "strategy",
@@ -531,8 +578,11 @@ fn adhoc() {
     for (name, mut bundle) in public_workloads(1) {
         let adhoc_gpu = adhoc_gpu_throughput(&mut bundle, n_txns);
         let adhoc_cpu = adhoc_cpu_throughput(&mut bundle, n_txns);
-        let bulk =
-            gpu_workload_throughput(&mut bundle, n_txns, &EngineConfig::default().with_bulk_size(n_txns));
+        let bulk = gpu_workload_throughput(
+            &mut bundle,
+            n_txns,
+            &EngineConfig::default().with_bulk_size(n_txns),
+        );
         table.row(vec![
             name.to_string(),
             format!("{:.1}", adhoc_gpu.ktps()),
@@ -556,8 +606,11 @@ fn storage_comparison() {
             bundle.db = bundle.db.rebuilt_with_layout(StorageLayout::Row);
         }
         let device_mb = bundle.db.device_bytes() as f64 / (1024.0 * 1024.0);
-        let throughput =
-            gpu_workload_throughput(&mut bundle, n_txns, &EngineConfig::default().with_bulk_size(n_txns));
+        let throughput = gpu_workload_throughput(
+            &mut bundle,
+            n_txns,
+            &EngineConfig::default().with_bulk_size(n_txns),
+        );
         table.row(vec![
             format!("{layout:?}"),
             format!("{device_mb:.1}"),

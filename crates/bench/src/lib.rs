@@ -56,7 +56,9 @@ pub fn gpu_workload_throughput(
     total_txns: usize,
     config: &EngineConfig,
 ) -> Throughput {
-    let config = &config.clone().with_partition_size(partition_size_for(bundle));
+    let config = &config
+        .clone()
+        .with_partition_size(partition_size_for(bundle));
     let sigs = bundle.generate_signatures(total_txns, 0);
     let mut db = bundle.db.clone();
     let mut gpu = Gpu::new(config.device.clone());
@@ -68,7 +70,9 @@ pub fn gpu_workload_throughput(
             StrategyChoice::ForceTpl => StrategyKind::Tpl,
             StrategyChoice::ForcePart => StrategyKind::Part,
             StrategyChoice::ForceKset => StrategyKind::Kset,
-            StrategyChoice::Auto => gputx_core::select::choose_by_rule(&profile, &config.thresholds),
+            StrategyChoice::Auto => {
+                gputx_core::select::choose_by_rule(&profile, &config.thresholds)
+            }
         };
         let mut ctx = ExecContext {
             gpu: &mut gpu,
@@ -177,7 +181,10 @@ mod tests {
 
     #[test]
     fn gpu_and_cpu_throughput_helpers_work() {
-        let cfg = MicroConfig::default().with_tuples(4096).with_compute(1).with_types(4);
+        let cfg = MicroConfig::default()
+            .with_tuples(4096)
+            .with_compute(1)
+            .with_types(4);
         let mut bundle = MicroWorkload::build(&cfg);
         let engine_cfg = EngineConfig::default().with_bulk_size(2048);
         let gpu = gpu_workload_throughput(&mut bundle, 4096, &engine_cfg);

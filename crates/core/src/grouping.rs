@@ -68,7 +68,11 @@ pub fn group_by_type(
         }
         zeros.extend(ones);
         order = zeros;
-        let report = gpu.launch_uniform(format!("group_by_type_pass_{bit}"), types.len(), &pass_trace);
+        let report = gpu.launch_uniform(
+            format!("group_by_type_pass_{bit}"),
+            types.len(),
+            &pass_trace,
+        );
         time += report.time;
     }
     GroupingOutcome {

@@ -57,7 +57,9 @@ impl LoggingPolicy {
             }
         }
         let table_conflict = |a: &TableAccess, b: &TableAccess| {
-            a.writes.iter().any(|t| b.writes.contains(t) || b.reads.contains(t))
+            a.writes
+                .iter()
+                .any(|t| b.writes.contains(t) || b.reads.contains(t))
                 || b.writes.iter().any(|t| a.reads.contains(t))
         };
 
@@ -66,7 +68,8 @@ impl LoggingPolicy {
             if !registry.get(ty).two_phase {
                 undo_types.insert(ty);
                 for other in 0..registry.num_types() as TxnTypeId {
-                    if other != ty && table_conflict(&access[ty as usize], &access[other as usize]) {
+                    if other != ty && table_conflict(&access[ty as usize], &access[other as usize])
+                    {
                         undo_types.insert(other);
                     }
                 }
@@ -97,12 +100,18 @@ mod tests {
         let mut db = Database::column_store();
         let ta = db.create_table(TableSchema::new(
             "a",
-            vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("v", DataType::Int)],
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
             vec![0],
         ));
         let tb = db.create_table(TableSchema::new(
             "b",
-            vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("v", DataType::Int)],
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
             vec![0],
         ));
         db.table_mut(ta).insert(vec![Value::Int(0), Value::Int(0)]);

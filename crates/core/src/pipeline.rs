@@ -52,7 +52,10 @@ pub fn simulate_pipeline(
     pipeline: &PipelineConfig,
     mut make_txn: impl FnMut(u64) -> (TxnTypeId, Vec<Value>),
 ) -> PipelineReport {
-    assert!(pipeline.arrival_rate_tps > 0.0, "arrival rate must be positive");
+    assert!(
+        pipeline.arrival_rate_tps > 0.0,
+        "arrival rate must be positive"
+    );
     assert!(!pipeline.interval.is_zero(), "interval must be positive");
     let total = (pipeline.arrival_rate_tps * pipeline.horizon.as_secs()).floor() as u64;
     let inter_arrival = 1.0 / pipeline.arrival_rate_tps;
@@ -105,7 +108,10 @@ pub fn simulate_pipeline(
     } else {
         SimDuration::from_secs(response_sum / completed as f64)
     };
-    let throughput = Throughput::from_count(completed, SimDuration::from_secs(device_free_at.max(f64::EPSILON)));
+    let throughput = Throughput::from_count(
+        completed,
+        SimDuration::from_secs(device_free_at.max(f64::EPSILON)),
+    );
     PipelineReport {
         completed,
         bulks,
@@ -193,6 +199,8 @@ mod tests {
             interval: SimDuration::from_millis(1.0),
             horizon: SimDuration::from_millis(1.0),
         };
-        simulate_pipeline(&mut db, &reg, &config, StrategyKind::Tpl, &pipeline, |_| (0, vec![]));
+        simulate_pipeline(&mut db, &reg, &config, StrategyKind::Tpl, &pipeline, |_| {
+            (0, vec![])
+        });
     }
 }

@@ -85,7 +85,8 @@ mod tests {
             vec![0],
         ));
         for i in 0..100i64 {
-            db.table_mut(t).insert(vec![Value::Int(i), Value::Double(0.0)]);
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Double(0.0)]);
         }
         let mut reg = ProcedureRegistry::new();
         // Type 0: single-partition update of row `params[0]`.
@@ -143,15 +144,14 @@ mod tests {
         let mut bulk: Vec<TxnSignature> = (0..10)
             .map(|i| TxnSignature::new(i, 0, vec![Value::Int(7)]))
             .collect();
-        bulk.push(TxnSignature::new(
-            10,
-            1,
-            vec![Value::Int(1), Value::Int(2)],
-        ));
+        bulk.push(TxnSignature::new(10, 1, vec![Value::Int(1), Value::Int(2)]));
         let p = profile_bulk(&reg, &db, &bulk);
         assert_eq!(p.size, 11);
         assert_eq!(p.depth, 9);
-        assert_eq!(p.zero_set_size, 2, "first writer of row 7 plus the cross-partition txn");
+        assert_eq!(
+            p.zero_set_size, 2,
+            "first writer of row 7 plus the cross-partition txn"
+        );
         assert_eq!(p.cross_partition, 1);
         assert_eq!(p.distinct_types, 2);
     }

@@ -55,7 +55,10 @@ mod tests {
     #[test]
     fn wide_zero_set_picks_kset() {
         let t = SelectionThresholds::default();
-        assert_eq!(choose_by_rule(&profile(t.min_zero_set, 0, 1), &t), StrategyKind::Kset);
+        assert_eq!(
+            choose_by_rule(&profile(t.min_zero_set, 0, 1), &t),
+            StrategyKind::Kset
+        );
         assert_eq!(
             choose_by_rule(&profile(t.min_zero_set * 10, 10_000, 100), &t),
             StrategyKind::Kset

@@ -49,7 +49,14 @@ pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
 
         // Incremental extraction of the 0-set: one pass over the remaining
         // transactions (flag + compact).
-        let extract = map_cost(ctx.gpu, "kset_extract_zero_set", pending.pending(), 4, 16, 1);
+        let extract = map_cost(
+            ctx.gpu,
+            "kset_extract_zero_set",
+            pending.pending(),
+            4,
+            16,
+            1,
+        );
         outcome.generation += extract.time;
 
         // Group the wave's threads by transaction type for divergence.
@@ -196,7 +203,10 @@ mod tests {
             config: &config,
         };
         execute_bulk(&mut ctx, StrategyKind::Kset, &bulk);
-        assert!(db == seq_db, "Definition 1: bulk result must equal the sequential result");
+        assert!(
+            db == seq_db,
+            "Definition 1: bulk result must equal the sequential result"
+        );
     }
 
     #[test]

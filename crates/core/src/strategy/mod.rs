@@ -149,7 +149,11 @@ pub(crate) fn tally(outcomes: &[(TxnId, TxnOutcome)]) -> (usize, usize) {
 
 /// Execute a bulk with the given strategy, applying insert buffers afterwards
 /// (the batched update of §3.2).
-pub fn execute_bulk(ctx: &mut ExecContext<'_>, strategy: StrategyKind, bulk: &Bulk) -> StrategyOutcome {
+pub fn execute_bulk(
+    ctx: &mut ExecContext<'_>,
+    strategy: StrategyKind,
+    bulk: &Bulk,
+) -> StrategyOutcome {
     let mut outcome = match strategy {
         StrategyKind::Tpl => tpl::run(ctx, bulk),
         StrategyKind::Part => part::run(ctx, bulk),

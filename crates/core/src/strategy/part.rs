@@ -45,11 +45,19 @@ pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
     let partition_of = |key: u64| key / ctx.config.partition_size;
 
     // Step 2 (sort): radix sort the (partition id, transaction index) pairs.
-    let mut sort_keys: Vec<u64> = keys.iter().map(|k| partition_of(k.expect("checked"))).collect();
+    let mut sort_keys: Vec<u64> = keys
+        .iter()
+        .map(|k| partition_of(k.expect("checked")))
+        .collect();
     let mut payload: Vec<u64> = (0..bulk.len() as u64).collect();
     let max_partition = sort_keys.iter().copied().max().unwrap_or(0);
     let significant_bits = 64 - max_partition.leading_zeros().min(63);
-    let sort_out = radix_sort_pairs(ctx.gpu, &mut sort_keys, &mut payload, significant_bits.max(1));
+    let sort_out = radix_sort_pairs(
+        ctx.gpu,
+        &mut sort_keys,
+        &mut payload,
+        significant_bits.max(1),
+    );
     outcome.generation += sort_out.time;
 
     // Step 3: one thread per partition finds its boundaries with binary
@@ -117,7 +125,8 @@ mod tests {
             vec![0],
         ));
         for i in 0..branches {
-            db.table_mut(t).insert(vec![Value::Int(i), Value::Double(0.0)]);
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Double(0.0)]);
         }
         let mut reg = ProcedureRegistry::new();
         reg.register(ProcedureDef::new(
@@ -160,7 +169,9 @@ mod tests {
         // 10 deposits of 1.0 into each of the 32 branches.
         let bulk = Bulk::new(
             (0..320)
-                .map(|i| TxnSignature::new(i, 0, vec![Value::Int((i % 32) as i64), Value::Double(1.0)]))
+                .map(|i| {
+                    TxnSignature::new(i, 0, vec![Value::Int((i % 32) as i64), Value::Double(1.0)])
+                })
                 .collect(),
         );
         let mut ctx = ExecContext {
@@ -209,7 +220,9 @@ mod tests {
         let (db0, reg) = bank(256);
         let bulk = Bulk::new(
             (0..2048)
-                .map(|i| TxnSignature::new(i, 0, vec![Value::Int((i % 256) as i64), Value::Double(1.0)]))
+                .map(|i| {
+                    TxnSignature::new(i, 0, vec![Value::Int((i % 256) as i64), Value::Double(1.0)])
+                })
                 .collect(),
         );
         let mut times = Vec::new();

@@ -69,10 +69,7 @@ pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
         let merged = gputx_txn::op::dedup_strongest(&items);
         for op in &merged {
             let rounds = match &ranks {
-                Some(r) => *r
-                    .item_ranks
-                    .get(&(sig.id, op.item.as_u64()))
-                    .unwrap_or(&0) as u64,
+                Some(r) => *r.item_ranks.get(&(sig.id, op.item.as_u64())).unwrap_or(&0) as u64,
                 None => {
                     // Basic 0/1 spin lock: wait behind however many conflicting
                     // threads are already queued on this item, on average half
@@ -168,7 +165,10 @@ mod tests {
         assert_eq!(out.committed, 100);
         assert_eq!(out.aborted, 0);
         assert_eq!(db.table_by_name("counters").get(2, 1), Value::Int(100));
-        assert!(out.generation.as_secs() > 0.0, "rank computation takes time");
+        assert!(
+            out.generation.as_secs() > 0.0,
+            "rank computation takes time"
+        );
         assert!(out.execution.as_secs() > 0.0);
         assert!(out.transfer.as_secs() > 0.0);
     }

@@ -146,11 +146,17 @@ mod tests {
         assert!(db1 == db2, "both ad-hoc models produce the same state");
         assert_eq!(cpu.committed, 1000);
         assert_eq!(gpu.committed, 1000);
-        assert!(gpu.elapsed > cpu.elapsed, "a single GPU core is slower than a CPU core");
+        assert!(
+            gpu.elapsed > cpu.elapsed,
+            "a single GPU core is slower than a CPU core"
+        );
         // The single-GPU-core throughput should be a modest fraction of the
         // CPU core's, in the spirit of the paper's 25–50 % observation.
         let ratio = gpu.throughput().tps() / cpu.throughput().tps();
-        assert!(ratio < 1.0 && ratio > 0.01, "ratio {ratio} out of plausible range");
+        assert!(
+            ratio < 1.0 && ratio > 0.01,
+            "ratio {ratio} out of plausible range"
+        );
     }
 
     #[test]
@@ -164,6 +170,9 @@ mod tests {
             reg.execute(sig, &mut serial);
         }
         serial.apply_insert_buffers();
-        assert!(db1 == serial, "ad-hoc execution must match the sequential replay");
+        assert!(
+            db1 == serial,
+            "ad-hoc execution must match the sequential replay"
+        );
     }
 }

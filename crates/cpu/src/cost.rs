@@ -83,6 +83,9 @@ mod tests {
         let t = trace(1600, 4);
         let cpu_s = trace_cpu_seconds(&t, &cpu);
         let gpu_s = gpu_model.isolated_thread_cycles(&t) / 1.3e9;
-        assert!(gpu_s > cpu_s, "a lone GPU core must be slower than a CPU core");
+        assert!(
+            gpu_s > cpu_s,
+            "a lone GPU core must be slower than a CPU core"
+        );
     }
 }

@@ -106,8 +106,7 @@ impl CpuEngine {
 
         for sig in sorted {
             let (trace, outcome, _) = registry.execute(sig, db);
-            let seconds =
-                trace_cpu_seconds(&trace, &self.spec) + CPU_DISPATCH_OVERHEAD_NS * 1e-9;
+            let seconds = trace_cpu_seconds(&trace, &self.spec) + CPU_DISPATCH_OVERHEAD_NS * 1e-9;
             match registry.partition_key(sig) {
                 Some(key) => {
                     let partition = key / self.partition_size;
@@ -155,7 +154,8 @@ mod tests {
             vec![0],
         ));
         for i in 0..rows {
-            db.table_mut(t).insert(vec![Value::Int(i), Value::Double(0.0)]);
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Double(0.0)]);
         }
         let mut reg = ProcedureRegistry::new();
         reg.register(ProcedureDef::new(

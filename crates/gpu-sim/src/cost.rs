@@ -108,7 +108,8 @@ impl CostModel {
     }
 
     fn sync_cycles(&self, trace: &ThreadTrace) -> f64 {
-        let atomic = (trace.atomic_ops + trace.atomic_retries) as f64 * self.spec.atomic_cycles as f64;
+        let atomic =
+            (trace.atomic_ops + trace.atomic_retries) as f64 * self.spec.atomic_cycles as f64;
         let lock_acquire = trace.lock_acquisitions as f64 * self.spec.atomic_cycles as f64;
         let spin = trace.lock_spin_rounds as f64 * self.spec.spin_iteration_cycles as f64;
         atomic + lock_acquire + spin
@@ -197,7 +198,8 @@ impl CostModel {
             cycles: body + launch_overhead,
             compute_cycles: warp_cost.compute_cycles * warps_on_critical_sm,
             memory_cycles: if bandwidth_bound {
-                warp_cost.memory_cycles * warps_on_critical_sm + (bandwidth_cycles - critical_cycles)
+                warp_cost.memory_cycles * warps_on_critical_sm
+                    + (bandwidth_cycles - critical_cycles)
             } else {
                 warp_cost.memory_cycles * warps_on_critical_sm
             },

@@ -70,7 +70,11 @@ impl DeviceMemory {
     }
 
     /// Allocate `bytes` bytes under a label.
-    pub fn alloc(&mut self, label: impl Into<String>, bytes: u64) -> Result<AllocationId, OutOfDeviceMemory> {
+    pub fn alloc(
+        &mut self,
+        label: impl Into<String>,
+        bytes: u64,
+    ) -> Result<AllocationId, OutOfDeviceMemory> {
         let available = self.available();
         if bytes > available {
             return Err(OutOfDeviceMemory {

@@ -48,6 +48,8 @@ mod tests {
         let mut gpu = Gpu::c1060();
         let empty: Vec<i32> = vec![];
         assert!(compact(&mut gpu, &empty, |_| true).value.is_empty());
-        assert!(compact(&mut gpu, &[1, 3, 5], |x| x % 2 == 0).value.is_empty());
+        assert!(compact(&mut gpu, &[1, 3, 5], |x| x % 2 == 0)
+            .value
+            .is_empty());
     }
 }

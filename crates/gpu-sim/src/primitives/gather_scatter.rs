@@ -8,17 +8,14 @@ use super::PrimOutput;
 use crate::kernel::Gpu;
 use crate::trace::ThreadTrace;
 
-fn access_trace(bytes: u64, read: bool) -> ThreadTrace {
+fn access_trace(bytes: u64) -> ThreadTrace {
     let mut t = ThreadTrace::new(0);
-    // Read the index, then access the target element.
+    // Read the index, then move the element: gather reads the source and
+    // writes the output, scatter reads the value and writes the target —
+    // either direction costs one element read plus one element write.
     t.read(8);
-    if read {
-        t.read(bytes);
-        t.write(bytes);
-    } else {
-        t.read(bytes);
-        t.write(bytes);
-    }
+    t.read(bytes);
+    t.write(bytes);
     t
 }
 
@@ -30,7 +27,7 @@ pub fn gather<T: Clone>(
     element_bytes: u64,
 ) -> PrimOutput<Vec<T>> {
     let out: Vec<T> = indices.iter().map(|&i| source[i].clone()).collect();
-    let report = gpu.launch_uniform("gather", indices.len(), &access_trace(element_bytes, true));
+    let report = gpu.launch_uniform("gather", indices.len(), &access_trace(element_bytes));
     PrimOutput::new(out, vec![report])
 }
 
@@ -45,18 +42,25 @@ pub fn scatter<T: Clone>(
     values: &[T],
     element_bytes: u64,
 ) -> PrimOutput<()> {
-    assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+    assert_eq!(
+        indices.len(),
+        values.len(),
+        "indices/values length mismatch"
+    );
     #[cfg(debug_assertions)]
     {
         let mut seen = std::collections::HashSet::new();
         for &i in indices {
-            assert!(seen.insert(i), "duplicate scatter index {i} would be a data race");
+            assert!(
+                seen.insert(i),
+                "duplicate scatter index {i} would be a data race"
+            );
         }
     }
     for (&i, v) in indices.iter().zip(values.iter()) {
         target[i] = v.clone();
     }
-    let report = gpu.launch_uniform("scatter", indices.len(), &access_trace(element_bytes, false));
+    let report = gpu.launch_uniform("scatter", indices.len(), &access_trace(element_bytes));
     PrimOutput::new((), vec![report])
 }
 

@@ -107,7 +107,9 @@ mod tests {
     #[test]
     fn sorts_random_pairs() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut keys: Vec<u64> = (0..10_000).map(|_| rng.random_range(0..1_000_000)).collect();
+        let mut keys: Vec<u64> = (0..10_000)
+            .map(|_| rng.random_range(0..1_000_000))
+            .collect();
         let mut vals: Vec<u64> = (0..10_000u64).collect();
         let mut expected: Vec<(u64, u64)> =
             keys.iter().copied().zip(vals.iter().copied()).collect();
@@ -136,7 +138,9 @@ mod tests {
     fn partial_sort_uses_fewer_passes_and_less_time() {
         let mut rng = StdRng::seed_from_u64(3);
         let make = |rng: &mut StdRng| -> (Vec<u64>, Vec<u64>) {
-            let keys: Vec<u64> = (0..50_000).map(|_| rng.random_range(0..u32::MAX as u64)).collect();
+            let keys: Vec<u64> = (0..50_000)
+                .map(|_| rng.random_range(0..u32::MAX as u64))
+                .collect();
             let vals: Vec<u64> = (0..50_000u64).collect();
             (keys, vals)
         };

@@ -45,7 +45,10 @@ pub fn upper_bound(gpu: &mut Gpu, sorted: &[u64], queries: &[u64]) -> PrimOutput
 ///
 /// Returns one `(key, range)` pair per group, in key order. This is the "map
 /// primitive to identify the boundary of the groups" of §4.2.
-pub fn segment_boundaries(gpu: &mut Gpu, sorted_keys: &[u64]) -> PrimOutput<Vec<(u64, Range<usize>)>> {
+pub fn segment_boundaries(
+    gpu: &mut Gpu,
+    sorted_keys: &[u64],
+) -> PrimOutput<Vec<(u64, Range<usize>)>> {
     let mut groups = Vec::new();
     let mut start = 0usize;
     for i in 1..=sorted_keys.len() {
@@ -83,10 +86,7 @@ mod tests {
         let mut gpu = Gpu::c1060();
         let keys = vec![2u64, 2, 2, 5, 5, 9];
         let groups = segment_boundaries(&mut gpu, &keys).value;
-        assert_eq!(
-            groups,
-            vec![(2, 0..3), (5, 3..5), (9, 5..6)]
-        );
+        assert_eq!(groups, vec![(2, 0..3), (5, 3..5), (9, 5..6)]);
     }
 
     #[test]

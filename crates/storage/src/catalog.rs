@@ -82,7 +82,9 @@ impl Database {
 
     /// Access a table by name, panicking when missing.
     pub fn table_by_name(&self, name: &str) -> &Table {
-        let id = self.table_id(name).unwrap_or_else(|| panic!("no table named {name}"));
+        let id = self
+            .table_id(name)
+            .unwrap_or_else(|| panic!("no table named {name}"));
         self.table(id)
     }
 
@@ -249,9 +251,13 @@ mod tests {
         let (mut db, t) = setup();
         db.table_mut(t)
             .buffered_insert(0, vec![Value::Int(100), Value::Double(5.0)]);
-        assert!(db.lookup_unique(t, "pk", &IndexKey::single(100i64)).is_none());
+        assert!(db
+            .lookup_unique(t, "pk", &IndexKey::single(100i64))
+            .is_none());
         db.apply_insert_buffers();
-        let row = db.lookup_unique(t, "pk", &IndexKey::single(100i64)).unwrap();
+        let row = db
+            .lookup_unique(t, "pk", &IndexKey::single(100i64))
+            .unwrap();
         assert_eq!(db.table(t).get(row, 1), Value::Double(5.0));
     }
 

@@ -201,7 +201,11 @@ mod tests {
     fn push_get_set_round_trip() {
         let s = schema();
         let mut cs = ColumnStore::new(&s);
-        cs.push_row(&[Value::Int(1), Value::Double(10.0), Value::Str("alice".into())]);
+        cs.push_row(&[
+            Value::Int(1),
+            Value::Double(10.0),
+            Value::Str("alice".into()),
+        ]);
         cs.push_row(&[Value::Int(2), Value::Double(20.0), Value::Str("bob".into())]);
         assert_eq!(cs.num_rows(), 2);
         assert_eq!(cs.get(0, 0), Value::Int(1));
@@ -218,7 +222,11 @@ mod tests {
     fn string_updates_re_point_descriptors() {
         let s = schema();
         let mut cs = ColumnStore::new(&s);
-        cs.push_row(&[Value::Int(1), Value::Double(0.0), Value::Str("short".into())]);
+        cs.push_row(&[
+            Value::Int(1),
+            Value::Double(0.0),
+            Value::Str("short".into()),
+        ]);
         cs.set(0, 2, &Value::Str("a much longer string".into()));
         assert_eq!(cs.get(0, 2), Value::Str("a much longer string".into()));
     }

@@ -176,7 +176,10 @@ mod tests {
     fn key_of_extracts_indexed_columns() {
         let idx = HashIndex::new("pk", vec![2, 0], true);
         let row = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
-        assert_eq!(idx.key_of(&row), IndexKey(vec![Value::Int(3), Value::Int(1)]));
+        assert_eq!(
+            idx.key_of(&row),
+            IndexKey(vec![Value::Int(3), Value::Int(1)])
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl TableSchema {
     pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, primary_key: Vec<usize>) -> Self {
         let name = name.into();
         for &pk in &primary_key {
-            assert!(pk < columns.len(), "primary key column {pk} out of range in table {name}");
+            assert!(
+                pk < columns.len(),
+                "primary key column {pk} out of range in table {name}"
+            );
         }
         for i in 0..columns.len() {
             for j in (i + 1)..columns.len() {

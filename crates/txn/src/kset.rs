@@ -107,7 +107,10 @@ pub fn rank_ksets(transactions: &[(TxnId, Vec<BasicOp>)]) -> KSetResult {
     let mut groups: HashMap<u64, Vec<(TxnId, OpKind)>> = HashMap::new();
     for (id, ops) in transactions {
         for op in dedup_strongest(ops) {
-            groups.entry(op.item.as_u64()).or_default().push((*id, op.kind));
+            groups
+                .entry(op.item.as_u64())
+                .or_default()
+                .push((*id, op.kind));
         }
     }
     let mut result = KSetResult::default();
@@ -338,10 +341,26 @@ mod tests {
         let b = item(1);
         let c = item(2);
         vec![
-            (1, vec![BasicOp::read(a), BasicOp::read(b), BasicOp::write(a), BasicOp::write(b)]),
+            (
+                1,
+                vec![
+                    BasicOp::read(a),
+                    BasicOp::read(b),
+                    BasicOp::write(a),
+                    BasicOp::write(b),
+                ],
+            ),
             (2, vec![BasicOp::read(a)]),
             (3, vec![BasicOp::read(a), BasicOp::read(b)]),
-            (4, vec![BasicOp::read(c), BasicOp::write(c), BasicOp::read(a), BasicOp::write(a)]),
+            (
+                4,
+                vec![
+                    BasicOp::read(c),
+                    BasicOp::write(c),
+                    BasicOp::read(a),
+                    BasicOp::write(a),
+                ],
+            ),
         ]
     }
 

@@ -128,9 +128,7 @@ impl<'a> TxnCtx<'a> {
     fn field_bytes(&self, table: TableId) -> u64 {
         match self.db.layout() {
             gputx_storage::StorageLayout::Column => 8,
-            gputx_storage::StorageLayout::Row => {
-                self.db.table(table).schema().row_width_bytes()
-            }
+            gputx_storage::StorageLayout::Row => self.db.table(table).schema().row_width_bytes(),
         }
     }
 
@@ -174,10 +172,12 @@ impl<'a> TxnCtx<'a> {
     /// Insert a row through the table's insert buffer (§3.2): the row becomes
     /// visible when the engine applies the buffers after the bulk.
     pub fn insert(&mut self, table: TableId, row: Vec<Value>) {
-        self.trace.write(self.db.table(table).schema().row_width_bytes());
+        self.trace
+            .write(self.db.table(table).schema().row_width_bytes());
         let tag = self.txn_id;
         self.db.table_mut(table).buffered_insert(tag, row);
-        self.undo.push(UndoRecord::BufferedInsert { table, count: 1 });
+        self.undo
+            .push(UndoRecord::BufferedInsert { table, count: 1 });
     }
 
     /// Delete a row (undo-logged).
@@ -255,6 +255,14 @@ impl<'a> TxnCtx<'a> {
     }
 }
 
+/// Callback computing a procedure's read/write set from its parameters and
+/// the current database state.
+pub type ReadWriteSetFn = Arc<dyn Fn(&[Value], &Database) -> Vec<BasicOp> + Send + Sync>;
+
+/// Callback computing a procedure's partitioning key from its parameters;
+/// `None` marks a cross-partition transaction.
+pub type PartitionKeyFn = Arc<dyn Fn(&[Value]) -> Option<u64> + Send + Sync>;
+
 /// A registered transaction type.
 #[derive(Clone)]
 pub struct ProcedureDef {
@@ -266,10 +274,10 @@ pub struct ProcedureDef {
     pub two_phase: bool,
     /// Declared read/write set for a given parameter list. Evaluated against
     /// the current database (index lookups resolve row ids).
-    pub read_write_set: Arc<dyn Fn(&[Value], &Database) -> Vec<BasicOp> + Send + Sync>,
+    pub read_write_set: ReadWriteSetFn,
     /// Partitioning key for a given parameter list; `None` marks a
     /// cross-partition transaction.
-    pub partition_key: Arc<dyn Fn(&[Value]) -> Option<u64> + Send + Sync>,
+    pub partition_key: PartitionKeyFn,
     /// The procedure body.
     pub execute: Arc<dyn Fn(&mut TxnCtx<'_>) + Send + Sync>,
 }
@@ -351,7 +359,11 @@ impl ProcedureRegistry {
     /// Execute one transaction: the "switch clause" dispatch. Returns the
     /// thread trace (for the cost model), the outcome, and the number of undo
     /// records the transaction wrote before committing/aborting.
-    pub fn execute(&self, sig: &TxnSignature, db: &mut Database) -> (ThreadTrace, TxnOutcome, usize) {
+    pub fn execute(
+        &self,
+        sig: &TxnSignature,
+        db: &mut Database,
+    ) -> (ThreadTrace, TxnOutcome, usize) {
         let def = self.get(sig.ty);
         let mut ctx = TxnCtx::new(db, &sig.params, sig.ty, sig.id);
         (def.execute)(&mut ctx);
@@ -415,7 +427,11 @@ mod tests {
         let (mut db, t) = test_db();
         let mut reg = ProcedureRegistry::new();
         let ty = reg.register(transfer_proc(t));
-        let sig = TxnSignature::new(0, ty, vec![Value::Int(0), Value::Int(1), Value::Double(25.0)]);
+        let sig = TxnSignature::new(
+            0,
+            ty,
+            vec![Value::Int(0), Value::Int(1), Value::Double(25.0)],
+        );
         let (trace, outcome, undo) = reg.execute(&sig, &mut db);
         assert_eq!(outcome, TxnOutcome::Committed);
         assert_eq!(db.table(t).get(0, 1), Value::Double(75.0));
@@ -434,10 +450,17 @@ mod tests {
         let ty = reg.register(transfer_proc(t));
         // Asking to move more money than row 0 has triggers an abort before
         // any write, so the database must be unchanged.
-        let sig = TxnSignature::new(0, ty, vec![Value::Int(0), Value::Int(1), Value::Double(1e9)]);
+        let sig = TxnSignature::new(
+            0,
+            ty,
+            vec![Value::Int(0), Value::Int(1), Value::Double(1e9)],
+        );
         let (_, outcome, _) = reg.execute(&sig, &mut db);
         assert!(matches!(outcome, TxnOutcome::Aborted(_)));
-        assert!(db == before, "abort before any write must leave the database unchanged");
+        assert!(
+            db == before,
+            "abort before any write must leave the database unchanged"
+        );
     }
 
     #[test]

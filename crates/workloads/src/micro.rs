@@ -126,13 +126,7 @@ impl MicroWorkload {
             (ty, vec![Value::Int(row as i64)])
         });
 
-        WorkloadBundle::new(
-            "micro",
-            db,
-            registry,
-            config.num_tuples,
-            generator,
-        )
+        WorkloadBundle::new("micro", db, registry, config.num_tuples, generator)
     }
 }
 
@@ -165,7 +159,10 @@ mod tests {
     #[test]
     fn skew_targets_first_tuple() {
         let mut w = MicroWorkload::build(
-            &MicroConfig::default().with_types(2).with_tuples(1000).with_skew(0.9),
+            &MicroConfig::default()
+                .with_types(2)
+                .with_tuples(1000)
+                .with_skew(0.9),
         );
         let txns = w.generate(2000);
         let hot = txns.iter().filter(|(_, p)| p[0].as_int() == 0).count();
@@ -175,7 +172,10 @@ mod tests {
     #[test]
     fn executes_on_the_engine_and_updates_values() {
         let mut w = MicroWorkload::build(
-            &MicroConfig::default().with_types(4).with_compute(1).with_tuples(256),
+            &MicroConfig::default()
+                .with_types(4)
+                .with_compute(1)
+                .with_tuples(256),
         );
         let sigs = w.generate_signatures(1000, 0);
         let mut gpu = Gpu::c1060();
@@ -195,6 +195,9 @@ mod tests {
             .map(|r| table.get(r, 1).as_double())
             .sum();
         let base: f64 = (0..256u64).map(|i| i as f64).sum();
-        assert!((sum - base - 1000.0).abs() < 1e-3, "sum {sum} vs base {base}");
+        assert!(
+            (sum - base - 1000.0).abs() < 1e-3,
+            "sum {sum} vs base {base}"
+        );
     }
 }

@@ -69,7 +69,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let hot = SkewedPicker::new(0.8, 50);
         let hits = (0..10_000).filter(|_| hot.pick(&mut rng) == 0).count();
-        assert!((7_500..8_500).contains(&hits), "got {hits} hot hits out of 10000");
+        assert!(
+            (7_500..8_500).contains(&hits),
+            "got {hits} hot hits out of 10000"
+        );
     }
 
     #[test]

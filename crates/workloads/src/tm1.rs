@@ -305,7 +305,8 @@ impl Tm1Config {
             by_sid,
             move |ctx| {
                 let nbr = ctx.param_str(1).to_string();
-                let Some(s_row) = ctx.lookup_unique(sub_t, "by_nbr", &IndexKey::single(nbr.as_str()))
+                let Some(s_row) =
+                    ctx.lookup_unique(sub_t, "by_nbr", &IndexKey::single(nbr.as_str()))
                 else {
                     ctx.abort("unknown subscriber number");
                     return;
@@ -314,7 +315,10 @@ impl Tm1Config {
                 let sf_type = ctx.param_int(2);
                 let start = ctx.param_int(3);
                 let end = ctx.param_int(4);
-                if ctx.lookup_unique(sf_t, "pk", &IndexKey::pair(s, sf_type)).is_none() {
+                if ctx
+                    .lookup_unique(sf_t, "pk", &IndexKey::pair(s, sf_type))
+                    .is_none()
+                {
                     ctx.abort("special facility not found");
                     return;
                 }
@@ -396,19 +400,21 @@ impl Tm1Config {
                     Value::Int(rng.random_range(1..=4)),
                     Value::Int(rng.random_range(0..256)),
                 ],
-                types::UPDATE_LOCATION => vec![Value::Int(s), nbr, Value::Int(rng.random_range(0..1000))],
+                types::UPDATE_LOCATION => {
+                    vec![Value::Int(s), nbr, Value::Int(rng.random_range(0..1000))]
+                }
                 types::INSERT_CALL_FORWARDING => vec![
                     Value::Int(s),
                     nbr,
                     Value::Int(rng.random_range(1..=4)),
-                    Value::Int(rng.random_range(0..3) * 8),
+                    Value::Int(rng.random_range(0i64..3) * 8),
                     Value::Int(rng.random_range(1..24)),
                 ],
                 _ => vec![
                     Value::Int(s),
                     nbr,
                     Value::Int(rng.random_range(1..=4)),
-                    Value::Int(rng.random_range(0..3) * 8),
+                    Value::Int(rng.random_range(0i64..3) * 8),
                 ],
             };
             (ty, params)
@@ -434,7 +440,10 @@ mod tests {
     fn population_and_schema() {
         let w = small();
         assert_eq!(w.db.num_tables(), 4);
-        assert_eq!(w.db.table_by_name("subscriber").num_rows() as u64, SUBSCRIBERS_PER_SF);
+        assert_eq!(
+            w.db.table_by_name("subscriber").num_rows() as u64,
+            SUBSCRIBERS_PER_SF
+        );
         assert!(w.db.table_by_name("access_info").num_rows() > 0);
         assert!(w.db.table_by_name("call_forwarding").num_rows() > 0);
         assert_eq!(w.registry.num_types(), 7);
@@ -467,7 +476,11 @@ mod tests {
         };
         let out = execute_bulk(&mut ctx, StrategyKind::Kset, &Bulk::new(sigs));
         assert_eq!(out.committed + out.aborted, 3000);
-        assert!(out.committed > 2000, "most transactions commit ({})", out.committed);
+        assert!(
+            out.committed > 2000,
+            "most transactions commit ({})",
+            out.committed
+        );
         assert!(out.aborted > 0, "TM1 has a non-trivial abort rate");
     }
 
@@ -500,7 +513,11 @@ mod tests {
         let sig = gputx_txn::TxnSignature::new(
             0,
             types::UPDATE_LOCATION,
-            vec![Value::Int(5), Value::Str(format!("{:015}", 5)), Value::Int(777)],
+            vec![
+                Value::Int(5),
+                Value::Str(format!("{:015}", 5)),
+                Value::Int(777),
+            ],
         );
         let (_, outcome, _) = w.registry.execute(&sig, &mut db);
         assert!(outcome.is_committed());

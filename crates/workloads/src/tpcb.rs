@@ -198,7 +198,9 @@ mod tests {
         // sum of teller balances == sum of history deltas.
         let sum = |table: &str, col: usize| -> f64 {
             let t = db.table_by_name(table);
-            (0..t.num_rows() as u64).map(|r| t.get(r, col).as_double()).sum()
+            (0..t.num_rows() as u64)
+                .map(|r| t.get(r, col).as_double())
+                .sum()
         };
         let branches = sum("branch", 1);
         let tellers = sum("teller", 2);

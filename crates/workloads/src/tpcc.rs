@@ -321,7 +321,11 @@ impl TpccConfig {
                         .lookup_unique(stock_t, "pk", &IndexKey::pair(supply_w, i_id))
                         .expect("stock exists");
                     let s_qty = ctx.read(stock_t, s_row, 2).as_int();
-                    let new_qty = if s_qty >= qty + 10 { s_qty - qty } else { s_qty - qty + 91 };
+                    let new_qty = if s_qty >= qty + 10 {
+                        s_qty - qty
+                    } else {
+                        s_qty - qty + 91
+                    };
                     if new_qty < 0 {
                         all_in_stock = false;
                     }
@@ -391,14 +395,19 @@ impl TpccConfig {
                 // Find the customer (60 % by last name per the specification).
                 let c_row = if by_last {
                     let name = ctx.param_str(6).to_string();
-                    let rows = ctx.lookup(cust_t, "by_last", &IndexKey::triple(cw, cd, name.as_str()));
+                    let rows =
+                        ctx.lookup(cust_t, "by_last", &IndexKey::triple(cw, cd, name.as_str()));
                     if rows.is_empty() {
                         ctx.abort("no customer with that last name");
                         return;
                     }
                     rows[rows.len() / 2]
                 } else {
-                    match ctx.lookup_unique(cust_t, "pk", &IndexKey::triple(cw, cd, ctx.param_int(5))) {
+                    match ctx.lookup_unique(
+                        cust_t,
+                        "pk",
+                        &IndexKey::triple(cw, cd, ctx.param_int(5)),
+                    ) {
                         Some(r) => r,
                         None => {
                             ctx.abort("customer not found");
@@ -444,14 +453,16 @@ impl TpccConfig {
                 let by_last = ctx.param_int(2) == 1;
                 let c_row = if by_last {
                     let name = ctx.param_str(4).to_string();
-                    let rows = ctx.lookup(cust_t, "by_last", &IndexKey::triple(w, d, name.as_str()));
+                    let rows =
+                        ctx.lookup(cust_t, "by_last", &IndexKey::triple(w, d, name.as_str()));
                     if rows.is_empty() {
                         ctx.abort("no customer with that last name");
                         return;
                     }
                     rows[rows.len() / 2]
                 } else {
-                    match ctx.lookup_unique(cust_t, "pk", &IndexKey::triple(w, d, ctx.param_int(3))) {
+                    match ctx.lookup_unique(cust_t, "pk", &IndexKey::triple(w, d, ctx.param_int(3)))
+                    {
                         Some(r) => r,
                         None => {
                             ctx.abort("customer not found");
@@ -533,7 +544,8 @@ impl TpccConfig {
                 let mut low = 0;
                 for i in 0..20i64 {
                     let i_id = (d * 20 + i) % NUM_ITEMS as i64;
-                    if let Some(s_row) = ctx.lookup_unique(stock_t, "pk", &IndexKey::pair(w, i_id)) {
+                    if let Some(s_row) = ctx.lookup_unique(stock_t, "pk", &IndexKey::pair(w, i_id))
+                    {
                         if ctx.read(stock_t, s_row, 2).as_int() < threshold {
                             low += 1;
                         }
@@ -612,12 +624,20 @@ impl TpccConfig {
             } else if roll < 96 {
                 (
                     types::DELIVERY as TxnTypeId,
-                    vec![Value::Int(w), Value::Int(d), Value::Int(rng.random_range(1..=10i64))],
+                    vec![
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(rng.random_range(1..=10i64)),
+                    ],
                 )
             } else {
                 (
                     types::STOCK_LEVEL as TxnTypeId,
-                    vec![Value::Int(w), Value::Int(d), Value::Int(rng.random_range(10..=20i64))],
+                    vec![
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(rng.random_range(10..=20i64)),
+                    ],
                 )
             }
         });
@@ -644,7 +664,10 @@ mod tests {
         let cfg = TpccConfig::default().with_warehouses(2);
         let w = cfg.build();
         assert_eq!(w.db.table_by_name("warehouse").num_rows(), 2);
-        assert_eq!(w.db.table_by_name("district").num_rows() as u64, 2 * DISTRICTS_PER_WAREHOUSE);
+        assert_eq!(
+            w.db.table_by_name("district").num_rows() as u64,
+            2 * DISTRICTS_PER_WAREHOUSE
+        );
         assert_eq!(
             w.db.table_by_name("customer").num_rows() as u64,
             2 * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT
@@ -657,7 +680,10 @@ mod tests {
 
     #[test]
     fn new_order_grows_orders_and_order_lines() {
-        let mut w = TpccConfig::default().with_warehouses(1).single_partition_only().build();
+        let mut w = TpccConfig::default()
+            .with_warehouses(1)
+            .single_partition_only()
+            .build();
         let sigs: Vec<_> = w
             .generate_signatures(500, 0)
             .into_iter()
@@ -695,7 +721,9 @@ mod tests {
             .build();
         let mut single = single;
         let sigs2 = single.generate_signatures(2000, 0);
-        assert!(sigs2.iter().all(|s| single.registry.partition_key(s).is_some()));
+        assert!(sigs2
+            .iter()
+            .all(|s| single.registry.partition_key(s).is_some()));
     }
 
     #[test]
@@ -722,7 +750,10 @@ mod tests {
 
     #[test]
     fn payment_keeps_ytd_consistent() {
-        let mut w = TpccConfig::default().with_warehouses(1).single_partition_only().build();
+        let mut w = TpccConfig::default()
+            .with_warehouses(1)
+            .single_partition_only()
+            .build();
         let sigs: Vec<_> = w
             .generate_signatures(1000, 0)
             .into_iter()
@@ -741,11 +772,17 @@ mod tests {
         assert!(out.committed > 0);
         // Warehouse YTD equals the sum of district YTDs equals history amounts.
         let wh = db.table_by_name("warehouse");
-        let w_ytd: f64 = (0..wh.num_rows() as u64).map(|r| wh.get(r, 1).as_double()).sum();
+        let w_ytd: f64 = (0..wh.num_rows() as u64)
+            .map(|r| wh.get(r, 1).as_double())
+            .sum();
         let dist = db.table_by_name("district");
-        let d_ytd: f64 = (0..dist.num_rows() as u64).map(|r| dist.get(r, 2).as_double()).sum();
+        let d_ytd: f64 = (0..dist.num_rows() as u64)
+            .map(|r| dist.get(r, 2).as_double())
+            .sum();
         let hist = db.table_by_name("history");
-        let h_sum: f64 = (0..hist.num_rows() as u64).map(|r| hist.get(r, 3).as_double()).sum();
+        let h_sum: f64 = (0..hist.num_rows() as u64)
+            .map(|r| hist.get(r, 3).as_double())
+            .sum();
         assert!((w_ytd - d_ytd).abs() < 1e-6);
         assert!((d_ytd - h_sum).abs() < 1e-6);
     }

@@ -30,7 +30,13 @@ fn main() {
     let mut registry = ProcedureRegistry::new();
     let deposit = registry.register(ProcedureDef::new(
         "deposit",
-        move |params, _db| vec![BasicOp::write(DataItemId::new(accounts, params[0].as_int() as u64, 1))],
+        move |params, _db| {
+            vec![BasicOp::write(DataItemId::new(
+                accounts,
+                params[0].as_int() as u64,
+                1,
+            ))]
+        },
         |params| Some(params[0].as_int() as u64),
         move |ctx| {
             let row = ctx.param_int(0) as u64;
@@ -54,7 +60,10 @@ fn main() {
 
     // 4. Submit a burst of transactions and execute them as bulks.
     for i in 0..100_000u64 {
-        engine.submit(deposit, vec![Value::Int((i % 10_000) as i64), Value::Double(5.0)]);
+        engine.submit(
+            deposit,
+            vec![Value::Int((i % 10_000) as i64), Value::Double(5.0)],
+        );
     }
     let reports = engine.run_until_empty();
 

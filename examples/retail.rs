@@ -33,7 +33,11 @@ fn run_case(label: &str, cfg: TpccConfig, n_txns: usize) {
         println!(
             "  {strategy:<5} {:>8.0} ktps{}  ({} committed, {} aborted)",
             gputx_sim::Throughput::from_count(out.transactions as u64, out.total()).ktps(),
-            if out.fell_back_to_tpl { "  [fell back to TPL]" } else { "" },
+            if out.fell_back_to_tpl {
+                "  [fell back to TPL]"
+            } else {
+                ""
+            },
             out.committed,
             out.aborted
         );
@@ -51,7 +55,9 @@ fn main() {
     // Single-partition variant: everything stays within its home warehouse.
     run_case(
         "TPC-C single-partition variant",
-        TpccConfig::default().with_warehouses(4).single_partition_only(),
+        TpccConfig::default()
+            .with_warehouses(4)
+            .single_partition_only(),
         20_000,
     );
 }

@@ -7,11 +7,17 @@ use gputx_cpu::engine::CpuEngine;
 use gputx_sim::Gpu;
 use gputx_storage::Database;
 use gputx_txn::{ProcedureRegistry, TxnSignature};
-use gputx_workloads::{MicroConfig, MicroWorkload, Tm1Config, TpcbConfig, TpccConfig, WorkloadBundle};
+use gputx_workloads::{
+    MicroConfig, MicroWorkload, Tm1Config, TpcbConfig, TpccConfig, WorkloadBundle,
+};
 
 /// Sequentially execute a bulk in timestamp order (the reference of
 /// Definition 1).
-fn sequential_replay(db: &Database, registry: &ProcedureRegistry, sigs: &[TxnSignature]) -> Database {
+fn sequential_replay(
+    db: &Database,
+    registry: &ProcedureRegistry,
+    sigs: &[TxnSignature],
+) -> Database {
     let mut out = db.clone();
     let mut sorted: Vec<&TxnSignature> = sigs.iter().collect();
     sorted.sort_by_key(|s| s.id);
@@ -24,7 +30,13 @@ fn sequential_replay(db: &Database, registry: &ProcedureRegistry, sigs: &[TxnSig
 
 fn all_workloads() -> Vec<WorkloadBundle> {
     vec![
-        MicroWorkload::build(&MicroConfig::default().with_types(4).with_compute(1).with_tuples(2_000).with_skew(0.3)),
+        MicroWorkload::build(
+            &MicroConfig::default()
+                .with_types(4)
+                .with_compute(1)
+                .with_tuples(2_000)
+                .with_skew(0.3),
+        ),
         TpcbConfig::default().with_scale_factor(4).build(),
         Tm1Config { scale_factor: 1 }.build(),
         TpccConfig::default().with_warehouses(2).build(),

@@ -11,7 +11,12 @@ use gputx_workloads::{MicroConfig, MicroWorkload, Tm1Config, TpccConfig};
 #[test]
 fn auto_selection_prefers_kset_on_wide_workloads_and_part_on_narrow_ones() {
     // Wide: 20k independent transactions — a huge 0-set.
-    let mut wide = MicroWorkload::build(&MicroConfig::default().with_types(4).with_compute(1).with_tuples(100_000));
+    let mut wide = MicroWorkload::build(
+        &MicroConfig::default()
+            .with_types(4)
+            .with_compute(1)
+            .with_tuples(100_000),
+    );
     let mut engine = GpuTxEngine::new(
         wide.db.clone(),
         wide.registry.clone(),
@@ -24,8 +29,13 @@ fn auto_selection_prefers_kset_on_wide_workloads_and_part_on_narrow_ones() {
     assert_eq!(report.strategy, StrategyKind::Kset);
 
     // Narrow: extreme skew — a tiny 0-set and a deep graph.
-    let mut narrow =
-        MicroWorkload::build(&MicroConfig::default().with_types(4).with_compute(1).with_tuples(1_000).with_skew(0.98));
+    let mut narrow = MicroWorkload::build(
+        &MicroConfig::default()
+            .with_types(4)
+            .with_compute(1)
+            .with_tuples(1_000)
+            .with_skew(0.98),
+    );
     let mut engine = GpuTxEngine::new(
         narrow.db.clone(),
         narrow.registry.clone(),
@@ -35,7 +45,11 @@ fn auto_selection_prefers_kset_on_wide_workloads_and_part_on_narrow_ones() {
         engine.submit(ty, params);
     }
     let report = engine.execute_pending().unwrap();
-    assert_ne!(report.strategy, StrategyKind::Kset, "a tiny 0-set must not pick K-SET");
+    assert_ne!(
+        report.strategy,
+        StrategyKind::Kset,
+        "a tiny 0-set must not pick K-SET"
+    );
 }
 
 #[test]
@@ -47,7 +61,8 @@ fn gputx_outperforms_the_quad_core_cpu_on_tm1() {
     let gpu = gputx_bench_helpers::gpu_throughput(&mut bundle, n);
     let sigs = bundle.generate_signatures(n, 0);
     let mut cpu_db = bundle.db.clone();
-    let cpu_report = CpuEngine::new(CpuSpec::xeon_e5520()).execute_bulk(&mut cpu_db, &bundle.registry, &sigs);
+    let cpu_report =
+        CpuEngine::new(CpuSpec::xeon_e5520()).execute_bulk(&mut cpu_db, &bundle.registry, &sigs);
     assert!(
         gpu.tps() > cpu_report.throughput().tps(),
         "GPUTx ({:.0} ktps) should outperform the quad-core CPU ({:.0} ktps)",
@@ -59,7 +74,10 @@ fn gputx_outperforms_the_quad_core_cpu_on_tm1() {
 #[test]
 fn grouping_by_type_improves_throughput_under_divergence() {
     // Figure 3's qualitative claim for high-cost transactions with many types.
-    let cfg = MicroConfig::default().with_types(32).with_compute(16).with_tuples(50_000);
+    let cfg = MicroConfig::default()
+        .with_types(32)
+        .with_compute(16)
+        .with_tuples(50_000);
     let run = |passes: u32| {
         let mut bundle = MicroWorkload::build(&cfg);
         let mut engine = GpuTxEngine::new(
@@ -88,7 +106,11 @@ fn grouping_by_type_improves_throughput_under_divergence() {
 #[test]
 fn device_memory_accounts_for_the_resident_database() {
     let bundle = TpccConfig::default().with_warehouses(2).build();
-    let engine = GpuTxEngine::new(bundle.db.clone(), bundle.registry.clone(), EngineConfig::default());
+    let engine = GpuTxEngine::new(
+        bundle.db.clone(),
+        bundle.registry.clone(),
+        EngineConfig::default(),
+    );
     assert_eq!(engine.gpu().memory.used(), bundle.db.device_bytes());
     assert!(engine.load_time().as_millis() > 0.0);
     // Column layout keeps host-only columns (strings) off the device.

@@ -1,0 +1,102 @@
+//! End-to-end smoke test of the facade path: the `examples/quickstart.rs` flow
+//! (engine construction → device load → bulk submission → execution → commit
+//! accounting) driven entirely through the `gputx_suite` re-exports, so the
+//! top-level crate wiring is covered and the example cannot rot silently.
+
+use gputx_suite::core::{EngineConfig, GpuTxEngine};
+use gputx_suite::storage::schema::{ColumnDef, TableSchema};
+use gputx_suite::storage::{DataItemId, DataType, Database, Value};
+use gputx_suite::txn::{BasicOp, ProcedureDef, ProcedureRegistry};
+
+/// Mirror of the quickstart example, scaled down (1k accounts, 10k deposits)
+/// to keep the suite fast.
+#[test]
+fn quickstart_flow_end_to_end() {
+    const ACCOUNTS: i64 = 1_000;
+    const DEPOSITS: u64 = 10_000;
+    const INITIAL: f64 = 100.0;
+    const AMOUNT: f64 = 5.0;
+
+    // Schema + data load.
+    let mut db = Database::column_store();
+    let accounts = db.create_table(TableSchema::new(
+        "accounts",
+        vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("balance", DataType::Double),
+        ],
+        vec![0],
+    ));
+    for i in 0..ACCOUNTS {
+        db.table_mut(accounts)
+            .insert(vec![Value::Int(i), Value::Double(INITIAL)]);
+    }
+
+    // One registered transaction type: a deposit with an abort path.
+    let mut registry = ProcedureRegistry::new();
+    let deposit = registry.register(ProcedureDef::new(
+        "deposit",
+        move |params, _db| {
+            vec![BasicOp::write(DataItemId::new(
+                accounts,
+                params[0].as_int() as u64,
+                1,
+            ))]
+        },
+        |params| Some(params[0].as_int() as u64),
+        move |ctx| {
+            let row = ctx.param_int(0) as u64;
+            let amount = ctx.param_double(1);
+            let balance = ctx.read(accounts, row, 1).as_double();
+            if amount < 0.0 && balance + amount < 0.0 {
+                ctx.abort("insufficient funds");
+                return;
+            }
+            ctx.write(accounts, row, 1, Value::Double(balance + amount));
+        },
+    ));
+
+    // Engine construction loads the database into simulated device memory.
+    let mut engine = GpuTxEngine::new(db, registry, EngineConfig::default());
+    assert!(
+        engine.load_time().as_millis() > 0.0,
+        "device load must take simulated time"
+    );
+    assert!(
+        engine.gpu().memory.used() > 0,
+        "database must be resident in device memory"
+    );
+
+    // Submit a burst and execute it as bulks.
+    for i in 0..DEPOSITS {
+        engine.submit(
+            deposit,
+            vec![
+                Value::Int((i % ACCOUNTS as u64) as i64),
+                Value::Double(AMOUNT),
+            ],
+        );
+    }
+    let reports = engine.run_until_empty();
+
+    // Commit counts are sane: every deposit commits, across >= 1 bulks.
+    assert!(!reports.is_empty(), "at least one bulk must execute");
+    let txns: usize = reports.iter().map(|r| r.transactions).sum();
+    assert_eq!(txns, DEPOSITS as usize);
+    assert_eq!(engine.total_committed(), DEPOSITS as usize);
+    assert_eq!(engine.total_aborted(), 0);
+    assert!(engine.overall_throughput().ktps() > 0.0);
+    for report in &reports {
+        assert!(
+            report.total().as_secs() > 0.0,
+            "bulks must take simulated time"
+        );
+    }
+
+    // Every account received exactly DEPOSITS / ACCOUNTS deposits.
+    let expected = INITIAL + AMOUNT * (DEPOSITS / ACCOUNTS as u64) as f64;
+    let table = engine.db().table_by_name("accounts");
+    for row in [0u64, (ACCOUNTS / 2) as u64, (ACCOUNTS - 1) as u64] {
+        assert_eq!(table.get(row, 1), Value::Double(expected));
+    }
+}

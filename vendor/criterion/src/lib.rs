@@ -1,0 +1,193 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the subset of the Criterion 0.5 API used by the bench targets:
+//! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId::new`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros. Instead of Criterion's
+//! statistical machinery it runs each benchmark `sample_size` times and prints
+//! min/mean wall-clock per iteration — enough to eyeball regressions locally
+//! and to keep `cargo bench --no-run` compiling the harness in CI.
+//!
+//! The binaries accept (and ignore) the CLI arguments cargo passes, most
+//! importantly `--bench` and `--test`; under `--test` each benchmark body runs
+//! exactly once so `cargo test --benches` stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once per sample, timing each run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+}
+
+/// The top-level harness state (a stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Parse the CLI arguments cargo passes to bench binaries.
+    pub fn from_args() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let test_mode = self.test_mode;
+        run_one("", &id.into().id, 10, test_mode, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.into().id,
+            self.sample_size,
+            self.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure that borrows a fixed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.id, self.sample_size, self.test_mode, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: if test_mode { 1 } else { sample_size },
+        elapsed: Vec::new(),
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if test_mode {
+        println!("test {label} ... ok");
+    } else if bencher.elapsed.is_empty() {
+        println!("{label}: no samples recorded");
+    } else {
+        let min = bencher.elapsed.iter().min().unwrap();
+        let total: Duration = bencher.elapsed.iter().sum();
+        let mean = total / bencher.elapsed.len() as u32;
+        println!(
+            "{label}: {} samples, min {min:?}, mean {mean:?}",
+            bencher.elapsed.len()
+        );
+    }
+}
+
+/// Define a bench entry point composed of `fn(&mut Criterion)` functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,160 @@
+//! Offline shim for `rand` (0.9-flavoured API surface).
+//!
+//! The build environment has no crates.io access, so this crate implements the
+//! subset of `rand` the workspace actually uses — `Rng::random_range`,
+//! `Rng::random_bool`, `SeedableRng::seed_from_u64` and `rngs::StdRng` — on
+//! top of a splitmix64 generator. All workloads seed explicitly, so runs are
+//! deterministic; statistical quality of splitmix64 is more than adequate for
+//! workload generation. Swapping in the real `rand` later is source-compatible.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A generator seedable from a `u64` (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The raw source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // wrapping_sub handles sign-extended casts of negative bounds.
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                // wrapping_sub handles sign-extended casts of negative bounds.
+                let span = (end as u128).wrapping_sub(start as u128) + 1;
+                start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators (only `StdRng` is provided).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood): full 2^64 period, passes BigCrush.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `rand::prelude`.
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u32 = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let s: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&s));
+            let t: i32 = rng.random_range(-100..-50);
+            assert!((-100..-50).contains(&t));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! just enough surface for the workspace to compile: the `Serialize` /
+//! `Deserialize` trait names and the derive macros (which expand to nothing).
+//! No code in the workspace performs actual serialization yet; when a future
+//! PR needs it, this shim is replaced by the real `serde` via a registry or a
+//! full vendor drop — the source-level API (imports + derives) is identical.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derives accept the same attribute
+//! grammar (`#[serde(...)]`) but expand to nothing. The workspace only uses
+//! the derives as markers; nothing serializes at runtime yet.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
