@@ -10,6 +10,11 @@
 //! Experiments: `fig3 fig4 fig5 fig6 fig7 cost fig8 fig9 fig12 fig13 fig14
 //! fig15 fig16 fig17 adhoc storage all`. Each prints the same rows/series the
 //! paper reports (scaled-down populations; see EXPERIMENTS.md).
+//!
+//! The extra `smoke` experiment (not part of `all`) runs a tiny TM1 bulk for
+//! CI: it prints the usual table and, with `--json <path>`, writes the key
+//! metrics as a JSON file the CI workflow uploads as a perf-trajectory
+//! artifact.
 
 use gputx_bench::{
     adhoc_cpu_throughput, adhoc_gpu_throughput, cpu_workload_throughput, gpu_workload_throughput,
@@ -25,7 +30,16 @@ use gputx_workloads::{MicroConfig, MicroWorkload, Tm1Config, TpcbConfig, TpccCon
 const STRATEGIES: [StrategyKind; 3] = [StrategyKind::Tpl, StrategyKind::Part, StrategyKind::Kset];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--json" {
+            json_path = Some(raw.next().expect("--json requires a file path"));
+        } else {
+            args.push(arg);
+        }
+    }
     let wanted: Vec<&str> = if args.is_empty() {
         vec!["all"]
     } else {
@@ -81,6 +95,94 @@ fn main() {
     }
     if run("storage") {
         storage_comparison();
+    }
+    // The CI smoke is opt-in only; `all` regenerates the paper figures.
+    if wanted.contains(&"smoke") {
+        smoke(json_path.as_deref());
+    }
+}
+
+/// CI smoke: one tiny TM1 bulk through the full engine path, printed as a
+/// table and optionally written as JSON (the first data point of a per-PR
+/// performance trajectory). Also wall-clocks the serial vs parallel(4)
+/// executor on the bulk's partition groups — the pure functional-execution
+/// path, with the database clone kept outside the timed window so the metric
+/// tracks the executor rather than constant setup cost.
+fn smoke(json_path: Option<&str>) {
+    use gputx_exec::{ExecPolicy, Executor, ParallelExecutor, SerialExecutor};
+    use gputx_txn::TxnSignature;
+    use std::collections::BTreeMap;
+
+    banner("CI smoke — tiny TM1 bulk");
+    let n_txns = 4_096;
+    let mut bundle = Tm1Config { scale_factor: 1 }.build();
+    let sigs = bundle.generate_signatures(n_txns, 0);
+    let config = EngineConfig::default();
+    let report = run_gpu_bulk(&bundle, sigs.clone(), StrategyKind::Kset, &config);
+
+    let mut by_partition: BTreeMap<u64, Vec<&TxnSignature>> = BTreeMap::new();
+    for sig in &sigs {
+        let key = bundle
+            .registry
+            .partition_key(sig)
+            .expect("TM1 transactions are single-partition");
+        by_partition.entry(key).or_default().push(sig);
+    }
+    let groups: Vec<Vec<&TxnSignature>> = by_partition.into_values().collect();
+    let wall_ms = |executor: &dyn Executor| {
+        let mut db = bundle.db.clone();
+        let start = std::time::Instant::now();
+        executor.run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), &groups);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let wall_serial_ms = wall_ms(&SerialExecutor);
+    let wall_parallel4_ms = wall_ms(&ParallelExecutor::new(4));
+
+    let mut table = TextTable::new(&[
+        "txns",
+        "committed",
+        "aborted",
+        "total (ms)",
+        "ktps",
+        "wall serial (ms)",
+        "wall par-4 (ms)",
+    ]);
+    table.row(vec![
+        n_txns.to_string(),
+        report.committed.to_string(),
+        report.aborted.to_string(),
+        format!("{:.3}", report.total().as_millis()),
+        format!("{:.0}", report.throughput().ktps()),
+        format!("{wall_serial_ms:.1}"),
+        format!("{wall_parallel4_ms:.1}"),
+    ]);
+    println!("{}", table.render());
+
+    // Hand-rolled JSON: the workspace's serde is an offline shim, and the
+    // payload is a flat record.
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"workload\": \"tm1\",\n  \"strategy\": \"{}\",\n  \
+         \"transactions\": {},\n  \"committed\": {},\n  \"aborted\": {},\n  \
+         \"generation_ms\": {:.6},\n  \"execution_ms\": {:.6},\n  \"transfer_ms\": {:.6},\n  \
+         \"total_ms\": {:.6},\n  \"throughput_ktps\": {:.3},\n  \
+         \"wall_serial_ms\": {wall_serial_ms:.3},\n  \"wall_parallel4_ms\": {wall_parallel4_ms:.3}\n}}\n",
+        report.strategy,
+        report.transactions,
+        report.committed,
+        report.aborted,
+        report.generation.as_millis(),
+        report.execution.as_millis(),
+        report.transfer.as_millis(),
+        report.total().as_millis(),
+        report.throughput().ktps(),
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("cannot write smoke JSON to {path}: {e}"));
+            println!("smoke metrics written to {path}");
+        }
+        None => println!("{json}"),
     }
 }
 

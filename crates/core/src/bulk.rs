@@ -15,8 +15,18 @@ pub struct Bulk {
 impl Bulk {
     /// Create a bulk from signatures (sorted by id to honour the timestamp
     /// order of Definition 1).
+    ///
+    /// The sort is stable (`sort_by_key` never reorders equal keys), so even
+    /// a malformed submission with duplicate ids keeps its submission order
+    /// rather than being reshuffled. Duplicate ids are still a caller bug —
+    /// they would make the batched-insert tag order ambiguous — so debug
+    /// builds reject them outright.
     pub fn new(mut txns: Vec<TxnSignature>) -> Self {
         txns.sort_by_key(|t| t.id);
+        debug_assert!(
+            txns.windows(2).all(|w| w[0].id != w[1].id),
+            "duplicate transaction ids submitted in one bulk"
+        );
         Bulk { txns }
     }
 

@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use gputx_exec::ExecutorChoice;
 use gputx_sim::DeviceSpec;
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +65,11 @@ pub struct EngineConfig {
     /// Relax the timestamp constraint (Appendix G): bulk generation skips the
     /// rank computation and locks only enforce mutual exclusion.
     pub relax_timestamps: bool,
+    /// How the host executes a bulk's functional work: the serial reference
+    /// loop, or the sharded multi-threaded executor running conflict-free
+    /// sets / partition groups on worker threads. The simulated GPU timings
+    /// are identical either way; only wall-clock time changes.
+    pub executor: ExecutorChoice,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +83,7 @@ impl Default for EngineConfig {
             partition_size: 128,
             undo_logging: true,
             relax_timestamps: false,
+            executor: ExecutorChoice::Serial,
         }
     }
 }
@@ -117,6 +124,12 @@ impl EngineConfig {
         self.relax_timestamps = relax;
         self
     }
+
+    /// Builder-style: pick the host executor (serial or `parallel(n)`).
+    pub fn with_executor(mut self, executor: ExecutorChoice) -> Self {
+        self.executor = executor;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -139,12 +152,19 @@ mod tests {
             .with_bulk_size(1000)
             .with_grouping_passes(2)
             .with_partition_size(64)
-            .with_relaxed_timestamps(true);
+            .with_relaxed_timestamps(true)
+            .with_executor(ExecutorChoice::parallel(4));
         assert_eq!(c.strategy, StrategyChoice::ForceKset);
         assert_eq!(c.bulk_size, 1000);
         assert_eq!(c.grouping_passes, 2);
         assert_eq!(c.partition_size, 64);
         assert!(c.relax_timestamps);
+        assert_eq!(c.executor, ExecutorChoice::Parallel { threads: 4 });
+    }
+
+    #[test]
+    fn default_executor_is_serial() {
+        assert_eq!(EngineConfig::default().executor, ExecutorChoice::Serial);
     }
 
     #[test]

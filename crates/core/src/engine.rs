@@ -274,6 +274,35 @@ mod tests {
     }
 
     #[test]
+    fn parallel_executor_runs_through_the_engine() {
+        use gputx_exec::ExecutorChoice;
+        let (db, reg) = setup(500);
+        let serial_cfg = EngineConfig::default().with_bulk_size(1024);
+        let parallel_cfg = serial_cfg
+            .clone()
+            .with_executor(ExecutorChoice::parallel(4));
+        let mut results = Vec::new();
+        for config in [serial_cfg, parallel_cfg] {
+            let (db, reg) = (db.clone(), reg.clone());
+            let mut engine = GpuTxEngine::new(db, reg, config);
+            for i in 0..2500u64 {
+                engine.submit(0, vec![Value::Int((i % 500) as i64), Value::Double(1.0)]);
+            }
+            let reports = engine.run_until_empty();
+            assert_eq!(engine.total_committed(), 2500);
+            results.push((
+                engine.db().clone(),
+                engine.results().to_vec(),
+                reports.iter().map(|r| r.total()).sum::<SimDuration>(),
+            ));
+        }
+        // Same final state, same result pool, same simulated time.
+        assert!(results[0].0 == results[1].0);
+        assert_eq!(results[0].1, results[1].1);
+        assert_eq!(results[0].2, results[1].2);
+    }
+
+    #[test]
     fn profile_reflects_conflicts() {
         let (db, reg) = setup(10);
         let mut engine = GpuTxEngine::new(db, reg, EngineConfig::default());

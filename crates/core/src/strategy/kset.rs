@@ -8,17 +8,24 @@
 //! 0-set. The 0-set is maintained incrementally so later waves do not pay the
 //! full sort-based k-set computation again.
 
-use super::{run_transaction, tally, ExecContext, StrategyKind, StrategyOutcome};
+use super::{exec_policy, tally, ExecContext, StrategyKind, StrategyOutcome};
 use crate::bulk::Bulk;
 use crate::grouping::group_by_type;
+use gputx_exec::Executor;
 use gputx_sim::primitives::map_cost;
 use gputx_sim::ThreadTrace;
 use gputx_txn::kset::{gpu_rank_ksets, IncrementalKSet};
 use gputx_txn::{TxnSignature, TxnTypeId};
 use std::collections::HashMap;
 
-/// Execute a bulk with iterative 0-set execution.
-pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
+/// Execute a bulk with iterative 0-set execution. Each wave is a pairwise
+/// conflict-free set (Property 1), so the executor may fan it out across
+/// worker threads.
+pub(crate) fn run(
+    ctx: &mut ExecContext<'_>,
+    bulk: &Bulk,
+    executor: &dyn Executor,
+) -> StrategyOutcome {
     let mut outcome = StrategyOutcome::empty(StrategyKind::Kset);
     if bulk.is_empty() {
         return outcome;
@@ -69,13 +76,16 @@ pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
         );
         outcome.generation += grouping.time;
 
-        // Execute the wave: one thread per transaction, no locks.
+        // Execute the wave: one (logical GPU) thread per transaction, no
+        // locks. The wave is conflict-free, so the host executor may spread
+        // it across real worker threads.
+        let wave_sigs: Vec<&TxnSignature> = wave.iter().map(|id| by_id[id]).collect();
+        let policy = exec_policy(ctx.config);
+        let executed = executor.run_conflict_free(ctx.db, ctx.registry, &policy, &wave_sigs);
         let mut traces: Vec<ThreadTrace> = Vec::with_capacity(wave.len());
-        for id in &wave {
-            let sig = by_id[id];
-            let (trace, txn_outcome) = run_transaction(ctx.db, ctx.registry, ctx.config, sig);
-            traces.push(trace);
-            outcome.outcomes.push((sig.id, txn_outcome));
+        for txn in executed {
+            traces.push(txn.trace);
+            outcome.outcomes.push((txn.id, txn.outcome));
         }
         let grouped: Vec<ThreadTrace> = grouping.order.iter().map(|&i| traces[i].clone()).collect();
         let report = ctx.gpu.launch("kset_execute_wave", &grouped);

@@ -3,7 +3,7 @@
 //! All strategies execute the transaction logic *functionally* against the
 //! in-memory database in an order that the concurrency-control argument proves
 //! equivalent to the timestamp order (Definition 1), while recording one
-//! [`ThreadTrace`] per logical GPU thread. The traces are then replayed
+//! [`ThreadTrace`](gputx_sim::ThreadTrace) per logical GPU thread. The traces are then replayed
 //! through the simulated device's cost model to obtain kernel timings.
 
 pub mod kset;
@@ -12,9 +12,10 @@ pub mod tpl;
 
 use crate::bulk::{Bulk, BulkReport};
 use crate::config::EngineConfig;
-use gputx_sim::{Gpu, SimDuration, ThreadTrace};
+use gputx_exec::ExecPolicy;
+use gputx_sim::{Gpu, SimDuration};
 use gputx_storage::Database;
-use gputx_txn::{ProcedureRegistry, TxnId, TxnOutcome, TxnSignature};
+use gputx_txn::{ProcedureRegistry, TxnId, TxnOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Which execution strategy ran a bulk.
@@ -109,27 +110,10 @@ impl StrategyOutcome {
     }
 }
 
-/// Execute one transaction functionally, returning its trace and outcome. The
-/// trace includes the undo-logging traffic when the engine's logging policy
-/// requires it for this transaction type (Appendix D).
-pub(crate) fn run_transaction(
-    db: &mut Database,
-    registry: &ProcedureRegistry,
-    config: &EngineConfig,
-    sig: &TxnSignature,
-) -> (ThreadTrace, TxnOutcome) {
-    let (mut trace, outcome, undo_records) = registry.execute(sig, db);
-    let def = registry.get(sig.ty);
-    if config.undo_logging && !def.two_phase && undo_records > 0 {
-        // Writing the undo log into device memory: old value + item id per record.
-        trace.write(24 * undo_records as u64);
-    }
-    if !outcome.is_committed() && undo_records > 0 {
-        // Log-based recovery replays the undo records (roll back in place).
-        trace.read(24 * undo_records as u64);
-        trace.write(8 * undo_records as u64);
-    }
-    (trace, outcome)
+/// The trace-accounting policy of the GPU strategies: undo logging as
+/// configured (Appendix D), abort-rollback replay traffic always.
+pub(crate) fn exec_policy(config: &EngineConfig) -> ExecPolicy {
+    ExecPolicy::gpu(config.undo_logging)
 }
 
 /// Account for the PCIe transfers of one bulk: parameters in, results out
@@ -149,15 +133,24 @@ pub(crate) fn tally(outcomes: &[(TxnId, TxnOutcome)]) -> (usize, usize) {
 
 /// Execute a bulk with the given strategy, applying insert buffers afterwards
 /// (the batched update of §3.2).
+///
+/// The functional work runs on the host executor selected by
+/// `config.executor`: the serial reference loop, or the sharded
+/// multi-threaded executor of `gputx-exec`, which runs K-SET waves and PART
+/// partition groups on worker threads with bit-identical results. TPL
+/// executes its host loop serially regardless (its counter-based locks
+/// enforce a total timestamp order, leaving no host-side parallelism to
+/// exploit).
 pub fn execute_bulk(
     ctx: &mut ExecContext<'_>,
     strategy: StrategyKind,
     bulk: &Bulk,
 ) -> StrategyOutcome {
+    let executor = ctx.config.executor.build();
     let mut outcome = match strategy {
         StrategyKind::Tpl => tpl::run(ctx, bulk),
-        StrategyKind::Part => part::run(ctx, bulk),
-        StrategyKind::Kset => kset::run(ctx, bulk),
+        StrategyKind::Part => part::run(ctx, bulk, executor.as_ref()),
+        StrategyKind::Kset => kset::run(ctx, bulk, executor.as_ref()),
     };
     ctx.db.apply_insert_buffers();
     outcome.transfer += account_transfers(ctx.gpu, bulk);

@@ -12,14 +12,23 @@
 //! cross-partition transactions the whole bulk falls back to TPL, which the
 //! paper notes "can severely degrade the performance".
 
-use super::{run_transaction, tally, tpl, ExecContext, StrategyKind, StrategyOutcome};
+use super::{exec_policy, tally, tpl, ExecContext, StrategyKind, StrategyOutcome};
 use crate::bulk::Bulk;
+use gputx_exec::Executor;
 use gputx_sim::primitives::{map_cost, radix_sort_pairs};
 use gputx_sim::ThreadTrace;
+use gputx_txn::TxnSignature;
 use std::collections::BTreeMap;
 
-/// Execute a bulk with partition-based execution.
-pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
+/// Execute a bulk with partition-based execution. Partition groups are
+/// pairwise disjoint, so the executor may run them on worker threads (each
+/// group serially in timestamp order, mirroring the one-GPU-thread-per-
+/// partition model).
+pub(crate) fn run(
+    ctx: &mut ExecContext<'_>,
+    bulk: &Bulk,
+    executor: &dyn Executor,
+) -> StrategyOutcome {
     let mut outcome = StrategyOutcome::empty(StrategyKind::Part);
     if bulk.is_empty() {
         return outcome;
@@ -70,9 +79,19 @@ pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
             .push(txn_idx as usize);
     }
 
+    let groups: Vec<Vec<&TxnSignature>> = partitions
+        .into_values()
+        .map(|mut indices| {
+            indices.sort_by_key(|&i| bulk.txns[i].id);
+            indices.into_iter().map(|i| &bulk.txns[i]).collect()
+        })
+        .collect();
+    let policy = exec_policy(ctx.config);
+    let executed_groups = executor.run_groups(ctx.db, ctx.registry, &policy, &groups);
+
     let search_steps = (bulk.len().max(2) as f64).log2().ceil() as u64;
-    let mut thread_traces: Vec<ThreadTrace> = Vec::with_capacity(partitions.len());
-    for (_partition, txn_indices) in partitions {
+    let mut thread_traces: Vec<ThreadTrace> = Vec::with_capacity(groups.len());
+    for executed in executed_groups {
         // All PART threads run the same partition loop, so they share one SPMD
         // path; the per-thread cost differences come from partition sizes.
         let mut thread = ThreadTrace::new(0);
@@ -81,13 +100,9 @@ pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
         for _ in 0..2 * search_steps {
             thread.read(8);
         }
-        let mut indices = txn_indices;
-        indices.sort_by_key(|&i| bulk.txns[i].id);
-        for idx in indices {
-            let sig = &bulk.txns[idx];
-            let (trace, txn_outcome) = run_transaction(ctx.db, ctx.registry, ctx.config, sig);
-            thread.absorb(&trace);
-            outcome.outcomes.push((sig.id, txn_outcome));
+        for txn in executed {
+            thread.absorb(&txn.trace);
+            outcome.outcomes.push((txn.id, txn.outcome));
         }
         thread_traces.push(thread);
     }
@@ -259,7 +274,7 @@ mod tests {
             registry: &reg,
             config: &config,
         };
-        let out = super::run(&mut ctx, &Bulk::default());
+        let out = super::run(&mut ctx, &Bulk::default(), &gputx_exec::SerialExecutor);
         assert_eq!(out.transactions, 0);
     }
 }

@@ -13,15 +13,18 @@
 //! instead: no rank computation is needed during bulk generation and a thread
 //! only waits for mutual exclusion, not for a specific order.
 
-use super::{run_transaction, tally, ExecContext, StrategyKind, StrategyOutcome};
+use super::{exec_policy, tally, ExecContext, StrategyKind, StrategyOutcome};
 use crate::bulk::Bulk;
 use crate::grouping::group_by_type;
+use gputx_exec::run_txn;
 use gputx_sim::ThreadTrace;
 use gputx_txn::kset::gpu_rank_ksets;
 use gputx_txn::TxnTypeId;
 use std::collections::HashMap;
 
-/// Execute a bulk with two-phase locking.
+/// Execute a bulk with two-phase locking. The host loop is serial by design:
+/// the counter-based locks enforce the total timestamp order, so there are no
+/// conflict-free sets for the multi-threaded executor to exploit.
 pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
     let mut outcome = StrategyOutcome::empty(StrategyKind::Tpl);
     if bulk.is_empty() {
@@ -61,11 +64,13 @@ pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
     // augmented with its lock acquisitions and spin rounds. Relaxed TPL only
     // enforces mutual exclusion, so the expected wait is roughly half the
     // position in the per-item contention queue.
+    let policy = exec_policy(ctx.config);
     let mut traces: Vec<ThreadTrace> = Vec::with_capacity(bulk.len());
     let mut contention: HashMap<u64, u64> = HashMap::new();
     for sig in &bulk.txns {
         let items = ctx.registry.read_write_set(sig, ctx.db);
-        let (mut trace, txn_outcome) = run_transaction(ctx.db, ctx.registry, ctx.config, sig);
+        let executed = run_txn(ctx.db, ctx.registry, &policy, sig);
+        let (mut trace, txn_outcome) = (executed.trace, executed.outcome);
         let merged = gputx_txn::op::dedup_strongest(&items);
         for op in &merged {
             let rounds = match &ranks {

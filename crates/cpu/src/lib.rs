@@ -1,7 +1,7 @@
 //! # gputx-cpu — the CPU-based counterpart engine and ad-hoc execution models
 //!
 //! The paper compares GPUTx against a "homegrown CPU-based counterpart
-//! [that] adopts the design of H-Store" on a quad-core Xeon E5520 (§6.3).
+//! \[that\] adopts the design of H-Store" on a quad-core Xeon E5520 (§6.3).
 //! This crate implements that counterpart:
 //!
 //! * [`cost`] — a CPU cost model that converts the same functional execution

@@ -1,0 +1,300 @@
+//! The [`Executor`] trait, the serial reference implementation and the
+//! per-transaction runner shared by every execution path.
+
+use crate::parallel::ParallelExecutor;
+use gputx_sim::ThreadTrace;
+use gputx_storage::{Database, StorageView};
+use gputx_txn::{ProcedureRegistry, TxnId, TxnOutcome, TxnSignature};
+use serde::{Deserialize, Serialize};
+
+/// Trace-accounting policy applied on top of the functional execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecPolicy {
+    /// Charge undo-log writes for transaction types that are not two-phase
+    /// (Appendix D, "Logging").
+    pub undo_logging: bool,
+    /// Charge the log-replay traffic of rolling an aborted transaction back
+    /// in place. The GPU strategies model this; the CPU engine does not.
+    pub rollback_traffic: bool,
+}
+
+impl ExecPolicy {
+    /// The GPU engine's policy: rollback traffic always, undo logging as
+    /// configured.
+    pub fn gpu(undo_logging: bool) -> Self {
+        ExecPolicy {
+            undo_logging,
+            rollback_traffic: true,
+        }
+    }
+
+    /// The CPU engine's policy: functional execution only, no extra traffic.
+    pub fn functional() -> Self {
+        ExecPolicy::default()
+    }
+}
+
+/// One executed transaction: its id, outcome and the thread trace fed to the
+/// cost models.
+#[derive(Debug, Clone)]
+pub struct ExecutedTxn {
+    /// The transaction id (timestamp).
+    pub id: TxnId,
+    /// Commit or abort.
+    pub outcome: TxnOutcome,
+    /// The recorded memory/compute trace.
+    pub trace: ThreadTrace,
+}
+
+/// Execute one transaction against a storage view, applying the policy's
+/// trace accounting. This is the single per-transaction code path shared by
+/// the serial and parallel executors (and by the GPU strategies' serial TPL
+/// loop), so every path produces identical traces and outcomes.
+pub fn run_txn(
+    view: &mut dyn StorageView,
+    registry: &ProcedureRegistry,
+    policy: &ExecPolicy,
+    sig: &TxnSignature,
+) -> ExecutedTxn {
+    let (mut trace, outcome, undo_records) = registry.execute(sig, view);
+    let def = registry.get(sig.ty);
+    if policy.undo_logging && !def.two_phase && undo_records > 0 {
+        // Writing the undo log into device memory: old value + item id per record.
+        trace.write(24 * undo_records as u64);
+    }
+    if policy.rollback_traffic && !outcome.is_committed() && undo_records > 0 {
+        // Log-based recovery replays the undo records (roll back in place).
+        trace.read(24 * undo_records as u64);
+        trace.write(8 * undo_records as u64);
+    }
+    ExecutedTxn {
+        id: sig.id,
+        outcome,
+        trace,
+    }
+}
+
+/// Executes conflict-free transaction sets and disjoint transaction groups.
+///
+/// The contracts callers must uphold:
+///
+/// * [`Executor::run_conflict_free`] — the transactions are pairwise
+///   conflict-free (a 0-set, Property 1 of the paper).
+/// * [`Executor::run_groups`] — transactions in different groups are pairwise
+///   conflict-free; transactions within one group may conflict and are
+///   executed serially in the order given (the engines pass timestamp order).
+///
+/// Under these contracts every implementation returns identical outcomes,
+/// traces and final database state.
+pub trait Executor: std::fmt::Debug + Send + Sync {
+    /// Execute disjoint groups; within a group, transactions run serially in
+    /// the order given. Returns one result vector per group, in group order.
+    fn run_groups(
+        &self,
+        db: &mut Database,
+        registry: &ProcedureRegistry,
+        policy: &ExecPolicy,
+        groups: &[Vec<&TxnSignature>],
+    ) -> Vec<Vec<ExecutedTxn>>;
+
+    /// Execute a pairwise conflict-free set; results come back in input
+    /// order.
+    fn run_conflict_free(
+        &self,
+        db: &mut Database,
+        registry: &ProcedureRegistry,
+        policy: &ExecPolicy,
+        txns: &[&TxnSignature],
+    ) -> Vec<ExecutedTxn> {
+        let groups: Vec<Vec<&TxnSignature>> = txns.iter().map(|sig| vec![*sig]).collect();
+        self.run_groups(db, registry, policy, &groups)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// The serial reference executor: one transaction after another on the
+/// calling thread, mutating the database in place.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn run_groups(
+        &self,
+        db: &mut Database,
+        registry: &ProcedureRegistry,
+        policy: &ExecPolicy,
+        groups: &[Vec<&TxnSignature>],
+    ) -> Vec<Vec<ExecutedTxn>> {
+        groups
+            .iter()
+            .map(|group| {
+                group
+                    .iter()
+                    .map(|sig| run_txn(db, registry, policy, sig))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn run_conflict_free(
+        &self,
+        db: &mut Database,
+        registry: &ProcedureRegistry,
+        policy: &ExecPolicy,
+        txns: &[&TxnSignature],
+    ) -> Vec<ExecutedTxn> {
+        txns.iter()
+            .map(|sig| run_txn(db, registry, policy, sig))
+            .collect()
+    }
+}
+
+/// Which executor an engine should run bulks with. Carried by the engine
+/// configurations; [`ExecutorChoice::build`] instantiates the implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecutorChoice {
+    /// The serial host loop (the default; zero overhead, reference
+    /// semantics).
+    #[default]
+    Serial,
+    /// The sharded multi-threaded executor with the given number of worker
+    /// threads. `0` means one worker per available CPU core.
+    Parallel {
+        /// Worker thread count (`0` = available parallelism).
+        threads: usize,
+    },
+}
+
+impl ExecutorChoice {
+    /// Shorthand for `Parallel { threads }`.
+    pub fn parallel(threads: usize) -> Self {
+        ExecutorChoice::Parallel { threads }
+    }
+
+    /// Instantiate the chosen executor.
+    pub fn build(&self) -> Box<dyn Executor> {
+        match *self {
+            ExecutorChoice::Serial => Box::new(SerialExecutor),
+            ExecutorChoice::Parallel { threads } => Box::new(ParallelExecutor::new(threads)),
+        }
+    }
+
+    /// True when this choice runs on worker threads.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, ExecutorChoice::Parallel { .. })
+    }
+}
+
+impl std::fmt::Display for ExecutorChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutorChoice::Serial => write!(f, "serial"),
+            ExecutorChoice::Parallel { threads: 0 } => write!(f, "parallel(auto)"),
+            ExecutorChoice::Parallel { threads } => write!(f, "parallel({threads})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputx_storage::schema::{ColumnDef, TableSchema};
+    use gputx_storage::{DataItemId, DataType, Value};
+    use gputx_txn::{BasicOp, ProcedureDef};
+
+    fn counter_db(rows: i64) -> (Database, ProcedureRegistry) {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "counters",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("value", DataType::Int),
+            ],
+            vec![0],
+        ));
+        for i in 0..rows {
+            db.table_mut(t).insert(vec![Value::Int(i), Value::Int(0)]);
+        }
+        let mut reg = ProcedureRegistry::new();
+        reg.register(ProcedureDef::new(
+            "increment",
+            move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let row = ctx.param_int(0) as u64;
+                let v = ctx.read(t, row, 1).as_int();
+                ctx.write(t, row, 1, Value::Int(v + 1));
+            },
+        ));
+        (db, reg)
+    }
+
+    #[test]
+    fn serial_executor_runs_groups_in_order() {
+        let (mut db, reg) = counter_db(4);
+        let sigs: Vec<TxnSignature> = (0..8)
+            .map(|i| TxnSignature::new(i, 0, vec![Value::Int((i % 4) as i64)]))
+            .collect();
+        let groups: Vec<Vec<&TxnSignature>> = (0..4)
+            .map(|p| sigs.iter().filter(|s| s.id % 4 == p).collect())
+            .collect();
+        let out = SerialExecutor.run_groups(&mut db, &reg, &ExecPolicy::functional(), &groups);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|g| g.len() == 2));
+        assert!(out
+            .iter()
+            .flatten()
+            .all(|e| e.outcome.is_committed() && e.trace.global_writes == 1));
+        for row in 0..4 {
+            assert_eq!(db.table_by_name("counters").get(row, 1), Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn choice_builds_and_displays() {
+        assert_eq!(ExecutorChoice::default(), ExecutorChoice::Serial);
+        assert!(!ExecutorChoice::Serial.is_parallel());
+        assert!(ExecutorChoice::parallel(4).is_parallel());
+        assert_eq!(ExecutorChoice::Serial.to_string(), "serial");
+        assert_eq!(ExecutorChoice::parallel(4).to_string(), "parallel(4)");
+        assert_eq!(ExecutorChoice::parallel(0).to_string(), "parallel(auto)");
+        let built = ExecutorChoice::parallel(2).build();
+        let (mut db, reg) = counter_db(2);
+        let sigs = [
+            TxnSignature::new(0, 0, vec![Value::Int(0)]),
+            TxnSignature::new(1, 0, vec![Value::Int(1)]),
+        ];
+        let refs: Vec<&TxnSignature> = sigs.iter().collect();
+        let out = built.run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 0);
+        assert_eq!(out[1].id, 1);
+    }
+
+    #[test]
+    fn policy_charges_rollback_traffic_only_when_asked() {
+        let (mut db, reg) = counter_db(2);
+        let mut reg = reg;
+        let t = 0u32; // table id of "counters"
+        let aborting = reg.register(
+            ProcedureDef::new(
+                "write_then_abort",
+                move |_p, _| vec![BasicOp::write(DataItemId::new(t, 0, 1))],
+                |_p| Some(0),
+                move |ctx| {
+                    ctx.write(0, 0, 1, Value::Int(9));
+                    ctx.abort("nope");
+                },
+            )
+            .not_two_phase(),
+        );
+        let sig = TxnSignature::new(0, aborting, vec![]);
+        let quiet = run_txn(&mut db, &reg, &ExecPolicy::functional(), &sig);
+        let gpu = run_txn(&mut db, &reg, &ExecPolicy::gpu(true), &sig);
+        assert!(!quiet.outcome.is_committed());
+        assert!(gpu.trace.write_bytes > quiet.trace.write_bytes);
+        assert!(gpu.trace.read_bytes > quiet.trace.read_bytes);
+    }
+}

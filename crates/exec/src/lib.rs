@@ -1,0 +1,45 @@
+//! # gputx-exec — multi-threaded bulk execution
+//!
+//! GPUTx's bulk model exposes massive intra-bulk parallelism: the K-SET
+//! strategy extracts waves of pairwise conflict-free transactions (§5.3) and
+//! the PART strategy groups transactions into disjoint partitions (§5.2).
+//! This crate turns that *logical* parallelism into *physical* parallelism:
+//! an [`Executor`] runs conflict-free sets and partition groups on real OS
+//! worker threads against sharded storage, while staying bit-identical to the
+//! serial reference execution.
+//!
+//! Two implementations are provided:
+//!
+//! * [`SerialExecutor`] — the host loop the engines always used: one
+//!   transaction after another, mutating the [`Database`](gputx_storage::Database)
+//!   in place.
+//! * [`ParallelExecutor`] — splits the work across `std::thread::scope`
+//!   workers. Each worker owns one shard (a
+//!   [`ShardDelta`](gputx_storage::ShardDelta) overlay over the shared base
+//!   database, behind its own mutex — interior mutability per shard, no
+//!   cross-shard aliasing) and the deltas are merged back in ascending shard
+//!   order once every worker has joined (the commit-order merge).
+//!
+//! ## Determinism guarantee
+//!
+//! For inputs that satisfy the executor contracts (pairwise conflict-free
+//! sets for [`Executor::run_conflict_free`], pairwise disjoint groups for
+//! [`Executor::run_groups`]), the parallel executor produces exactly the same
+//! transaction outcomes, thread traces and final database state as the serial
+//! executor, for every thread count. The engines obtain those inputs from the
+//! k-set computation (`gputx_txn::kset`) and the partition grouping, which the
+//! paper proves conflict-free; the property tests in the workspace verify the
+//! equivalence end-to-end on random TM1 and micro bulks.
+//!
+//! Engines pick an implementation through [`ExecutorChoice`], carried by
+//! their configuration (`EngineConfig::executor` for the GPU engine,
+//! `CpuEngine::with_executor` for the H-Store-style CPU engine).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod parallel;
+
+pub use executor::{run_txn, ExecPolicy, ExecutedTxn, Executor, ExecutorChoice, SerialExecutor};
+pub use parallel::ParallelExecutor;

@@ -1,0 +1,350 @@
+//! The sharded multi-threaded executor.
+//!
+//! Work is split across `std::thread::scope` workers. Each worker owns one
+//! shard — a [`ShardDelta`] write overlay behind its own [`Mutex`] (interior
+//! mutability per shard; a worker only ever locks its own shard, so the locks
+//! are uncontended and no mutable state is aliased across threads) — layered
+//! over the shared immutable base database. When every worker has joined, the
+//! deltas are merged into the base in ascending shard order: the
+//! *commit-order merge*. Because the executor contracts guarantee shards
+//! touch pairwise-disjoint data items, the merged state is bit-identical to
+//! serial execution regardless of thread count.
+
+use crate::executor::{run_txn, ExecPolicy, ExecutedTxn, Executor, SerialExecutor};
+use gputx_storage::{Database, ShardDelta, ShardView};
+use gputx_txn::{ProcedureRegistry, TxnSignature};
+use std::sync::Mutex;
+
+/// Multi-threaded executor over sharded storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelExecutor {
+    threads: usize,
+    min_parallel_txns: usize,
+}
+
+impl ParallelExecutor {
+    /// Create an executor with `threads` workers; `0` selects one worker per
+    /// available CPU core.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        ParallelExecutor {
+            threads,
+            // Spawning workers for a handful of transactions costs more than
+            // it saves; tiny sets run inline on the calling thread (which is
+            // bit-identical anyway).
+            min_parallel_txns: 2 * threads,
+        }
+    }
+
+    /// Builder-style: set the minimum set size worth fanning out for.
+    pub fn with_min_parallel_txns(mut self, n: usize) -> Self {
+        self.min_parallel_txns = n.max(2);
+        self
+    }
+
+    /// The worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Longest-processing-time assignment of groups to shards: groups are
+    /// visited in descending size (ties by ascending group index) and each
+    /// goes to the least-loaded shard (ties by ascending shard index), so the
+    /// assignment is deterministic and balanced.
+    fn assign_shards(sizes: &[usize], n_shards: usize) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        order.sort_by_key(|&g| std::cmp::Reverse(sizes[g]));
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        let mut load = vec![0usize; n_shards];
+        for g in order {
+            let s = (0..n_shards)
+                .min_by_key(|&s| load[s])
+                .expect("at least one shard");
+            assignment[s].push(g);
+            load[s] += sizes[g];
+        }
+        // Execute each shard's groups in ascending group index; group order
+        // within a shard cannot affect state (groups are disjoint) but a
+        // deterministic schedule keeps runs reproducible.
+        for shard in &mut assignment {
+            shard.sort_unstable();
+        }
+        assignment
+    }
+}
+
+impl Executor for ParallelExecutor {
+    fn run_groups(
+        &self,
+        db: &mut Database,
+        registry: &ProcedureRegistry,
+        policy: &ExecPolicy,
+        groups: &[Vec<&TxnSignature>],
+    ) -> Vec<Vec<ExecutedTxn>> {
+        let total: usize = groups.iter().map(Vec::len).sum();
+        if self.threads <= 1 || groups.len() <= 1 || total < self.min_parallel_txns {
+            return SerialExecutor.run_groups(db, registry, policy, groups);
+        }
+        let n_shards = self.threads.min(groups.len());
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        let assignment = Self::assign_shards(&sizes, n_shards);
+
+        let shards: Vec<Mutex<ShardDelta>> = (0..n_shards)
+            .map(|_| Mutex::new(ShardDelta::new()))
+            .collect();
+        let mut shard_results: Vec<Vec<(usize, Vec<ExecutedTxn>)>> = Vec::with_capacity(n_shards);
+        {
+            let base: &Database = db;
+            let shards = &shards;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(s, group_ids)| {
+                        scope.spawn(move || {
+                            let mut delta = shards[s].lock().expect("shard mutex poisoned");
+                            let mut view = ShardView::new(base, &mut delta);
+                            group_ids
+                                .iter()
+                                .map(|&g| {
+                                    let executed = groups[g]
+                                        .iter()
+                                        .map(|sig| run_txn(&mut view, registry, policy, sig))
+                                        .collect();
+                                    (g, executed)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    shard_results.push(handle.join().expect("executor worker panicked"));
+                }
+            });
+        }
+        // Commit-order merge: ascending shard index.
+        for shard in shards {
+            shard
+                .into_inner()
+                .expect("shard mutex poisoned")
+                .merge_into(db);
+        }
+        // Reassemble results in group order.
+        let mut out: Vec<Option<Vec<ExecutedTxn>>> = groups.iter().map(|_| None).collect();
+        for results in shard_results {
+            for (g, executed) in results {
+                out[g] = Some(executed);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every group executed exactly once"))
+            .collect()
+    }
+
+    fn run_conflict_free(
+        &self,
+        db: &mut Database,
+        registry: &ProcedureRegistry,
+        policy: &ExecPolicy,
+        txns: &[&TxnSignature],
+    ) -> Vec<ExecutedTxn> {
+        if self.threads <= 1 || txns.len() < self.min_parallel_txns {
+            return SerialExecutor.run_conflict_free(db, registry, policy, txns);
+        }
+        // Conflict-free transactions are all independent: contiguous chunks
+        // keep the result in input order with no reassembly step.
+        let n_shards = self.threads.min(txns.len());
+        let chunk_len = txns.len().div_ceil(n_shards);
+        let shards: Vec<Mutex<ShardDelta>> = (0..n_shards)
+            .map(|_| Mutex::new(ShardDelta::new()))
+            .collect();
+        let mut executed: Vec<ExecutedTxn> = Vec::with_capacity(txns.len());
+        {
+            let base: &Database = db;
+            let shards = &shards;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = txns
+                    .chunks(chunk_len)
+                    .enumerate()
+                    .map(|(s, chunk)| {
+                        scope.spawn(move || {
+                            let mut delta = shards[s].lock().expect("shard mutex poisoned");
+                            let mut view = ShardView::new(base, &mut delta);
+                            chunk
+                                .iter()
+                                .map(|sig| run_txn(&mut view, registry, policy, sig))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    executed.extend(handle.join().expect("executor worker panicked"));
+                }
+            });
+        }
+        for shard in shards {
+            shard
+                .into_inner()
+                .expect("shard mutex poisoned")
+                .merge_into(db);
+        }
+        executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputx_storage::schema::{ColumnDef, TableSchema};
+    use gputx_storage::{DataItemId, DataType, Value};
+    use gputx_txn::{BasicOp, ProcedureDef};
+
+    fn bank(rows: i64) -> (Database, ProcedureRegistry) {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("balance", DataType::Double),
+            ],
+            vec![0],
+        ));
+        for i in 0..rows {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Double(100.0)]);
+        }
+        let mut reg = ProcedureRegistry::new();
+        reg.register(ProcedureDef::new(
+            "deposit",
+            move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let row = ctx.param_int(0) as u64;
+                let bal = ctx.read(t, row, 1).as_double();
+                ctx.write(t, row, 1, Value::Double(bal + ctx.param_double(1)));
+            },
+        ));
+        // A type that aborts after writing when the balance would go negative,
+        // exercising the rollback path inside shard overlays.
+        reg.register(
+            ProcedureDef::new(
+                "withdraw",
+                move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+                |p| Some(p[0].as_int() as u64),
+                move |ctx| {
+                    let row = ctx.param_int(0) as u64;
+                    let bal = ctx.read(t, row, 1).as_double();
+                    ctx.write(t, row, 1, Value::Double(bal - ctx.param_double(1)));
+                    if bal - ctx.param_double(1) < 0.0 {
+                        ctx.abort("overdraft");
+                    }
+                },
+            )
+            .not_two_phase(),
+        );
+        (db, reg)
+    }
+
+    fn conflict_free_sigs(n: u64) -> Vec<TxnSignature> {
+        (0..n)
+            .map(|i| {
+                let ty = (i % 2) as u32;
+                let amount = if ty == 1 && i % 5 == 0 { 1e6 } else { 7.0 };
+                TxnSignature::new(i, ty, vec![Value::Int(i as i64), Value::Double(amount)])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_thread_counts() {
+        let (db0, reg) = bank(256);
+        let sigs = conflict_free_sigs(256);
+        let refs: Vec<&TxnSignature> = sigs.iter().collect();
+        let policy = ExecPolicy::gpu(true);
+        let mut serial_db = db0.clone();
+        let serial = SerialExecutor.run_conflict_free(&mut serial_db, &reg, &policy, &refs);
+        for threads in [1, 2, 4, 8] {
+            let mut db = db0.clone();
+            let exec = ParallelExecutor::new(threads).with_min_parallel_txns(2);
+            let parallel = exec.run_conflict_free(&mut db, &reg, &policy, &refs);
+            assert!(db == serial_db, "{threads} threads: final state must match");
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.id, s.id);
+                assert_eq!(p.outcome, s.outcome);
+                assert_eq!(
+                    p.trace, s.trace,
+                    "traces must be identical for txn {}",
+                    p.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_execution_serializes_within_a_group() {
+        let (db0, reg) = bank(8);
+        // 16 deposits per account: same-account deposits conflict, so each
+        // account forms one group executed serially by one worker.
+        let sigs: Vec<TxnSignature> = (0..128u64)
+            .map(|i| TxnSignature::new(i, 0, vec![Value::Int((i % 8) as i64), Value::Double(1.0)]))
+            .collect();
+        let groups: Vec<Vec<&TxnSignature>> = (0..8)
+            .map(|a| sigs.iter().filter(|s| s.id % 8 == a).collect())
+            .collect();
+        let mut serial_db = db0.clone();
+        let policy = ExecPolicy::functional();
+        SerialExecutor.run_groups(&mut serial_db, &reg, &policy, &groups);
+        let mut db = db0.clone();
+        let exec = ParallelExecutor::new(4).with_min_parallel_txns(2);
+        let out = exec.run_groups(&mut db, &reg, &policy, &groups);
+        assert!(db == serial_db);
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|g| g.len() == 16));
+        for a in 0..8u64 {
+            assert_eq!(db.table_by_name("accounts").get(a, 1), Value::Double(116.0));
+        }
+    }
+
+    #[test]
+    fn tiny_sets_run_inline() {
+        let (mut db, reg) = bank(4);
+        let sigs = conflict_free_sigs(3);
+        let refs: Vec<&TxnSignature> = sigs.iter().collect();
+        let exec = ParallelExecutor::new(8);
+        let out = exec.run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert!(ParallelExecutor::new(0).threads() >= 1);
+        assert_eq!(ParallelExecutor::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn lpt_assignment_is_balanced_and_deterministic() {
+        let sizes = [10, 1, 1, 1, 9, 8, 1, 1];
+        let a = ParallelExecutor::assign_shards(&sizes, 3);
+        let b = ParallelExecutor::assign_shards(&sizes, 3);
+        assert_eq!(a, b, "assignment must be deterministic");
+        let loads: Vec<usize> = a
+            .iter()
+            .map(|shard| shard.iter().map(|&g| sizes[g]).sum())
+            .collect();
+        assert_eq!(loads.iter().sum::<usize>(), 32);
+        assert!(
+            loads.iter().all(|l| (8..=12).contains(l)),
+            "loads {loads:?}"
+        );
+        let mut all: Vec<usize> = a.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -5,7 +5,7 @@
 //! and binary search. This module provides the same building blocks. Each
 //! primitive performs the real computation on host memory (so downstream code
 //! gets correct results) and accounts for the simulated GPU time of the
-//! equivalent kernels through [`Gpu::launch_uniform`].
+//! equivalent kernels through [`Gpu::launch_uniform`](crate::kernel::Gpu::launch_uniform).
 
 mod compact;
 mod gather_scatter;

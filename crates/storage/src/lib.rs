@@ -16,6 +16,11 @@
 //! * [`index`] — hash indexes for primary-key and secondary lookups.
 //! * [`partition`] — partitioning maps used by the PART strategy and by the
 //!   CPU (H-Store-style) engine.
+//! * [`view`] — the [`StorageView`] seam all transaction execution goes
+//!   through: the serial path mutates the [`Database`] in place, the parallel
+//!   executor layers per-worker overlays over a shared base.
+//! * [`shard`] — per-worker write overlays ([`shard::ShardDelta`] /
+//!   [`shard::ShardView`]) and the commit-order merge used by `gputx-exec`.
 //! * [`catalog`] — the database catalog: named tables, indexes and device
 //!   residency accounting.
 //! * [`item`] — compact identifiers for individual data fields, the
@@ -31,11 +36,15 @@ pub mod item;
 pub mod partition;
 pub mod row_store;
 pub mod schema;
+pub mod shard;
 pub mod table;
 pub mod value;
+pub mod view;
 
 pub use catalog::Database;
 pub use item::DataItemId;
 pub use schema::{ColumnDef, TableSchema};
+pub use shard::{ShardDelta, ShardView};
 pub use table::{RowId, StorageLayout, Table};
 pub use value::{DataType, Value};
+pub use view::StorageView;

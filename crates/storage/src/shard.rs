@@ -1,0 +1,349 @@
+//! Sharded write overlays for multi-threaded bulk execution.
+//!
+//! The parallel executor (`gputx-exec`) splits a conflict-free transaction
+//! set across worker threads. Each worker owns one *shard*: a [`ShardDelta`]
+//! holding every mutation its transactions make, layered over a shared
+//! immutable base [`Database`] through a [`ShardView`]. Because transactions
+//! in a conflict-free set touch pairwise-disjoint data items, no two shards
+//! ever write the same field, so the deltas can be merged back into the base
+//! in ascending shard order (the *commit-order merge*) and the result is
+//! bit-identical to executing the same transactions serially.
+//!
+//! What a delta records mirrors exactly what serial execution would have done
+//! to the database:
+//!
+//! * field updates — last value per `(table, row, column)`;
+//! * buffered inserts — per table, in execution order, tagged with the
+//!   inserting transaction's id (the batched update of §3.2 later sorts all
+//!   buffered rows by tag, so the interleaving across shards is irrelevant as
+//!   long as transaction ids are unique);
+//! * delete-bitmap flags — last flag per `(table, row)`, covering both
+//!   `delete` and the `undelete` issued by undo-log rollback.
+//!
+//! Reads through a [`ShardView`] check the delta first (so a transaction
+//! observes its own writes and those of earlier transactions in the same
+//! shard) and fall back to the base. Index lookups always resolve against the
+//! base — identical to the serial path, where indexes are only updated after
+//! the bulk by [`Database::apply_insert_buffers`].
+
+use crate::catalog::{Database, TableId};
+use crate::table::RowId;
+use crate::value::Value;
+use crate::view::StorageView;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash (the rustc/Firefox multiply-xor hash): the overlay keys are small
+/// integer tuples on the hot path of every field access, where SipHash's
+/// per-write overhead is measurable. Not DoS-resistant — fine for keys the
+/// executor derives from row ids, never from external input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// The mutations one worker thread made while executing its share of a
+/// conflict-free transaction set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardDelta {
+    /// Last written value per field.
+    updates: FxHashMap<(TableId, RowId, u32), Value>,
+    /// Buffered inserts per table, in execution order, tagged with the
+    /// inserting transaction id.
+    inserts: FxHashMap<TableId, Vec<(u64, Vec<Value>)>>,
+    /// Final delete-bitmap flag per row touched by a delete/undelete.
+    deleted: FxHashMap<(TableId, RowId), bool>,
+}
+
+impl ShardDelta {
+    /// Create an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the delta records no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty() && self.inserts.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Number of distinct fields written.
+    pub fn num_updates(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Number of rows waiting in the delta's insert buffers.
+    pub fn num_buffered_inserts(&self) -> usize {
+        self.inserts.values().map(Vec::len).sum()
+    }
+
+    /// Apply the delta to the database. Field updates and delete flags are
+    /// idempotent last-writer values over disjoint keys, so the final
+    /// database state does not depend on the order shards are merged in; the
+    /// executor still merges in ascending shard index for a deterministic
+    /// merge schedule. Buffered inserts are appended to the tables' insert
+    /// buffers and pick up their final position when the engine applies the
+    /// buffers in tag (timestamp) order after the bulk.
+    pub fn merge_into(self, db: &mut Database) {
+        for ((table, row, col), value) in self.updates {
+            db.table_mut(table).set(row, col as usize, &value);
+        }
+        for (table, rows) in self.inserts {
+            for (tag, row) in rows {
+                // Validated when it entered the overlay (ShardView::buffer_insert).
+                db.table_mut(table).buffered_insert_prevalidated(tag, row);
+            }
+        }
+        for ((table, row), flag) in self.deleted {
+            if flag {
+                db.table_mut(table).delete(row);
+            } else {
+                db.table_mut(table).undelete(row);
+            }
+        }
+    }
+}
+
+/// A worker thread's mutable view of the database: a [`ShardDelta`] overlay
+/// on top of a shared immutable base.
+#[derive(Debug)]
+pub struct ShardView<'a> {
+    base: &'a Database,
+    delta: &'a mut ShardDelta,
+}
+
+impl<'a> ShardView<'a> {
+    /// Create a view over `base` writing into `delta`.
+    pub fn new(base: &'a Database, delta: &'a mut ShardDelta) -> Self {
+        ShardView { base, delta }
+    }
+}
+
+impl StorageView for ShardView<'_> {
+    fn base(&self) -> &Database {
+        self.base
+    }
+
+    fn get_field(&self, table: TableId, row: RowId, col: usize) -> Value {
+        match self.delta.updates.get(&(table, row, col as u32)) {
+            Some(v) => v.clone(),
+            None => self.base.table(table).get(row, col),
+        }
+    }
+
+    fn set_field(&mut self, table: TableId, row: RowId, col: usize, value: &Value) {
+        self.delta
+            .updates
+            .insert((table, row, col as u32), value.clone());
+    }
+
+    fn buffer_insert(&mut self, table: TableId, tag: u64, row: Vec<Value>) {
+        // Same eager validation as Table::buffered_insert, so the serial and
+        // sharded paths reject malformed rows at the same point.
+        self.base
+            .table(table)
+            .schema()
+            .validate_row(&row)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.delta
+            .inserts
+            .entry(table)
+            .or_default()
+            .push((tag, row));
+    }
+
+    fn pop_last_buffered_insert(&mut self, table: TableId) -> Option<Vec<Value>> {
+        self.delta
+            .inserts
+            .get_mut(&table)
+            .and_then(|rows| rows.pop())
+            .map(|(_, row)| row)
+    }
+
+    fn mark_deleted(&mut self, table: TableId, row: RowId) {
+        self.delta.deleted.insert((table, row), true);
+    }
+
+    fn unmark_deleted(&mut self, table: TableId, row: RowId) {
+        self.delta.deleted.insert((table, row), false);
+    }
+
+    fn is_row_deleted(&self, table: TableId, row: RowId) -> bool {
+        match self.delta.deleted.get(&(table, row)) {
+            Some(&flag) => flag,
+            None => self.base.table(table).is_deleted(row),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::DataType;
+
+    fn db_with_rows(rows: i64) -> (Database, TableId) {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Double),
+            ],
+            vec![0],
+        ));
+        for i in 0..rows {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Double(0.0)]);
+        }
+        (db, t)
+    }
+
+    #[test]
+    fn reads_see_own_writes_and_fall_back_to_base() {
+        let (db, t) = db_with_rows(4);
+        let mut delta = ShardDelta::new();
+        let mut view = ShardView::new(&db, &mut delta);
+        assert_eq!(view.get_field(t, 0, 1), Value::Double(0.0));
+        view.set_field(t, 0, 1, &Value::Double(5.0));
+        assert_eq!(view.get_field(t, 0, 1), Value::Double(5.0));
+        // Base is untouched until the merge.
+        assert_eq!(db.table(t).get(0, 1), Value::Double(0.0));
+        assert_eq!(delta.num_updates(), 1);
+    }
+
+    #[test]
+    fn merge_matches_direct_mutation() {
+        let (db0, t) = db_with_rows(4);
+        // Direct (serial) mutation.
+        let mut serial = db0.clone();
+        serial.table_mut(t).set(1, 1, &Value::Double(2.0));
+        serial
+            .table_mut(t)
+            .buffered_insert(7, vec![Value::Int(10), Value::Double(1.0)]);
+        serial.table_mut(t).delete(3);
+        // The same mutations through a shard view, merged afterwards.
+        let mut sharded = db0.clone();
+        let mut delta = ShardDelta::new();
+        {
+            let mut view = ShardView::new(&sharded, &mut delta);
+            view.set_field(t, 1, 1, &Value::Double(2.0));
+            view.buffer_insert(t, 7, vec![Value::Int(10), Value::Double(1.0)]);
+            view.mark_deleted(t, 3);
+        }
+        delta.merge_into(&mut sharded);
+        assert!(sharded == serial, "merged shard must equal direct mutation");
+    }
+
+    #[test]
+    fn pop_last_buffered_insert_undoes_own_insert_only() {
+        let (db, t) = db_with_rows(2);
+        let mut delta = ShardDelta::new();
+        let mut view = ShardView::new(&db, &mut delta);
+        assert!(view.pop_last_buffered_insert(t).is_none());
+        view.buffer_insert(t, 3, vec![Value::Int(5), Value::Double(5.0)]);
+        view.buffer_insert(t, 4, vec![Value::Int(6), Value::Double(6.0)]);
+        let popped = view.pop_last_buffered_insert(t).unwrap();
+        assert_eq!(popped[0], Value::Int(6));
+        assert_eq!(delta.num_buffered_inserts(), 1);
+    }
+
+    #[test]
+    fn delete_then_rollback_round_trips() {
+        let (db0, t) = db_with_rows(3);
+        let mut db = db0.clone();
+        let mut delta = ShardDelta::new();
+        {
+            let mut view = ShardView::new(&db, &mut delta);
+            view.mark_deleted(t, 1);
+            view.unmark_deleted(t, 1);
+        }
+        delta.merge_into(&mut db);
+        assert!(db == db0, "delete + undo must restore the base exactly");
+    }
+
+    #[test]
+    fn is_row_deleted_reads_overlay_then_base() {
+        let (mut db, t) = db_with_rows(3);
+        db.table_mut(t).delete(0);
+        let mut delta = ShardDelta::new();
+        let mut view = ShardView::new(&db, &mut delta);
+        assert!(view.is_row_deleted(t, 0), "base flag visible");
+        assert!(!view.is_row_deleted(t, 1));
+        view.mark_deleted(t, 1);
+        assert!(view.is_row_deleted(t, 1), "own delete visible");
+        view.mark_deleted(t, 0);
+        view.unmark_deleted(t, 0);
+        assert!(!view.is_row_deleted(t, 0), "overlay overrides base");
+    }
+
+    #[test]
+    fn disjoint_deltas_merge_to_the_serial_state() {
+        let (db0, t) = db_with_rows(8);
+        // Serial: two transactions writing rows 0..4 and 4..8 respectively.
+        let mut serial = db0.clone();
+        for r in 0..8u64 {
+            serial.table_mut(t).set(r, 1, &Value::Double(r as f64));
+        }
+        // Sharded: the same writes split across two shards, merged in order.
+        let mut sharded = db0.clone();
+        let mut d1 = ShardDelta::new();
+        let mut d2 = ShardDelta::new();
+        {
+            let mut v1 = ShardView::new(&sharded, &mut d1);
+            for r in 0..4u64 {
+                v1.set_field(t, r, 1, &Value::Double(r as f64));
+            }
+        }
+        {
+            let mut v2 = ShardView::new(&sharded, &mut d2);
+            for r in 4..8u64 {
+                v2.set_field(t, r, 1, &Value::Double(r as f64));
+            }
+        }
+        d1.merge_into(&mut sharded);
+        d2.merge_into(&mut sharded);
+        assert!(sharded == serial);
+    }
+}

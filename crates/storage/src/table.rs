@@ -109,6 +109,15 @@ impl Table {
         self.insert_buffer.push((tag, row));
     }
 
+    /// Queue an already-validated row in the insert buffer. Used by the shard
+    /// merge, where every row was validated when it entered its shard's
+    /// overlay; re-validating at merge time would double the cost of the
+    /// parallel insert path.
+    pub(crate) fn buffered_insert_prevalidated(&mut self, tag: u64, row: Vec<Value>) {
+        debug_assert!(self.schema.validate_row(&row).is_ok());
+        self.insert_buffer.push((tag, row));
+    }
+
     /// Number of rows waiting in the insert buffer.
     pub fn pending_inserts(&self) -> usize {
         self.insert_buffer.len()

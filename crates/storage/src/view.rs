@@ -1,0 +1,130 @@
+//! The storage-access seam between transaction execution and the database.
+//!
+//! Transaction procedures never touch tables directly: every read, write,
+//! buffered insert and delete goes through a [`StorageView`]. The serial
+//! execution path implements the trait directly on [`Database`] (mutating in
+//! place, exactly as before), while the parallel executor hands each worker
+//! thread a [`crate::shard::ShardView`] — a write overlay over a shared
+//! immutable base — so conflict-free transactions can execute on real OS
+//! threads without aliasing mutable state.
+//!
+//! Index lookups and schema queries always resolve against the *base*
+//! database. This mirrors the serial engine exactly: within a bulk, indexes
+//! are never updated during execution (buffered inserts only become visible
+//! and indexed when [`Database::apply_insert_buffers`] runs after the bulk).
+
+use crate::catalog::{Database, TableId};
+use crate::table::RowId;
+use crate::value::Value;
+
+/// Mutable storage access used by transaction execution.
+///
+/// Two implementations exist: [`Database`] itself (the serial path) and
+/// [`crate::shard::ShardView`] (a per-worker write overlay used by the
+/// parallel executor). All field-level mutations of a transaction go through
+/// this trait so the two paths stay bit-identical.
+pub trait StorageView {
+    /// The base database: schemas, indexes and any state committed before the
+    /// current conflict-free set started executing. Field reads must go
+    /// through [`StorageView::get_field`] instead, which also sees the
+    /// caller's own uncommitted writes.
+    fn base(&self) -> &Database;
+
+    /// Read one field.
+    fn get_field(&self, table: TableId, row: RowId, col: usize) -> Value;
+
+    /// Write one field.
+    fn set_field(&mut self, table: TableId, row: RowId, col: usize, value: &Value);
+
+    /// Queue a row in the table's insert buffer, tagged with the inserting
+    /// transaction's id (timestamp).
+    fn buffer_insert(&mut self, table: TableId, tag: u64, row: Vec<Value>);
+
+    /// Remove and return the most recently buffered insert of a table (undo
+    /// of a single transaction's insert during rollback).
+    fn pop_last_buffered_insert(&mut self, table: TableId) -> Option<Vec<Value>>;
+
+    /// Mark a row deleted.
+    fn mark_deleted(&mut self, table: TableId, row: RowId);
+
+    /// Clear a row's deleted flag (undo-log rollback).
+    fn unmark_deleted(&mut self, table: TableId, row: RowId);
+
+    /// Current deleted flag of a row, including the caller's own uncommitted
+    /// deletes (used to undo-log the prior flag before a delete).
+    fn is_row_deleted(&self, table: TableId, row: RowId) -> bool;
+}
+
+impl StorageView for Database {
+    fn base(&self) -> &Database {
+        self
+    }
+
+    fn get_field(&self, table: TableId, row: RowId, col: usize) -> Value {
+        self.table(table).get(row, col)
+    }
+
+    fn set_field(&mut self, table: TableId, row: RowId, col: usize, value: &Value) {
+        self.table_mut(table).set(row, col, value);
+    }
+
+    fn buffer_insert(&mut self, table: TableId, tag: u64, row: Vec<Value>) {
+        self.table_mut(table).buffered_insert(tag, row);
+    }
+
+    fn pop_last_buffered_insert(&mut self, table: TableId) -> Option<Vec<Value>> {
+        self.table_mut(table).pop_last_buffered_insert()
+    }
+
+    fn mark_deleted(&mut self, table: TableId, row: RowId) {
+        self.table_mut(table).delete(row);
+    }
+
+    fn unmark_deleted(&mut self, table: TableId, row: RowId) {
+        self.table_mut(table).undelete(row);
+    }
+
+    fn is_row_deleted(&self, table: TableId, row: RowId) -> bool {
+        self.table(table).is_deleted(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::DataType;
+
+    fn db_with_rows() -> (Database, TableId) {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Double),
+            ],
+            vec![0],
+        ));
+        for i in 0..4i64 {
+            db.table_mut(t)
+                .insert(vec![Value::Int(i), Value::Double(0.0)]);
+        }
+        (db, t)
+    }
+
+    #[test]
+    fn database_view_mutates_in_place() {
+        let (mut db, t) = db_with_rows();
+        let view: &mut dyn StorageView = &mut db;
+        assert_eq!(view.get_field(t, 1, 1), Value::Double(0.0));
+        view.set_field(t, 1, 1, &Value::Double(7.0));
+        assert_eq!(view.get_field(t, 1, 1), Value::Double(7.0));
+        view.buffer_insert(t, 9, vec![Value::Int(10), Value::Double(1.0)]);
+        assert_eq!(view.base().table(t).pending_inserts(), 1);
+        assert!(view.pop_last_buffered_insert(t).is_some());
+        view.mark_deleted(t, 2);
+        assert!(view.base().table(t).is_deleted(2));
+        view.unmark_deleted(t, 2);
+        assert!(!db.table(t).is_deleted(2));
+    }
+}

@@ -22,7 +22,7 @@ use crate::signature::{TxnSignature, TxnTypeId};
 use gputx_sim::ThreadTrace;
 use gputx_storage::catalog::TableId;
 use gputx_storage::index::IndexKey;
-use gputx_storage::{Database, RowId, Value};
+use gputx_storage::{Database, RowId, StorageView, Value};
 use std::fmt;
 use std::sync::Arc;
 
@@ -53,8 +53,13 @@ enum UndoRecord {
         col: usize,
         old: Value,
     },
-    /// A delete: clear the deleted flag again.
-    Delete { table: TableId, row: RowId },
+    /// A delete: restore the prior deleted flag (a row can already be deleted
+    /// when a transaction deletes it again; rollback must not resurrect it).
+    Delete {
+        table: TableId,
+        row: RowId,
+        was_deleted: bool,
+    },
     /// A buffered insert: drop the last `count` rows from the table's insert
     /// buffer.
     BufferedInsert { table: TableId, count: usize },
@@ -64,9 +69,12 @@ enum UndoRecord {
 ///
 /// All data access goes through this context so that the engine can observe
 /// (a) the memory traffic for the GPU cost model and (b) the undo information
-/// for rollback.
+/// for rollback. Storage access is routed through a [`StorageView`], so the
+/// same procedure body runs unchanged against the database directly (serial
+/// execution) or against a per-worker shard overlay (the parallel executor in
+/// `gputx-exec`).
 pub struct TxnCtx<'a> {
-    db: &'a mut Database,
+    db: &'a mut (dyn StorageView + 'a),
     params: &'a [Value],
     txn_id: u64,
     trace: ThreadTrace,
@@ -84,7 +92,12 @@ impl<'a> TxnCtx<'a> {
     /// Create a context for one transaction execution. `txn_id` is the
     /// transaction's id/timestamp (used to tag buffered inserts so batched
     /// updates apply in timestamp order).
-    pub fn new(db: &'a mut Database, params: &'a [Value], path: u32, txn_id: u64) -> Self {
+    pub fn new(
+        db: &'a mut (dyn StorageView + 'a),
+        params: &'a [Value],
+        path: u32,
+        txn_id: u64,
+    ) -> Self {
         TxnCtx {
             db,
             params,
@@ -126,9 +139,10 @@ impl<'a> TxnCtx<'a> {
     /// (coalesced); with the row layout each access drags the whole row in
     /// (Appendix F.2's locality argument).
     fn field_bytes(&self, table: TableId) -> u64 {
-        match self.db.layout() {
+        let base = self.db.base();
+        match base.layout() {
             gputx_storage::StorageLayout::Column => 8,
-            gputx_storage::StorageLayout::Row => self.db.table(table).schema().row_width_bytes(),
+            gputx_storage::StorageLayout::Row => base.table(table).schema().row_width_bytes(),
         }
     }
 
@@ -136,12 +150,12 @@ impl<'a> TxnCtx<'a> {
     pub fn read(&mut self, table: TableId, row: RowId, col: usize) -> Value {
         let bytes = self.field_bytes(table);
         self.trace.read(bytes);
-        self.db.table(table).get(row, col)
+        self.db.get_field(table, row, col)
     }
 
     /// Write one field (undo-logged).
     pub fn write(&mut self, table: TableId, row: RowId, col: usize, value: Value) {
-        let old = self.db.table(table).get(row, col);
+        let old = self.db.get_field(table, row, col);
         self.undo.push(UndoRecord::Update {
             table,
             row,
@@ -150,7 +164,7 @@ impl<'a> TxnCtx<'a> {
         });
         let bytes = self.field_bytes(table);
         self.trace.write(bytes);
-        self.db.table_mut(table).set(row, col, &value);
+        self.db.set_field(table, row, col, &value);
     }
 
     /// Look up a row through a unique index (charges an index probe).
@@ -158,13 +172,13 @@ impl<'a> TxnCtx<'a> {
         // Hash probe: bucket header + entry.
         self.trace.read(8);
         self.trace.read(16);
-        self.db.lookup_unique(table, index, key)
+        self.db.base().lookup_unique(table, index, key)
     }
 
     /// Look up all rows matching a key through an index.
     pub fn lookup(&mut self, table: TableId, index: &str, key: &IndexKey) -> Vec<RowId> {
         self.trace.read(8);
-        let rows = self.db.lookup(table, index, key);
+        let rows = self.db.base().lookup(table, index, key);
         self.trace.read(16 * rows.len().max(1) as u64);
         rows
     }
@@ -173,9 +187,9 @@ impl<'a> TxnCtx<'a> {
     /// visible when the engine applies the buffers after the bulk.
     pub fn insert(&mut self, table: TableId, row: Vec<Value>) {
         self.trace
-            .write(self.db.table(table).schema().row_width_bytes());
+            .write(self.db.base().table(table).schema().row_width_bytes());
         let tag = self.txn_id;
-        self.db.table_mut(table).buffered_insert(tag, row);
+        self.db.buffer_insert(table, tag, row);
         self.undo
             .push(UndoRecord::BufferedInsert { table, count: 1 });
     }
@@ -183,8 +197,13 @@ impl<'a> TxnCtx<'a> {
     /// Delete a row (undo-logged).
     pub fn delete(&mut self, table: TableId, row: RowId) {
         self.trace.write(1);
-        self.db.table_mut(table).delete(row);
-        self.undo.push(UndoRecord::Delete { table, row });
+        let was_deleted = self.db.is_row_deleted(table, row);
+        self.db.mark_deleted(table, row);
+        self.undo.push(UndoRecord::Delete {
+            table,
+            row,
+            was_deleted,
+        });
     }
 
     /// Charge `calls` transcendental math calls of compute (the micro
@@ -211,9 +230,11 @@ impl<'a> TxnCtx<'a> {
         self.aborted.is_some()
     }
 
-    /// Direct access to the database for read-only helpers (e.g. row counts).
+    /// Access to the base database for read-only helpers (e.g. row counts and
+    /// schema queries). Field values must be read through [`TxnCtx::read`],
+    /// which also observes the transaction's own uncommitted writes.
     pub fn db(&self) -> &Database {
-        self.db
+        self.db.base()
     }
 
     fn rollback(&mut self) {
@@ -225,15 +246,24 @@ impl<'a> TxnCtx<'a> {
                     row,
                     col,
                     old,
-                } => self.db.table_mut(table).set(row, col, &old),
-                UndoRecord::Delete { table, row } => self.db.table_mut(table).undelete(row),
+                } => self.db.set_field(table, row, col, &old),
+                UndoRecord::Delete {
+                    table,
+                    row,
+                    was_deleted,
+                } => {
+                    if was_deleted {
+                        self.db.mark_deleted(table, row);
+                    } else {
+                        self.db.unmark_deleted(table, row);
+                    }
+                }
                 UndoRecord::BufferedInsert { table, count } => {
                     // The buffered rows of this transaction are the most recent
                     // `count` entries of the table's insert buffer.
                     for _ in 0..count {
                         self.db
-                            .table_mut(table)
-                            .pop_last_buffered_insert()
+                            .pop_last_buffered_insert(table)
                             .expect("undo of buffered insert with empty buffer");
                     }
                 }
@@ -359,10 +389,14 @@ impl ProcedureRegistry {
     /// Execute one transaction: the "switch clause" dispatch. Returns the
     /// thread trace (for the cost model), the outcome, and the number of undo
     /// records the transaction wrote before committing/aborting.
+    ///
+    /// `db` is any [`StorageView`]: pass `&mut Database` for serial in-place
+    /// execution or a [`gputx_storage::ShardView`] for overlay execution on a
+    /// worker thread.
     pub fn execute(
         &self,
         sig: &TxnSignature,
-        db: &mut Database,
+        db: &mut dyn StorageView,
     ) -> (ThreadTrace, TxnOutcome, usize) {
         let def = self.get(sig.ty);
         let mut ctx = TxnCtx::new(db, &sig.params, sig.ty, sig.id);
@@ -488,6 +522,33 @@ mod tests {
         assert!(db == before, "rollback must restore the database exactly");
         assert_eq!(db.table(t).pending_inserts(), 0);
         assert!(!db.table(t).is_deleted(2));
+    }
+
+    #[test]
+    fn rollback_does_not_resurrect_previously_deleted_rows() {
+        let (mut db, t) = test_db();
+        // A delete committed by an earlier bulk.
+        db.table_mut(t).delete(2);
+        let mut reg = ProcedureRegistry::new();
+        let ty = reg.register(
+            ProcedureDef::new(
+                "delete_again_then_abort",
+                move |_p, _d| vec![BasicOp::write(gputx_storage::DataItemId::new(t, 2, 0))],
+                |_p| Some(2),
+                move |ctx| {
+                    ctx.delete(t, 2);
+                    ctx.abort("changed my mind");
+                },
+            )
+            .not_two_phase(),
+        );
+        let sig = TxnSignature::new(0, ty, vec![]);
+        let (_, outcome, _) = reg.execute(&sig, &mut db);
+        assert!(!outcome.is_committed());
+        assert!(
+            db.table(t).is_deleted(2),
+            "rollback must restore the prior deleted flag, not clear it"
+        );
     }
 
     #[test]
