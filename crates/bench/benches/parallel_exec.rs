@@ -76,12 +76,9 @@ fn bench_executor_level(c: &mut Criterion) {
         group.bench_function("serial", |b| {
             b.iter(|| {
                 let mut db = bundle.db.clone();
-                SerialExecutor.run_groups(
-                    &mut db,
-                    &bundle.registry,
-                    &ExecPolicy::gpu(true),
-                    &groups,
-                );
+                SerialExecutor
+                    .run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), &groups)
+                    .expect("no procedure panics");
                 black_box(db.total_bytes())
             })
         });
@@ -90,7 +87,8 @@ fn bench_executor_level(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, _| {
                 b.iter(|| {
                     let mut db = bundle.db.clone();
-                    exec.run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), &groups);
+                    exec.run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), &groups)
+                        .expect("no procedure panics");
                     black_box(db.total_bytes())
                 })
             });
@@ -145,7 +143,9 @@ fn best_of_n(
     for _ in 0..REPS {
         let mut db = bundle.db.clone();
         let start = Instant::now();
-        let out = executor.run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), groups);
+        let out = executor
+            .run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), groups)
+            .expect("no procedure panics");
         let elapsed = start.elapsed().as_secs_f64();
         black_box(out.len());
         best = best.min(elapsed);

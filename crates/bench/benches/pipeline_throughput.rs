@@ -1,0 +1,140 @@
+//! Wall-clock throughput and ticket latency of the streaming pipelined
+//! engine (`PipelinedGpuTx`).
+//!
+//! Measures a seeded TM1 / micro transaction stream pushed through the
+//! pipeline at several executor settings, against the one-shot
+//! `execute_bulk` path over the same stream as a baseline. Besides the
+//! criterion samples, the binary prints one `PIPELINE-THROUGHPUT` line per
+//! workload × executor with sustained throughput and p50/p99 ticket latency,
+//! plus a `PIPELINE-OCCUPANCY` line with the per-stage utilization. Run with:
+//!
+//! ```text
+//! cargo bench --bench pipeline_throughput
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gputx_core::config::StrategyChoice;
+use gputx_core::{
+    execute_bulk, profile_pipeline, Bulk, EngineConfig, ExecContext, PipelineConfig,
+    PipelinedGpuTx, StrategyKind,
+};
+use gputx_exec::ExecutorChoice;
+use gputx_sim::Gpu;
+use gputx_txn::TxnSignature;
+use gputx_workloads::{MicroConfig, MicroWorkload, Tm1Config, WorkloadBundle};
+
+/// Stream length per measurement.
+const STREAM_LEN: usize = 16_384;
+/// Bulk-size close threshold of the pipeline (and the one-shot chunk size).
+const BULK: usize = 2_048;
+
+fn fixtures() -> Vec<(&'static str, WorkloadBundle, Vec<TxnSignature>)> {
+    let mut tm1 = Tm1Config { scale_factor: 1 }.build();
+    let tm1_sigs = tm1.generate_signatures(STREAM_LEN, 0);
+    let mut micro = MicroWorkload::build(&MicroConfig::default().with_tuples(1 << 16));
+    let micro_sigs = micro.generate_signatures(STREAM_LEN, 0);
+    vec![("tm1", tm1, tm1_sigs), ("micro", micro, micro_sigs)]
+}
+
+/// Push the stream through the pipelined engine; returns (tps, p50 ms, p99
+/// ms, occupancy string).
+fn run_pipeline(
+    bundle: &WorkloadBundle,
+    sigs: &[TxnSignature],
+    executor: ExecutorChoice,
+) -> (f64, f64, f64, String) {
+    let engine = PipelinedGpuTx::new(
+        bundle.db.clone(),
+        bundle.registry.clone(),
+        EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
+        PipelineConfig::default()
+            .with_max_bulk_size(BULK)
+            .with_max_wait_us(5_000)
+            .with_executor(executor),
+    );
+    for sig in sigs {
+        engine
+            .submit(sig.ty, sig.params.clone())
+            .expect("engine accepts the stream");
+    }
+    let (_db, stats) = engine.finish().expect("pipeline stays healthy");
+    let occ = profile_pipeline(&stats);
+    (
+        stats.throughput_tps(),
+        stats.p50_ms(),
+        stats.p99_ms(),
+        format!(
+            "admission {:.2} grouping {:.2} execution {:.2} commit {:.2} (bottleneck: {})",
+            occ.admission,
+            occ.grouping,
+            occ.execution,
+            occ.commit,
+            occ.bottleneck()
+        ),
+    )
+}
+
+/// One-shot baseline: the same stream cut into `BULK`-sized bulks through
+/// `execute_bulk`.
+fn run_one_shot(bundle: &WorkloadBundle, sigs: &[TxnSignature]) -> usize {
+    let mut db = bundle.db.clone();
+    let mut gpu = Gpu::c1060();
+    let config = EngineConfig::default();
+    let mut committed = 0usize;
+    for chunk in sigs.chunks(BULK) {
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry: &bundle.registry,
+            config: &config,
+        };
+        committed +=
+            execute_bulk(&mut ctx, StrategyKind::Kset, &Bulk::new(chunk.to_vec())).committed;
+    }
+    committed
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    for (name, bundle, sigs) in fixtures() {
+        let mut group = c.benchmark_group(format!("pipeline/{name}"));
+        group.sample_size(5);
+        group.bench_function("one-shot", |b| {
+            b.iter(|| black_box(run_one_shot(&bundle, &sigs)))
+        });
+        for (label, choice) in [
+            ("serial", ExecutorChoice::Serial),
+            ("parallel2", ExecutorChoice::parallel(2)),
+            ("parallel4", ExecutorChoice::parallel(4)),
+        ] {
+            group.bench_with_input(BenchmarkId::new("stream", label), &choice, |b, &choice| {
+                b.iter(|| black_box(run_pipeline(&bundle, &sigs, choice).0))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn throughput_report(_c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("PIPELINE-THROUGHPUT host has {cores} core(s)");
+    for (name, bundle, sigs) in fixtures() {
+        for (label, choice) in [
+            ("serial", ExecutorChoice::Serial),
+            ("parallel2", ExecutorChoice::parallel(2)),
+            ("parallel4", ExecutorChoice::parallel(4)),
+        ] {
+            let (tps, p50, p99, occupancy) = run_pipeline(&bundle, &sigs, choice);
+            println!(
+                "PIPELINE-THROUGHPUT {name} {} txns, {label}: {tps:.0} tps, \
+                 p50 {p50:.3} ms, p99 {p99:.3} ms",
+                sigs.len()
+            );
+            println!("PIPELINE-OCCUPANCY {name} {label}: {occupancy}");
+        }
+    }
+}
+
+criterion_group!(pipeline_throughput, bench_pipeline, throughput_report);
+criterion_main!(pipeline_throughput);

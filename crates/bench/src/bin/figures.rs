@@ -14,13 +14,16 @@
 //! The extra `smoke` experiment (not part of `all`) runs a tiny TM1 bulk for
 //! CI: it prints the usual table and, with `--json <path>`, writes the key
 //! metrics as a JSON file the CI workflow uploads as a perf-trajectory
-//! artifact.
+//! artifact. The extra `pipeline` experiment (also not part of `all`) drives
+//! a tiny TM1 stream through the streaming pipelined engine and reports
+//! throughput, p50/p99 ticket latency and per-stage occupancy, likewise as an
+//! optional JSON artifact.
 
 use gputx_bench::{
     adhoc_cpu_throughput, adhoc_gpu_throughput, cpu_workload_throughput, gpu_workload_throughput,
     run_gpu_bulk, TextTable,
 };
-use gputx_core::pipeline::{simulate_pipeline, PipelineConfig};
+use gputx_core::pipeline::{simulate_pipeline, IntervalSimConfig};
 use gputx_core::relaxed::compare_strict_vs_relaxed;
 use gputx_core::{Bulk, EngineConfig, GpuTxEngine, StrategyKind};
 use gputx_sim::{CpuSpec, SimDuration};
@@ -96,9 +99,106 @@ fn main() {
     if run("storage") {
         storage_comparison();
     }
-    // The CI smoke is opt-in only; `all` regenerates the paper figures.
+    // The CI smokes are opt-in only; `all` regenerates the paper figures.
     if wanted.contains(&"smoke") {
         smoke(json_path.as_deref());
+    }
+    if wanted.contains(&"pipeline") {
+        pipeline_smoke(json_path.as_deref());
+    }
+}
+
+/// CI pipeline smoke: a tiny TM1 stream through the streaming pipelined
+/// engine (`PipelinedGpuTx`), reporting sustained throughput, p50/p99 ticket
+/// latency and per-stage occupancy — the latency-side metrics the one-shot
+/// smoke cannot measure.
+fn pipeline_smoke(json_path: Option<&str>) {
+    use gputx_core::config::StrategyChoice;
+    use gputx_core::{profile_pipeline, PipelineConfig, PipelinedGpuTx};
+    use gputx_workloads::{run_open_loop, OpenLoopConfig};
+
+    banner("CI smoke — TM1 stream through the pipelined engine");
+    let n_txns = 4_096usize;
+    let mut bundle = Tm1Config { scale_factor: 1 }.build();
+    let engine = PipelinedGpuTx::new(
+        bundle.db.clone(),
+        bundle.registry.clone(),
+        EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
+        PipelineConfig::default()
+            .with_max_bulk_size(512)
+            .with_max_wait_us(2_000),
+    );
+    let offered = run_open_loop(
+        &mut bundle,
+        &OpenLoopConfig {
+            rate_tps: 500_000.0,
+            count: n_txns,
+            burstiness: 0.2,
+            seed: 42,
+        },
+        |ty, params| engine.submit(ty, params).is_ok(),
+    );
+    let (_db, stats) = engine
+        .finish()
+        .expect("pipeline stages must stay healthy in the smoke");
+    let occupancy = profile_pipeline(&stats);
+
+    let mut table = TextTable::new(&[
+        "txns",
+        "committed",
+        "aborted",
+        "bulks",
+        "tps",
+        "p50 (ms)",
+        "p99 (ms)",
+        "bottleneck",
+    ]);
+    table.row(vec![
+        stats.transactions().to_string(),
+        stats.committed.to_string(),
+        stats.aborted.to_string(),
+        stats.bulks().to_string(),
+        format!("{:.0}", stats.throughput_tps()),
+        format!("{:.3}", stats.p50_ms()),
+        format!("{:.3}", stats.p99_ms()),
+        occupancy.bottleneck().to_string(),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "offered {} txns ({} shed) at {:.0} tps",
+        offered.submitted + offered.shed,
+        offered.shed,
+        offered.offered_tps()
+    );
+
+    // Hand-rolled JSON (the workspace serde is an offline shim).
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"experiment\": \"pipeline\",\n  \"workload\": \"tm1\",\n  \
+         \"transactions\": {},\n  \"committed\": {},\n  \"aborted\": {},\n  \"bulks\": {},\n  \
+         \"throughput_tps\": {:.3},\n  \"p50_ms\": {:.6},\n  \"p99_ms\": {:.6},\n  \
+         \"occupancy_admission\": {:.6},\n  \"occupancy_grouping\": {:.6},\n  \
+         \"occupancy_execution\": {:.6},\n  \"occupancy_commit\": {:.6},\n  \
+         \"bottleneck\": \"{}\"\n}}\n",
+        stats.transactions(),
+        stats.committed,
+        stats.aborted,
+        stats.bulks(),
+        stats.throughput_tps(),
+        stats.p50_ms(),
+        stats.p99_ms(),
+        occupancy.admission,
+        occupancy.grouping,
+        occupancy.execution,
+        occupancy.commit,
+        occupancy.bottleneck(),
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("cannot write pipeline JSON to {path}: {e}"));
+            println!("pipeline metrics written to {path}");
+        }
+        None => println!("{json}"),
     }
 }
 
@@ -132,7 +232,9 @@ fn smoke(json_path: Option<&str>) {
     let wall_ms = |executor: &dyn Executor| {
         let mut db = bundle.db.clone();
         let start = std::time::Instant::now();
-        executor.run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), &groups);
+        executor
+            .run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), &groups)
+            .expect("no procedure panics");
         start.elapsed().as_secs_f64() * 1e3
     };
     let wall_serial_ms = wall_ms(&SerialExecutor);
@@ -449,7 +551,7 @@ fn fig9() {
         let mut bundle = Tm1Config { scale_factor: 4 }.build();
         let mut db = bundle.db.clone();
         let registry = bundle.registry.clone();
-        let pipeline = PipelineConfig {
+        let pipeline = IntervalSimConfig {
             arrival_rate_tps: 1_000_000.0,
             interval: SimDuration::from_millis(interval_ms),
             horizon: SimDuration::from_millis(100.0),
@@ -568,7 +670,7 @@ fn fig15() {
             let mut bundle = MicroWorkload::build(&cfg);
             let mut db = bundle.db.clone();
             let registry = bundle.registry.clone();
-            let pipeline = PipelineConfig {
+            let pipeline = IntervalSimConfig {
                 arrival_rate_tps: 4_000_000.0,
                 interval: SimDuration::from_millis(interval_ms),
                 horizon: SimDuration::from_millis(25.0),

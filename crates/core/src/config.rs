@@ -132,6 +132,68 @@ impl EngineConfig {
     }
 }
 
+/// Configuration of the streaming pipelined engine
+/// ([`PipelinedGpuTx`](crate::pipeline::PipelinedGpuTx)).
+///
+/// The admission stage closes a bulk when it reaches `max_bulk_size`
+/// transactions *or* when the oldest queued transaction has waited
+/// `max_wait_us` microseconds, whichever comes first — large bulks amortize
+/// grouping cost (throughput), the deadline bounds ticket latency, the same
+/// trade-off the paper's response-time figures chart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Close a bulk at this many transactions.
+    pub max_bulk_size: usize,
+    /// Close a non-empty bulk after its oldest transaction waited this many
+    /// microseconds.
+    pub max_wait_us: u64,
+    /// Capacity of the bounded admission queue; a full queue blocks `submit`
+    /// (backpressure) and fails `try_submit`.
+    pub queue_depth: usize,
+    /// Host executor for the execution stage (serial or `parallel(n)`),
+    /// independent of the one-shot engine's `EngineConfig::executor`.
+    pub executor: ExecutorChoice,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            max_bulk_size: 8_192,
+            max_wait_us: 2_000,
+            queue_depth: 16_384,
+            executor: ExecutorChoice::Serial,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Builder-style: set the bulk-size close threshold.
+    pub fn with_max_bulk_size(mut self, max_bulk_size: usize) -> Self {
+        assert!(max_bulk_size > 0, "max_bulk_size must be positive");
+        self.max_bulk_size = max_bulk_size;
+        self
+    }
+
+    /// Builder-style: set the admission deadline in microseconds.
+    pub fn with_max_wait_us(mut self, max_wait_us: u64) -> Self {
+        self.max_wait_us = max_wait_us;
+        self
+    }
+
+    /// Builder-style: set the admission queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "queue_depth must be positive");
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Builder-style: pick the execution-stage host executor.
+    pub fn with_executor(mut self, executor: ExecutorChoice) -> Self {
+        self.executor = executor;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +233,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_partition_size_rejected() {
         EngineConfig::default().with_partition_size(0);
+    }
+
+    #[test]
+    fn pipeline_config_builders_apply() {
+        let c = PipelineConfig::default()
+            .with_max_bulk_size(1024)
+            .with_max_wait_us(500)
+            .with_queue_depth(32)
+            .with_executor(ExecutorChoice::parallel(2));
+        assert_eq!(c.max_bulk_size, 1024);
+        assert_eq!(c.max_wait_us, 500);
+        assert_eq!(c.queue_depth, 32);
+        assert!(c.executor.is_parallel());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pipeline_bulk_size_rejected() {
+        PipelineConfig::default().with_max_bulk_size(0);
     }
 }

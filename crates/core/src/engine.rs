@@ -8,7 +8,8 @@
 //! result pool on the host.
 
 use crate::bulk::{Bulk, BulkReport};
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, PipelineConfig};
+use crate::pipeline::PipelinedGpuTx;
 use crate::profiler::{profile_bulk, BulkProfile};
 use crate::select::choose_strategy;
 use crate::strategy::{execute_bulk, ExecContext, StrategyKind};
@@ -181,6 +182,23 @@ impl GpuTxEngine {
     pub fn total_aborted(&self) -> usize {
         self.reports.iter().map(|r| r.aborted).sum()
     }
+
+    /// Convert this one-shot engine into the streaming
+    /// [`PipelinedGpuTx`]: the database, registry and configuration carry
+    /// over, and any transactions still pending in the pool are re-submitted
+    /// into the pipeline (their pool timestamps are re-assigned by admission
+    /// order, which preserves their relative order).
+    pub fn into_pipelined(mut self, pipeline: PipelineConfig) -> PipelinedGpuTx {
+        let pending = self.pool.drain_all();
+        let streaming = PipelinedGpuTx::new(self.db, self.registry, self.config, pipeline);
+        for sig in pending {
+            // The engine just started, so submissions cannot fail; tickets
+            // for carried-over transactions are intentionally dropped (the
+            // one-shot API had no per-transaction completion handle either).
+            let _ = streaming.submit(sig.ty, sig.params);
+        }
+        streaming
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +318,22 @@ mod tests {
         assert!(results[0].0 == results[1].0);
         assert_eq!(results[0].1, results[1].1);
         assert_eq!(results[0].2, results[1].2);
+    }
+
+    #[test]
+    fn into_pipelined_carries_pending_transactions() {
+        let (db, reg) = setup(100);
+        let mut engine = GpuTxEngine::new(db, reg, EngineConfig::default());
+        for i in 0..50u64 {
+            engine.submit(0, vec![Value::Int((i % 100) as i64), Value::Double(2.0)]);
+        }
+        let streaming = engine.into_pipelined(PipelineConfig::default().with_max_bulk_size(16));
+        let (db, stats) = streaming.finish().expect("pipeline stays healthy");
+        assert_eq!(stats.committed, 50);
+        assert_eq!(
+            db.table_by_name("accounts").get(42, 1),
+            Value::Double(102.0)
+        );
     }
 
     #[test]

@@ -19,8 +19,11 @@
 //! * [`logging`] — undo-logging policy and recovery accounting (Appendix D).
 //! * [`relaxed`] — the serializability-only variants without the timestamp
 //!   constraint (Appendix G).
-//! * [`pipeline`] — the arrival/response-time simulation behind the
+//! * [`pipeline`] — streaming execution: the [`pipeline::PipelinedGpuTx`]
+//!   engine (continuous ingest, bulk formation overlapped with execution on
+//!   stage threads) and the arrival/response-time simulation behind the
 //!   response-time-vs-throughput figures (Figures 9 and 15).
+//! * [`error`] — typed engine errors ([`EngineError`]).
 //! * [`engine`] — the [`engine::GpuTxEngine`] facade: register procedures,
 //!   load the database to the device, submit transactions, execute bulks and
 //!   collect results.
@@ -31,6 +34,7 @@
 pub mod bulk;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod grouping;
 pub mod logging;
 pub mod pipeline;
@@ -40,8 +44,10 @@ pub mod select;
 pub mod strategy;
 
 pub use bulk::{Bulk, BulkReport};
-pub use config::EngineConfig;
+pub use config::{EngineConfig, PipelineConfig};
 pub use engine::GpuTxEngine;
-pub use profiler::BulkProfile;
+pub use error::EngineError;
+pub use pipeline::PipelinedGpuTx;
+pub use profiler::{profile_pipeline, BulkProfile, StageOccupancy};
 pub use select::choose_strategy;
-pub use strategy::{execute_bulk, ExecContext, StrategyKind, StrategyOutcome};
+pub use strategy::{execute_bulk, try_execute_bulk, ExecContext, StrategyKind, StrategyOutcome};

@@ -1,22 +1,336 @@
-//! Arrival/response-time simulation (Figures 9 and 15).
+//! Streaming execution: the pipelined engine driver and the
+//! arrival/response-time simulation.
 //!
-//! Transactions are submitted to GPUTx uniformly in time at a configurable
-//! rate; after every fixed interval `t` the engine cuts a bulk from the pool
-//! and executes it. Larger intervals produce larger bulks (better GPU
-//! utilization, higher throughput) at the cost of a higher average response
-//! time — the trade-off the paper's response-time figures chart.
+//! Two things live here:
+//!
+//! * [`PipelinedGpuTx`] — the *real* streaming mode: an always-on,
+//!   multi-threaded front-end where clients `submit` transactions into a
+//!   bounded admission queue and receive [`Ticket`] handles; bulks are formed
+//!   adaptively (size or deadline), grouped (K-SET wave / PART partition-group
+//!   construction) on a dedicated stage thread *while the previous bulk
+//!   executes*, and committed in submission order. This is the paper's
+//!   formation/execution pipelining (§3.2) turned into an actual
+//!   multi-threaded engine, configured by
+//!   [`PipelineConfig`].
+//! * [`simulate_pipeline`] — the original arrival/response-time *simulation*
+//!   behind the paper's Figures 9 and 15 (periodic bulk cuts under a uniform
+//!   arrival process, simulated time only).
 
 use crate::bulk::Bulk;
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, PipelineConfig, StrategyChoice};
+use crate::profiler::profile_bulk;
+use crate::select::choose_strategy;
 use crate::strategy::{execute_bulk, ExecContext, StrategyKind};
+use gputx_exec::{
+    run_txn, BulkPlanner, BulkRunner, ExecError, ExecPolicy, Executor, PipelineError,
+    PipelineOptions, PipelineStats, PipelinedEngine, Ticket,
+};
 use gputx_sim::{Gpu, SimDuration, Throughput};
 use gputx_storage::{Database, Value};
-use gputx_txn::{ProcedureRegistry, TxnSignature, TxnTypeId};
+use gputx_txn::plan::{plan_kset_waves, plan_partition_groups, BulkPlan};
+use gputx_txn::{ProcedureRegistry, TxnId, TxnSignature, TxnTypeId};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Duration;
 
-/// Configuration of one pipeline simulation run.
+// ---------------------------------------------------------------------------
+// The streaming pipelined engine (driver over `gputx_exec::PipelinedEngine`).
+// ---------------------------------------------------------------------------
+
+/// Grouping-stage driver: plans bulks from signatures and a frozen snapshot.
+///
+/// The planner runs concurrently with execution, so it never sees the live
+/// database: strategy selection and set construction use the declared
+/// read/write sets and partition keys, which must be state-independent
+/// (derivable from the signature alone — Appendix B's static analysis; every
+/// bundled workload satisfies this).
+#[derive(Debug)]
+pub struct GpuTxPlanner {
+    registry: ProcedureRegistry,
+    /// Frozen copy of the database for read/write-set evaluation and
+    /// profiling. Only populated when the configured strategy can ask for it
+    /// (K-SET or Auto) — ForcePart/ForceTpl plan from signatures alone, so
+    /// they skip the whole-database clone.
+    snapshot: Option<Database>,
+    config: EngineConfig,
+}
+
+impl GpuTxPlanner {
+    fn snapshot(&self) -> &Database {
+        self.snapshot
+            .as_ref()
+            .expect("snapshot is populated for strategies that read it")
+    }
+}
+
+/// The plan the grouping stage hands to the execution stage: the chosen
+/// strategy and its precomputed schedule.
+#[derive(Debug, Clone)]
+pub struct GpuTxPlan {
+    /// Strategy selected for this bulk (forced or rule-based).
+    pub strategy: StrategyKind,
+    /// The precomputed schedule (waves / groups / serial order).
+    pub plan: BulkPlan,
+}
+
+impl BulkPlanner for GpuTxPlanner {
+    type Plan = GpuTxPlan;
+
+    fn plan(&mut self, bulk: &[TxnSignature]) -> GpuTxPlan {
+        let strategy = match self.config.strategy {
+            StrategyChoice::ForceTpl => StrategyKind::Tpl,
+            StrategyChoice::ForcePart => StrategyKind::Part,
+            StrategyChoice::ForceKset => StrategyKind::Kset,
+            StrategyChoice::Auto => {
+                let profile = profile_bulk(&self.registry, self.snapshot(), bulk);
+                choose_strategy(&self.config, &profile)
+            }
+        };
+        let plan = match strategy {
+            StrategyKind::Kset => {
+                let snapshot = self.snapshot();
+                let ops: Vec<_> = bulk
+                    .iter()
+                    .map(|sig| (sig.id, self.registry.read_write_set(sig, snapshot)))
+                    .collect();
+                BulkPlan::ConflictFreeWaves(plan_kset_waves(&ops))
+            }
+            StrategyKind::Part => {
+                let keys: Vec<(TxnId, Option<u64>)> = bulk
+                    .iter()
+                    .map(|sig| (sig.id, self.registry.partition_key(sig)))
+                    .collect();
+                match plan_partition_groups(&keys, self.config.partition_size) {
+                    Some(groups) => BulkPlan::DisjointGroups(groups),
+                    // Cross-partition transactions: the strategy-level TPL
+                    // fallback of §5.2, i.e. serial timestamp order.
+                    None => BulkPlan::Serial,
+                }
+            }
+            StrategyKind::Tpl => BulkPlan::Serial,
+        };
+        GpuTxPlan { strategy, plan }
+    }
+}
+
+/// Execution-stage driver: owns the live database and applies each bulk with
+/// the precomputed schedule on the configured host [`Executor`].
+///
+/// Execution is purely functional (no simulated-GPU cost model): the
+/// pipelined engine measures *wall-clock* stage timings instead. The replay
+/// order per strategy is identical to the one-shot strategies' — waves in
+/// extraction order, partition groups in partition order, serial in timestamp
+/// order — so the final database state is bit-identical to
+/// [`execute_bulk`] over the same bulks.
+///
+/// # Failure semantics
+///
+/// A panicking stored procedure fails its bulk (every ticket resolves with
+/// `BulkFailed`) and the pipeline keeps serving. How much of the failed bulk
+/// reached the database depends on where it failed: on the parallel executor
+/// a failing wave/group-set makes no state change (no shard delta is
+/// merged), but *earlier* K-SET waves of the same bulk were already merged,
+/// and serial execution mutates in place up to the panic. The failed bulk's
+/// *buffered inserts* are always discarded — they never leak into a later
+/// bulk's batched-insert application.
+#[derive(Debug)]
+pub struct GpuTxRunner {
+    db: Database,
+    registry: ProcedureRegistry,
+    executor: Box<dyn Executor>,
+    policy: ExecPolicy,
+}
+
+impl GpuTxRunner {
+    /// Drop every table's pending insert buffer: called before a bulk (to
+    /// clear leftovers of a predecessor that failed or unwound mid-run) and
+    /// after a failed bulk, so a failed bulk's inserts are never applied by a
+    /// later bulk's `apply_insert_buffers`.
+    fn discard_insert_buffers(&mut self) {
+        for t in 0..self.db.num_tables() {
+            self.db
+                .table_mut(t as gputx_storage::catalog::TableId)
+                .clear_insert_buffer();
+        }
+    }
+
+    fn run_plan(
+        &mut self,
+        bulk: &[TxnSignature],
+        plan: &GpuTxPlan,
+        outcomes: &mut Vec<(TxnId, gputx_txn::TxnOutcome)>,
+    ) -> Result<(), ExecError> {
+        let by_id: HashMap<TxnId, &TxnSignature> = bulk.iter().map(|s| (s.id, s)).collect();
+        match &plan.plan {
+            BulkPlan::ConflictFreeWaves(waves) => {
+                for wave in waves {
+                    let sigs: Vec<&TxnSignature> = wave.iter().map(|id| by_id[id]).collect();
+                    let executed = self.executor.run_conflict_free(
+                        &mut self.db,
+                        &self.registry,
+                        &self.policy,
+                        &sigs,
+                    )?;
+                    outcomes.extend(executed.into_iter().map(|t| (t.id, t.outcome)));
+                }
+            }
+            BulkPlan::DisjointGroups(groups) => {
+                let group_refs: Vec<Vec<&TxnSignature>> = groups
+                    .iter()
+                    .map(|g| g.iter().map(|id| by_id[id]).collect())
+                    .collect();
+                let executed = self.executor.run_groups(
+                    &mut self.db,
+                    &self.registry,
+                    &self.policy,
+                    &group_refs,
+                )?;
+                outcomes.extend(executed.into_iter().flatten().map(|t| (t.id, t.outcome)));
+            }
+            BulkPlan::Serial => {
+                // `bulk` arrives in ascending id order from admission.
+                for sig in bulk {
+                    let t = run_txn(&mut self.db, &self.registry, &self.policy, sig);
+                    outcomes.push((t.id, t.outcome));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BulkRunner for GpuTxRunner {
+    type Plan = GpuTxPlan;
+    type Output = Database;
+
+    fn run(
+        &mut self,
+        bulk: Vec<TxnSignature>,
+        plan: GpuTxPlan,
+    ) -> Result<Vec<(TxnId, gputx_txn::TxnOutcome)>, ExecError> {
+        // A predecessor bulk that failed (typed error) or unwound (caught by
+        // the execution stage) may have left buffered inserts behind;
+        // applying them here would leak another bulk's partial effects.
+        self.discard_insert_buffers();
+        let mut outcomes = Vec::with_capacity(bulk.len());
+        if let Err(e) = self.run_plan(&bulk, &plan, &mut outcomes) {
+            self.discard_insert_buffers();
+            return Err(e);
+        }
+        self.db.apply_insert_buffers();
+        outcomes.sort_by_key(|(id, _)| *id);
+        Ok(outcomes)
+    }
+
+    fn finish(mut self) -> Database {
+        // Leftover buffers of a failed final bulk must not survive into the
+        // returned state.
+        self.discard_insert_buffers();
+        self.db
+    }
+}
+
+/// The streaming GPUTx engine: continuous transaction ingest with overlapped
+/// grouping and execution.
+///
+/// ```text
+/// submit() ─▶ admission ─▶ grouping ─▶ execution ─▶ commit ─▶ Ticket resolves
+///             (size/deadline) (plan N+1 ∥ run N)    (submission order)
+/// ```
+///
+/// Prefer this over the one-shot [`GpuTxEngine`](crate::GpuTxEngine) when
+/// transactions arrive continuously and per-transaction latency matters;
+/// prefer one-shot bulks for offline/batch runs and for the simulated-GPU
+/// cost model (the pipeline measures wall-clock only).
+#[derive(Debug)]
+pub struct PipelinedGpuTx {
+    engine: PipelinedEngine<GpuTxPlanner, GpuTxRunner>,
+}
+
+impl PipelinedGpuTx {
+    /// Start the streaming engine over a database and registered transaction
+    /// types. `engine_config` supplies strategy selection, thresholds and
+    /// partition size; `pipeline` supplies the admission knobs and the
+    /// execution-stage host executor.
+    pub fn new(
+        db: Database,
+        registry: ProcedureRegistry,
+        engine_config: EngineConfig,
+        pipeline: PipelineConfig,
+    ) -> Self {
+        let needs_snapshot = matches!(
+            engine_config.strategy,
+            StrategyChoice::ForceKset | StrategyChoice::Auto
+        );
+        let planner = GpuTxPlanner {
+            registry: registry.clone(),
+            snapshot: needs_snapshot.then(|| db.clone()),
+            config: engine_config,
+        };
+        let runner = GpuTxRunner {
+            db,
+            registry,
+            executor: pipeline.executor.build(),
+            policy: ExecPolicy::functional(),
+        };
+        let opts = PipelineOptions {
+            max_bulk_size: pipeline.max_bulk_size,
+            max_wait: Duration::from_micros(pipeline.max_wait_us),
+            queue_depth: pipeline.queue_depth,
+        };
+        PipelinedGpuTx {
+            engine: PipelinedEngine::new(planner, runner, opts),
+        }
+    }
+
+    /// Submit a transaction; blocks while the admission queue is full
+    /// (backpressure). The returned [`Ticket`] resolves with the
+    /// transaction's id and outcome when its bulk commits.
+    pub fn submit(&self, ty: TxnTypeId, params: Vec<Value>) -> Result<Ticket, PipelineError> {
+        self.engine.submit(ty, params)
+    }
+
+    /// Non-blocking [`PipelinedGpuTx::submit`]; fails with
+    /// [`PipelineError::QueueFull`] instead of blocking.
+    pub fn try_submit(&self, ty: TxnTypeId, params: Vec<Value>) -> Result<Ticket, PipelineError> {
+        self.engine.try_submit(ty, params)
+    }
+
+    /// Close the currently open partial bulk and block until everything
+    /// submitted before the flush has committed.
+    pub fn flush(&self) -> Result<(), PipelineError> {
+        self.engine.flush()
+    }
+
+    /// Drain and stop the stage threads. Idempotent; afterwards `submit`
+    /// returns [`PipelineError::ShutDown`].
+    pub fn shutdown(&mut self) {
+        self.engine.shutdown()
+    }
+
+    /// Run statistics (throughput, latency percentiles, per-stage busy time);
+    /// `None` before shutdown.
+    pub fn stats(&self) -> Option<&PipelineStats> {
+        self.engine.stats()
+    }
+
+    /// Shut down (if still running) and hand back the final database plus the
+    /// run statistics.
+    pub fn finish(self) -> Result<(Database, PipelineStats), PipelineError> {
+        self.engine.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arrival/response-time simulation (Figures 9 and 15).
+// ---------------------------------------------------------------------------
+
+/// Configuration of one arrival/response-time simulation run (Figures 9/15):
+/// transactions arrive uniformly in time and the engine cuts a bulk every
+/// fixed interval. Purely simulated time — for the real streaming engine see
+/// [`PipelinedGpuTx`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PipelineConfig {
+pub struct IntervalSimConfig {
     /// Transaction arrival rate in transactions per second.
     pub arrival_rate_tps: f64,
     /// Interval between bulk cuts.
@@ -25,9 +339,9 @@ pub struct PipelineConfig {
     pub horizon: SimDuration,
 }
 
-/// Result of a pipeline simulation.
+/// Result of an arrival/response-time simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PipelineReport {
+pub struct IntervalSimReport {
     /// Number of transactions that completed.
     pub completed: u64,
     /// Number of bulks executed.
@@ -43,15 +357,18 @@ pub struct PipelineReport {
 /// Simulate periodic bulk execution under a uniform arrival process.
 ///
 /// `make_txn(i)` produces the type and parameters of the `i`-th arriving
-/// transaction; transactions are executed with the given strategy.
+/// transaction; transactions are executed with the given strategy. Larger
+/// intervals produce larger bulks (better GPU utilization, higher throughput)
+/// at the cost of a higher average response time — the trade-off the paper's
+/// response-time figures chart.
 pub fn simulate_pipeline(
     db: &mut Database,
     registry: &ProcedureRegistry,
     config: &EngineConfig,
     strategy: StrategyKind,
-    pipeline: &PipelineConfig,
+    pipeline: &IntervalSimConfig,
     mut make_txn: impl FnMut(u64) -> (TxnTypeId, Vec<Value>),
-) -> PipelineReport {
+) -> IntervalSimReport {
     assert!(
         pipeline.arrival_rate_tps > 0.0,
         "arrival rate must be positive"
@@ -112,7 +429,7 @@ pub fn simulate_pipeline(
         completed,
         SimDuration::from_secs(device_free_at.max(f64::EPSILON)),
     );
-    PipelineReport {
+    IntervalSimReport {
         completed,
         bulks,
         avg_response,
@@ -123,6 +440,7 @@ pub fn simulate_pipeline(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gputx_exec::ExecutorChoice;
     use gputx_storage::schema::{ColumnDef, TableSchema};
     use gputx_storage::{DataItemId, DataType};
     use gputx_txn::{BasicOp, ProcedureDef};
@@ -155,10 +473,10 @@ mod tests {
         (db, reg)
     }
 
-    fn run(interval_ms: f64) -> PipelineReport {
+    fn run(interval_ms: f64) -> IntervalSimReport {
         let (mut db, reg) = setup(10_000);
         let config = EngineConfig::default();
-        let pipeline = PipelineConfig {
+        let pipeline = IntervalSimConfig {
             arrival_rate_tps: 200_000.0,
             interval: SimDuration::from_millis(interval_ms),
             horizon: SimDuration::from_millis(100.0),
@@ -194,7 +512,7 @@ mod tests {
     fn zero_rate_rejected() {
         let (mut db, reg) = setup(10);
         let config = EngineConfig::default();
-        let pipeline = PipelineConfig {
+        let pipeline = IntervalSimConfig {
             arrival_rate_tps: 0.0,
             interval: SimDuration::from_millis(1.0),
             horizon: SimDuration::from_millis(1.0),
@@ -202,5 +520,144 @@ mod tests {
         simulate_pipeline(&mut db, &reg, &config, StrategyKind::Tpl, &pipeline, |_| {
             (0, vec![])
         });
+    }
+
+    // ---- streaming engine ---------------------------------------------------
+
+    /// The pipelined engine must reach the same final state as replaying the
+    /// stream sequentially, for every strategy and executor.
+    #[test]
+    fn pipelined_engine_matches_sequential_replay() {
+        let n = 600usize;
+        let (db0, reg) = setup(64);
+        // Sequential replay in timestamp order.
+        let mut seq_db = db0.clone();
+        for i in 0..n {
+            let sig = TxnSignature::new(i as u64, 0, vec![Value::Int((i % 7) as i64)]);
+            reg.execute(&sig, &mut seq_db);
+        }
+        seq_db.apply_insert_buffers();
+
+        for strategy in [
+            StrategyChoice::ForceKset,
+            StrategyChoice::ForcePart,
+            StrategyChoice::ForceTpl,
+            StrategyChoice::Auto,
+        ] {
+            for executor in [ExecutorChoice::Serial, ExecutorChoice::parallel(2)] {
+                let engine = PipelinedGpuTx::new(
+                    db0.clone(),
+                    reg.clone(),
+                    EngineConfig::default().with_strategy(strategy),
+                    PipelineConfig::default()
+                        .with_max_bulk_size(128)
+                        .with_max_wait_us(10_000_000)
+                        .with_executor(executor),
+                );
+                let tickets: Vec<Ticket> = (0..n)
+                    .map(|i| {
+                        engine
+                            .submit(0, vec![Value::Int((i % 7) as i64)])
+                            .expect("engine accepts submissions")
+                    })
+                    .collect();
+                let (db, stats) = engine.finish().expect("stages stay healthy");
+                assert!(
+                    db == seq_db,
+                    "{strategy:?}/{executor}: final state must equal sequential replay"
+                );
+                assert_eq!(stats.committed, n as u64);
+                assert_eq!(stats.bulks(), (n as u64).div_ceil(128));
+                for (i, t) in tickets.iter().enumerate() {
+                    let (id, outcome) = t.wait().expect("ticket resolves");
+                    assert_eq!(id, i as u64);
+                    assert!(outcome.is_committed());
+                }
+            }
+        }
+    }
+
+    /// A bulk that fails mid-run (panicking procedure after buffered inserts)
+    /// must fail all its tickets, and its buffered inserts must never be
+    /// applied by a later healthy bulk.
+    #[test]
+    fn failed_bulk_inserts_do_not_leak_into_later_bulks() {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "log",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            vec![0],
+        ));
+        let mut reg = ProcedureRegistry::new();
+        // Buffered insert keyed by a per-transaction dummy item (conflict-free).
+        reg.register(ProcedureDef::new(
+            "ins",
+            move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let k = ctx.param_int(0);
+                ctx.insert(t, vec![Value::Int(k), Value::Int(1)]);
+            },
+        ));
+        reg.register(ProcedureDef::new(
+            "boom",
+            move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+            |p| Some(p[0].as_int() as u64),
+            move |_ctx| panic!("procedure bug"),
+        ));
+        let engine = PipelinedGpuTx::new(
+            db,
+            reg,
+            EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
+            PipelineConfig::default()
+                .with_max_bulk_size(4)
+                .with_max_wait_us(10_000_000),
+        );
+        // Bulk 1: two inserts execute, then the panic fails the bulk with two
+        // inserts still buffered.
+        let bulk1: Vec<Ticket> = [(0u32, 1i64), (0, 2), (1, 3), (0, 4)]
+            .iter()
+            .map(|&(ty, k)| engine.submit(ty, vec![Value::Int(k)]).unwrap())
+            .collect();
+        // Bulk 2: four healthy inserts.
+        let bulk2: Vec<Ticket> = (10..14)
+            .map(|k| engine.submit(0, vec![Value::Int(k)]).unwrap())
+            .collect();
+        for ticket in &bulk1 {
+            assert!(matches!(ticket.wait(), Err(PipelineError::BulkFailed(_))));
+        }
+        for ticket in &bulk2 {
+            assert!(ticket.wait().is_ok());
+        }
+        let (db, stats) = engine.finish().unwrap();
+        assert_eq!(stats.bulks_failed, 1);
+        assert_eq!(stats.committed, 4);
+        assert_eq!(
+            db.table_by_name("log").num_rows(),
+            4,
+            "only the healthy bulk's inserts may be applied"
+        );
+        assert_eq!(db.table_by_name("log").pending_inserts(), 0);
+    }
+
+    #[test]
+    fn deadline_bounds_latency_without_flush() {
+        let (db0, reg) = setup(8);
+        let engine = PipelinedGpuTx::new(
+            db0,
+            reg,
+            EngineConfig::default(),
+            PipelineConfig::default()
+                .with_max_bulk_size(1_000_000)
+                .with_max_wait_us(3_000),
+        );
+        let ticket = engine.submit(0, vec![Value::Int(1)]).unwrap();
+        // The deadline (not size, not flush) must commit this transaction.
+        assert!(ticket.wait().is_ok());
+        let (_, stats) = engine.finish().unwrap();
+        assert!(stats.closes.by_timer >= 1);
     }
 }

@@ -11,7 +11,7 @@
 use super::{exec_policy, tally, ExecContext, StrategyKind, StrategyOutcome};
 use crate::bulk::Bulk;
 use crate::grouping::group_by_type;
-use gputx_exec::Executor;
+use gputx_exec::{ExecError, Executor};
 use gputx_sim::primitives::map_cost;
 use gputx_sim::ThreadTrace;
 use gputx_txn::kset::{gpu_rank_ksets, IncrementalKSet};
@@ -25,10 +25,10 @@ pub(crate) fn run(
     ctx: &mut ExecContext<'_>,
     bulk: &Bulk,
     executor: &dyn Executor,
-) -> StrategyOutcome {
+) -> Result<StrategyOutcome, ExecError> {
     let mut outcome = StrategyOutcome::empty(StrategyKind::Kset);
     if bulk.is_empty() {
-        return outcome;
+        return Ok(outcome);
     }
     outcome.transactions = bulk.len();
 
@@ -81,7 +81,7 @@ pub(crate) fn run(
         // it across real worker threads.
         let wave_sigs: Vec<&TxnSignature> = wave.iter().map(|id| by_id[id]).collect();
         let policy = exec_policy(ctx.config);
-        let executed = executor.run_conflict_free(ctx.db, ctx.registry, &policy, &wave_sigs);
+        let executed = executor.run_conflict_free(ctx.db, ctx.registry, &policy, &wave_sigs)?;
         let mut traces: Vec<ThreadTrace> = Vec::with_capacity(wave.len());
         for txn in executed {
             traces.push(txn.trace);
@@ -98,7 +98,7 @@ pub(crate) fn run(
     let (committed, aborted) = tally(&outcome.outcomes);
     outcome.committed = committed;
     outcome.aborted = aborted;
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]

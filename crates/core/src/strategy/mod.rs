@@ -12,6 +12,7 @@ pub mod tpl;
 
 use crate::bulk::{Bulk, BulkReport};
 use crate::config::EngineConfig;
+use crate::error::EngineError;
 use gputx_exec::ExecPolicy;
 use gputx_sim::{Gpu, SimDuration};
 use gputx_storage::Database;
@@ -132,7 +133,12 @@ pub(crate) fn tally(outcomes: &[(TxnId, TxnOutcome)]) -> (usize, usize) {
 }
 
 /// Execute a bulk with the given strategy, applying insert buffers afterwards
-/// (the batched update of §3.2).
+/// (the batched update of §3.2). Fallible variant: a panicking procedure
+/// under the parallel executor surfaces as [`EngineError`] instead of
+/// unwinding. On the executor's worker path the failing wave/group-set makes
+/// no state change (no shard delta is merged); earlier K-SET waves of the
+/// same bulk, and the inline serial fallback, execute in place, so their
+/// effects remain (insert buffers are not applied on failure either way).
 ///
 /// The functional work runs on the host executor selected by
 /// `config.executor`: the serial reference loop, or the sharded
@@ -141,20 +147,31 @@ pub(crate) fn tally(outcomes: &[(TxnId, TxnOutcome)]) -> (usize, usize) {
 /// executes its host loop serially regardless (its counter-based locks
 /// enforce a total timestamp order, leaving no host-side parallelism to
 /// exploit).
+pub fn try_execute_bulk(
+    ctx: &mut ExecContext<'_>,
+    strategy: StrategyKind,
+    bulk: &Bulk,
+) -> Result<StrategyOutcome, EngineError> {
+    let executor = ctx.config.executor.build();
+    let mut outcome = match strategy {
+        StrategyKind::Tpl => tpl::run(ctx, bulk),
+        StrategyKind::Part => part::run(ctx, bulk, executor.as_ref())?,
+        StrategyKind::Kset => kset::run(ctx, bulk, executor.as_ref())?,
+    };
+    ctx.db.apply_insert_buffers();
+    outcome.transfer += account_transfers(ctx.gpu, bulk);
+    Ok(outcome)
+}
+
+/// Infallible [`try_execute_bulk`]: panics if the executor reports a worker
+/// panic (the pre-existing behaviour of this entry point). Every non-failing
+/// path is byte-identical to the fallible variant.
 pub fn execute_bulk(
     ctx: &mut ExecContext<'_>,
     strategy: StrategyKind,
     bulk: &Bulk,
 ) -> StrategyOutcome {
-    let executor = ctx.config.executor.build();
-    let mut outcome = match strategy {
-        StrategyKind::Tpl => tpl::run(ctx, bulk),
-        StrategyKind::Part => part::run(ctx, bulk, executor.as_ref()),
-        StrategyKind::Kset => kset::run(ctx, bulk, executor.as_ref()),
-    };
-    ctx.db.apply_insert_buffers();
-    outcome.transfer += account_transfers(ctx.gpu, bulk);
-    outcome
+    try_execute_bulk(ctx, strategy, bulk).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

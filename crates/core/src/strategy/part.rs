@@ -14,7 +14,7 @@
 
 use super::{exec_policy, tally, tpl, ExecContext, StrategyKind, StrategyOutcome};
 use crate::bulk::Bulk;
-use gputx_exec::Executor;
+use gputx_exec::{ExecError, Executor};
 use gputx_sim::primitives::{map_cost, radix_sort_pairs};
 use gputx_sim::ThreadTrace;
 use gputx_txn::TxnSignature;
@@ -28,10 +28,10 @@ pub(crate) fn run(
     ctx: &mut ExecContext<'_>,
     bulk: &Bulk,
     executor: &dyn Executor,
-) -> StrategyOutcome {
+) -> Result<StrategyOutcome, ExecError> {
     let mut outcome = StrategyOutcome::empty(StrategyKind::Part);
     if bulk.is_empty() {
-        return outcome;
+        return Ok(outcome);
     }
 
     // Step 1 (map): compute the partition id of every transaction.
@@ -45,7 +45,7 @@ pub(crate) fn run(
         let mut fallback = tpl::run(ctx, bulk);
         fallback.strategy = StrategyKind::Part;
         fallback.fell_back_to_tpl = true;
-        return fallback;
+        return Ok(fallback);
     }
     outcome.transactions = bulk.len();
     let map_out = map_cost(ctx.gpu, "part_partition_ids", bulk.len(), 8, 16, 8);
@@ -87,7 +87,7 @@ pub(crate) fn run(
         })
         .collect();
     let policy = exec_policy(ctx.config);
-    let executed_groups = executor.run_groups(ctx.db, ctx.registry, &policy, &groups);
+    let executed_groups = executor.run_groups(ctx.db, ctx.registry, &policy, &groups)?;
 
     let search_steps = (bulk.len().max(2) as f64).log2().ceil() as u64;
     let mut thread_traces: Vec<ThreadTrace> = Vec::with_capacity(groups.len());
@@ -113,7 +113,7 @@ pub(crate) fn run(
     let (committed, aborted) = tally(&outcome.outcomes);
     outcome.committed = committed;
     outcome.aborted = aborted;
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -274,7 +274,7 @@ mod tests {
             registry: &reg,
             config: &config,
         };
-        let out = super::run(&mut ctx, &Bulk::default(), &gputx_exec::SerialExecutor);
+        let out = super::run(&mut ctx, &Bulk::default(), &gputx_exec::SerialExecutor).unwrap();
         assert_eq!(out.transactions, 0);
     }
 }

@@ -13,7 +13,7 @@
 //! its slowest core finishes.
 
 use crate::cost::{trace_cpu_seconds, CPU_DISPATCH_OVERHEAD_NS};
-use gputx_exec::{ExecPolicy, Executor, ExecutorChoice};
+use gputx_exec::{ExecError, ExecPolicy, Executor, ExecutorChoice};
 use gputx_sim::{CpuSpec, SimDuration, Throughput};
 use gputx_storage::Database;
 use gputx_txn::{ProcedureRegistry, TxnId, TxnOutcome, TxnSignature};
@@ -114,12 +114,29 @@ impl CpuEngine {
     /// the H-Store single-partition assumption — a transaction with a
     /// partition key only touches that partition's data — the final database
     /// state is identical to the serial path.
+    ///
+    /// Panics if a worker reports a typed [`ExecError`] (a panicking stored
+    /// procedure); use [`CpuEngine::try_execute_bulk`] to handle that as a
+    /// value.
     pub fn execute_bulk(
         &self,
         db: &mut Database,
         registry: &ProcedureRegistry,
         bulk: &[TxnSignature],
     ) -> CpuBulkReport {
+        self.try_execute_bulk(db, registry, bulk)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`CpuEngine::execute_bulk`]: a worker panic inside the
+    /// parallel executor surfaces as [`ExecError`] (the partition run that
+    /// failed made no state change).
+    pub fn try_execute_bulk(
+        &self,
+        db: &mut Database,
+        registry: &ProcedureRegistry,
+        bulk: &[TxnSignature],
+    ) -> Result<CpuBulkReport, ExecError> {
         let cores = self.spec.cores as usize;
         let mut core_busy = vec![0.0f64; cores];
         let mut cross_time = 0.0f64;
@@ -164,7 +181,7 @@ impl CpuEngine {
                             &run,
                             &mut core_busy,
                             &mut outcomes,
-                        );
+                        )?;
                         run.clear();
                         // Serial global phase: the barrier stalls every worker.
                         let (trace, outcome, _) = registry.execute(sig, db);
@@ -180,21 +197,21 @@ impl CpuEngine {
                     &run,
                     &mut core_busy,
                     &mut outcomes,
-                );
+                )?;
             }
         }
         db.apply_insert_buffers();
 
         let slowest = core_busy.iter().copied().fold(0.0f64, f64::max);
         let committed = outcomes.iter().filter(|(_, o)| o.is_committed()).count();
-        CpuBulkReport {
+        Ok(CpuBulkReport {
             transactions: bulk.len(),
             elapsed: SimDuration::from_secs(slowest + cross_time),
             core_busy: core_busy.into_iter().map(SimDuration::from_secs).collect(),
             cross_partition_time: SimDuration::from_secs(cross_time),
             committed,
             aborted: bulk.len() - committed,
-        }
+        })
     }
 
     /// Execute one maximal run of single-partition transactions as disjoint
@@ -208,9 +225,9 @@ impl CpuEngine {
         run: &[&TxnSignature],
         core_busy: &mut [f64],
         outcomes: &mut Vec<(TxnId, TxnOutcome)>,
-    ) {
+    ) -> Result<(), ExecError> {
         if run.is_empty() {
-            return;
+            return Ok(());
         }
         let mut by_partition: BTreeMap<u64, Vec<&TxnSignature>> = BTreeMap::new();
         for sig in run {
@@ -224,7 +241,7 @@ impl CpuEngine {
         }
         let partitions: Vec<u64> = by_partition.keys().copied().collect();
         let groups: Vec<Vec<&TxnSignature>> = by_partition.into_values().collect();
-        let executed = executor.run_groups(db, registry, &ExecPolicy::functional(), &groups);
+        let executed = executor.run_groups(db, registry, &ExecPolicy::functional(), &groups)?;
         for (partition, group) in partitions.into_iter().zip(executed) {
             let core = (partition % core_busy.len() as u64) as usize;
             for txn in group {
@@ -233,6 +250,7 @@ impl CpuEngine {
                 outcomes.push((txn.id, txn.outcome));
             }
         }
+        Ok(())
     }
 }
 

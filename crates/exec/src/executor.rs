@@ -34,6 +34,41 @@ impl ExecPolicy {
     }
 }
 
+/// Typed failure of a bulk execution.
+///
+/// The multi-threaded executor turns worker panics into this error instead of
+/// unwinding through `std::thread::scope`: a panicking stored procedure fails
+/// the *whole bulk* deterministically and the caller decides whether to
+/// retry, skip or surface the failure. When the bulk ran on worker shards,
+/// no shard delta is merged and the base database is left exactly as it was
+/// before the bulk; when the bulk was small enough for the inline serial
+/// fallback, it executed in place, so transactions that ran before the panic
+/// remain applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A worker thread panicked while executing its shard. `shard` is the
+    /// lowest-indexed shard that panicked (ties resolved deterministically),
+    /// `message` the stringified panic payload.
+    WorkerPanicked {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Stringified panic payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::WorkerPanicked { shard, message } => {
+                write!(f, "executor worker for shard {shard} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// One executed transaction: its id, outcome and the thread trace fed to the
 /// cost models.
 #[derive(Debug, Clone)]
@@ -86,6 +121,12 @@ pub fn run_txn(
 ///
 /// Under these contracts every implementation returns identical outcomes,
 /// traces and final database state.
+///
+/// Both methods are fallible: the parallel executor reports panicking
+/// procedures as [`ExecError::WorkerPanicked`] on its worker path *and* on
+/// its inline serial fallback (see [`ExecError`] for what state each leaves
+/// behind); the serial executor never fails (a panicking procedure unwinds
+/// through the caller, exactly as it always did).
 pub trait Executor: std::fmt::Debug + Send + Sync {
     /// Execute disjoint groups; within a group, transactions run serially in
     /// the order given. Returns one result vector per group, in group order.
@@ -95,7 +136,7 @@ pub trait Executor: std::fmt::Debug + Send + Sync {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         groups: &[Vec<&TxnSignature>],
-    ) -> Vec<Vec<ExecutedTxn>>;
+    ) -> Result<Vec<Vec<ExecutedTxn>>, ExecError>;
 
     /// Execute a pairwise conflict-free set; results come back in input
     /// order.
@@ -105,12 +146,13 @@ pub trait Executor: std::fmt::Debug + Send + Sync {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         txns: &[&TxnSignature],
-    ) -> Vec<ExecutedTxn> {
+    ) -> Result<Vec<ExecutedTxn>, ExecError> {
         let groups: Vec<Vec<&TxnSignature>> = txns.iter().map(|sig| vec![*sig]).collect();
-        self.run_groups(db, registry, policy, &groups)
+        Ok(self
+            .run_groups(db, registry, policy, &groups)?
             .into_iter()
             .flatten()
-            .collect()
+            .collect())
     }
 }
 
@@ -126,8 +168,8 @@ impl Executor for SerialExecutor {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         groups: &[Vec<&TxnSignature>],
-    ) -> Vec<Vec<ExecutedTxn>> {
-        groups
+    ) -> Result<Vec<Vec<ExecutedTxn>>, ExecError> {
+        Ok(groups
             .iter()
             .map(|group| {
                 group
@@ -135,7 +177,7 @@ impl Executor for SerialExecutor {
                     .map(|sig| run_txn(db, registry, policy, sig))
                     .collect()
             })
-            .collect()
+            .collect())
     }
 
     fn run_conflict_free(
@@ -144,10 +186,11 @@ impl Executor for SerialExecutor {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         txns: &[&TxnSignature],
-    ) -> Vec<ExecutedTxn> {
-        txns.iter()
+    ) -> Result<Vec<ExecutedTxn>, ExecError> {
+        Ok(txns
+            .iter()
             .map(|sig| run_txn(db, registry, policy, sig))
-            .collect()
+            .collect())
     }
 }
 
@@ -240,7 +283,9 @@ mod tests {
         let groups: Vec<Vec<&TxnSignature>> = (0..4)
             .map(|p| sigs.iter().filter(|s| s.id % 4 == p).collect())
             .collect();
-        let out = SerialExecutor.run_groups(&mut db, &reg, &ExecPolicy::functional(), &groups);
+        let out = SerialExecutor
+            .run_groups(&mut db, &reg, &ExecPolicy::functional(), &groups)
+            .expect("serial execution is infallible");
         assert_eq!(out.len(), 4);
         assert!(out.iter().all(|g| g.len() == 2));
         assert!(out
@@ -267,7 +312,9 @@ mod tests {
             TxnSignature::new(1, 0, vec![Value::Int(1)]),
         ];
         let refs: Vec<&TxnSignature> = sigs.iter().collect();
-        let out = built.run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs);
+        let out = built
+            .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs)
+            .expect("no procedure panics");
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].id, 0);
         assert_eq!(out[1].id, 1);

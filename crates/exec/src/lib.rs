@@ -34,12 +34,34 @@
 //! Engines pick an implementation through [`ExecutorChoice`], carried by
 //! their configuration (`EngineConfig::executor` for the GPU engine,
 //! `CpuEngine::with_executor` for the H-Store-style CPU engine).
+//!
+//! ## Failure containment
+//!
+//! Both executor entry points are fallible: the parallel executor converts a
+//! worker panic into a typed [`ExecError`] and fails the bulk *atomically*
+//! (no shard delta is merged), instead of unwinding through the thread scope.
+//!
+//! ## Streaming mode
+//!
+//! The [`pipeline`] module adds the always-on streaming front-end:
+//! [`PipelinedEngine`] accepts a continuous stream of `submit` calls into a
+//! bounded admission queue, forms bulks adaptively (size or deadline) and
+//! overlaps the grouping of bulk `N+1` with the execution of bulk `N` on
+//! dedicated stage threads — the pipelining the paper uses to hide bulk
+//! formation cost.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod executor;
 pub mod parallel;
+pub mod pipeline;
 
-pub use executor::{run_txn, ExecPolicy, ExecutedTxn, Executor, ExecutorChoice, SerialExecutor};
+pub use executor::{
+    run_txn, ExecError, ExecPolicy, ExecutedTxn, Executor, ExecutorChoice, SerialExecutor,
+};
 pub use parallel::ParallelExecutor;
+pub use pipeline::{
+    BulkCloseCounts, BulkPlanner, BulkRunner, PipelineError, PipelineOptions, PipelineStats,
+    PipelinedEngine, StageBusy, Ticket, TicketResult,
+};

@@ -10,10 +10,55 @@
 //! touch pairwise-disjoint data items, the merged state is bit-identical to
 //! serial execution regardless of thread count.
 
-use crate::executor::{run_txn, ExecPolicy, ExecutedTxn, Executor, SerialExecutor};
+use crate::executor::{run_txn, ExecError, ExecPolicy, ExecutedTxn, Executor, SerialExecutor};
 use gputx_storage::{Database, ShardDelta, ShardView};
 use gputx_txn::{ProcedureRegistry, TxnSignature};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+
+/// Stringify a panic payload (the two shapes `panic!` produces in practice).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Groups executed by one shard, each tagged with its original group index.
+type ShardGroups = Vec<(usize, Vec<ExecutedTxn>)>;
+
+/// Run the inline serial fallback with the same panic containment as the
+/// worker path, so `ParallelExecutor` reports a typed [`ExecError`] for a
+/// panicking procedure regardless of whether the bulk was big enough to fan
+/// out. The fallback executes in place (no shard overlay), so — unlike the
+/// worker path — transactions that ran before the panic remain applied.
+fn catch_inline<T>(f: impl FnOnce() -> Result<T, ExecError>) -> Result<T, ExecError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(ExecError::WorkerPanicked {
+            shard: 0,
+            message: panic_message(payload),
+        }),
+    }
+}
+
+/// Join per-shard worker results (given in ascending shard order): if any
+/// shard panicked, return the typed error for the lowest-indexed failing
+/// shard — a deterministic choice even when several shards panic in the same
+/// bulk; otherwise hand back the per-shard values in shard order.
+fn collect_shards<T>(results: Vec<(usize, Result<T, String>)>) -> Result<Vec<T>, ExecError> {
+    let mut values = Vec::with_capacity(results.len());
+    for (shard, result) in results {
+        match result {
+            Ok(v) => values.push(v),
+            Err(message) => return Err(ExecError::WorkerPanicked { shard, message }),
+        }
+    }
+    Ok(values)
+}
 
 /// Multi-threaded executor over sharded storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,10 +131,10 @@ impl Executor for ParallelExecutor {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         groups: &[Vec<&TxnSignature>],
-    ) -> Vec<Vec<ExecutedTxn>> {
+    ) -> Result<Vec<Vec<ExecutedTxn>>, ExecError> {
         let total: usize = groups.iter().map(Vec::len).sum();
         if self.threads <= 1 || groups.len() <= 1 || total < self.min_parallel_txns {
-            return SerialExecutor.run_groups(db, registry, policy, groups);
+            return catch_inline(|| SerialExecutor.run_groups(db, registry, policy, groups));
         }
         let n_shards = self.threads.min(groups.len());
         let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
@@ -98,7 +143,8 @@ impl Executor for ParallelExecutor {
         let shards: Vec<Mutex<ShardDelta>> = (0..n_shards)
             .map(|_| Mutex::new(ShardDelta::new()))
             .collect();
-        let mut shard_results: Vec<Vec<(usize, Vec<ExecutedTxn>)>> = Vec::with_capacity(n_shards);
+        let mut shard_results: Vec<(usize, Result<ShardGroups, String>)> =
+            Vec::with_capacity(n_shards);
         {
             let base: &Database = db;
             let shards = &shards;
@@ -108,27 +154,39 @@ impl Executor for ParallelExecutor {
                     .enumerate()
                     .map(|(s, group_ids)| {
                         scope.spawn(move || {
-                            let mut delta = shards[s].lock().expect("shard mutex poisoned");
-                            let mut view = ShardView::new(base, &mut delta);
-                            group_ids
-                                .iter()
-                                .map(|&g| {
-                                    let executed = groups[g]
-                                        .iter()
-                                        .map(|sig| run_txn(&mut view, registry, policy, sig))
-                                        .collect();
-                                    (g, executed)
-                                })
-                                .collect::<Vec<_>>()
+                            // A panicking procedure is caught here so it fails
+                            // the bulk as a typed error instead of unwinding
+                            // through the scope; the shard delta it may have
+                            // half-written is simply never merged.
+                            catch_unwind(AssertUnwindSafe(|| {
+                                let mut delta = shards[s].lock().expect("shard mutex poisoned");
+                                let mut view = ShardView::new(base, &mut delta);
+                                group_ids
+                                    .iter()
+                                    .map(|&g| {
+                                        let executed = groups[g]
+                                            .iter()
+                                            .map(|sig| run_txn(&mut view, registry, policy, sig))
+                                            .collect();
+                                        (g, executed)
+                                    })
+                                    .collect::<Vec<_>>()
+                            }))
+                            .map_err(panic_message)
                         })
                     })
                     .collect();
-                for handle in handles {
-                    shard_results.push(handle.join().expect("executor worker panicked"));
+                for (s, handle) in handles.into_iter().enumerate() {
+                    let result = handle
+                        .join()
+                        .expect("worker panics are caught in the worker");
+                    shard_results.push((s, result));
                 }
             });
         }
-        // Commit-order merge: ascending shard index.
+        let shard_results = collect_shards(shard_results)?;
+        // Commit-order merge: ascending shard index. Reached only when every
+        // shard succeeded, so a failed bulk leaves the base database intact.
         for shard in shards {
             shard
                 .into_inner()
@@ -142,9 +200,10 @@ impl Executor for ParallelExecutor {
                 out[g] = Some(executed);
             }
         }
-        out.into_iter()
+        Ok(out
+            .into_iter()
             .map(|r| r.expect("every group executed exactly once"))
-            .collect()
+            .collect())
     }
 
     fn run_conflict_free(
@@ -153,9 +212,9 @@ impl Executor for ParallelExecutor {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         txns: &[&TxnSignature],
-    ) -> Vec<ExecutedTxn> {
+    ) -> Result<Vec<ExecutedTxn>, ExecError> {
         if self.threads <= 1 || txns.len() < self.min_parallel_txns {
-            return SerialExecutor.run_conflict_free(db, registry, policy, txns);
+            return catch_inline(|| SerialExecutor.run_conflict_free(db, registry, policy, txns));
         }
         // Conflict-free transactions are all independent: contiguous chunks
         // keep the result in input order with no reassembly step.
@@ -164,7 +223,8 @@ impl Executor for ParallelExecutor {
         let shards: Vec<Mutex<ShardDelta>> = (0..n_shards)
             .map(|_| Mutex::new(ShardDelta::new()))
             .collect();
-        let mut executed: Vec<ExecutedTxn> = Vec::with_capacity(txns.len());
+        let mut shard_results: Vec<(usize, Result<Vec<ExecutedTxn>, String>)> =
+            Vec::with_capacity(n_shards);
         {
             let base: &Database = db;
             let shards = &shards;
@@ -174,27 +234,34 @@ impl Executor for ParallelExecutor {
                     .enumerate()
                     .map(|(s, chunk)| {
                         scope.spawn(move || {
-                            let mut delta = shards[s].lock().expect("shard mutex poisoned");
-                            let mut view = ShardView::new(base, &mut delta);
-                            chunk
-                                .iter()
-                                .map(|sig| run_txn(&mut view, registry, policy, sig))
-                                .collect::<Vec<_>>()
+                            catch_unwind(AssertUnwindSafe(|| {
+                                let mut delta = shards[s].lock().expect("shard mutex poisoned");
+                                let mut view = ShardView::new(base, &mut delta);
+                                chunk
+                                    .iter()
+                                    .map(|sig| run_txn(&mut view, registry, policy, sig))
+                                    .collect::<Vec<_>>()
+                            }))
+                            .map_err(panic_message)
                         })
                     })
                     .collect();
-                for handle in handles {
-                    executed.extend(handle.join().expect("executor worker panicked"));
+                for (s, handle) in handles.into_iter().enumerate() {
+                    let result = handle
+                        .join()
+                        .expect("worker panics are caught in the worker");
+                    shard_results.push((s, result));
                 }
             });
         }
+        let chunks = collect_shards(shard_results)?;
         for shard in shards {
             shard
                 .into_inner()
                 .expect("shard mutex poisoned")
                 .merge_into(db);
         }
-        executed
+        Ok(chunks.into_iter().flatten().collect())
     }
 }
 
@@ -268,11 +335,15 @@ mod tests {
         let refs: Vec<&TxnSignature> = sigs.iter().collect();
         let policy = ExecPolicy::gpu(true);
         let mut serial_db = db0.clone();
-        let serial = SerialExecutor.run_conflict_free(&mut serial_db, &reg, &policy, &refs);
+        let serial = SerialExecutor
+            .run_conflict_free(&mut serial_db, &reg, &policy, &refs)
+            .unwrap();
         for threads in [1, 2, 4, 8] {
             let mut db = db0.clone();
             let exec = ParallelExecutor::new(threads).with_min_parallel_txns(2);
-            let parallel = exec.run_conflict_free(&mut db, &reg, &policy, &refs);
+            let parallel = exec
+                .run_conflict_free(&mut db, &reg, &policy, &refs)
+                .unwrap();
             assert!(db == serial_db, "{threads} threads: final state must match");
             assert_eq!(parallel.len(), serial.len());
             for (p, s) in parallel.iter().zip(&serial) {
@@ -300,10 +371,12 @@ mod tests {
             .collect();
         let mut serial_db = db0.clone();
         let policy = ExecPolicy::functional();
-        SerialExecutor.run_groups(&mut serial_db, &reg, &policy, &groups);
+        SerialExecutor
+            .run_groups(&mut serial_db, &reg, &policy, &groups)
+            .unwrap();
         let mut db = db0.clone();
         let exec = ParallelExecutor::new(4).with_min_parallel_txns(2);
-        let out = exec.run_groups(&mut db, &reg, &policy, &groups);
+        let out = exec.run_groups(&mut db, &reg, &policy, &groups).unwrap();
         assert!(db == serial_db);
         assert_eq!(out.len(), 8);
         assert!(out.iter().all(|g| g.len() == 16));
@@ -318,8 +391,77 @@ mod tests {
         let sigs = conflict_free_sigs(3);
         let refs: Vec<&TxnSignature> = sigs.iter().collect();
         let exec = ParallelExecutor::new(8);
-        let out = exec.run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs);
+        let out = exec
+            .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs)
+            .unwrap();
         assert_eq!(out.len(), 3);
+    }
+
+    /// Regression test: a panicking stored procedure in one shard must fail
+    /// the whole bulk as a typed [`ExecError`] — not poison the thread scope —
+    /// and must leave the base database untouched (no shard delta merged).
+    #[test]
+    fn worker_panic_fails_bulk_and_leaves_db_untouched() {
+        let (db0, mut reg) = bank(64);
+        let t = 0u32; // table id of "accounts"
+        let exploding = reg.register(ProcedureDef::new(
+            "explode",
+            move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let row = ctx.param_int(0) as u64;
+                ctx.write(t, row, 1, Value::Double(-1.0));
+                if row == 37 {
+                    panic!("procedure bug on row 37");
+                }
+            },
+        ));
+        // One group per account: deposits everywhere, one exploding txn.
+        let sigs: Vec<TxnSignature> = (0..64u64)
+            .map(|i| {
+                if i == 37 {
+                    TxnSignature::new(i, exploding, vec![Value::Int(37)])
+                } else {
+                    TxnSignature::new(i, 0, vec![Value::Int(i as i64), Value::Double(1.0)])
+                }
+            })
+            .collect();
+        let groups: Vec<Vec<&TxnSignature>> = sigs.iter().map(|s| vec![s]).collect();
+        let refs: Vec<&TxnSignature> = sigs.iter().collect();
+        let exec = ParallelExecutor::new(4).with_min_parallel_txns(2);
+        for _ in 0..2 {
+            // Two rounds: the error is deterministic run-to-run.
+            let mut db = db0.clone();
+            let err = exec
+                .run_groups(&mut db, &reg, &ExecPolicy::functional(), &groups)
+                .expect_err("the exploding procedure must fail the bulk");
+            let ExecError::WorkerPanicked { message, .. } = &err;
+            assert!(message.contains("row 37"), "got {err}");
+            assert!(db == db0, "no shard delta may be merged on failure");
+
+            let mut db = db0.clone();
+            let err = exec
+                .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs)
+                .expect_err("conflict-free path must fail too");
+            assert!(matches!(err, ExecError::WorkerPanicked { .. }));
+            assert!(db == db0);
+        }
+
+        // A bulk too small to fan out takes the inline serial fallback: the
+        // panic must still surface as the typed error (the fallback ran in
+        // place, so the database may hold partial effects — not checked).
+        let tiny = [TxnSignature::new(0, exploding, vec![Value::Int(37)])];
+        let tiny_refs: Vec<&TxnSignature> = tiny.iter().collect();
+        let mut db = db0.clone();
+        let err = exec
+            .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &tiny_refs)
+            .expect_err("inline fallback must report the typed error too");
+        assert!(matches!(err, ExecError::WorkerPanicked { .. }));
+        let tiny_groups = vec![tiny_refs.clone()];
+        let err = exec
+            .run_groups(&mut db, &reg, &ExecPolicy::functional(), &tiny_groups)
+            .expect_err("single-group fallback must report the typed error too");
+        assert!(matches!(err, ExecError::WorkerPanicked { .. }));
     }
 
     #[test]

@@ -1,0 +1,978 @@
+//! The streaming pipelined engine: continuous transaction ingest with
+//! overlapped bulk formation, grouping and execution.
+//!
+//! The one-shot bulk path amortizes per-transaction overhead *within* a bulk;
+//! the paper additionally pipelines bulk *formation* with bulk *execution*, so
+//! the grouping cost of bulk `N+1` hides behind the run of bulk `N` (§3.2).
+//! This module implements that as an always-on front-end of four stage
+//! threads connected by bounded channels:
+//!
+//! ```text
+//!  clients ──submit()──▶ [admission] ──▶ [grouping] ──▶ [execution] ──▶ [commit]
+//!            bounded        forms          plans the       runs bulk       resolves
+//!            queue          bulks          next bulk       N while         tickets in
+//!            (back-         (size OR       off-thread      grouping        submission
+//!            pressure)      deadline)      (planner)       plans N+1       order
+//! ```
+//!
+//! * **admission** — assigns monotone transaction ids (submission timestamps)
+//!   and closes a bulk when it reaches `max_bulk_size` *or* when the oldest
+//!   queued transaction has waited `max_wait`, whichever comes first.
+//! * **grouping** — runs the [`BulkPlanner`] (k-set wave / partition-group
+//!   construction) for the next bulk while the execution stage is still busy
+//!   with the previous one. This is the paper's formation/execution overlap.
+//! * **execution** — runs the [`BulkRunner`] (the owner of the database and
+//!   the [`Executor`](crate::Executor)).
+//! * **commit** — resolves [`Ticket`]s in submission order and records
+//!   per-ticket latency.
+//!
+//! Every channel is bounded, so a slow stage backpressures its upstream all
+//! the way to `submit`, which blocks the client. No ticket is ever dropped:
+//! if a stage dies or a bulk is abandoned mid-flight, its tickets resolve
+//! with an error instead of hanging their waiters.
+//!
+//! This module is deliberately generic: it knows about stage scheduling,
+//! tickets, timing and failure containment, but not about strategies or
+//! databases. The GPUTx driver (planner + runner over the real strategies)
+//! lives in `gputx-core`'s `pipeline` module.
+
+use crate::executor::ExecError;
+use gputx_storage::Value;
+use gputx_txn::{TxnId, TxnOutcome, TxnSignature, TxnTypeId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Capacity of each inter-stage channel. One in-flight bulk per stage
+/// boundary is exactly the paper's overlap (grouping works one bulk ahead of
+/// execution); a deeper pipeline would only add latency.
+const STAGE_CHANNEL_DEPTH: usize = 1;
+
+/// Grouping stage of the pipeline: builds the execution plan of a bulk
+/// (conflict-free waves, partition groups, …) from transaction signatures
+/// alone, *off* the execution thread.
+///
+/// The planner must not touch the live database — it runs concurrently with
+/// the execution of earlier bulks. Plan against immutable inputs (the
+/// signatures plus, if needed, a frozen snapshot taken at pipeline start).
+pub trait BulkPlanner: Send + 'static {
+    /// The plan handed to the matching [`BulkRunner`].
+    type Plan: Send + 'static;
+
+    /// Build the plan for one bulk. `bulk` is sorted by ascending id
+    /// (submission order).
+    fn plan(&mut self, bulk: &[TxnSignature]) -> Self::Plan;
+}
+
+/// Execution stage of the pipeline: owns the database and applies bulks in
+/// sequence using the plan produced by the [`BulkPlanner`].
+pub trait BulkRunner: Send + 'static {
+    /// The plan type consumed (must match the planner's).
+    type Plan: Send + 'static;
+    /// Final state handed back by [`PipelinedEngine::finish`] (typically the
+    /// database).
+    type Output: Send + 'static;
+
+    /// Execute one bulk. Must return exactly one `(id, outcome)` per
+    /// transaction, sorted by ascending id. A [`ExecError`] fails the whole
+    /// bulk (its tickets resolve with [`PipelineError::BulkFailed`]) but the
+    /// pipeline keeps running.
+    fn run(
+        &mut self,
+        bulk: Vec<TxnSignature>,
+        plan: Self::Plan,
+    ) -> Result<Vec<(TxnId, TxnOutcome)>, ExecError>;
+
+    /// Consume the runner after shutdown and hand back the final state.
+    fn finish(self) -> Self::Output;
+}
+
+/// Errors surfaced by the pipelined engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The engine has been shut down; no further submissions are accepted.
+    ShutDown,
+    /// `try_submit` found the bounded admission queue full.
+    QueueFull,
+    /// The bulk containing this transaction failed (planner/runner error or
+    /// panic); the message describes the cause.
+    BulkFailed(String),
+    /// A pipeline stage terminated before resolving this ticket.
+    Disconnected,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::ShutDown => write!(f, "pipeline is shut down"),
+            PipelineError::QueueFull => write!(f, "admission queue is full"),
+            PipelineError::BulkFailed(msg) => write!(f, "bulk failed: {msg}"),
+            PipelineError::Disconnected => write!(f, "pipeline stage disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// What a resolved ticket carries: the assigned transaction id (submission
+/// timestamp) and the commit/abort outcome.
+pub type TicketResult = Result<(TxnId, TxnOutcome), PipelineError>;
+
+#[derive(Debug)]
+struct TicketState {
+    slot: Mutex<Option<TicketResult>>,
+    cond: Condvar,
+}
+
+/// A future-style handle returned by [`PipelinedEngine::submit`]: resolves to
+/// the transaction's id and outcome once its bulk commits.
+#[derive(Debug)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the transaction's bulk is committed (or failed) and return
+    /// the result. Can be called repeatedly; later calls return immediately.
+    pub fn wait(&self) -> TicketResult {
+        let mut slot = self.state.slot.lock().expect("ticket mutex poisoned");
+        while slot.is_none() {
+            slot = self.state.cond.wait(slot).expect("ticket mutex poisoned");
+        }
+        slot.clone().expect("checked above")
+    }
+
+    /// Non-blocking poll: `None` while the transaction is still in flight.
+    pub fn try_get(&self) -> Option<TicketResult> {
+        self.state
+            .slot
+            .lock()
+            .expect("ticket mutex poisoned")
+            .clone()
+    }
+}
+
+/// The resolver half of a ticket. Travels through the stages with its bulk;
+/// if it is dropped unresolved (a stage died, a bulk was abandoned), the
+/// waiter wakes up with [`PipelineError::Disconnected`] instead of hanging.
+#[derive(Debug)]
+struct TicketSlot {
+    state: Arc<TicketState>,
+    submitted_at: Instant,
+    resolved: bool,
+}
+
+impl TicketSlot {
+    fn new() -> (Ticket, TicketSlot) {
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            cond: Condvar::new(),
+        });
+        (
+            Ticket {
+                state: Arc::clone(&state),
+            },
+            TicketSlot {
+                state,
+                submitted_at: Instant::now(),
+                resolved: false,
+            },
+        )
+    }
+
+    /// Resolve the ticket and return the submit→resolve latency in seconds.
+    fn resolve(mut self, result: TicketResult) -> f64 {
+        self.fill(result);
+        self.submitted_at.elapsed().as_secs_f64()
+    }
+
+    fn fill(&mut self, result: TicketResult) {
+        let mut slot = self.state.slot.lock().expect("ticket mutex poisoned");
+        if slot.is_none() {
+            *slot = Some(result);
+            self.state.cond.notify_all();
+        }
+        self.resolved = true;
+    }
+}
+
+impl Drop for TicketSlot {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.fill(Err(PipelineError::Disconnected));
+        }
+    }
+}
+
+/// Knobs of the pipelined engine (see `gputx-core`'s `PipelineConfig` for the
+/// driver-level configuration that produces these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Close a bulk when it reaches this many transactions.
+    pub max_bulk_size: usize,
+    /// Close a non-empty bulk when its oldest transaction has waited this
+    /// long (the latency bound of the admission stage).
+    pub max_wait: Duration,
+    /// Capacity of the bounded admission queue; a full queue blocks
+    /// `submit` (backpressure) and fails `try_submit`.
+    pub queue_depth: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            max_bulk_size: 8_192,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 16_384,
+        }
+    }
+}
+
+enum Input {
+    Submit {
+        ty: TxnTypeId,
+        params: Vec<Value>,
+        slot: TicketSlot,
+    },
+    Flush {
+        barrier: TicketSlot,
+    },
+}
+
+struct FormedBulk {
+    sigs: Vec<TxnSignature>,
+    slots: Vec<TicketSlot>,
+    barrier: Option<TicketSlot>,
+}
+
+struct PlannedBulk<Plan> {
+    sigs: Vec<TxnSignature>,
+    slots: Vec<TicketSlot>,
+    barrier: Option<TicketSlot>,
+    /// `Ok(None)` for an empty (barrier-only) bulk, `Err` when planning
+    /// failed.
+    plan: Result<Option<Plan>, String>,
+}
+
+struct ExecutedBulk {
+    slots: Vec<TicketSlot>,
+    barrier: Option<TicketSlot>,
+    outcomes: Result<Vec<(TxnId, TxnOutcome)>, String>,
+}
+
+/// Why the admission stage closed each bulk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BulkCloseCounts {
+    /// Bulks that reached `max_bulk_size`.
+    pub by_size: u64,
+    /// Bulks closed by the `max_wait` deadline.
+    pub by_timer: u64,
+    /// Bulks closed by an explicit `flush` (or final drain).
+    pub by_flush: u64,
+}
+
+impl BulkCloseCounts {
+    fn total(&self) -> u64 {
+        self.by_size + self.by_timer + self.by_flush
+    }
+}
+
+#[derive(Debug, Default)]
+struct AdmissionStats {
+    closes: BulkCloseCounts,
+    busy_secs: f64,
+}
+
+#[derive(Debug, Default)]
+struct CommitStats {
+    committed: u64,
+    aborted: u64,
+    failed: u64,
+    bulks_failed: u64,
+    busy_secs: f64,
+    latencies_secs: Vec<f64>,
+}
+
+/// Busy time per pipeline stage, in seconds. "Busy" excludes waiting on an
+/// empty input channel; the admission figure includes time spent blocked
+/// handing a closed bulk downstream (backpressure), which is exactly the
+/// signal an operator wants when sizing `queue_depth`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBusy {
+    /// Admission stage (bulk formation).
+    pub admission_secs: f64,
+    /// Grouping stage (plan construction).
+    pub grouping_secs: f64,
+    /// Execution stage (bulk run).
+    pub execution_secs: f64,
+    /// Commit stage (ticket resolution).
+    pub commit_secs: f64,
+}
+
+/// Aggregate statistics of one pipelined-engine run, available after
+/// shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Wall-clock seconds from engine start to shutdown.
+    pub wall_secs: f64,
+    /// Bulks formed by the admission stage, by close reason.
+    pub closes: BulkCloseCounts,
+    /// Bulks whose planning or execution failed.
+    pub bulks_failed: u64,
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that aborted (procedure-level abort).
+    pub aborted: u64,
+    /// Transactions whose bulk failed (resolved with an error).
+    pub failed: u64,
+    /// Per-stage busy time.
+    pub stage_busy: StageBusy,
+    /// Sorted submit→commit latencies in seconds, one per resolved ticket.
+    latencies_secs: Vec<f64>,
+}
+
+impl PipelineStats {
+    /// Total bulks formed.
+    pub fn bulks(&self) -> u64 {
+        self.closes.total()
+    }
+
+    /// Total transactions that entered a bulk.
+    pub fn transactions(&self) -> u64 {
+        self.committed + self.aborted + self.failed
+    }
+
+    /// Sustained throughput over the engine's lifetime.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.transactions() as f64 / self.wall_secs
+        }
+    }
+
+    /// Latency percentile (`pct` in `0..=100`) of the submit→commit ticket
+    /// latency, in milliseconds; `0` when no ticket resolved.
+    pub fn latency_percentile_ms(&self, pct: f64) -> f64 {
+        if self.latencies_secs.is_empty() {
+            return 0.0;
+        }
+        let rank = (pct / 100.0 * (self.latencies_secs.len() - 1) as f64).round() as usize;
+        self.latencies_secs[rank.min(self.latencies_secs.len() - 1)] * 1e3
+    }
+
+    /// Median ticket latency in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.latency_percentile_ms(50.0)
+    }
+
+    /// 99th-percentile ticket latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency_percentile_ms(99.0)
+    }
+
+    /// Fraction of wall-clock time each stage was busy (0 when no wall time
+    /// elapsed). Order: admission, grouping, execution, commit.
+    pub fn occupancy(&self) -> [f64; 4] {
+        if self.wall_secs <= 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.stage_busy.admission_secs / self.wall_secs,
+            self.stage_busy.grouping_secs / self.wall_secs,
+            self.stage_busy.execution_secs / self.wall_secs,
+            self.stage_busy.commit_secs / self.wall_secs,
+        ]
+    }
+}
+
+/// The streaming pipelined engine. See the [module docs](self) for the stage
+/// layout; construct one through the driver in `gputx-core` unless you are
+/// providing your own planner/runner.
+#[derive(Debug)]
+pub struct PipelinedEngine<P, R>
+where
+    P: BulkPlanner,
+    R: BulkRunner<Plan = P::Plan>,
+{
+    input: Option<SyncSender<Input>>,
+    admission: Option<JoinHandle<AdmissionStats>>,
+    grouping: Option<JoinHandle<(P, f64)>>,
+    execution: Option<JoinHandle<(R, f64)>>,
+    commit: Option<JoinHandle<CommitStats>>,
+    started: Instant,
+    finished: Option<(Result<R::Output, PipelineError>, PipelineStats)>,
+}
+
+impl<P, R> PipelinedEngine<P, R>
+where
+    P: BulkPlanner,
+    R: BulkRunner<Plan = P::Plan>,
+{
+    /// Start the engine: spawns the four stage threads and begins accepting
+    /// submissions immediately. Transaction ids are assigned from 0 in
+    /// admission order.
+    pub fn new(planner: P, runner: R, opts: PipelineOptions) -> Self {
+        assert!(opts.max_bulk_size > 0, "max_bulk_size must be positive");
+        assert!(opts.queue_depth > 0, "queue_depth must be positive");
+        let (input_tx, input_rx) = sync_channel::<Input>(opts.queue_depth);
+        let (formed_tx, formed_rx) = sync_channel::<FormedBulk>(STAGE_CHANNEL_DEPTH);
+        let (planned_tx, planned_rx) = sync_channel::<PlannedBulk<P::Plan>>(STAGE_CHANNEL_DEPTH);
+        let (executed_tx, executed_rx) = sync_channel::<ExecutedBulk>(STAGE_CHANNEL_DEPTH);
+
+        let spawn = |name: &str| std::thread::Builder::new().name(format!("gputx-{name}"));
+        let admission = spawn("admission")
+            .spawn(move || admission_loop(input_rx, formed_tx, opts))
+            .expect("spawn admission stage");
+        let grouping = spawn("grouping")
+            .spawn(move || grouping_loop(planner, formed_rx, planned_tx))
+            .expect("spawn grouping stage");
+        let execution = spawn("execution")
+            .spawn(move || execution_loop(runner, planned_rx, executed_tx))
+            .expect("spawn execution stage");
+        let commit = spawn("commit")
+            .spawn(move || commit_loop(executed_rx))
+            .expect("spawn commit stage");
+
+        PipelinedEngine {
+            input: Some(input_tx),
+            admission: Some(admission),
+            grouping: Some(grouping),
+            execution: Some(execution),
+            commit: Some(commit),
+            started: Instant::now(),
+            finished: None,
+        }
+    }
+
+    /// Submit a transaction. Blocks while the admission queue is full
+    /// (backpressure); returns the [`Ticket`] that resolves when the
+    /// transaction's bulk commits. Errors once the engine is shut down.
+    pub fn submit(&self, ty: TxnTypeId, params: Vec<Value>) -> Result<Ticket, PipelineError> {
+        let input = self.input.as_ref().ok_or(PipelineError::ShutDown)?;
+        let (ticket, slot) = TicketSlot::new();
+        input
+            .send(Input::Submit { ty, params, slot })
+            .map_err(|_| PipelineError::Disconnected)?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking [`PipelinedEngine::submit`]: fails with
+    /// [`PipelineError::QueueFull`] instead of blocking when the admission
+    /// queue is full (the shed-load policy of an open-loop client).
+    pub fn try_submit(&self, ty: TxnTypeId, params: Vec<Value>) -> Result<Ticket, PipelineError> {
+        let input = self.input.as_ref().ok_or(PipelineError::ShutDown)?;
+        let (ticket, slot) = TicketSlot::new();
+        match input.try_send(Input::Submit { ty, params, slot }) {
+            Ok(()) => Ok(ticket),
+            Err(TrySendError::Full(_)) => Err(PipelineError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(PipelineError::Disconnected),
+        }
+    }
+
+    /// Close the currently open (partial) bulk immediately and block until
+    /// everything submitted before the flush has committed. Returns the
+    /// failure of the flushed bulk, if any.
+    pub fn flush(&self) -> Result<(), PipelineError> {
+        let input = self.input.as_ref().ok_or(PipelineError::ShutDown)?;
+        let (ticket, barrier) = TicketSlot::new();
+        input
+            .send(Input::Flush { barrier })
+            .map_err(|_| PipelineError::Disconnected)?;
+        ticket.wait().map(|_| ())
+    }
+
+    /// Drain and stop: close the open bulk, run everything still queued, join
+    /// the stage threads and collect [`PipelineStats`]. Idempotent; after
+    /// shutdown, `submit` returns [`PipelineError::ShutDown`].
+    pub fn shutdown(&mut self) {
+        if self.finished.is_some() {
+            return;
+        }
+        // Dropping the input sender disconnects admission, which closes the
+        // final partial bulk and lets the stages drain in order.
+        drop(self.input.take());
+        let mut stats = PipelineStats::default();
+        let mut output: Result<Option<R::Output>, PipelineError> = Ok(None);
+        match self.admission.take().map(JoinHandle::join) {
+            Some(Ok(a)) => {
+                stats.closes = a.closes;
+                stats.stage_busy.admission_secs = a.busy_secs;
+            }
+            _ => output = Err(PipelineError::Disconnected),
+        }
+        match self.grouping.take().map(JoinHandle::join) {
+            Some(Ok((_planner, busy))) => stats.stage_busy.grouping_secs = busy,
+            _ => output = Err(PipelineError::Disconnected),
+        }
+        match self.execution.take().map(JoinHandle::join) {
+            Some(Ok((runner, busy))) => {
+                stats.stage_busy.execution_secs = busy;
+                if let Ok(slot) = &mut output {
+                    *slot = Some(runner.finish());
+                }
+            }
+            _ => output = Err(PipelineError::Disconnected),
+        }
+        match self.commit.take().map(JoinHandle::join) {
+            Some(Ok(mut c)) => {
+                stats.committed = c.committed;
+                stats.aborted = c.aborted;
+                stats.failed = c.failed;
+                stats.bulks_failed = c.bulks_failed;
+                stats.stage_busy.commit_secs = c.busy_secs;
+                c.latencies_secs
+                    .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+                stats.latencies_secs = c.latencies_secs;
+            }
+            _ => output = Err(PipelineError::Disconnected),
+        }
+        stats.wall_secs = self.started.elapsed().as_secs_f64();
+        let output = match output {
+            Ok(Some(out)) => Ok(out),
+            Ok(None) | Err(PipelineError::Disconnected) => Err(PipelineError::Disconnected),
+            Err(e) => Err(e),
+        };
+        self.finished = Some((output, stats));
+    }
+
+    /// Run statistics; `None` before [`PipelinedEngine::shutdown`].
+    pub fn stats(&self) -> Option<&PipelineStats> {
+        self.finished.as_ref().map(|(_, stats)| stats)
+    }
+
+    /// Shut down (if still running) and hand back the runner's final state
+    /// plus the run statistics. Errors if a stage thread itself died.
+    pub fn finish(mut self) -> Result<(R::Output, PipelineStats), PipelineError> {
+        self.shutdown();
+        let (output, stats) = self.finished.take().expect("shutdown populates finished");
+        Ok((output?, stats))
+    }
+}
+
+impl<P, R> Drop for PipelinedEngine<P, R>
+where
+    P: BulkPlanner,
+    R: BulkRunner<Plan = P::Plan>,
+{
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn admission_loop(
+    rx: Receiver<Input>,
+    tx: SyncSender<FormedBulk>,
+    opts: PipelineOptions,
+) -> AdmissionStats {
+    let mut stats = AdmissionStats::default();
+    let mut next_id: TxnId = 0;
+    let mut sigs: Vec<TxnSignature> = Vec::new();
+    let mut slots: Vec<TicketSlot> = Vec::new();
+    let mut deadline: Option<Instant> = None;
+
+    // Close the open bulk; returns false when the downstream stage is gone.
+    macro_rules! close {
+        ($counter:ident, $barrier:expr) => {{
+            let barrier: Option<TicketSlot> = $barrier;
+            if sigs.is_empty() && barrier.is_none() {
+                true
+            } else {
+                stats.closes.$counter += 1;
+                tx.send(FormedBulk {
+                    sigs: std::mem::take(&mut sigs),
+                    slots: std::mem::take(&mut slots),
+                    barrier,
+                })
+                .is_ok()
+            }
+        }};
+    }
+
+    loop {
+        let msg = match deadline {
+            None => rx.recv().ok(),
+            Some(d) => match rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+                Ok(msg) => Some(msg),
+                Err(RecvTimeoutError::Timeout) => {
+                    deadline = None;
+                    if !close!(by_timer, None) {
+                        return stats;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => None,
+            },
+        };
+        let Some(msg) = msg else {
+            // Engine shut down: drain the final partial bulk.
+            close!(by_flush, None);
+            return stats;
+        };
+        let handled_at = Instant::now();
+        let ok = match msg {
+            Input::Submit { ty, params, slot } => {
+                sigs.push(TxnSignature::new(next_id, ty, params));
+                slots.push(slot);
+                next_id += 1;
+                if sigs.len() == 1 {
+                    deadline = Some(Instant::now() + opts.max_wait);
+                }
+                if sigs.len() >= opts.max_bulk_size {
+                    deadline = None;
+                    close!(by_size, None)
+                } else {
+                    true
+                }
+            }
+            Input::Flush { barrier } => {
+                deadline = None;
+                close!(by_flush, Some(barrier))
+            }
+        };
+        stats.busy_secs += handled_at.elapsed().as_secs_f64();
+        if !ok {
+            // Downstream died; unprocessed tickets resolve Disconnected when
+            // their slots drop.
+            return stats;
+        }
+    }
+}
+
+fn grouping_loop<P: BulkPlanner>(
+    mut planner: P,
+    rx: Receiver<FormedBulk>,
+    tx: SyncSender<PlannedBulk<P::Plan>>,
+) -> (P, f64) {
+    let mut busy = 0.0f64;
+    while let Ok(FormedBulk {
+        sigs,
+        slots,
+        barrier,
+    }) = rx.recv()
+    {
+        let t0 = Instant::now();
+        let plan = if sigs.is_empty() {
+            Ok(None)
+        } else {
+            catch_unwind(AssertUnwindSafe(|| planner.plan(&sigs)))
+                .map(Some)
+                .map_err(crate::parallel::panic_message)
+        };
+        busy += t0.elapsed().as_secs_f64();
+        let sent = tx.send(PlannedBulk {
+            sigs,
+            slots,
+            barrier,
+            plan,
+        });
+        if sent.is_err() {
+            break;
+        }
+    }
+    (planner, busy)
+}
+
+fn execution_loop<R: BulkRunner>(
+    mut runner: R,
+    rx: Receiver<PlannedBulk<R::Plan>>,
+    tx: SyncSender<ExecutedBulk>,
+) -> (R, f64) {
+    let mut busy = 0.0f64;
+    while let Ok(PlannedBulk {
+        sigs,
+        slots,
+        barrier,
+        plan,
+    }) = rx.recv()
+    {
+        let t0 = Instant::now();
+        let outcomes = match plan {
+            Err(msg) => Err(format!("bulk planning failed: {msg}")),
+            Ok(None) => Ok(Vec::new()),
+            Ok(Some(plan)) => match catch_unwind(AssertUnwindSafe(|| runner.run(sigs, plan))) {
+                Ok(Ok(outcomes)) => Ok(outcomes),
+                Ok(Err(e)) => Err(e.to_string()),
+                Err(payload) => Err(crate::parallel::panic_message(payload)),
+            },
+        };
+        busy += t0.elapsed().as_secs_f64();
+        let sent = tx.send(ExecutedBulk {
+            slots,
+            barrier,
+            outcomes,
+        });
+        if sent.is_err() {
+            break;
+        }
+    }
+    (runner, busy)
+}
+
+fn commit_loop(rx: Receiver<ExecutedBulk>) -> CommitStats {
+    let mut stats = CommitStats::default();
+    while let Ok(ExecutedBulk {
+        slots,
+        barrier,
+        outcomes,
+    }) = rx.recv()
+    {
+        let t0 = Instant::now();
+        let outcomes = match outcomes {
+            Ok(outcomes) if outcomes.len() == slots.len() => Ok(outcomes),
+            Ok(outcomes) => Err(format!(
+                "runner returned {} outcomes for a {}-transaction bulk",
+                outcomes.len(),
+                slots.len()
+            )),
+            Err(msg) => Err(msg),
+        };
+        match outcomes {
+            Ok(outcomes) => {
+                // Admission assigns ascending ids, so slots and the
+                // id-sorted outcomes line up 1:1 in submission order.
+                for (slot, (id, outcome)) in slots.into_iter().zip(outcomes) {
+                    if outcome.is_committed() {
+                        stats.committed += 1;
+                    } else {
+                        stats.aborted += 1;
+                    }
+                    stats.latencies_secs.push(slot.resolve(Ok((id, outcome))));
+                }
+                if let Some(barrier) = barrier {
+                    barrier.resolve(Ok((0, TxnOutcome::Committed)));
+                }
+            }
+            Err(msg) => {
+                stats.bulks_failed += 1;
+                stats.failed += slots.len() as u64;
+                let err = PipelineError::BulkFailed(msg);
+                for slot in slots {
+                    slot.resolve(Err(err.clone()));
+                }
+                if let Some(barrier) = barrier {
+                    barrier.resolve(Err(err));
+                }
+            }
+        }
+        stats.busy_secs += t0.elapsed().as_secs_f64();
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Toy planner: the "plan" is just the per-key increment list.
+    struct CountPlanner;
+    impl BulkPlanner for CountPlanner {
+        type Plan = Vec<i64>;
+        fn plan(&mut self, bulk: &[TxnSignature]) -> Vec<i64> {
+            bulk.iter().map(|s| s.params[0].as_int()).collect()
+        }
+    }
+
+    /// Toy runner: counts per key; type 9 fails the bulk, type 8 panics.
+    struct CountRunner {
+        counts: HashMap<i64, i64>,
+    }
+    impl BulkRunner for CountRunner {
+        type Plan = Vec<i64>;
+        type Output = HashMap<i64, i64>;
+        fn run(
+            &mut self,
+            bulk: Vec<TxnSignature>,
+            plan: Vec<i64>,
+        ) -> Result<Vec<(TxnId, TxnOutcome)>, ExecError> {
+            if bulk.iter().any(|s| s.ty == 9) {
+                return Err(ExecError::WorkerPanicked {
+                    shard: 0,
+                    message: "injected failure".into(),
+                });
+            }
+            if bulk.iter().any(|s| s.ty == 8) {
+                panic!("injected runner panic");
+            }
+            if bulk.iter().any(|s| s.ty == 7) {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            for key in plan {
+                *self.counts.entry(key).or_insert(0) += 1;
+            }
+            Ok(bulk.iter().map(|s| (s.id, TxnOutcome::Committed)).collect())
+        }
+        fn finish(self) -> HashMap<i64, i64> {
+            self.counts
+        }
+    }
+
+    fn engine(opts: PipelineOptions) -> PipelinedEngine<CountPlanner, CountRunner> {
+        PipelinedEngine::new(
+            CountPlanner,
+            CountRunner {
+                counts: HashMap::new(),
+            },
+            opts,
+        )
+    }
+
+    #[test]
+    fn submits_resolve_and_final_state_is_complete() {
+        let eng = engine(PipelineOptions {
+            max_bulk_size: 32,
+            max_wait: Duration::from_secs(10),
+            queue_depth: 64,
+        });
+        let tickets: Vec<Ticket> = (0..100)
+            .map(|i| eng.submit(0, vec![Value::Int(i % 7)]).unwrap())
+            .collect();
+        let mut eng = eng;
+        eng.shutdown();
+        for (i, t) in tickets.iter().enumerate() {
+            let (id, outcome) = t.wait().expect("ticket resolves ok");
+            assert_eq!(id, i as u64, "ids follow submission order");
+            assert!(outcome.is_committed());
+        }
+        let stats = eng.stats().unwrap().clone();
+        assert_eq!(stats.transactions(), 100);
+        assert_eq!(stats.committed, 100);
+        // 3 full bulks of 32 close by size, the 4-transaction tail by drain.
+        assert_eq!(stats.closes.by_size, 3);
+        assert_eq!(stats.closes.by_flush, 1);
+        assert!(stats.throughput_tps() > 0.0);
+        assert!(stats.p99_ms() >= stats.p50_ms());
+        let (counts, _) = eng.finish().unwrap();
+        assert_eq!(counts.values().sum::<i64>(), 100);
+    }
+
+    #[test]
+    fn max_wait_deadline_closes_partial_bulks() {
+        let eng = engine(PipelineOptions {
+            max_bulk_size: 1_000_000,
+            max_wait: Duration::from_millis(5),
+            queue_depth: 16,
+        });
+        let t = eng.submit(0, vec![Value::Int(1)]).unwrap();
+        // Without the deadline this would hang: the bulk never reaches
+        // max_bulk_size and nobody flushes.
+        let (id, outcome) = t.wait().expect("deadline must close the bulk");
+        assert_eq!(id, 0);
+        assert!(outcome.is_committed());
+        let (_, stats) = eng.finish().unwrap();
+        assert!(stats.closes.by_timer >= 1);
+    }
+
+    #[test]
+    fn flush_commits_partial_bulk_and_waits_for_it() {
+        let eng = engine(PipelineOptions {
+            max_bulk_size: 1_000_000,
+            max_wait: Duration::from_secs(10),
+            queue_depth: 16,
+        });
+        let t = eng.submit(0, vec![Value::Int(3)]).unwrap();
+        eng.flush().expect("flush succeeds");
+        // After flush returns, the earlier ticket must already be resolved.
+        assert!(matches!(t.try_get(), Some(Ok(_))));
+        let (counts, stats) = eng.finish().unwrap();
+        assert_eq!(counts[&3], 1);
+        assert!(stats.closes.by_flush >= 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let mut eng = engine(PipelineOptions::default());
+        eng.shutdown();
+        assert_eq!(eng.submit(0, vec![]).unwrap_err(), PipelineError::ShutDown);
+        assert_eq!(
+            eng.try_submit(0, vec![]).unwrap_err(),
+            PipelineError::ShutDown
+        );
+        assert_eq!(eng.flush().unwrap_err(), PipelineError::ShutDown);
+        eng.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn failed_bulk_resolves_tickets_with_error_and_pipeline_survives() {
+        let eng = engine(PipelineOptions {
+            max_bulk_size: 4,
+            max_wait: Duration::from_secs(10),
+            queue_depth: 16,
+        });
+        // First bulk fails (typed runner error), second bulk panics inside
+        // the runner, third is healthy.
+        let bad: Vec<Ticket> = (0..4)
+            .map(|_| eng.submit(9, vec![Value::Int(0)]).unwrap())
+            .collect();
+        let ugly: Vec<Ticket> = (0..4)
+            .map(|_| eng.submit(8, vec![Value::Int(0)]).unwrap())
+            .collect();
+        let good: Vec<Ticket> = (0..4)
+            .map(|_| eng.submit(0, vec![Value::Int(5)]).unwrap())
+            .collect();
+        for t in &bad {
+            assert!(
+                matches!(t.wait(), Err(PipelineError::BulkFailed(msg)) if msg.contains("injected failure"))
+            );
+        }
+        for t in &ugly {
+            assert!(
+                matches!(t.wait(), Err(PipelineError::BulkFailed(msg)) if msg.contains("injected runner panic"))
+            );
+        }
+        for t in &good {
+            assert!(t.wait().is_ok());
+        }
+        let (counts, stats) = eng.finish().unwrap();
+        assert_eq!(counts[&5], 4);
+        assert_eq!(stats.bulks_failed, 2);
+        assert_eq!(stats.failed, 8);
+        assert_eq!(stats.committed, 4);
+    }
+
+    #[test]
+    fn backpressure_drops_no_tickets() {
+        // Tiny queue + tiny bulks: the submitter outruns the pipeline and
+        // blocks on the admission queue; every ticket must still resolve.
+        let eng = engine(PipelineOptions {
+            max_bulk_size: 2,
+            max_wait: Duration::from_micros(50),
+            queue_depth: 2,
+        });
+        let tickets: Vec<Ticket> = (0..500)
+            .map(|i| eng.submit(0, vec![Value::Int(i % 11)]).unwrap())
+            .collect();
+        let (counts, stats) = eng.finish().unwrap();
+        assert_eq!(tickets.iter().filter(|t| t.wait().is_ok()).count(), 500);
+        assert_eq!(counts.values().sum::<i64>(), 500);
+        assert_eq!(stats.transactions(), 500);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_queue_is_full() {
+        // One-transaction bulks over a slow (20 ms) runner: the stage
+        // channels and the depth-1 admission queue fill up, so try_submit
+        // must start reporting QueueFull instead of blocking.
+        let eng = engine(PipelineOptions {
+            max_bulk_size: 1,
+            max_wait: Duration::from_secs(10),
+            queue_depth: 1,
+        });
+        let mut full_seen = false;
+        for _ in 0..500 {
+            match eng.try_submit(7, vec![Value::Int(0)]) {
+                Ok(_) => std::thread::sleep(Duration::from_millis(1)),
+                Err(PipelineError::QueueFull) => {
+                    full_seen = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(full_seen, "a depth-1 queue must eventually report Full");
+        drop(eng);
+    }
+}

@@ -17,12 +17,16 @@
 //!   without materializing the graph, its GPU-primitive implementation
 //!   (the five steps), and the incremental 0-set extraction used by the K-SET
 //!   execution strategy (§5.3).
+//! * [`plan`] — off-thread bulk planning: the K-SET wave and PART
+//!   partition-group constructions as pure functions over signatures, so the
+//!   streaming pipeline can group bulk `N+1` while bulk `N` executes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod kset;
 pub mod op;
+pub mod plan;
 pub mod pool;
 pub mod procedure;
 pub mod signature;
@@ -30,6 +34,7 @@ pub mod tdg;
 
 pub use kset::{IncrementalKSet, KSetResult};
 pub use op::{BasicOp, OpKind};
+pub use plan::{plan_kset_waves, plan_partition_groups, BulkPlan};
 pub use pool::TransactionPool;
 pub use procedure::{ProcedureDef, ProcedureRegistry, TxnCtx, TxnOutcome};
 pub use signature::{TxnId, TxnSignature, TxnTypeId};

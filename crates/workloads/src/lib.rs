@@ -17,6 +17,9 @@
 //!   five transaction types, warehouse×district as the partitioning key, with
 //!   the customer-by-last-name splits of Appendix E.
 //! * [`skew`] — skewed key generators shared by the workloads.
+//! * [`stream`] — open-loop (arrival-rate-controlled, optionally bursty) and
+//!   closed-loop (submit-after-complete) stream drivers for the streaming
+//!   pipelined engine.
 //! * [`workload`] — the [`workload::WorkloadBundle`] abstraction consumed by
 //!   the engines, examples and the figures harness.
 //!
@@ -29,12 +32,17 @@
 
 pub mod micro;
 pub mod skew;
+pub mod stream;
 pub mod tm1;
 pub mod tpcb;
 pub mod tpcc;
 pub mod workload;
 
 pub use micro::{MicroConfig, MicroWorkload};
+pub use stream::{
+    run_closed_loop, run_open_loop, ClosedLoopConfig, ClosedLoopReport, OpenLoopConfig,
+    OpenLoopReport,
+};
 pub use tm1::Tm1Config;
 pub use tpcb::TpcbConfig;
 pub use tpcc::TpccConfig;

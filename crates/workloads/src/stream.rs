@@ -1,0 +1,319 @@
+//! Transaction *stream* drivers for the streaming pipelined engine: open-loop
+//! (fixed arrival rate, shed on overload) and closed-loop (fixed client
+//! count, submit-after-complete) generators.
+//!
+//! Both drivers draw transactions from a [`WorkloadBundle`] generator and
+//! hand them to a caller-supplied submit closure, so they work against any
+//! ingest surface (`PipelinedGpuTx::submit`, `try_submit`, a plain pool, a
+//! test harness). The open-loop driver reuses the skew machinery
+//! ([`SkewedPicker`]) for *arrival* burstiness: with probability
+//! `burstiness` the next transaction arrives immediately (a burst), otherwise
+//! it is paced to the configured rate — the same hot-key-vs-uniform split the
+//! micro benchmark applies to data access (§6.1), applied to time.
+
+use crate::skew::SkewedPicker;
+use crate::workload::WorkloadBundle;
+use gputx_storage::Value;
+use gputx_txn::TxnTypeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Configuration of an open-loop run: transactions arrive at `rate_tps`
+/// regardless of completion (the "heavy user traffic" model), bursty when
+/// `burstiness > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Offered arrival rate in transactions per second.
+    pub rate_tps: f64,
+    /// Number of transactions to offer.
+    pub count: usize,
+    /// Probability in `[0, 1]` that a transaction arrives back-to-back with
+    /// its predecessor instead of being paced (arrival skew).
+    pub burstiness: f64,
+    /// Seed of the burst-decision RNG (the workload bundle keeps its own
+    /// generator seed).
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            rate_tps: 100_000.0,
+            count: 10_000,
+            burstiness: 0.0,
+            seed: 0x5747_u64,
+        }
+    }
+}
+
+/// Outcome of an open-loop run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopReport {
+    /// Transactions the submit closure accepted.
+    pub submitted: usize,
+    /// Transactions the submit closure rejected (shed load, e.g. a full
+    /// admission queue).
+    pub shed: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl OpenLoopReport {
+    /// The rate actually offered (submitted + shed over elapsed).
+    pub fn offered_tps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            (self.submitted + self.shed) as f64 / secs
+        }
+    }
+}
+
+/// Drive an open-loop arrival process: draw `count` transactions from the
+/// bundle, pace them to `rate_tps` (modulo bursts) and hand each to `submit`.
+/// `submit` returns `false` to shed the transaction (it is counted, not
+/// retried — open-loop clients do not wait).
+pub fn run_open_loop(
+    bundle: &mut WorkloadBundle,
+    cfg: &OpenLoopConfig,
+    mut submit: impl FnMut(TxnTypeId, Vec<Value>) -> bool,
+) -> OpenLoopReport {
+    assert!(cfg.rate_tps > 0.0, "arrival rate must be positive");
+    assert!(
+        (0.0..=1.0).contains(&cfg.burstiness),
+        "burstiness must be in [0, 1]"
+    );
+    // Key 0 = "burst" with probability `burstiness`, exactly the hot-key
+    // split of the skewed picker.
+    let bursts = SkewedPicker::new(cfg.burstiness, 2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let inter_arrival = Duration::from_secs_f64(1.0 / cfg.rate_tps);
+    let start = Instant::now();
+    let mut next_at = start;
+    let mut submitted = 0usize;
+    let mut shed = 0usize;
+    for _ in 0..cfg.count {
+        if bursts.pick(&mut rng) != 0 {
+            // Paced arrival: wait out the inter-arrival gap (bursts skip it;
+            // the schedule still advances so the average rate holds).
+            let now = Instant::now();
+            if next_at > now {
+                std::thread::sleep(next_at - now);
+            }
+        }
+        next_at += inter_arrival;
+        let (ty, params) = bundle.next_txn();
+        if submit(ty, params) {
+            submitted += 1;
+        } else {
+            shed += 1;
+        }
+    }
+    OpenLoopReport {
+        submitted,
+        shed,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Configuration of a closed-loop run: `clients` concurrent clients, each
+/// submitting its next transaction only after the previous one completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedLoopConfig {
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Transactions per client.
+    pub per_client: usize,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            clients: 4,
+            per_client: 1_000,
+        }
+    }
+}
+
+/// Outcome of a closed-loop run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosedLoopReport {
+    /// Transactions that completed successfully across all clients.
+    pub completed: usize,
+    /// Transactions that failed (submission refused or completion errored).
+    pub failed: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ClosedLoopReport {
+    /// Completed transactions per second.
+    pub fn tps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+}
+
+/// Drive a closed-loop client population. `submit` is called from `clients`
+/// threads; it returns a *wait* closure that blocks until the transaction
+/// completed and reports success (`PipelinedGpuTx`: submit then
+/// `Ticket::wait`), or `None` when the submission itself was refused.
+///
+/// Transaction streams are pre-drawn per client from the bundle's
+/// deterministic generator, so a seeded run offers the same transactions
+/// regardless of scheduling.
+pub fn run_closed_loop<S, W>(
+    bundle: &mut WorkloadBundle,
+    cfg: &ClosedLoopConfig,
+    submit: S,
+) -> ClosedLoopReport
+where
+    S: Fn(TxnTypeId, Vec<Value>) -> Option<W> + Sync,
+    W: FnOnce() -> bool,
+{
+    assert!(cfg.clients > 0, "need at least one client");
+    let streams: Vec<Vec<(TxnTypeId, Vec<Value>)>> = (0..cfg.clients)
+        .map(|_| bundle.generate(cfg.per_client))
+        .collect();
+    let start = Instant::now();
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    std::thread::scope(|scope| {
+        let submit = &submit;
+        let handles: Vec<_> = streams
+            .into_iter()
+            .map(|stream| {
+                scope.spawn(move || {
+                    let mut ok = 0usize;
+                    let mut bad = 0usize;
+                    for (ty, params) in stream {
+                        match submit(ty, params) {
+                            Some(wait) => {
+                                if wait() {
+                                    ok += 1;
+                                } else {
+                                    bad += 1;
+                                }
+                            }
+                            None => bad += 1,
+                        }
+                    }
+                    (ok, bad)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (ok, bad) = handle.join().expect("client thread panicked");
+            completed += ok;
+            failed += bad;
+        }
+    });
+    ClosedLoopReport {
+        completed,
+        failed,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::{MicroConfig, MicroWorkload};
+    use gputx_core::{EngineConfig, PipelineConfig, PipelinedGpuTx};
+
+    fn micro_bundle() -> WorkloadBundle {
+        MicroWorkload::build(&MicroConfig::default().with_tuples(1024))
+    }
+
+    #[test]
+    fn open_loop_offers_every_transaction() {
+        let mut bundle = micro_bundle();
+        let mut seen = 0usize;
+        let report = run_open_loop(
+            &mut bundle,
+            &OpenLoopConfig {
+                rate_tps: 2_000_000.0,
+                count: 500,
+                burstiness: 0.5,
+                seed: 7,
+            },
+            |_, _| {
+                seen += 1;
+                seen % 10 != 0 // shed every 10th
+            },
+        );
+        assert_eq!(report.submitted + report.shed, 500);
+        assert_eq!(report.shed, 50);
+        assert!(report.offered_tps() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_paces_to_the_configured_rate() {
+        let mut bundle = micro_bundle();
+        // 200 txns at 10k tps ≈ 20 ms minimum run time when not bursting.
+        let report = run_open_loop(
+            &mut bundle,
+            &OpenLoopConfig {
+                rate_tps: 10_000.0,
+                count: 200,
+                burstiness: 0.0,
+                seed: 1,
+            },
+            |_, _| true,
+        );
+        assert!(
+            report.elapsed >= Duration::from_millis(15),
+            "paced run finished too fast: {:?}",
+            report.elapsed
+        );
+    }
+
+    #[test]
+    fn closed_loop_completes_against_the_pipelined_engine() {
+        let mut bundle = micro_bundle();
+        let engine = PipelinedGpuTx::new(
+            bundle.db.clone(),
+            bundle.registry.clone(),
+            EngineConfig::default(),
+            PipelineConfig::default()
+                .with_max_bulk_size(64)
+                .with_max_wait_us(500),
+        );
+        let report = run_closed_loop(
+            &mut bundle,
+            &ClosedLoopConfig {
+                clients: 3,
+                per_client: 50,
+            },
+            |ty, params| {
+                let ticket = engine.submit(ty, params).ok()?;
+                Some(move || ticket.wait().is_ok())
+            },
+        );
+        assert_eq!(report.completed, 150);
+        assert_eq!(report.failed, 0);
+        assert!(report.tps() > 0.0);
+        let (_, stats) = engine.finish().expect("pipeline healthy");
+        assert_eq!(stats.transactions(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let mut bundle = micro_bundle();
+        run_open_loop(
+            &mut bundle,
+            &OpenLoopConfig {
+                rate_tps: 0.0,
+                ..OpenLoopConfig::default()
+            },
+            |_, _| true,
+        );
+    }
+}

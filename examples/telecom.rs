@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example telecom`
 
-use gputx_core::pipeline::{simulate_pipeline, PipelineConfig};
+use gputx_core::pipeline::{simulate_pipeline, IntervalSimConfig};
 use gputx_core::{EngineConfig, GpuTxEngine, StrategyKind};
 use gputx_sim::SimDuration;
 use gputx_workloads::Tm1Config;
@@ -47,7 +47,7 @@ fn main() {
     for interval_ms in [2.0f64, 10.0, 40.0, 100.0] {
         let mut db = bundle.db.clone();
         let registry = bundle.registry.clone();
-        let pipeline = PipelineConfig {
+        let pipeline = IntervalSimConfig {
             arrival_rate_tps: 1_000_000.0,
             interval: SimDuration::from_millis(interval_ms),
             horizon: SimDuration::from_millis(80.0),

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Schema check for the bench-smoke JSON artifacts.
+
+Usage: check_artifact.py <kind> <path>   (kind: smoke | pipeline)
+
+CI runs this against every figures artifact before uploading it, so a
+silently-empty or truncated figures run (missing keys, zero transactions, no
+throughput) fails the job instead of uploading a useless artifact.
+"""
+
+import json
+import sys
+
+NUMBER = (int, float)
+
+SCHEMAS = {
+    # `figures -- smoke --json`
+    "smoke": {
+        "required": {
+            "schema": int,
+            "workload": str,
+            "strategy": str,
+            "transactions": int,
+            "committed": int,
+            "aborted": int,
+            "generation_ms": NUMBER,
+            "execution_ms": NUMBER,
+            "transfer_ms": NUMBER,
+            "total_ms": NUMBER,
+            "throughput_ktps": NUMBER,
+            "wall_serial_ms": NUMBER,
+            "wall_parallel4_ms": NUMBER,
+        },
+        # A smoke run that executed nothing is a failure, not a data point.
+        "positive": ["transactions", "committed", "total_ms", "throughput_ktps"],
+    },
+    # `figures -- pipeline --json`
+    "pipeline": {
+        "required": {
+            "schema": int,
+            "experiment": str,
+            "workload": str,
+            "transactions": int,
+            "committed": int,
+            "aborted": int,
+            "bulks": int,
+            "throughput_tps": NUMBER,
+            "p50_ms": NUMBER,
+            "p99_ms": NUMBER,
+            "occupancy_admission": NUMBER,
+            "occupancy_grouping": NUMBER,
+            "occupancy_execution": NUMBER,
+            "occupancy_commit": NUMBER,
+            "bottleneck": str,
+        },
+        "positive": ["transactions", "committed", "bulks", "throughput_tps", "p99_ms"],
+    },
+}
+
+
+def fail(msg: str) -> None:
+    print(f"ARTIFACT-SCHEMA-FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3 or sys.argv[1] not in SCHEMAS:
+        fail(f"usage: {sys.argv[0]} <{'|'.join(SCHEMAS)}> <path>")
+    kind, path = sys.argv[1], sys.argv[2]
+    schema = SCHEMAS[kind]
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: cannot read/parse JSON: {e}")
+    if not isinstance(data, dict):
+        fail(f"{path}: top level must be an object, got {type(data).__name__}")
+    for key, expected in schema["required"].items():
+        if key not in data:
+            fail(f"{path}: missing required key '{key}'")
+        if not isinstance(data[key], expected) or isinstance(data[key], bool):
+            fail(
+                f"{path}: key '{key}' has type {type(data[key]).__name__}, "
+                f"expected {expected}"
+            )
+    for key in schema["positive"]:
+        if not data[key] > 0:
+            fail(f"{path}: key '{key}' must be > 0 (got {data[key]}) — empty run?")
+    if kind == "pipeline" and data["p99_ms"] < data["p50_ms"]:
+        fail(f"{path}: p99 ({data['p99_ms']}) below p50 ({data['p50_ms']})")
+    print(f"ARTIFACT-SCHEMA-OK: {path} matches the '{kind}' schema")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,244 @@
+//! End-to-end tests of the streaming pipelined engine.
+//!
+//! * **Equivalence** — over the same seeded transaction stream with the same
+//!   bulk boundaries, `PipelinedGpuTx` must commit the exact same final
+//!   database state (and per-transaction outcomes) as the one-shot
+//!   `execute_bulk` path, at 1 and 4 worker threads, for the K-SET and PART
+//!   strategies, on TM1 and the micro benchmark.
+//! * **Shutdown/drain semantics** — submitting after `shutdown()` errors,
+//!   `flush()` commits a partial bulk, and no ticket is dropped under
+//!   backpressure (seeded stress across 1/2/4/8 worker threads).
+
+use gputx_core::config::StrategyChoice;
+use gputx_core::{
+    execute_bulk, Bulk, EngineConfig, ExecContext, PipelineConfig, PipelinedGpuTx, StrategyKind,
+};
+use gputx_exec::{ExecutorChoice, PipelineError, Ticket};
+use gputx_sim::Gpu;
+use gputx_storage::{Database, Value};
+use gputx_txn::{ProcedureRegistry, TxnId, TxnOutcome, TxnSignature};
+use gputx_workloads::{MicroConfig, MicroWorkload, Tm1Config};
+
+const BULK: usize = 256;
+
+fn tm1_stream(n: usize, seed: u64) -> (Database, ProcedureRegistry, Vec<TxnSignature>) {
+    let mut bundle = Tm1Config { scale_factor: 1 }.build();
+    bundle.reseed(seed);
+    let sigs = bundle.generate_signatures(n, 0);
+    (bundle.db.clone(), bundle.registry.clone(), sigs)
+}
+
+fn micro_stream(n: usize, seed: u64) -> (Database, ProcedureRegistry, Vec<TxnSignature>) {
+    let mut bundle = MicroWorkload::build(&MicroConfig::default().with_tuples(512).with_skew(0.3));
+    bundle.reseed(seed);
+    let sigs = bundle.generate_signatures(n, 0);
+    (bundle.db.clone(), bundle.registry.clone(), sigs)
+}
+
+/// One-shot reference: the stream cut into `BULK`-sized bulks through
+/// `execute_bulk` on the serial executor.
+fn one_shot(
+    db0: &Database,
+    registry: &ProcedureRegistry,
+    sigs: &[TxnSignature],
+    strategy: StrategyKind,
+) -> (Database, Vec<(TxnId, TxnOutcome)>) {
+    let mut db = db0.clone();
+    let mut gpu = Gpu::c1060();
+    let config = EngineConfig::default();
+    let mut outcomes = Vec::with_capacity(sigs.len());
+    for chunk in sigs.chunks(BULK) {
+        let mut ctx = ExecContext {
+            gpu: &mut gpu,
+            db: &mut db,
+            registry,
+            config: &config,
+        };
+        let out = execute_bulk(&mut ctx, strategy, &Bulk::new(chunk.to_vec()));
+        outcomes.extend(out.outcomes);
+    }
+    (db, outcomes)
+}
+
+/// Streaming run: the same stream submitted in order with the same bulk-size
+/// threshold (the huge deadline guarantees identical bulk boundaries).
+fn pipelined(
+    db0: &Database,
+    registry: &ProcedureRegistry,
+    sigs: &[TxnSignature],
+    strategy: StrategyChoice,
+    threads: usize,
+) -> (Database, Vec<(TxnId, TxnOutcome)>) {
+    let engine = PipelinedGpuTx::new(
+        db0.clone(),
+        registry.clone(),
+        EngineConfig::default().with_strategy(strategy),
+        PipelineConfig::default()
+            .with_max_bulk_size(BULK)
+            .with_max_wait_us(60_000_000)
+            .with_executor(if threads == 1 {
+                ExecutorChoice::Serial
+            } else {
+                ExecutorChoice::parallel(threads)
+            }),
+    );
+    let tickets: Vec<Ticket> = sigs
+        .iter()
+        .map(|sig| {
+            engine
+                .submit(sig.ty, sig.params.clone())
+                .expect("stream accepted")
+        })
+        .collect();
+    let (db, stats) = engine.finish().expect("pipeline stays healthy");
+    assert_eq!(stats.transactions(), sigs.len() as u64);
+    let outcomes = tickets
+        .iter()
+        .map(|t| t.wait().expect("ticket resolves"))
+        .collect();
+    (db, outcomes)
+}
+
+fn assert_stream_equivalence(
+    name: &str,
+    db0: &Database,
+    registry: &ProcedureRegistry,
+    sigs: &[TxnSignature],
+) {
+    for (strategy, choice) in [
+        (StrategyKind::Kset, StrategyChoice::ForceKset),
+        (StrategyKind::Part, StrategyChoice::ForcePart),
+    ] {
+        let (ref_db, ref_outcomes) = one_shot(db0, registry, sigs, strategy);
+        for threads in [1usize, 4] {
+            let (db, outcomes) = pipelined(db0, registry, sigs, choice, threads);
+            assert_eq!(
+                outcomes, ref_outcomes,
+                "{name}/{strategy}: outcomes must match at {threads} thread(s)"
+            );
+            assert!(
+                db == ref_db,
+                "{name}/{strategy}: final state must match one-shot at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_equals_one_shot_on_tm1() {
+    let (db0, registry, sigs) = tm1_stream(1_200, 0xfeed);
+    assert_stream_equivalence("tm1", &db0, &registry, &sigs);
+}
+
+#[test]
+fn pipelined_equals_one_shot_on_micro() {
+    let (db0, registry, sigs) = micro_stream(1_500, 0xbeef);
+    assert_stream_equivalence("micro", &db0, &registry, &sigs);
+}
+
+#[test]
+fn submit_after_shutdown_errors() {
+    let (db0, registry, _) = micro_stream(1, 1);
+    let mut engine = PipelinedGpuTx::new(
+        db0,
+        registry,
+        EngineConfig::default(),
+        PipelineConfig::default(),
+    );
+    engine
+        .submit(0, vec![Value::Int(0)])
+        .expect("running engine accepts");
+    engine.shutdown();
+    assert_eq!(
+        engine.submit(0, vec![Value::Int(0)]).unwrap_err(),
+        PipelineError::ShutDown
+    );
+    assert_eq!(engine.flush().unwrap_err(), PipelineError::ShutDown);
+    engine.shutdown(); // idempotent
+    let stats = engine.stats().expect("stats available after shutdown");
+    assert_eq!(stats.transactions(), 1);
+}
+
+#[test]
+fn flush_commits_a_partial_bulk() {
+    let (db0, registry, sigs) = micro_stream(10, 2);
+    let engine = PipelinedGpuTx::new(
+        db0,
+        registry,
+        EngineConfig::default(),
+        PipelineConfig::default()
+            .with_max_bulk_size(1_000_000)
+            .with_max_wait_us(60_000_000),
+    );
+    let tickets: Vec<Ticket> = sigs
+        .iter()
+        .map(|s| engine.submit(s.ty, s.params.clone()).unwrap())
+        .collect();
+    assert!(
+        tickets.iter().all(|t| t.try_get().is_none()),
+        "nothing may commit before the flush (size and deadline are huge)"
+    );
+    engine.flush().expect("flush drains the partial bulk");
+    for t in &tickets {
+        assert!(matches!(t.try_get(), Some(Ok(_))));
+    }
+    let (_, stats) = engine.finish().unwrap();
+    assert_eq!(stats.closes.by_flush, 1);
+    assert_eq!(stats.transactions(), 10);
+}
+
+/// Seeded soak: a conflict-heavy micro stream pushed through tiny bulks and a
+/// tiny admission queue (constant backpressure) at 1/2/4/8 worker threads.
+/// Every ticket must resolve, the commit counts must add up, and the final
+/// state must equal the sequential replay at every thread count.
+#[test]
+fn soak_backpressure_drops_no_tickets_across_thread_counts() {
+    let n = 800usize;
+    let (db0, registry, sigs) = micro_stream(n, 0x50a4);
+
+    // Sequential replay reference.
+    let mut seq_db = db0.clone();
+    for sig in &sigs {
+        registry.execute(sig, &mut seq_db);
+    }
+    seq_db.apply_insert_buffers();
+
+    for threads in [1usize, 2, 4, 8] {
+        let engine = PipelinedGpuTx::new(
+            db0.clone(),
+            registry.clone(),
+            EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
+            PipelineConfig::default()
+                .with_max_bulk_size(32)
+                .with_max_wait_us(200)
+                .with_queue_depth(8)
+                .with_executor(if threads == 1 {
+                    ExecutorChoice::Serial
+                } else {
+                    ExecutorChoice::parallel(threads)
+                }),
+        );
+        let tickets: Vec<Ticket> = sigs
+            .iter()
+            .enumerate()
+            .map(|(i, sig)| {
+                if i % 97 == 0 {
+                    engine.flush().expect("mid-stream flush");
+                }
+                engine.submit(sig.ty, sig.params.clone()).expect("accepted")
+            })
+            .collect();
+        let (db, stats) = engine.finish().expect("pipeline healthy");
+        assert_eq!(tickets.len(), n);
+        for t in &tickets {
+            t.wait().expect("no ticket may be dropped or failed");
+        }
+        assert_eq!(stats.transactions(), n as u64, "{threads} threads");
+        assert_eq!(stats.committed + stats.aborted, n as u64);
+        assert_eq!(stats.failed, 0);
+        assert!(
+            db == seq_db,
+            "soak at {threads} thread(s): final state must equal sequential replay"
+        );
+    }
+}
