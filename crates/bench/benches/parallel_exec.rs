@@ -26,7 +26,6 @@ use gputx_exec::{ExecPolicy, Executor, ExecutorChoice, ParallelExecutor, SerialE
 use gputx_sim::Gpu;
 use gputx_txn::TxnSignature;
 use gputx_workloads::{Tm1Config, TpcbConfig, WorkloadBundle};
-use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// TM1 bulk size: the acceptance workload (≥ 64k transactions).
@@ -49,35 +48,24 @@ fn tpcb_fixture() -> (WorkloadBundle, Vec<TxnSignature>) {
     (bundle, sigs)
 }
 
-/// Group a bulk by partition key (all benchmark transactions here are
-/// single-partition), one group per key, each in timestamp order.
-fn partition_groups<'a>(
-    bundle: &WorkloadBundle,
-    sigs: &'a [TxnSignature],
-) -> Vec<Vec<&'a TxnSignature>> {
-    let mut by_partition: BTreeMap<u64, Vec<&TxnSignature>> = BTreeMap::new();
-    for sig in sigs {
-        let key = bundle
-            .registry
-            .partition_key(sig)
-            .expect("benchmark workloads are single-partition");
-        by_partition.entry(key).or_default().push(sig);
-    }
-    by_partition.into_values().collect()
-}
-
 /// Criterion loop over the pure executor path (db clone inside the loop, the
 /// same constant cost on every side).
 fn bench_executor_level(c: &mut Criterion) {
     for (name, (bundle, sigs)) in [("tm1", tm1_fixture()), ("tpcb", tpcb_fixture())] {
-        let groups = partition_groups(&bundle, &sigs);
+        let groups = gputx_bench::partition_groups(&bundle.registry, &sigs);
         let mut group = c.benchmark_group(format!("executor/{name}"));
         group.sample_size(5);
         group.bench_function("serial", |b| {
             b.iter(|| {
                 let mut db = bundle.db.clone();
                 SerialExecutor
-                    .run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), &groups)
+                    .run_groups(
+                        &mut db,
+                        &bundle.registry,
+                        &ExecPolicy::gpu(true),
+                        &groups,
+                        None,
+                    )
                     .expect("no procedure panics");
                 black_box(db.total_bytes())
             })
@@ -87,8 +75,14 @@ fn bench_executor_level(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, _| {
                 b.iter(|| {
                     let mut db = bundle.db.clone();
-                    exec.run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), &groups)
-                        .expect("no procedure panics");
+                    exec.run_groups(
+                        &mut db,
+                        &bundle.registry,
+                        &ExecPolicy::gpu(true),
+                        &groups,
+                        None,
+                    )
+                    .expect("no procedure panics");
                     black_box(db.total_bytes())
                 })
             });
@@ -144,7 +138,13 @@ fn best_of_n(
         let mut db = bundle.db.clone();
         let start = Instant::now();
         let out = executor
-            .run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), groups)
+            .run_groups(
+                &mut db,
+                &bundle.registry,
+                &ExecPolicy::gpu(true),
+                groups,
+                None,
+            )
             .expect("no procedure panics");
         let elapsed = start.elapsed().as_secs_f64();
         black_box(out.len());
@@ -165,7 +165,7 @@ fn speedup_report(_c: &mut Criterion) {
         ("tm1", TM1_BULK, tm1_fixture()),
         ("tpcb", TPCB_BULK, tpcb_fixture()),
     ] {
-        let groups = partition_groups(&bundle, &sigs);
+        let groups = gputx_bench::partition_groups(&bundle.registry, &sigs);
         let serial = best_of_n(&SerialExecutor, &bundle, &groups);
         for threads in THREAD_COUNTS {
             let parallel = best_of_n(&ParallelExecutor::new(threads), &bundle, &groups);

@@ -106,6 +106,134 @@ fn main() {
     if wanted.contains(&"pipeline") {
         pipeline_smoke(json_path.as_deref());
     }
+    if wanted.contains(&"hotpath") {
+        hotpath(json_path.as_deref());
+    }
+}
+
+/// Hot-path experiment: the plan-backed typed access path (pre-resolved
+/// `AccessPlan` lookups + typed columnar accessors + pooled undo buffers)
+/// against the legacy `Value`/hash path, on 64k-transaction TM1 and TPC-B
+/// bulks. Both paths execute the identical transaction stream on identical
+/// databases through the same serial executor; only the storage-access API
+/// differs. The plan is built outside the timed window — in the streaming
+/// engine the gather step runs on the grouping stage, overlapped with the
+/// previous bulk's execution — and its build time is reported separately so
+/// the overlap assumption is visible, not hidden.
+fn hotpath(json_path: Option<&str>) {
+    use gputx_exec::{ExecPolicy, Executor, SerialExecutor};
+    use gputx_txn::AccessPlan;
+    use gputx_workloads::{AccessApi, WorkloadBundle};
+    use std::time::Instant;
+
+    banner("Hot path — plan-backed typed access vs legacy Value/hash access");
+    const N_TXNS: usize = 65_536;
+    const ROUNDS: usize = 3;
+
+    struct Case {
+        name: &'static str,
+        legacy_ms: f64,
+        planned_ms: f64,
+        plan_build_ms: f64,
+        speedup: f64,
+    }
+
+    type BuildFn = fn(AccessApi) -> WorkloadBundle;
+    let mut cases: Vec<Case> = Vec::new();
+    let builds: [(&'static str, BuildFn); 2] = [
+        ("tm1", |api| Tm1Config::default().build_with_api(api)),
+        ("tpcb", |api| {
+            TpcbConfig::default()
+                .with_scale_factor(64)
+                .build_with_api(api)
+        }),
+    ];
+    for (name, build) in builds {
+        let mut legacy = build(AccessApi::Legacy);
+        let planned = build(AccessApi::Planned);
+        // One transaction stream, shared by both sides (same seed, same
+        // generator either way; the API choice never touches the generator —
+        // tests/hotpath_equivalence.rs asserts the streams stay identical).
+        let sigs = legacy.generate_signatures(N_TXNS, 0);
+
+        let groups = gputx_bench::partition_groups(&legacy.registry, &sigs);
+
+        // The gather step (timed separately, outside the execution windows).
+        let build_start = Instant::now();
+        let plan = AccessPlan::build(&planned.registry, &planned.db, &sigs);
+        let plan_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+        let plan = (!plan.is_empty()).then_some(plan);
+
+        let policy = ExecPolicy::gpu(true);
+        let time_ms = |bundle: &WorkloadBundle, plan: Option<&AccessPlan>| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..ROUNDS {
+                let mut db = bundle.db.clone();
+                let start = Instant::now();
+                SerialExecutor
+                    .run_groups(&mut db, &bundle.registry, &policy, &groups, plan)
+                    .expect("no procedure panics");
+                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            }
+            best
+        };
+        let legacy_ms = time_ms(&legacy, None);
+        let planned_ms = time_ms(&planned, plan.as_ref());
+        let speedup = legacy_ms / planned_ms;
+        println!(
+            "HOTPATH-SPEEDUP {name} serial {}k: {speedup:.2}x \
+             (legacy {legacy_ms:.1} ms, planned {planned_ms:.1} ms, plan build {plan_build_ms:.1} ms)",
+            N_TXNS / 1024,
+        );
+        cases.push(Case {
+            name,
+            legacy_ms,
+            planned_ms,
+            plan_build_ms,
+            speedup,
+        });
+    }
+
+    let mut table = TextTable::new(&[
+        "workload",
+        "legacy (ms)",
+        "planned (ms)",
+        "plan build (ms)",
+        "speedup",
+    ]);
+    for c in &cases {
+        table.row(vec![
+            c.name.to_string(),
+            format!("{:.1}", c.legacy_ms),
+            format!("{:.1}", c.planned_ms),
+            format!("{:.1}", c.plan_build_ms),
+            format!("{:.2}x", c.speedup),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Hand-rolled JSON (the workspace serde is an offline shim).
+    let per_case = |c: &Case| {
+        format!(
+            "  \"{0}_legacy_ms\": {1:.3},\n  \"{0}_planned_ms\": {2:.3},\n  \
+             \"{0}_plan_build_ms\": {3:.3},\n  \"{0}_speedup\": {4:.4}",
+            c.name, c.legacy_ms, c.planned_ms, c.plan_build_ms, c.speedup
+        )
+    };
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"experiment\": \"hotpath\",\n  \"transactions\": {},\n{},\n{}\n}}\n",
+        N_TXNS,
+        per_case(&cases[0]),
+        per_case(&cases[1]),
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("cannot write hotpath JSON to {path}: {e}"));
+            println!("hotpath metrics written to {path}");
+        }
+        None => println!("{json}"),
+    }
 }
 
 /// CI pipeline smoke: a tiny TM1 stream through the streaming pipelined
@@ -210,8 +338,6 @@ fn pipeline_smoke(json_path: Option<&str>) {
 /// tracks the executor rather than constant setup cost.
 fn smoke(json_path: Option<&str>) {
     use gputx_exec::{ExecPolicy, Executor, ParallelExecutor, SerialExecutor};
-    use gputx_txn::TxnSignature;
-    use std::collections::BTreeMap;
 
     banner("CI smoke — tiny TM1 bulk");
     let n_txns = 4_096;
@@ -220,20 +346,18 @@ fn smoke(json_path: Option<&str>) {
     let config = EngineConfig::default();
     let report = run_gpu_bulk(&bundle, sigs.clone(), StrategyKind::Kset, &config);
 
-    let mut by_partition: BTreeMap<u64, Vec<&TxnSignature>> = BTreeMap::new();
-    for sig in &sigs {
-        let key = bundle
-            .registry
-            .partition_key(sig)
-            .expect("TM1 transactions are single-partition");
-        by_partition.entry(key).or_default().push(sig);
-    }
-    let groups: Vec<Vec<&TxnSignature>> = by_partition.into_values().collect();
+    let groups = gputx_bench::partition_groups(&bundle.registry, &sigs);
     let wall_ms = |executor: &dyn Executor| {
         let mut db = bundle.db.clone();
         let start = std::time::Instant::now();
         executor
-            .run_groups(&mut db, &bundle.registry, &ExecPolicy::gpu(true), &groups)
+            .run_groups(
+                &mut db,
+                &bundle.registry,
+                &ExecPolicy::gpu(true),
+                &groups,
+                None,
+            )
             .expect("no procedure panics");
         start.elapsed().as_secs_f64() * 1e3
     };

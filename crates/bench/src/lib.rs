@@ -36,6 +36,27 @@ pub fn run_gpu_bulk(
     execute_bulk(&mut ctx, strategy, &Bulk::new(sigs)).into_report()
 }
 
+/// Group a bulk into the shape PART hands the executor: one group per
+/// partition key, each in ascending timestamp (id) order. Shared by the
+/// executor-level benchmarks and figures experiments so they all measure the
+/// exact schedule the equivalence tests verify. Panics on cross-partition
+/// transactions (`partition_key == None`).
+pub fn partition_groups<'a>(
+    registry: &gputx_txn::ProcedureRegistry,
+    sigs: &'a [TxnSignature],
+) -> Vec<Vec<&'a TxnSignature>> {
+    let mut by_partition: std::collections::BTreeMap<u64, Vec<&TxnSignature>> = Default::default();
+    for sig in sigs {
+        let key = registry
+            .partition_key(sig)
+            .expect("benchmark transactions are single-partition");
+        by_partition.entry(key).or_default().push(sig);
+    }
+    // Signatures arrive in ascending id order, so each group already is in
+    // timestamp order.
+    by_partition.into_values().collect()
+}
+
 /// Pick a PART partition size appropriate for a workload: the paper's tuned
 /// 128 keys per partition for key domains in the millions (TM1 subscribers,
 /// micro tuples) and one key per partition for small domains (TPC-B branches,

@@ -22,13 +22,13 @@ use crate::profiler::profile_bulk;
 use crate::select::choose_strategy;
 use crate::strategy::{execute_bulk, ExecContext, StrategyKind};
 use gputx_exec::{
-    run_txn, BulkPlanner, BulkRunner, ExecError, ExecPolicy, Executor, PipelineError,
+    run_txn_planned, BulkPlanner, BulkRunner, ExecError, ExecPolicy, Executor, PipelineError,
     PipelineOptions, PipelineStats, PipelinedEngine, Ticket,
 };
 use gputx_sim::{Gpu, SimDuration, Throughput};
 use gputx_storage::{Database, Value};
 use gputx_txn::plan::{plan_kset_waves, plan_partition_groups, BulkPlan};
-use gputx_txn::{ProcedureRegistry, TxnId, TxnSignature, TxnTypeId};
+use gputx_txn::{AccessPlan, ProcedureRegistry, TxnId, TxnScratch, TxnSignature, TxnTypeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -64,13 +64,23 @@ impl GpuTxPlanner {
 }
 
 /// The plan the grouping stage hands to the execution stage: the chosen
-/// strategy and its precomputed schedule.
+/// strategy, its precomputed schedule, and the pre-resolved access plan.
 #[derive(Debug, Clone)]
 pub struct GpuTxPlan {
     /// Strategy selected for this bulk (forced or rule-based).
     pub strategy: StrategyKind,
     /// The precomputed schedule (waves / groups / serial order).
     pub plan: BulkPlan,
+    /// The gather step: every planned procedure's index keys resolved to
+    /// dense row ids, built off the execution thread against the planner's
+    /// snapshot. The runner revalidates it against the live database's index
+    /// versions before executing: entries through since-mutated indexes
+    /// re-probe transparently (and, because the snapshot is frozen at
+    /// pipeline start, stay degraded for churning indexes — entries through
+    /// static indexes keep the fast path; see `gputx_txn::access`). `None`
+    /// when the planner has no snapshot (ForcePart/ForceTpl) or no procedure
+    /// declares a plan callback.
+    pub access: Option<AccessPlan>,
 }
 
 impl BulkPlanner for GpuTxPlanner {
@@ -109,7 +119,19 @@ impl BulkPlanner for GpuTxPlanner {
             }
             StrategyKind::Tpl => BulkPlan::Serial,
         };
-        GpuTxPlan { strategy, plan }
+        // The gather step, overlapped with the previous bulk's execution.
+        // Resolved against the frozen snapshot; the runner revalidates
+        // against the live index versions before use.
+        let access = self
+            .snapshot
+            .as_ref()
+            .map(|snapshot| AccessPlan::build(&self.registry, snapshot, bulk));
+        let access = access.filter(|a| !a.is_empty());
+        GpuTxPlan {
+            strategy,
+            plan,
+            access,
+        }
     }
 }
 
@@ -160,6 +182,7 @@ impl GpuTxRunner {
         plan: &GpuTxPlan,
         outcomes: &mut Vec<(TxnId, gputx_txn::TxnOutcome)>,
     ) -> Result<(), ExecError> {
+        let access = plan.access.as_ref();
         let by_id: HashMap<TxnId, &TxnSignature> = bulk.iter().map(|s| (s.id, s)).collect();
         match &plan.plan {
             BulkPlan::ConflictFreeWaves(waves) => {
@@ -170,6 +193,7 @@ impl GpuTxRunner {
                         &self.registry,
                         &self.policy,
                         &sigs,
+                        access,
                     )?;
                     outcomes.extend(executed.into_iter().map(|t| (t.id, t.outcome)));
                 }
@@ -184,13 +208,22 @@ impl GpuTxRunner {
                     &self.registry,
                     &self.policy,
                     &group_refs,
+                    access,
                 )?;
                 outcomes.extend(executed.into_iter().flatten().map(|t| (t.id, t.outcome)));
             }
             BulkPlan::Serial => {
                 // `bulk` arrives in ascending id order from admission.
+                let mut scratch = TxnScratch::default();
                 for sig in bulk {
-                    let t = run_txn(&mut self.db, &self.registry, &self.policy, sig);
+                    let t = run_txn_planned(
+                        &mut self.db,
+                        &self.registry,
+                        &self.policy,
+                        sig,
+                        access,
+                        &mut scratch,
+                    );
                     outcomes.push((t.id, t.outcome));
                 }
             }
@@ -206,12 +239,20 @@ impl BulkRunner for GpuTxRunner {
     fn run(
         &mut self,
         bulk: Vec<TxnSignature>,
-        plan: GpuTxPlan,
+        mut plan: GpuTxPlan,
     ) -> Result<Vec<(TxnId, gputx_txn::TxnOutcome)>, ExecError> {
         // A predecessor bulk that failed (typed error) or unwound (caught by
         // the execution stage) may have left buffered inserts behind;
         // applying them here would leak another bulk's partial effects.
         self.discard_insert_buffers();
+        // The access plan was resolved against the planner's frozen snapshot;
+        // earlier bulks may have mutated indexes since (applied inserts).
+        // Mark entries of since-mutated indexes stale so they re-probe the
+        // live database at consume time — correctness never depends on the
+        // snapshot's freshness.
+        if let Some(access) = plan.access.as_mut() {
+            access.revalidate(&self.db);
+        }
         let mut outcomes = Vec::with_capacity(bulk.len());
         if let Err(e) = self.run_plan(&bulk, &plan, &mut outcomes) {
             self.discard_insert_buffers();

@@ -25,6 +25,7 @@ pub(crate) fn run(
     ctx: &mut ExecContext<'_>,
     bulk: &Bulk,
     executor: &dyn Executor,
+    access: Option<&gputx_txn::AccessPlan>,
 ) -> Result<StrategyOutcome, ExecError> {
     let mut outcome = StrategyOutcome::empty(StrategyKind::Kset);
     if bulk.is_empty() {
@@ -81,7 +82,8 @@ pub(crate) fn run(
         // it across real worker threads.
         let wave_sigs: Vec<&TxnSignature> = wave.iter().map(|id| by_id[id]).collect();
         let policy = exec_policy(ctx.config);
-        let executed = executor.run_conflict_free(ctx.db, ctx.registry, &policy, &wave_sigs)?;
+        let executed =
+            executor.run_conflict_free(ctx.db, ctx.registry, &policy, &wave_sigs, access)?;
         let mut traces: Vec<ThreadTrace> = Vec::with_capacity(wave.len());
         for txn in executed {
             traces.push(txn.trace);

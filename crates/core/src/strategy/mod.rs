@@ -153,10 +153,32 @@ pub fn try_execute_bulk(
     bulk: &Bulk,
 ) -> Result<StrategyOutcome, EngineError> {
     let executor = ctx.config.executor.build();
+    // The gather step: resolve every planned procedure's index keys to dense
+    // row ids once, against the database the bulk is about to run on (index
+    // state is frozen for the duration of a bulk — buffered inserts only
+    // reach the indexes in `apply_insert_buffers` below — so the plan is
+    // exact). Execution then performs zero index hash lookups for planned
+    // transactions. The streaming pipeline builds this plan on its grouping
+    // stage instead, overlapped with the previous bulk's execution.
+    let access = gputx_txn::AccessPlan::build(ctx.registry, ctx.db, &bulk.txns);
+    let access = (!access.is_empty()).then_some(access);
+    try_execute_bulk_planned(ctx, strategy, bulk, executor.as_ref(), access.as_ref())
+}
+
+/// [`try_execute_bulk`] with a caller-supplied executor and pre-built access
+/// plan — the entry point for engines that keep one executor (and its pooled
+/// allocations) alive across bulks and build plans off-thread.
+pub fn try_execute_bulk_planned(
+    ctx: &mut ExecContext<'_>,
+    strategy: StrategyKind,
+    bulk: &Bulk,
+    executor: &dyn gputx_exec::Executor,
+    access: Option<&gputx_txn::AccessPlan>,
+) -> Result<StrategyOutcome, EngineError> {
     let mut outcome = match strategy {
-        StrategyKind::Tpl => tpl::run(ctx, bulk),
-        StrategyKind::Part => part::run(ctx, bulk, executor.as_ref())?,
-        StrategyKind::Kset => kset::run(ctx, bulk, executor.as_ref())?,
+        StrategyKind::Tpl => tpl::run(ctx, bulk, access),
+        StrategyKind::Part => part::run(ctx, bulk, executor, access)?,
+        StrategyKind::Kset => kset::run(ctx, bulk, executor, access)?,
     };
     ctx.db.apply_insert_buffers();
     outcome.transfer += account_transfers(ctx.gpu, bulk);

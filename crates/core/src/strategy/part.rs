@@ -28,6 +28,7 @@ pub(crate) fn run(
     ctx: &mut ExecContext<'_>,
     bulk: &Bulk,
     executor: &dyn Executor,
+    access: Option<&gputx_txn::AccessPlan>,
 ) -> Result<StrategyOutcome, ExecError> {
     let mut outcome = StrategyOutcome::empty(StrategyKind::Part);
     if bulk.is_empty() {
@@ -42,7 +43,7 @@ pub(crate) fn run(
         .collect();
     if keys.iter().any(|k| k.is_none()) {
         // Cross-partition transactions present: fall back to TPL (§5.2).
-        let mut fallback = tpl::run(ctx, bulk);
+        let mut fallback = tpl::run(ctx, bulk, access);
         fallback.strategy = StrategyKind::Part;
         fallback.fell_back_to_tpl = true;
         return Ok(fallback);
@@ -87,7 +88,7 @@ pub(crate) fn run(
         })
         .collect();
     let policy = exec_policy(ctx.config);
-    let executed_groups = executor.run_groups(ctx.db, ctx.registry, &policy, &groups)?;
+    let executed_groups = executor.run_groups(ctx.db, ctx.registry, &policy, &groups, access)?;
 
     let search_steps = (bulk.len().max(2) as f64).log2().ceil() as u64;
     let mut thread_traces: Vec<ThreadTrace> = Vec::with_capacity(groups.len());
@@ -274,7 +275,13 @@ mod tests {
             registry: &reg,
             config: &config,
         };
-        let out = super::run(&mut ctx, &Bulk::default(), &gputx_exec::SerialExecutor).unwrap();
+        let out = super::run(
+            &mut ctx,
+            &Bulk::default(),
+            &gputx_exec::SerialExecutor,
+            None,
+        )
+        .unwrap();
         assert_eq!(out.transactions, 0);
     }
 }

@@ -16,16 +16,21 @@
 use super::{exec_policy, tally, ExecContext, StrategyKind, StrategyOutcome};
 use crate::bulk::Bulk;
 use crate::grouping::group_by_type;
-use gputx_exec::run_txn;
+use gputx_exec::run_txn_planned;
 use gputx_sim::ThreadTrace;
 use gputx_txn::kset::gpu_rank_ksets;
-use gputx_txn::TxnTypeId;
+use gputx_txn::{TxnScratch, TxnTypeId};
 use std::collections::HashMap;
 
 /// Execute a bulk with two-phase locking. The host loop is serial by design:
 /// the counter-based locks enforce the total timestamp order, so there are no
-/// conflict-free sets for the multi-threaded executor to exploit.
-pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
+/// conflict-free sets for the multi-threaded executor to exploit. The access
+/// plan still applies — planned transactions skip their index probes.
+pub(crate) fn run(
+    ctx: &mut ExecContext<'_>,
+    bulk: &Bulk,
+    access: Option<&gputx_txn::AccessPlan>,
+) -> StrategyOutcome {
     let mut outcome = StrategyOutcome::empty(StrategyKind::Tpl);
     if bulk.is_empty() {
         return outcome;
@@ -67,11 +72,13 @@ pub(crate) fn run(ctx: &mut ExecContext<'_>, bulk: &Bulk) -> StrategyOutcome {
     let policy = exec_policy(ctx.config);
     let mut traces: Vec<ThreadTrace> = Vec::with_capacity(bulk.len());
     let mut contention: HashMap<u64, u64> = HashMap::new();
+    let mut scratch = TxnScratch::default();
+    let mut merged: Vec<gputx_txn::BasicOp> = Vec::new();
     for sig in &bulk.txns {
         let items = ctx.registry.read_write_set(sig, ctx.db);
-        let executed = run_txn(ctx.db, ctx.registry, &policy, sig);
+        let executed = run_txn_planned(ctx.db, ctx.registry, &policy, sig, access, &mut scratch);
         let (mut trace, txn_outcome) = (executed.trace, executed.outcome);
-        let merged = gputx_txn::op::dedup_strongest(&items);
+        gputx_txn::op::dedup_strongest_into(&items, &mut merged);
         for op in &merged {
             let rounds = match &ranks {
                 Some(r) => *r.item_ranks.get(&(sig.id, op.item.as_u64())).unwrap_or(&0) as u64,
@@ -258,7 +265,7 @@ mod tests {
             registry: &reg,
             config: &config,
         };
-        let out = tpl::run(&mut ctx, &Bulk::default());
+        let out = tpl::run(&mut ctx, &Bulk::default(), None);
         assert_eq!(out.transactions, 0);
         assert!(out.total().is_zero());
     }

@@ -241,7 +241,8 @@ impl CpuEngine {
         }
         let partitions: Vec<u64> = by_partition.keys().copied().collect();
         let groups: Vec<Vec<&TxnSignature>> = by_partition.into_values().collect();
-        let executed = executor.run_groups(db, registry, &ExecPolicy::functional(), &groups)?;
+        let executed =
+            executor.run_groups(db, registry, &ExecPolicy::functional(), &groups, None)?;
         for (partition, group) in partitions.into_iter().zip(executed) {
             let core = (partition % core_busy.len() as u64) as usize;
             for txn in group {

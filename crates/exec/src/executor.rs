@@ -4,7 +4,7 @@
 use crate::parallel::ParallelExecutor;
 use gputx_sim::ThreadTrace;
 use gputx_storage::{Database, StorageView};
-use gputx_txn::{ProcedureRegistry, TxnId, TxnOutcome, TxnSignature};
+use gputx_txn::{AccessPlan, ProcedureRegistry, TxnId, TxnOutcome, TxnScratch, TxnSignature};
 use serde::{Deserialize, Serialize};
 
 /// Trace-accounting policy applied on top of the functional execution.
@@ -82,16 +82,42 @@ pub struct ExecutedTxn {
 }
 
 /// Execute one transaction against a storage view, applying the policy's
-/// trace accounting. This is the single per-transaction code path shared by
-/// the serial and parallel executors (and by the GPU strategies' serial TPL
-/// loop), so every path produces identical traces and outcomes.
+/// trace accounting. Convenience wrapper over [`run_txn_planned`] with no
+/// access plan and a throw-away scratch — fine for one-off execution; bulk
+/// loops should call [`run_txn_planned`] with a per-worker [`TxnScratch`].
 pub fn run_txn(
     view: &mut dyn StorageView,
     registry: &ProcedureRegistry,
     policy: &ExecPolicy,
     sig: &TxnSignature,
 ) -> ExecutedTxn {
-    let (mut trace, outcome, undo_records) = registry.execute(sig, view);
+    run_txn_planned(
+        view,
+        registry,
+        policy,
+        sig,
+        None,
+        &mut TxnScratch::default(),
+    )
+}
+
+/// Execute one transaction against a storage view, applying the policy's
+/// trace accounting. This is the single per-transaction code path shared by
+/// the serial and parallel executors (and by the GPU strategies' serial TPL
+/// loop), so every path produces identical traces and outcomes.
+///
+/// `plan` carries the bulk's pre-resolved index lookups (the gather step);
+/// `scratch` is the per-worker buffer pool that keeps undo-log allocations
+/// off the per-transaction path.
+pub fn run_txn_planned(
+    view: &mut dyn StorageView,
+    registry: &ProcedureRegistry,
+    policy: &ExecPolicy,
+    sig: &TxnSignature,
+    plan: Option<&AccessPlan>,
+    scratch: &mut TxnScratch,
+) -> ExecutedTxn {
+    let (mut trace, outcome, undo_records) = registry.execute_planned(sig, view, plan, scratch);
     let def = registry.get(sig.ty);
     if policy.undo_logging && !def.two_phase && undo_records > 0 {
         // Writing the undo log into device memory: old value + item id per record.
@@ -130,12 +156,16 @@ pub fn run_txn(
 pub trait Executor: std::fmt::Debug + Send + Sync {
     /// Execute disjoint groups; within a group, transactions run serially in
     /// the order given. Returns one result vector per group, in group order.
+    ///
+    /// `plan` carries the bulk's pre-resolved index lookups (`None` executes
+    /// with live probes — bit-identical, just slower).
     fn run_groups(
         &self,
         db: &mut Database,
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         groups: &[Vec<&TxnSignature>],
+        plan: Option<&AccessPlan>,
     ) -> Result<Vec<Vec<ExecutedTxn>>, ExecError>;
 
     /// Execute a pairwise conflict-free set; results come back in input
@@ -146,10 +176,11 @@ pub trait Executor: std::fmt::Debug + Send + Sync {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         txns: &[&TxnSignature],
+        plan: Option<&AccessPlan>,
     ) -> Result<Vec<ExecutedTxn>, ExecError> {
         let groups: Vec<Vec<&TxnSignature>> = txns.iter().map(|sig| vec![*sig]).collect();
         Ok(self
-            .run_groups(db, registry, policy, &groups)?
+            .run_groups(db, registry, policy, &groups, plan)?
             .into_iter()
             .flatten()
             .collect())
@@ -168,13 +199,15 @@ impl Executor for SerialExecutor {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         groups: &[Vec<&TxnSignature>],
+        plan: Option<&AccessPlan>,
     ) -> Result<Vec<Vec<ExecutedTxn>>, ExecError> {
+        let mut scratch = TxnScratch::default();
         Ok(groups
             .iter()
             .map(|group| {
                 group
                     .iter()
-                    .map(|sig| run_txn(db, registry, policy, sig))
+                    .map(|sig| run_txn_planned(db, registry, policy, sig, plan, &mut scratch))
                     .collect()
             })
             .collect())
@@ -186,10 +219,12 @@ impl Executor for SerialExecutor {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         txns: &[&TxnSignature],
+        plan: Option<&AccessPlan>,
     ) -> Result<Vec<ExecutedTxn>, ExecError> {
+        let mut scratch = TxnScratch::default();
         Ok(txns
             .iter()
-            .map(|sig| run_txn(db, registry, policy, sig))
+            .map(|sig| run_txn_planned(db, registry, policy, sig, plan, &mut scratch))
             .collect())
     }
 }
@@ -284,7 +319,7 @@ mod tests {
             .map(|p| sigs.iter().filter(|s| s.id % 4 == p).collect())
             .collect();
         let out = SerialExecutor
-            .run_groups(&mut db, &reg, &ExecPolicy::functional(), &groups)
+            .run_groups(&mut db, &reg, &ExecPolicy::functional(), &groups, None)
             .expect("serial execution is infallible");
         assert_eq!(out.len(), 4);
         assert!(out.iter().all(|g| g.len() == 2));
@@ -313,7 +348,7 @@ mod tests {
         ];
         let refs: Vec<&TxnSignature> = sigs.iter().collect();
         let out = built
-            .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs)
+            .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs, None)
             .expect("no procedure panics");
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].id, 0);

@@ -58,7 +58,8 @@ pub mod parallel;
 pub mod pipeline;
 
 pub use executor::{
-    run_txn, ExecError, ExecPolicy, ExecutedTxn, Executor, ExecutorChoice, SerialExecutor,
+    run_txn, run_txn_planned, ExecError, ExecPolicy, ExecutedTxn, Executor, ExecutorChoice,
+    SerialExecutor,
 };
 pub use parallel::ParallelExecutor;
 pub use pipeline::{

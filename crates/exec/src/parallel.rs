@@ -10,9 +10,11 @@
 //! touch pairwise-disjoint data items, the merged state is bit-identical to
 //! serial execution regardless of thread count.
 
-use crate::executor::{run_txn, ExecError, ExecPolicy, ExecutedTxn, Executor, SerialExecutor};
+use crate::executor::{
+    run_txn_planned, ExecError, ExecPolicy, ExecutedTxn, Executor, SerialExecutor,
+};
 use gputx_storage::{Database, ShardDelta, ShardView};
-use gputx_txn::{ProcedureRegistry, TxnSignature};
+use gputx_txn::{AccessPlan, ProcedureRegistry, TxnScratch, TxnSignature};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
@@ -61,10 +63,17 @@ fn collect_shards<T>(results: Vec<(usize, Result<T, String>)>) -> Result<Vec<T>,
 }
 
 /// Multi-threaded executor over sharded storage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The executor owns a pool of [`ShardDelta`]s reused across bulks: the
+/// overlay maps and dense slot buffers keep their capacity, so a pipelined
+/// engine that executes thousands of bulks through one executor stops paying
+/// allocation and rehash cost per bulk.
+#[derive(Debug)]
 pub struct ParallelExecutor {
     threads: usize,
     min_parallel_txns: usize,
+    /// Recycled (empty, capacity-retaining) shard deltas.
+    delta_pool: Mutex<Vec<ShardDelta>>,
 }
 
 impl ParallelExecutor {
@@ -84,6 +93,32 @@ impl ParallelExecutor {
             // it saves; tiny sets run inline on the calling thread (which is
             // bit-identical anyway).
             min_parallel_txns: 2 * threads,
+            delta_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take `n` empty deltas from the pool, topping up with fresh ones.
+    fn take_deltas(&self, n: usize) -> Vec<ShardDelta> {
+        let mut pool = self.delta_pool.lock().expect("delta pool poisoned");
+        let mut deltas: Vec<ShardDelta> = Vec::with_capacity(n);
+        while deltas.len() < n {
+            deltas.push(pool.pop().unwrap_or_default());
+        }
+        deltas
+    }
+
+    /// Return deltas to the pool for the next bulk. Drained (merged) deltas
+    /// go back as-is so their buffers — including the per-table insert
+    /// vectors `merge_into` deliberately leaves in place — keep their
+    /// capacity; only non-empty deltas (a failed bulk's partial writes) are
+    /// cleared first.
+    fn recycle_deltas(&self, deltas: impl IntoIterator<Item = ShardDelta>) {
+        let mut pool = self.delta_pool.lock().expect("delta pool poisoned");
+        for mut delta in deltas {
+            if !delta.is_empty() {
+                delta.clear();
+            }
+            pool.push(delta);
         }
     }
 
@@ -131,17 +166,20 @@ impl Executor for ParallelExecutor {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         groups: &[Vec<&TxnSignature>],
+        plan: Option<&AccessPlan>,
     ) -> Result<Vec<Vec<ExecutedTxn>>, ExecError> {
         let total: usize = groups.iter().map(Vec::len).sum();
         if self.threads <= 1 || groups.len() <= 1 || total < self.min_parallel_txns {
-            return catch_inline(|| SerialExecutor.run_groups(db, registry, policy, groups));
+            return catch_inline(|| SerialExecutor.run_groups(db, registry, policy, groups, plan));
         }
         let n_shards = self.threads.min(groups.len());
         let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
         let assignment = Self::assign_shards(&sizes, n_shards);
 
-        let shards: Vec<Mutex<ShardDelta>> = (0..n_shards)
-            .map(|_| Mutex::new(ShardDelta::new()))
+        let shards: Vec<Mutex<ShardDelta>> = self
+            .take_deltas(n_shards)
+            .into_iter()
+            .map(Mutex::new)
             .collect();
         let mut shard_results: Vec<(usize, Result<ShardGroups, String>)> =
             Vec::with_capacity(n_shards);
@@ -161,12 +199,22 @@ impl Executor for ParallelExecutor {
                             catch_unwind(AssertUnwindSafe(|| {
                                 let mut delta = shards[s].lock().expect("shard mutex poisoned");
                                 let mut view = ShardView::new(base, &mut delta);
+                                let mut scratch = TxnScratch::default();
                                 group_ids
                                     .iter()
                                     .map(|&g| {
                                         let executed = groups[g]
                                             .iter()
-                                            .map(|sig| run_txn(&mut view, registry, policy, sig))
+                                            .map(|sig| {
+                                                run_txn_planned(
+                                                    &mut view,
+                                                    registry,
+                                                    policy,
+                                                    sig,
+                                                    plan,
+                                                    &mut scratch,
+                                                )
+                                            })
                                             .collect();
                                         (g, executed)
                                     })
@@ -184,15 +232,31 @@ impl Executor for ParallelExecutor {
                 }
             });
         }
-        let shard_results = collect_shards(shard_results)?;
+        // A panicking worker poisons its shard mutex while unwinding to the
+        // catch; the poison is benign here — a failed bulk's delta is never
+        // merged, only cleared and recycled — so recover the data either way.
+        let deltas: Vec<ShardDelta> = shards
+            .into_iter()
+            .map(|shard| shard.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        let shard_results = match collect_shards(shard_results) {
+            Ok(results) => results,
+            Err(e) => {
+                // Failed bulk: nothing is merged; the (cleared) deltas still
+                // go back to the pool.
+                self.recycle_deltas(deltas);
+                return Err(e);
+            }
+        };
         // Commit-order merge: ascending shard index. Reached only when every
         // shard succeeded, so a failed bulk leaves the base database intact.
-        for shard in shards {
-            shard
-                .into_inner()
-                .expect("shard mutex poisoned")
-                .merge_into(db);
+        // The merge drains each delta, which then returns to the pool with
+        // its capacity intact.
+        let mut deltas = deltas;
+        for delta in &mut deltas {
+            delta.merge_into(db);
         }
+        self.recycle_deltas(deltas);
         // Reassemble results in group order.
         let mut out: Vec<Option<Vec<ExecutedTxn>>> = groups.iter().map(|_| None).collect();
         for results in shard_results {
@@ -212,16 +276,21 @@ impl Executor for ParallelExecutor {
         registry: &ProcedureRegistry,
         policy: &ExecPolicy,
         txns: &[&TxnSignature],
+        plan: Option<&AccessPlan>,
     ) -> Result<Vec<ExecutedTxn>, ExecError> {
         if self.threads <= 1 || txns.len() < self.min_parallel_txns {
-            return catch_inline(|| SerialExecutor.run_conflict_free(db, registry, policy, txns));
+            return catch_inline(|| {
+                SerialExecutor.run_conflict_free(db, registry, policy, txns, plan)
+            });
         }
         // Conflict-free transactions are all independent: contiguous chunks
         // keep the result in input order with no reassembly step.
         let n_shards = self.threads.min(txns.len());
         let chunk_len = txns.len().div_ceil(n_shards);
-        let shards: Vec<Mutex<ShardDelta>> = (0..n_shards)
-            .map(|_| Mutex::new(ShardDelta::new()))
+        let shards: Vec<Mutex<ShardDelta>> = self
+            .take_deltas(n_shards)
+            .into_iter()
+            .map(Mutex::new)
             .collect();
         let mut shard_results: Vec<(usize, Result<Vec<ExecutedTxn>, String>)> =
             Vec::with_capacity(n_shards);
@@ -237,9 +306,19 @@ impl Executor for ParallelExecutor {
                             catch_unwind(AssertUnwindSafe(|| {
                                 let mut delta = shards[s].lock().expect("shard mutex poisoned");
                                 let mut view = ShardView::new(base, &mut delta);
+                                let mut scratch = TxnScratch::default();
                                 chunk
                                     .iter()
-                                    .map(|sig| run_txn(&mut view, registry, policy, sig))
+                                    .map(|sig| {
+                                        run_txn_planned(
+                                            &mut view,
+                                            registry,
+                                            policy,
+                                            sig,
+                                            plan,
+                                            &mut scratch,
+                                        )
+                                    })
                                     .collect::<Vec<_>>()
                             }))
                             .map_err(panic_message)
@@ -254,13 +333,25 @@ impl Executor for ParallelExecutor {
                 }
             });
         }
-        let chunks = collect_shards(shard_results)?;
-        for shard in shards {
-            shard
-                .into_inner()
-                .expect("shard mutex poisoned")
-                .merge_into(db);
+        // A panicking worker poisons its shard mutex while unwinding to the
+        // catch; the poison is benign here — a failed bulk's delta is never
+        // merged, only cleared and recycled — so recover the data either way.
+        let deltas: Vec<ShardDelta> = shards
+            .into_iter()
+            .map(|shard| shard.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        let chunks = match collect_shards(shard_results) {
+            Ok(results) => results,
+            Err(e) => {
+                self.recycle_deltas(deltas);
+                return Err(e);
+            }
+        };
+        let mut deltas = deltas;
+        for delta in &mut deltas {
+            delta.merge_into(db);
         }
+        self.recycle_deltas(deltas);
         Ok(chunks.into_iter().flatten().collect())
     }
 }
@@ -336,13 +427,13 @@ mod tests {
         let policy = ExecPolicy::gpu(true);
         let mut serial_db = db0.clone();
         let serial = SerialExecutor
-            .run_conflict_free(&mut serial_db, &reg, &policy, &refs)
+            .run_conflict_free(&mut serial_db, &reg, &policy, &refs, None)
             .unwrap();
         for threads in [1, 2, 4, 8] {
             let mut db = db0.clone();
             let exec = ParallelExecutor::new(threads).with_min_parallel_txns(2);
             let parallel = exec
-                .run_conflict_free(&mut db, &reg, &policy, &refs)
+                .run_conflict_free(&mut db, &reg, &policy, &refs, None)
                 .unwrap();
             assert!(db == serial_db, "{threads} threads: final state must match");
             assert_eq!(parallel.len(), serial.len());
@@ -372,11 +463,13 @@ mod tests {
         let mut serial_db = db0.clone();
         let policy = ExecPolicy::functional();
         SerialExecutor
-            .run_groups(&mut serial_db, &reg, &policy, &groups)
+            .run_groups(&mut serial_db, &reg, &policy, &groups, None)
             .unwrap();
         let mut db = db0.clone();
         let exec = ParallelExecutor::new(4).with_min_parallel_txns(2);
-        let out = exec.run_groups(&mut db, &reg, &policy, &groups).unwrap();
+        let out = exec
+            .run_groups(&mut db, &reg, &policy, &groups, None)
+            .unwrap();
         assert!(db == serial_db);
         assert_eq!(out.len(), 8);
         assert!(out.iter().all(|g| g.len() == 16));
@@ -392,7 +485,7 @@ mod tests {
         let refs: Vec<&TxnSignature> = sigs.iter().collect();
         let exec = ParallelExecutor::new(8);
         let out = exec
-            .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs)
+            .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs, None)
             .unwrap();
         assert_eq!(out.len(), 3);
     }
@@ -433,7 +526,7 @@ mod tests {
             // Two rounds: the error is deterministic run-to-run.
             let mut db = db0.clone();
             let err = exec
-                .run_groups(&mut db, &reg, &ExecPolicy::functional(), &groups)
+                .run_groups(&mut db, &reg, &ExecPolicy::functional(), &groups, None)
                 .expect_err("the exploding procedure must fail the bulk");
             let ExecError::WorkerPanicked { message, .. } = &err;
             assert!(message.contains("row 37"), "got {err}");
@@ -441,7 +534,7 @@ mod tests {
 
             let mut db = db0.clone();
             let err = exec
-                .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs)
+                .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &refs, None)
                 .expect_err("conflict-free path must fail too");
             assert!(matches!(err, ExecError::WorkerPanicked { .. }));
             assert!(db == db0);
@@ -454,12 +547,12 @@ mod tests {
         let tiny_refs: Vec<&TxnSignature> = tiny.iter().collect();
         let mut db = db0.clone();
         let err = exec
-            .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &tiny_refs)
+            .run_conflict_free(&mut db, &reg, &ExecPolicy::functional(), &tiny_refs, None)
             .expect_err("inline fallback must report the typed error too");
         assert!(matches!(err, ExecError::WorkerPanicked { .. }));
         let tiny_groups = vec![tiny_refs.clone()];
         let err = exec
-            .run_groups(&mut db, &reg, &ExecPolicy::functional(), &tiny_groups)
+            .run_groups(&mut db, &reg, &ExecPolicy::functional(), &tiny_groups, None)
             .expect_err("single-group fallback must report the typed error too");
         assert!(matches!(err, ExecError::WorkerPanicked { .. }));
     }

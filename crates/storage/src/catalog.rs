@@ -12,6 +12,34 @@ use std::collections::HashMap;
 /// Identifier of a table within a [`Database`].
 pub type TableId = u32;
 
+/// Interned handle of one index of one table.
+///
+/// Index names are resolved to positions exactly once — at
+/// [`Database::create_index`] time (which returns the handle) or via
+/// [`Database::index_id`] — so the per-lookup hot path never compares index
+/// names again. Handle-based lookups ([`Database::lookup_unique_id`],
+/// [`Database::lookup_id`]) go straight to the index's hash table.
+///
+/// A handle is only meaningful for the database (or clones of the database)
+/// it was resolved against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IndexId {
+    table: TableId,
+    pos: u32,
+}
+
+impl IndexId {
+    /// The table the index belongs to.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// Position of the index within its table's index list.
+    pub fn position(&self) -> usize {
+        self.pos as usize
+    }
+}
+
 /// An in-memory database: a set of tables plus their indexes.
 ///
 /// The database is `Clone` so tests can snapshot it, execute a bulk with one
@@ -88,17 +116,33 @@ impl Database {
         self.table(id)
     }
 
-    /// Create a hash index on a table; returns the index position for that table.
+    /// Create a hash index on a table; returns its interned [`IndexId`]
+    /// handle (resolve once, probe by handle forever after).
     pub fn create_index(
         &mut self,
         table: TableId,
         name: impl Into<String>,
         columns: Vec<usize>,
         unique: bool,
-    ) -> usize {
+    ) -> IndexId {
         let idx = HashIndex::new(name, columns, unique);
         self.indexes[table as usize].push(idx);
-        self.indexes[table as usize].len() - 1
+        IndexId {
+            table,
+            pos: (self.indexes[table as usize].len() - 1) as u32,
+        }
+    }
+
+    /// Resolve an index name to its interned [`IndexId`] handle. This is the
+    /// one remaining name comparison; do it once at setup, not per lookup.
+    pub fn index_id(&self, table: TableId, name: &str) -> Option<IndexId> {
+        self.indexes[table as usize]
+            .iter()
+            .position(|i| i.name == name)
+            .map(|pos| IndexId {
+                table,
+                pos: pos as u32,
+            })
     }
 
     /// Access an index by table and name.
@@ -113,6 +157,22 @@ impl Database {
             .find(|i| i.name == name)
     }
 
+    /// Access an index by its interned handle (no name comparison).
+    pub fn index_by_id(&self, id: IndexId) -> &HashIndex {
+        &self.indexes[id.table as usize][id.pos as usize]
+    }
+
+    /// Look up a single row through a unique index by handle.
+    pub fn lookup_unique_id(&self, id: IndexId, key: &IndexKey) -> Option<RowId> {
+        self.index_by_id(id).get_unique(key)
+    }
+
+    /// Look up all rows matching a key through an index by handle. Returns a
+    /// borrowed slice — no per-lookup allocation.
+    pub fn lookup_id(&self, id: IndexId, key: &IndexKey) -> &[RowId] {
+        self.index_by_id(id).get(key)
+    }
+
     /// Insert a row and update every index of the table. Returns the row id.
     pub fn insert_indexed(&mut self, table: TableId, row: Vec<Value>) -> RowId {
         let row_id = self.tables[table as usize].insert(row.clone());
@@ -124,13 +184,17 @@ impl Database {
         row_id
     }
 
-    /// Look up a single row through a unique index.
+    /// Look up a single row through a unique index, resolving the index by
+    /// name. Prefer resolving an [`IndexId`] once and calling
+    /// [`Database::lookup_unique_id`] on the hot path.
     pub fn lookup_unique(&self, table: TableId, index_name: &str, key: &IndexKey) -> Option<RowId> {
         self.index(table, index_name)
             .and_then(|idx| idx.get_unique(key))
     }
 
-    /// Look up all rows matching a key through a (possibly non-unique) index.
+    /// Look up all rows matching a key through a (possibly non-unique) index,
+    /// resolving the index by name. Prefer [`Database::lookup_id`] on the hot
+    /// path — it also avoids the per-lookup `Vec` allocation.
     pub fn lookup(&self, table: TableId, index_name: &str, key: &IndexKey) -> Vec<RowId> {
         self.index(table, index_name)
             .map(|idx| idx.get(key).to_vec())

@@ -19,13 +19,91 @@ pub enum ColumnData {
     /// Fixed-length 64-bit doubles.
     Double(Vec<f64>),
     /// Variable-length strings: per-row `(offset, len)` descriptors plus a
-    /// shared byte heap.
-    Str {
-        /// Per-row descriptors into `heap`.
-        slots: Vec<(u64, u32)>,
-        /// Concatenated string bytes.
-        heap: Vec<u8>,
-    },
+    /// shared byte heap (see [`StrColumn`]).
+    Str(StrColumn),
+}
+
+/// Variable-length string column storage: per-row `(offset, len)` descriptors
+/// into a shared, append-only byte heap.
+///
+/// The fields are private on purpose: the only writers (the crate-internal
+/// `push`/`set` used by [`ColumnData`]) copy bytes out of a `&str`, so every
+/// live slot is guaranteed to span valid UTF-8. That invariant lets [`StrColumn::get`]
+/// skip UTF-8 re-validation on the hot read path (validation happens once, at
+/// write time, for free via the type system).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StrColumn {
+    /// Per-row descriptors into `heap`.
+    slots: Vec<(u64, u32)>,
+    /// Concatenated string bytes.
+    heap: Vec<u8>,
+}
+
+// Deliberately NOT derived: a derived `Deserialize` would construct
+// slots/heap from arbitrary bytes, bypassing the UTF-8 invariant
+// `StrColumn::get` relies on. These manual impls satisfy the vendored
+// marker-trait shims; swapping in the real serde will fail to compile here,
+// forcing whoever does the swap to write a *validating* `Deserialize`
+// (and a real `Serialize`) instead of silently inheriting the hole.
+impl Serialize for StrColumn {}
+impl<'de> Deserialize<'de> for StrColumn {}
+
+impl StrColumn {
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Append one string (NULL is stored as the empty slot `(0, 0)`).
+    fn push(&mut self, value: &str) {
+        let offset = self.heap.len() as u64;
+        self.heap.extend_from_slice(value.as_bytes());
+        self.slots.push((offset, value.len() as u32));
+    }
+
+    fn push_null(&mut self) {
+        self.slots.push((0, 0));
+    }
+
+    /// Overwrite one row: the new value is appended to the heap and the
+    /// descriptor re-pointed (the old bytes become garbage until a rebuild),
+    /// which is how an append-only device heap behaves.
+    fn set(&mut self, row: usize, value: &str) {
+        let offset = self.heap.len() as u64;
+        self.heap.extend_from_slice(value.as_bytes());
+        self.slots[row] = (offset, value.len() as u32);
+    }
+
+    /// Read one row without re-validating UTF-8.
+    ///
+    /// UTF-8 validity is established once, at write time: the only writers of
+    /// the private heap copy bytes out of a `&str`, which the type system
+    /// already guarantees is valid UTF-8, so re-validating on every read (as
+    /// `from_utf8_lossy` used to) is pure waste on the hot read path. A debug
+    /// assertion keeps the invariant checked in test builds.
+    #[allow(unsafe_code)]
+    pub fn get(&self, row: usize) -> String {
+        let (offset, len) = self.slots[row];
+        let bytes = &self.heap[offset as usize..offset as usize + len as usize];
+        debug_assert!(
+            std::str::from_utf8(bytes).is_ok(),
+            "string heap slot must hold valid UTF-8 (validated at write time)"
+        );
+        // SAFETY: `bytes` was copied verbatim from a `&str` when the slot was
+        // written (the fields are private and the heap is append-only; slots
+        // only ever point at such spans), so it is valid UTF-8.
+        unsafe { std::str::from_utf8_unchecked(bytes) }.to_owned()
+    }
+
+    /// Bytes used by this column (descriptors + heap).
+    pub fn bytes(&self) -> u64 {
+        8 * self.slots.len() as u64 + self.heap.len() as u64
+    }
 }
 
 impl ColumnData {
@@ -34,10 +112,7 @@ impl ColumnData {
         match data_type {
             DataType::Int => ColumnData::Int(Vec::new()),
             DataType::Double => ColumnData::Double(Vec::new()),
-            DataType::Str => ColumnData::Str {
-                slots: Vec::new(),
-                heap: Vec::new(),
-            },
+            DataType::Str => ColumnData::Str(StrColumn::default()),
         }
     }
 
@@ -46,7 +121,7 @@ impl ColumnData {
         match self {
             ColumnData::Int(v) => v.len(),
             ColumnData::Double(v) => v.len(),
-            ColumnData::Str { slots, .. } => slots.len(),
+            ColumnData::Str(col) => col.len(),
         }
     }
 
@@ -63,12 +138,8 @@ impl ColumnData {
             (ColumnData::Double(v), Value::Double(x)) => v.push(*x),
             (ColumnData::Double(v), Value::Int(x)) => v.push(*x as f64),
             (ColumnData::Double(v), Value::Null) => v.push(0.0),
-            (ColumnData::Str { slots, heap }, Value::Str(s)) => {
-                let offset = heap.len() as u64;
-                heap.extend_from_slice(s.as_bytes());
-                slots.push((offset, s.len() as u32));
-            }
-            (ColumnData::Str { slots, .. }, Value::Null) => slots.push((0, 0)),
+            (ColumnData::Str(col), Value::Str(s)) => col.push(s),
+            (ColumnData::Str(col), Value::Null) => col.push_null(),
             (col, v) => panic!("type mismatch storing {v:?} into {col:?}"),
         }
     }
@@ -78,11 +149,50 @@ impl ColumnData {
         match self {
             ColumnData::Int(v) => Value::Int(v[row]),
             ColumnData::Double(v) => Value::Double(v[row]),
-            ColumnData::Str { slots, heap } => {
-                let (offset, len) = slots[row];
-                let bytes = &heap[offset as usize..offset as usize + len as usize];
-                Value::Str(String::from_utf8_lossy(bytes).into_owned())
-            }
+            ColumnData::Str(col) => Value::Str(col.get(row)),
+        }
+    }
+
+    /// Read the value at `row` as an `i64` without materializing a [`Value`].
+    /// Panics on non-integer columns, mirroring [`Value::as_int`].
+    #[inline]
+    pub fn get_i64(&self, row: usize) -> i64 {
+        match self {
+            ColumnData::Int(v) => v[row],
+            col => panic!("expected Int column, found {col:?}"),
+        }
+    }
+
+    /// Read the value at `row` as an `f64` without materializing a [`Value`].
+    /// Integer columns widen, mirroring [`Value::as_double`].
+    #[inline]
+    pub fn get_f64(&self, row: usize) -> f64 {
+        match self {
+            ColumnData::Double(v) => v[row],
+            ColumnData::Int(v) => v[row] as f64,
+            col => panic!("expected Double column, found {col:?}"),
+        }
+    }
+
+    /// Overwrite the value at `row` with an `i64` without materializing a
+    /// [`Value`]. Double columns widen, exactly like storing a `Value::Int`.
+    #[inline]
+    pub fn set_i64(&mut self, row: usize, value: i64) {
+        match self {
+            ColumnData::Int(v) => v[row] = value,
+            ColumnData::Double(v) => v[row] = value as f64,
+            col => panic!("type mismatch storing Int({value}) into {col:?}"),
+        }
+    }
+
+    /// Overwrite the value at `row` with an `f64` without materializing a
+    /// [`Value`]. Panics on non-double columns, exactly like storing a
+    /// `Value::Double`.
+    #[inline]
+    pub fn set_f64(&mut self, row: usize, value: f64) {
+        match self {
+            ColumnData::Double(v) => v[row] = value,
+            col => panic!("type mismatch storing Double({value}) into {col:?}"),
         }
     }
 
@@ -96,11 +206,7 @@ impl ColumnData {
             (ColumnData::Int(v), Value::Int(x)) => v[row] = *x,
             (ColumnData::Double(v), Value::Double(x)) => v[row] = *x,
             (ColumnData::Double(v), Value::Int(x)) => v[row] = *x as f64,
-            (ColumnData::Str { slots, heap }, Value::Str(s)) => {
-                let offset = heap.len() as u64;
-                heap.extend_from_slice(s.as_bytes());
-                slots[row] = (offset, s.len() as u32);
-            }
+            (ColumnData::Str(col), Value::Str(s)) => col.set(row, s),
             (col, v) => panic!("type mismatch storing {v:?} into {col:?}"),
         }
     }
@@ -110,7 +216,7 @@ impl ColumnData {
         match self {
             ColumnData::Int(v) => 8 * v.len() as u64,
             ColumnData::Double(v) => 8 * v.len() as u64,
-            ColumnData::Str { slots, heap } => 8 * slots.len() as u64 + heap.len() as u64,
+            ColumnData::Str(col) => col.bytes(),
         }
     }
 }
@@ -152,6 +258,31 @@ impl ColumnStore {
     /// Read one field.
     pub fn get(&self, row: usize, col: usize) -> Value {
         self.columns[col].get(row)
+    }
+
+    /// Read one integer field straight off the column array.
+    #[inline]
+    pub fn get_i64(&self, row: usize, col: usize) -> i64 {
+        self.columns[col].get_i64(row)
+    }
+
+    /// Read one double field straight off the column array (integer columns
+    /// widen, mirroring [`Value::as_double`]).
+    #[inline]
+    pub fn get_f64(&self, row: usize, col: usize) -> f64 {
+        self.columns[col].get_f64(row)
+    }
+
+    /// Write one integer field straight into the column array.
+    #[inline]
+    pub fn set_i64(&mut self, row: usize, col: usize, value: i64) {
+        self.columns[col].set_i64(row, value);
+    }
+
+    /// Write one double field straight into the column array.
+    #[inline]
+    pub fn set_f64(&mut self, row: usize, col: usize, value: f64) {
+        self.columns[col].set_f64(row, value);
     }
 
     /// Write one field.

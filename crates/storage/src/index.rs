@@ -51,7 +51,7 @@ impl std::fmt::Display for DuplicateKey {
 impl std::error::Error for DuplicateKey {}
 
 /// A hash index over one table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HashIndex {
     /// Name of the index.
     pub name: String,
@@ -60,6 +60,23 @@ pub struct HashIndex {
     /// Whether keys are unique.
     pub unique: bool,
     entries: HashMap<IndexKey, Vec<RowId>>,
+    /// Bumped on every mutation. Access plans record the version they were
+    /// resolved against so stale pre-resolved lookups can be detected and
+    /// re-probed (see `gputx_txn::access`).
+    version: u64,
+}
+
+/// Two indexes are equal when they index the same columns the same way and
+/// hold the same entries; the mutation counter is bookkeeping, not state, so
+/// it is excluded (snapshot-equality tests compare databases that arrived at
+/// the same entries along different histories).
+impl PartialEq for HashIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.columns == other.columns
+            && self.unique == other.unique
+            && self.entries == other.entries
+    }
 }
 
 impl HashIndex {
@@ -70,7 +87,15 @@ impl HashIndex {
             columns,
             unique,
             entries: HashMap::new(),
+            version: 0,
         }
+    }
+
+    /// Mutation counter: incremented by every [`HashIndex::insert`] and
+    /// successful [`HashIndex::remove`]. Used to revalidate pre-resolved
+    /// access plans.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Build the key for a full row according to the indexed columns.
@@ -85,6 +110,7 @@ impl HashIndex {
             return Err(DuplicateKey(key));
         }
         rows.push(row);
+        self.version += 1;
         Ok(())
     }
 
@@ -106,6 +132,7 @@ impl HashIndex {
                 if rows.is_empty() {
                     self.entries.remove(key);
                 }
+                self.version += 1;
                 return true;
             }
         }

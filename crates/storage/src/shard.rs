@@ -12,7 +12,14 @@
 //! What a delta records mirrors exactly what serial execution would have done
 //! to the database:
 //!
-//! * field updates — last value per `(table, row, column)`;
+//! * field updates — a *dense slot buffer*: one typed cell per distinct
+//!   `(table, row, column)` written, in first-write order. A field's slot is
+//!   assigned the first time the executing transaction's plan scatters to it;
+//!   later writes overwrite the cell in place and reads hit the cell without
+//!   materializing a [`Value`]. A small field→slot map exists only to find
+//!   the assigned position; the values themselves live in the flat buffer,
+//!   so the merge is a linear scatter over typed cells rather than a hash-map
+//!   walk over boxed values;
 //! * buffered inserts — per table, in execution order, tagged with the
 //!   inserting transaction's id (the batched update of §3.2 later sorts all
 //!   buffered rows by tag, so the interleaving across shards is irrelevant as
@@ -25,6 +32,11 @@
 //! shard) and fall back to the base. Index lookups always resolve against the
 //! base — identical to the serial path, where indexes are only updated after
 //! the bulk by [`Database::apply_insert_buffers`].
+//!
+//! Deltas are designed to be *pooled*: [`ShardDelta::merge_into`] drains the
+//! buffers instead of consuming the delta, and [`ShardDelta::clear`] resets
+//! one for reuse, so a long-running executor (the streaming pipeline) stops
+//! paying allocation and rehash cost on every bulk.
 
 use crate::catalog::{Database, TableId};
 use crate::table::RowId;
@@ -82,14 +94,80 @@ impl Hasher for FxHasher {
     }
 }
 
-type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashMap` keyed with [`FxHasher`] — exported for other crates that index
+/// by small integer tuples on a hot path (e.g. access-plan spans).
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// One buffered field value. Scalars are stored unboxed so the common case
+/// (integer and double columns — every device-resident column in the bundled
+/// workloads) never clones a [`Value`]; strings and NULLs keep the general
+/// representation.
+#[derive(Debug, Clone, PartialEq)]
+enum Cell {
+    I64(i64),
+    F64(f64),
+    Val(Value),
+}
+
+impl Cell {
+    #[inline]
+    fn from_value(value: &Value) -> Cell {
+        match value {
+            Value::Int(v) => Cell::I64(*v),
+            Value::Double(v) => Cell::F64(*v),
+            other => Cell::Val(other.clone()),
+        }
+    }
+
+    #[inline]
+    fn to_value(&self) -> Value {
+        match self {
+            Cell::I64(v) => Value::Int(*v),
+            Cell::F64(v) => Value::Double(*v),
+            Cell::Val(v) => v.clone(),
+        }
+    }
+
+    /// Mirror of [`Value::as_int`].
+    #[inline]
+    fn as_i64(&self) -> i64 {
+        match self {
+            Cell::I64(v) => *v,
+            Cell::F64(v) => panic!("expected Int, found Double({v})"),
+            Cell::Val(v) => v.as_int(),
+        }
+    }
+
+    /// Mirror of [`Value::as_double`] (integers widen).
+    #[inline]
+    fn as_f64(&self) -> f64 {
+        match self {
+            Cell::F64(v) => *v,
+            Cell::I64(v) => *v as f64,
+            Cell::Val(v) => v.as_double(),
+        }
+    }
+}
+
+/// One dense-buffer slot: the field it scatters to plus its current value.
+#[derive(Debug, Clone, PartialEq)]
+struct SlotWrite {
+    table: TableId,
+    row: RowId,
+    col: u32,
+    cell: Cell,
+}
 
 /// The mutations one worker thread made while executing its share of a
 /// conflict-free transaction set.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShardDelta {
-    /// Last written value per field.
-    updates: FxHashMap<(TableId, RowId, u32), Value>,
+    /// Dense write buffer: one typed cell per distinct field, positions
+    /// assigned in first-write order (the order the executing transactions'
+    /// plans scatter their writes).
+    slots: Vec<SlotWrite>,
+    /// Field → assigned slot position.
+    index: FxHashMap<(TableId, RowId, u32), u32>,
     /// Buffered inserts per table, in execution order, tagged with the
     /// inserting transaction id.
     inserts: FxHashMap<TableId, Vec<(u64, Vec<Value>)>>,
@@ -103,14 +181,16 @@ impl ShardDelta {
         Self::default()
     }
 
-    /// True when the delta records no mutations.
+    /// True when the delta records no mutations. (A merged/reused delta may
+    /// retain empty per-table insert buffers for their capacity; those do not
+    /// count as mutations.)
     pub fn is_empty(&self) -> bool {
-        self.updates.is_empty() && self.inserts.is_empty() && self.deleted.is_empty()
+        self.slots.is_empty() && self.inserts.values().all(Vec::is_empty) && self.deleted.is_empty()
     }
 
     /// Number of distinct fields written.
     pub fn num_updates(&self) -> usize {
-        self.updates.len()
+        self.slots.len()
     }
 
     /// Number of rows waiting in the delta's insert buffers.
@@ -118,24 +198,70 @@ impl ShardDelta {
         self.inserts.values().map(Vec::len).sum()
     }
 
-    /// Apply the delta to the database. Field updates and delete flags are
-    /// idempotent last-writer values over disjoint keys, so the final
-    /// database state does not depend on the order shards are merged in; the
-    /// executor still merges in ascending shard index for a deterministic
-    /// merge schedule. Buffered inserts are appended to the tables' insert
-    /// buffers and pick up their final position when the engine applies the
-    /// buffers in tag (timestamp) order after the bulk.
-    pub fn merge_into(self, db: &mut Database) {
-        for ((table, row, col), value) in self.updates {
-            db.table_mut(table).set(row, col as usize, &value);
-        }
-        for (table, rows) in self.inserts {
-            for (tag, row) in rows {
-                // Validated when it entered the overlay (ShardView::buffer_insert).
-                db.table_mut(table).buffered_insert_prevalidated(tag, row);
+    /// Reset the delta for reuse, keeping allocated capacity (the executor
+    /// pools deltas across bulks).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.index.clear();
+        self.inserts.clear();
+        self.deleted.clear();
+    }
+
+    #[inline]
+    fn cell(&self, table: TableId, row: RowId, col: u32) -> Option<&Cell> {
+        self.index
+            .get(&(table, row, col))
+            .map(|&slot| &self.slots[slot as usize].cell)
+    }
+
+    #[inline]
+    fn write_cell(&mut self, table: TableId, row: RowId, col: u32, cell: Cell) {
+        match self.index.entry((table, row, col)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.slots[*e.get() as usize].cell = cell;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.slots.len() as u32);
+                self.slots.push(SlotWrite {
+                    table,
+                    row,
+                    col,
+                    cell,
+                });
             }
         }
-        for ((table, row), flag) in self.deleted {
+    }
+
+    /// Apply the delta to the database and drain it (the delta keeps its
+    /// capacity and can be reused for the next bulk). Field updates and
+    /// delete flags are idempotent last-writer values over disjoint keys, so
+    /// the final database state does not depend on the order shards are
+    /// merged in; the executor still merges in ascending shard index for a
+    /// deterministic merge schedule. The dense buffer scatters in slot
+    /// (first-write) order through the typed setters — no hash-map walk, no
+    /// [`Value`] round trip for scalars. Buffered inserts are appended to the
+    /// tables' insert buffers and pick up their final position when the
+    /// engine applies the buffers in tag (timestamp) order after the bulk.
+    pub fn merge_into(&mut self, db: &mut Database) {
+        for slot in self.slots.drain(..) {
+            let table = db.table_mut(slot.table);
+            match slot.cell {
+                Cell::I64(v) => table.set_i64(slot.row, slot.col as usize, v),
+                Cell::F64(v) => table.set_f64(slot.row, slot.col as usize, v),
+                Cell::Val(v) => table.set(slot.row, slot.col as usize, &v),
+            }
+        }
+        self.index.clear();
+        // Drain the per-table buffers but keep the (now empty) map entries:
+        // the next bulk of a pooled delta reuses their capacity instead of
+        // re-allocating per table.
+        for (table, rows) in self.inserts.iter_mut() {
+            for (tag, row) in rows.drain(..) {
+                // Validated when it entered the overlay (ShardView::buffer_insert).
+                db.table_mut(*table).buffered_insert_prevalidated(tag, row);
+            }
+        }
+        for ((table, row), flag) in self.deleted.drain() {
             if flag {
                 db.table_mut(table).delete(row);
             } else {
@@ -166,16 +292,39 @@ impl StorageView for ShardView<'_> {
     }
 
     fn get_field(&self, table: TableId, row: RowId, col: usize) -> Value {
-        match self.delta.updates.get(&(table, row, col as u32)) {
-            Some(v) => v.clone(),
+        match self.delta.cell(table, row, col as u32) {
+            Some(cell) => cell.to_value(),
             None => self.base.table(table).get(row, col),
         }
     }
 
     fn set_field(&mut self, table: TableId, row: RowId, col: usize, value: &Value) {
         self.delta
-            .updates
-            .insert((table, row, col as u32), value.clone());
+            .write_cell(table, row, col as u32, Cell::from_value(value));
+    }
+
+    fn get_i64(&self, table: TableId, row: RowId, col: usize) -> i64 {
+        match self.delta.cell(table, row, col as u32) {
+            Some(cell) => cell.as_i64(),
+            None => self.base.table(table).get_i64(row, col),
+        }
+    }
+
+    fn get_f64(&self, table: TableId, row: RowId, col: usize) -> f64 {
+        match self.delta.cell(table, row, col as u32) {
+            Some(cell) => cell.as_f64(),
+            None => self.base.table(table).get_f64(row, col),
+        }
+    }
+
+    fn set_i64(&mut self, table: TableId, row: RowId, col: usize, value: i64) {
+        self.delta
+            .write_cell(table, row, col as u32, Cell::I64(value));
+    }
+
+    fn set_f64(&mut self, table: TableId, row: RowId, col: usize, value: f64) {
+        self.delta
+            .write_cell(table, row, col as u32, Cell::F64(value));
     }
 
     fn buffer_insert(&mut self, table: TableId, tag: u64, row: Vec<Value>) {
@@ -254,6 +403,30 @@ mod tests {
     }
 
     #[test]
+    fn typed_accessors_round_trip_through_the_overlay() {
+        let (db, t) = db_with_rows(4);
+        let mut delta = ShardDelta::new();
+        {
+            let mut view = ShardView::new(&db, &mut delta);
+            assert_eq!(view.get_f64(t, 2, 1), 0.0, "falls back to base");
+            assert_eq!(view.get_i64(t, 2, 0), 2, "falls back to base");
+            view.set_f64(t, 2, 1, 7.5);
+            assert_eq!(view.get_f64(t, 2, 1), 7.5, "overlay cell visible");
+            assert_eq!(
+                view.get_field(t, 2, 1),
+                Value::Double(7.5),
+                "typed write visible through the Value path"
+            );
+            view.set_field(t, 3, 1, &Value::Double(1.25));
+            assert_eq!(view.get_f64(t, 3, 1), 1.25, "Value write visible typed");
+            // Repeated writes to the same field reuse the assigned slot.
+            view.set_f64(t, 2, 1, 9.0);
+            assert_eq!(view.get_f64(t, 2, 1), 9.0);
+        }
+        assert_eq!(delta.num_updates(), 2);
+    }
+
+    #[test]
     fn merge_matches_direct_mutation() {
         let (db0, t) = db_with_rows(4);
         // Direct (serial) mutation.
@@ -274,6 +447,24 @@ mod tests {
         }
         delta.merge_into(&mut sharded);
         assert!(sharded == serial, "merged shard must equal direct mutation");
+        assert!(delta.is_empty(), "merge drains the delta for reuse");
+    }
+
+    #[test]
+    fn cleared_delta_is_reusable() {
+        let (db0, t) = db_with_rows(4);
+        let mut delta = ShardDelta::new();
+        {
+            let mut view = ShardView::new(&db0, &mut delta);
+            view.set_f64(t, 0, 1, 3.0);
+            view.buffer_insert(t, 1, vec![Value::Int(9), Value::Double(0.0)]);
+            view.mark_deleted(t, 2);
+        }
+        delta.clear();
+        assert!(delta.is_empty());
+        let mut db = db0.clone();
+        delta.merge_into(&mut db);
+        assert!(db == db0, "cleared delta must merge as a no-op");
     }
 
     #[test]

@@ -158,6 +158,45 @@ impl Table {
         }
     }
 
+    /// Read one integer field without materializing a [`Value`]. The column
+    /// layout reads the flat array directly; the row layout falls back
+    /// through [`Value`] (it stores rows as value vectors anyway).
+    #[inline]
+    pub fn get_i64(&self, row: RowId, col: usize) -> i64 {
+        match &self.data {
+            TableData::Column(c) => c.get_i64(row as usize, col),
+            TableData::Row(r) => r.get(row as usize, col).as_int(),
+        }
+    }
+
+    /// Read one double field without materializing a [`Value`] (integer
+    /// fields widen, mirroring [`Value::as_double`]).
+    #[inline]
+    pub fn get_f64(&self, row: RowId, col: usize) -> f64 {
+        match &self.data {
+            TableData::Column(c) => c.get_f64(row as usize, col),
+            TableData::Row(r) => r.get(row as usize, col).as_double(),
+        }
+    }
+
+    /// Write one integer field without materializing a [`Value`].
+    #[inline]
+    pub fn set_i64(&mut self, row: RowId, col: usize, value: i64) {
+        match &mut self.data {
+            TableData::Column(c) => c.set_i64(row as usize, col, value),
+            TableData::Row(r) => r.set(row as usize, col, &Value::Int(value)),
+        }
+    }
+
+    /// Write one double field without materializing a [`Value`].
+    #[inline]
+    pub fn set_f64(&mut self, row: RowId, col: usize, value: f64) {
+        match &mut self.data {
+            TableData::Column(c) => c.set_f64(row as usize, col, value),
+            TableData::Row(r) => r.set(row as usize, col, &Value::Double(value)),
+        }
+    }
+
     /// Read a full row.
     pub fn get_row(&self, row: RowId) -> Vec<Value> {
         match &self.data {

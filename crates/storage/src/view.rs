@@ -36,6 +36,35 @@ pub trait StorageView {
     /// Write one field.
     fn set_field(&mut self, table: TableId, row: RowId, col: usize, value: &Value);
 
+    /// Read one integer field without materializing a [`Value`].
+    ///
+    /// The default implementation falls back to [`StorageView::get_field`];
+    /// [`Database`] and [`crate::shard::ShardView`] override it to read the
+    /// column arrays (or the typed overlay cells) directly — the
+    /// allocation-free fast path of the typed accessors.
+    fn get_i64(&self, table: TableId, row: RowId, col: usize) -> i64 {
+        self.get_field(table, row, col).as_int()
+    }
+
+    /// Read one double field without materializing a [`Value`] (integer
+    /// fields widen, mirroring [`Value::as_double`]). Default falls back to
+    /// [`StorageView::get_field`].
+    fn get_f64(&self, table: TableId, row: RowId, col: usize) -> f64 {
+        self.get_field(table, row, col).as_double()
+    }
+
+    /// Write one integer field without materializing a [`Value`]. Default
+    /// falls back to [`StorageView::set_field`].
+    fn set_i64(&mut self, table: TableId, row: RowId, col: usize, value: i64) {
+        self.set_field(table, row, col, &Value::Int(value));
+    }
+
+    /// Write one double field without materializing a [`Value`]. Default
+    /// falls back to [`StorageView::set_field`].
+    fn set_f64(&mut self, table: TableId, row: RowId, col: usize, value: f64) {
+        self.set_field(table, row, col, &Value::Double(value));
+    }
+
     /// Queue a row in the table's insert buffer, tagged with the inserting
     /// transaction's id (timestamp).
     fn buffer_insert(&mut self, table: TableId, tag: u64, row: Vec<Value>);
@@ -66,6 +95,22 @@ impl StorageView for Database {
 
     fn set_field(&mut self, table: TableId, row: RowId, col: usize, value: &Value) {
         self.table_mut(table).set(row, col, value);
+    }
+
+    fn get_i64(&self, table: TableId, row: RowId, col: usize) -> i64 {
+        self.table(table).get_i64(row, col)
+    }
+
+    fn get_f64(&self, table: TableId, row: RowId, col: usize) -> f64 {
+        self.table(table).get_f64(row, col)
+    }
+
+    fn set_i64(&mut self, table: TableId, row: RowId, col: usize, value: i64) {
+        self.table_mut(table).set_i64(row, col, value);
+    }
+
+    fn set_f64(&mut self, table: TableId, row: RowId, col: usize, value: f64) {
+        self.table_mut(table).set_f64(row, col, value);
     }
 
     fn buffer_insert(&mut self, table: TableId, tag: u64, row: Vec<Value>) {

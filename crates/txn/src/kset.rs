@@ -25,7 +25,7 @@
 //! pairwise conflict-free. The property tests in this module and the
 //! integration suite verify both facts against the graph-based computation.
 
-use crate::op::{dedup_strongest, BasicOp, OpKind};
+use crate::op::{dedup_strongest_into, BasicOp, OpKind};
 use crate::signature::TxnId;
 use gputx_sim::primitives::{radix_sort_pairs, segment_boundaries};
 use gputx_sim::{Gpu, SimDuration, ThreadTrace};
@@ -103,10 +103,13 @@ fn rank_group(group: &[(TxnId, OpKind)]) -> Vec<(TxnId, u32)> {
 
 /// Host-side reference implementation of the rank algorithm.
 pub fn rank_ksets(transactions: &[(TxnId, Vec<BasicOp>)]) -> KSetResult {
-    // Group deduplicated accesses by data item.
+    // Group deduplicated accesses by data item. The dedup scratch is reused
+    // across transactions instead of allocating a fresh Vec per transaction.
     let mut groups: HashMap<u64, Vec<(TxnId, OpKind)>> = HashMap::new();
+    let mut scratch: Vec<BasicOp> = Vec::new();
     for (id, ops) in transactions {
-        for op in dedup_strongest(ops) {
+        dedup_strongest_into(ops, &mut scratch);
+        for op in &scratch {
             groups
                 .entry(op.item.as_u64())
                 .or_default()
@@ -145,8 +148,10 @@ pub fn gpu_rank_ksets(gpu: &mut Gpu, transactions: &[(TxnId, Vec<BasicOp>)]) -> 
     let mut kinds: Vec<OpKind> = Vec::new();
     let mut dict: HashMap<u64, u64> = HashMap::new();
     let mut dict_rev: Vec<u64> = Vec::new();
+    let mut scratch: Vec<BasicOp> = Vec::new();
     for (id, ops) in transactions {
-        for op in dedup_strongest(ops) {
+        dedup_strongest_into(ops, &mut scratch);
+        for op in &scratch {
             let raw = op.item.as_u64();
             let dense = *dict.entry(raw).or_insert_with(|| {
                 dict_rev.push(raw);
@@ -241,6 +246,9 @@ pub struct IncrementalKSet {
     item_queues: HashMap<u64, Vec<(TxnId, OpKind)>>,
     /// Per pending transaction, its deduplicated accesses.
     txn_items: HashMap<TxnId, Vec<(u64, OpKind)>>,
+    /// Reusable dedup buffer: one allocation for the whole pool instead of
+    /// one per added transaction.
+    scratch: Vec<BasicOp>,
 }
 
 impl IncrementalKSet {
@@ -258,9 +266,10 @@ impl IncrementalKSet {
     /// Add a newly submitted transaction (merge its operations into the sorted
     /// per-item arrays).
     pub fn add_transaction(&mut self, id: TxnId, ops: &[BasicOp]) {
-        let merged = dedup_strongest(ops);
-        let mut items = Vec::with_capacity(merged.len());
-        for op in merged {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        dedup_strongest_into(ops, &mut scratch);
+        let mut items = Vec::with_capacity(scratch.len());
+        for op in &scratch {
             let queue = self.item_queues.entry(op.item.as_u64()).or_default();
             // Keep per-item queues sorted by id; submissions normally arrive in
             // id order so this is an append.
@@ -269,6 +278,7 @@ impl IncrementalKSet {
             items.push((op.item.as_u64(), op.kind));
         }
         self.txn_items.insert(id, items);
+        self.scratch = scratch;
     }
 
     /// Number of pending transactions.

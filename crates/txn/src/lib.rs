@@ -20,10 +20,14 @@
 //! * [`plan`] — off-thread bulk planning: the K-SET wave and PART
 //!   partition-group constructions as pure functions over signatures, so the
 //!   streaming pipeline can group bulk `N+1` while bulk `N` executes.
+//! * [`access`] — per-bulk access plans: every transaction's index keys are
+//!   resolved to dense row ids during grouping (the paper's gather step), so
+//!   procedure execution performs zero hash lookups on the execution thread.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod kset;
 pub mod op;
 pub mod plan;
@@ -32,10 +36,11 @@ pub mod procedure;
 pub mod signature;
 pub mod tdg;
 
+pub use access::{AccessPlan, PlanProbe};
 pub use kset::{IncrementalKSet, KSetResult};
 pub use op::{BasicOp, OpKind};
 pub use plan::{plan_kset_waves, plan_partition_groups, BulkPlan};
 pub use pool::TransactionPool;
-pub use procedure::{ProcedureDef, ProcedureRegistry, TxnCtx, TxnOutcome};
+pub use procedure::{ProcedureDef, ProcedureRegistry, TxnCtx, TxnOutcome, TxnScratch};
 pub use signature::{TxnId, TxnSignature, TxnTypeId};
 pub use tdg::TDependencyGraph;

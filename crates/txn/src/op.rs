@@ -68,7 +68,12 @@ pub fn transactions_conflict(a: &[BasicOp], b: &[BasicOp]) -> bool {
 
 /// Deduplicate a transaction's operations per data item, keeping the strongest
 /// access kind (a transaction that reads and later writes `x` is treated as a
-/// writer of `x`, as in the paper's Figure 1 example).
+/// writer of `x`, as in the paper's Figure 1 example). Output preserves
+/// first-occurrence order.
+///
+/// Allocates a fresh `Vec` per call; hot loops that dedup one transaction
+/// after another should use [`dedup_strongest_into`] with a reused scratch
+/// buffer instead.
 pub fn dedup_strongest(ops: &[BasicOp]) -> Vec<BasicOp> {
     let mut merged: Vec<BasicOp> = Vec::with_capacity(ops.len());
     for op in ops {
@@ -79,6 +84,26 @@ pub fn dedup_strongest(ops: &[BasicOp]) -> Vec<BasicOp> {
         }
     }
     merged
+}
+
+/// Allocation-free [`dedup_strongest`]: sort/dedup into a caller-owned
+/// scratch buffer that keeps its capacity across calls. Output is sorted by
+/// data-item id (all in-tree consumers group per item afterwards, so the
+/// different order relative to [`dedup_strongest`] is immaterial).
+pub fn dedup_strongest_into(ops: &[BasicOp], out: &mut Vec<BasicOp>) {
+    out.clear();
+    out.extend_from_slice(ops);
+    out.sort_unstable_by_key(|o| o.item.as_u64());
+    let mut write = 0usize;
+    for read in 0..out.len() {
+        if write > 0 && out[write - 1].item == out[read].item {
+            out[write - 1].kind = out[write - 1].kind.strongest(out[read].kind);
+        } else {
+            out[write] = out[read];
+            write += 1;
+        }
+    }
+    out.truncate(write);
 }
 
 #[cfg(test)]
@@ -135,5 +160,25 @@ mod tests {
         // Read-only accesses stay reads.
         let merged2 = dedup_strongest(&[BasicOp::read(item(5)), BasicOp::read(item(5))]);
         assert_eq!(merged2, vec![BasicOp::read(item(5))]);
+    }
+
+    #[test]
+    fn dedup_into_matches_allocating_dedup_up_to_order() {
+        let ops = vec![
+            BasicOp::read(item(3)),
+            BasicOp::read(item(0)),
+            BasicOp::write(item(3)),
+            BasicOp::read(item(1)),
+            BasicOp::read(item(1)),
+        ];
+        let mut scratch = Vec::new();
+        dedup_strongest_into(&ops, &mut scratch);
+        let mut reference = dedup_strongest(&ops);
+        reference.sort_unstable_by_key(|o| o.item.as_u64());
+        assert_eq!(scratch, reference);
+        // The scratch is reusable: a second call with different input fully
+        // replaces the previous contents.
+        dedup_strongest_into(&[BasicOp::write(item(9))], &mut scratch);
+        assert_eq!(scratch, vec![BasicOp::write(item(9))]);
     }
 }

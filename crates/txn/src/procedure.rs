@@ -17,12 +17,13 @@
 //! DBA annotations (Appendix B and E); here each workload provides it
 //! explicitly as a function of the parameters.
 
+use crate::access::{AccessPlan, PlanCursor, PlanProbe, PlannedMulti, PlannedUnique};
 use crate::op::BasicOp;
 use crate::signature::{TxnSignature, TxnTypeId};
 use gputx_sim::ThreadTrace;
 use gputx_storage::catalog::TableId;
 use gputx_storage::index::IndexKey;
-use gputx_storage::{Database, RowId, StorageView, Value};
+use gputx_storage::{Database, IndexId, RowId, StorageView, Value};
 use std::fmt;
 use std::sync::Arc;
 
@@ -82,6 +83,10 @@ pub struct TxnCtx<'a> {
     aborted: Option<String>,
     /// Extra compute cycles charged per `sinf`-style math call (micro benchmark).
     compute_per_call: u64,
+    /// Pre-resolved index lookups of this transaction (the gather step),
+    /// consumed in order by the `*_by` lookup methods. `None` when the
+    /// transaction was not planned — every lookup then probes live.
+    cursor: Option<PlanCursor<'a>>,
 }
 
 /// Cycles charged for one transcendental math call (`sinf` in the paper's
@@ -98,14 +103,29 @@ impl<'a> TxnCtx<'a> {
         path: u32,
         txn_id: u64,
     ) -> Self {
+        Self::with_parts(db, params, path, txn_id, None, Vec::new())
+    }
+
+    /// Full constructor used by [`ProcedureRegistry::execute_planned`]: an
+    /// optional pre-resolved lookup cursor plus a recycled undo buffer.
+    fn with_parts(
+        db: &'a mut (dyn StorageView + 'a),
+        params: &'a [Value],
+        path: u32,
+        txn_id: u64,
+        cursor: Option<PlanCursor<'a>>,
+        undo: Vec<UndoRecord>,
+    ) -> Self {
+        debug_assert!(undo.is_empty());
         TxnCtx {
             db,
             params,
             txn_id,
             trace: ThreadTrace::new(path),
-            undo: Vec::new(),
+            undo,
             aborted: None,
             compute_per_call: SINF_CYCLES,
+            cursor,
         }
     }
 
@@ -114,8 +134,10 @@ impl<'a> TxnCtx<'a> {
         self.txn_id
     }
 
-    /// The transaction's parameters.
-    pub fn params(&self) -> &[Value] {
+    /// The transaction's parameters. The returned slice borrows the
+    /// signature, not the context, so key closures handed to
+    /// [`TxnCtx::lookup_unique_by`] can capture it without freezing `self`.
+    pub fn params(&self) -> &'a [Value] {
         self.params
     }
 
@@ -153,6 +175,24 @@ impl<'a> TxnCtx<'a> {
         self.db.get_field(table, row, col)
     }
 
+    /// Read one integer field without materializing a [`Value`] (the typed
+    /// columnar fast path; identical trace accounting to [`TxnCtx::read`]).
+    #[inline]
+    pub fn read_i64(&mut self, table: TableId, row: RowId, col: usize) -> i64 {
+        let bytes = self.field_bytes(table);
+        self.trace.read(bytes);
+        self.db.get_i64(table, row, col)
+    }
+
+    /// Read one double field without materializing a [`Value`] (integer
+    /// columns widen, mirroring `read(..).as_double()`).
+    #[inline]
+    pub fn read_f64(&mut self, table: TableId, row: RowId, col: usize) -> f64 {
+        let bytes = self.field_bytes(table);
+        self.trace.read(bytes);
+        self.db.get_f64(table, row, col)
+    }
+
     /// Write one field (undo-logged).
     pub fn write(&mut self, table: TableId, row: RowId, col: usize, value: Value) {
         let old = self.db.get_field(table, row, col);
@@ -167,7 +207,100 @@ impl<'a> TxnCtx<'a> {
         self.db.set_field(table, row, col, &value);
     }
 
+    /// Write one integer field (undo-logged; identical behaviour to
+    /// [`TxnCtx::write`] with a `Value::Int`, including the widening store
+    /// into double columns). The undo read goes through `get_field` so the
+    /// undo record holds the column's own representation, exactly like the
+    /// legacy path; scalar `Value`s carry no heap allocation, so this costs
+    /// one enum construct per write.
+    #[inline]
+    pub fn write_i64(&mut self, table: TableId, row: RowId, col: usize, value: i64) {
+        let old = self.db.get_field(table, row, col);
+        self.undo.push(UndoRecord::Update {
+            table,
+            row,
+            col,
+            old,
+        });
+        let bytes = self.field_bytes(table);
+        self.trace.write(bytes);
+        self.db.set_i64(table, row, col, value);
+    }
+
+    /// Write one double field (undo-logged; identical behaviour to
+    /// [`TxnCtx::write`] with a `Value::Double` — see [`TxnCtx::write_i64`]
+    /// for why the undo read uses `get_field`).
+    #[inline]
+    pub fn write_f64(&mut self, table: TableId, row: RowId, col: usize, value: f64) {
+        let old = self.db.get_field(table, row, col);
+        self.undo.push(UndoRecord::Update {
+            table,
+            row,
+            col,
+            old,
+        });
+        let bytes = self.field_bytes(table);
+        self.trace.write(bytes);
+        self.db.set_f64(table, row, col, value);
+    }
+
+    /// Look up a row through a unique index by interned handle.
+    ///
+    /// This is the plan-backed fast path: when the transaction carries an
+    /// access plan, the pre-resolved row is returned and `key` is **never
+    /// built** — no key allocation, no hashing, no probe. Without a plan (or
+    /// for a stale plan entry) the closure supplies the key and the live
+    /// index is probed, exactly like the legacy path. Trace accounting (one
+    /// bucket-header read + one entry read) is identical either way, so
+    /// planned and unplanned executions stay bit-identical.
+    pub fn lookup_unique_by(
+        &mut self,
+        idx: IndexId,
+        key: impl FnOnce() -> IndexKey,
+    ) -> Option<RowId> {
+        // Hash probe: bucket header + entry.
+        self.trace.read(8);
+        self.trace.read(16);
+        if let Some(cursor) = &mut self.cursor {
+            if let PlannedUnique::Resolved(row) = cursor.next_unique() {
+                return row;
+            }
+        }
+        self.db.base().lookup_unique_id(idx, &key())
+    }
+
+    /// Look up all rows matching a key through an index by interned handle;
+    /// the plan-backed counterpart of [`TxnCtx::lookup`], with the same lazy
+    /// key and identical trace accounting. The planned path returns the
+    /// plan's row span *borrowed* (`Cow::Borrowed`, zero allocation; its
+    /// lifetime comes from the plan, not from `self`, so the context stays
+    /// usable); only the live-probe fallback allocates.
+    pub fn lookup_by(
+        &mut self,
+        idx: IndexId,
+        key: impl FnOnce() -> IndexKey,
+    ) -> std::borrow::Cow<'a, [RowId]> {
+        self.trace.read(8);
+        let planned: Option<&'a [RowId]> = match &mut self.cursor {
+            Some(cursor) => match cursor.next_multi() {
+                PlannedMulti::Resolved(rows) => Some(rows),
+                PlannedMulti::Probe => None,
+            },
+            None => None,
+        };
+        let rows: std::borrow::Cow<'a, [RowId]> = match planned {
+            Some(rows) => std::borrow::Cow::Borrowed(rows),
+            None => std::borrow::Cow::Owned(self.db.base().lookup_id(idx, &key()).to_vec()),
+        };
+        self.trace.read(16 * rows.len().max(1) as u64);
+        rows
+    }
+
     /// Look up a row through a unique index (charges an index probe).
+    #[deprecated(
+        since = "0.1.0",
+        note = "resolve an IndexId once (Database::index_id) and use lookup_unique_by"
+    )]
     pub fn lookup_unique(&mut self, table: TableId, index: &str, key: &IndexKey) -> Option<RowId> {
         // Hash probe: bucket header + entry.
         self.trace.read(8);
@@ -176,6 +309,10 @@ impl<'a> TxnCtx<'a> {
     }
 
     /// Look up all rows matching a key through an index.
+    #[deprecated(
+        since = "0.1.0",
+        note = "resolve an IndexId once (Database::index_id) and use lookup_by"
+    )]
     pub fn lookup(&mut self, table: TableId, index: &str, key: &IndexKey) -> Vec<RowId> {
         self.trace.read(8);
         let rows = self.db.base().lookup(table, index, key);
@@ -272,17 +409,31 @@ impl<'a> TxnCtx<'a> {
     }
 
     /// Finish the execution: roll back if aborted, and return the trace,
-    /// outcome and number of undo records written.
-    fn finish(mut self) -> (ThreadTrace, TxnOutcome, usize) {
+    /// outcome, number of undo records written, and the (emptied) undo buffer
+    /// for reuse by the next transaction.
+    fn finish(mut self) -> (ThreadTrace, TxnOutcome, usize, Vec<UndoRecord>) {
         let undo_records = self.undo.len();
-        match self.aborted.take() {
+        let outcome = match self.aborted.take() {
             Some(reason) => {
                 self.rollback();
-                (self.trace, TxnOutcome::Aborted(reason), undo_records)
+                TxnOutcome::Aborted(reason)
             }
-            None => (self.trace, TxnOutcome::Committed, undo_records),
-        }
+            None => TxnOutcome::Committed,
+        };
+        self.undo.clear();
+        (self.trace, outcome, undo_records, self.undo)
     }
+}
+
+/// Reusable per-worker execution scratch: buffers that every transaction
+/// needs but that would otherwise be reallocated per transaction (currently
+/// the undo log). Executors keep one per worker thread and thread it through
+/// [`ProcedureRegistry::execute_planned`], so a bulk of a million
+/// transactions performs a handful of undo-log allocations instead of a
+/// million.
+#[derive(Debug, Default)]
+pub struct TxnScratch {
+    undo: Vec<UndoRecord>,
 }
 
 /// Callback computing a procedure's read/write set from its parameters and
@@ -292,6 +443,12 @@ pub type ReadWriteSetFn = Arc<dyn Fn(&[Value], &Database) -> Vec<BasicOp> + Send
 /// Callback computing a procedure's partitioning key from its parameters;
 /// `None` marks a cross-partition transaction.
 pub type PartitionKeyFn = Arc<dyn Fn(&[Value]) -> Option<u64> + Send + Sync>;
+
+/// Callback resolving a procedure's index lookups ahead of execution (the
+/// gather step). Must issue the lookups through the [`PlanProbe`] in exactly
+/// the order the procedure body consumes them; it may stop early on a miss
+/// the body will abort on. See [`crate::access`].
+pub type PlanAccessFn = Arc<dyn Fn(&[Value], &mut PlanProbe<'_>) + Send + Sync>;
 
 /// A registered transaction type.
 #[derive(Clone)]
@@ -308,6 +465,11 @@ pub struct ProcedureDef {
     /// Partitioning key for a given parameter list; `None` marks a
     /// cross-partition transaction.
     pub partition_key: PartitionKeyFn,
+    /// Optional gather-step callback: pre-resolves the procedure's index
+    /// lookups into an [`AccessPlan`] during bulk grouping so the body
+    /// executes without hash lookups. `None` keeps the probe-at-execution
+    /// behaviour.
+    pub plan_access: Option<PlanAccessFn>,
     /// The procedure body.
     pub execute: Arc<dyn Fn(&mut TxnCtx<'_>) + Send + Sync>,
 }
@@ -334,6 +496,7 @@ impl ProcedureDef {
             two_phase: true,
             read_write_set: Arc::new(read_write_set),
             partition_key: Arc::new(partition_key),
+            plan_access: None,
             execute: Arc::new(execute),
         }
     }
@@ -342,6 +505,16 @@ impl ProcedureDef {
     /// forces undo logging for conflicting types.
     pub fn not_two_phase(mut self) -> Self {
         self.two_phase = false;
+        self
+    }
+
+    /// Attach the gather-step callback that pre-resolves this procedure's
+    /// index lookups into an [`AccessPlan`] (see [`crate::access`]).
+    pub fn with_plan_access(
+        mut self,
+        plan: impl Fn(&[Value], &mut PlanProbe<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        self.plan_access = Some(Arc::new(plan));
         self
     }
 }
@@ -393,15 +566,40 @@ impl ProcedureRegistry {
     /// `db` is any [`StorageView`]: pass `&mut Database` for serial in-place
     /// execution or a [`gputx_storage::ShardView`] for overlay execution on a
     /// worker thread.
+    ///
+    /// Convenience wrapper over [`ProcedureRegistry::execute_planned`] with
+    /// no access plan and a throw-away scratch; hot loops should hold a
+    /// [`TxnScratch`] and pass the bulk's [`AccessPlan`] instead.
     pub fn execute(
         &self,
         sig: &TxnSignature,
         db: &mut dyn StorageView,
     ) -> (ThreadTrace, TxnOutcome, usize) {
+        self.execute_planned(sig, db, None, &mut TxnScratch::default())
+    }
+
+    /// Execute one transaction against an optional per-bulk [`AccessPlan`]
+    /// (pre-resolved index lookups) with a reusable [`TxnScratch`].
+    ///
+    /// With a plan entry for `sig.id`, the procedure's `*_by` lookups return
+    /// the pre-resolved rows and never touch an index hash table; without one
+    /// (or for stale entries) they probe live. Outcomes, traces and undo
+    /// behaviour are bit-identical either way.
+    pub fn execute_planned(
+        &self,
+        sig: &TxnSignature,
+        db: &mut dyn StorageView,
+        plan: Option<&AccessPlan>,
+        scratch: &mut TxnScratch,
+    ) -> (ThreadTrace, TxnOutcome, usize) {
         let def = self.get(sig.ty);
-        let mut ctx = TxnCtx::new(db, &sig.params, sig.ty, sig.id);
+        let cursor = plan.and_then(|p| p.cursor(sig.id));
+        let undo = std::mem::take(&mut scratch.undo);
+        let mut ctx = TxnCtx::with_parts(db, &sig.params, sig.ty, sig.id, cursor, undo);
         (def.execute)(&mut ctx);
-        ctx.finish()
+        let (trace, outcome, undo_records, undo_buf) = ctx.finish();
+        scratch.undo = undo_buf;
+        (trace, outcome, undo_records)
     }
 }
 
@@ -575,6 +773,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the string-keyed shim must keep working
     fn lookup_helpers_charge_trace_reads() {
         let (mut db, t) = test_db();
         let params = vec![Value::Int(2)];
@@ -586,6 +785,117 @@ mod tests {
         assert_eq!(row, 2);
         assert!(ctx.trace.global_reads >= 2);
         assert_eq!(ctx.param_int(0), 2);
+    }
+
+    #[test]
+    fn handle_lookups_match_string_lookups_and_traces() {
+        let (mut db, t) = test_db();
+        let pk = db.index_id(t, "pk").expect("index exists");
+        let params = vec![Value::Int(2)];
+        // String-keyed shim.
+        let mut legacy_trace = {
+            #[allow(deprecated)]
+            let mut ctx = TxnCtx::new(&mut db, &params, 0, 9);
+            #[allow(deprecated)]
+            let row = ctx.lookup_unique(t, "pk", &IndexKey::single(2i64));
+            assert_eq!(row, Some(2));
+            ctx.trace
+        };
+        // Handle-based fast path, unplanned (probes live via the handle).
+        let handle_trace = {
+            let mut ctx = TxnCtx::new(&mut db, &params, 0, 9);
+            let row = ctx.lookup_unique_by(pk, || IndexKey::single(2i64));
+            assert_eq!(row, Some(2));
+            ctx.trace
+        };
+        legacy_trace.path = handle_trace.path;
+        assert_eq!(
+            legacy_trace, handle_trace,
+            "handle lookups must charge the identical trace"
+        );
+    }
+
+    #[test]
+    fn typed_writes_widen_into_double_columns_like_the_value_path() {
+        // Legacy `write(.., Value::Int(x))` into a Double column widened the
+        // store and undo-logged the column's own Double representation; the
+        // typed `write_i64` must behave identically (including rollback).
+        let (db0, t) = test_db();
+        let params: Vec<Value> = vec![];
+        let mut legacy_db = db0.clone();
+        {
+            let mut ctx = TxnCtx::new(&mut legacy_db, &params, 0, 1);
+            ctx.write(t, 0, 1, Value::Int(7)); // col 1 is Double
+            ctx.abort("roll back");
+            let (_, outcome, undo, _) = ctx.finish();
+            assert!(!outcome.is_committed());
+            assert_eq!(undo, 1);
+        }
+        let mut typed_db = db0.clone();
+        {
+            let mut ctx = TxnCtx::new(&mut typed_db, &params, 0, 1);
+            ctx.write_i64(t, 0, 1, 7);
+            assert_eq!(ctx.read_f64(t, 0, 1), 7.0, "widened store visible");
+            ctx.abort("roll back");
+            let (_, outcome, undo, _) = ctx.finish();
+            assert!(!outcome.is_committed());
+            assert_eq!(undo, 1);
+        }
+        assert!(legacy_db == typed_db, "rollback must restore identically");
+        assert!(legacy_db == db0);
+    }
+
+    #[test]
+    fn planned_execution_is_bit_identical_to_unplanned() {
+        let (db0, t) = test_db();
+        let pk = db0.index_id(t, "pk").expect("index exists");
+        let mut reg = ProcedureRegistry::new();
+        let ty = reg.register(
+            ProcedureDef::new(
+                "planned_deposit",
+                move |p, _| {
+                    vec![BasicOp::write(gputx_storage::DataItemId::new(
+                        t,
+                        p[0].as_int() as u64,
+                        1,
+                    ))]
+                },
+                |p| Some(p[0].as_int() as u64),
+                move |ctx| {
+                    let p = ctx.params();
+                    let Some(row) = ctx.lookup_unique_by(pk, || IndexKey::single(p[0].as_int()))
+                    else {
+                        ctx.abort("no such account");
+                        return;
+                    };
+                    let bal = ctx.read_f64(t, row, 1);
+                    ctx.write_f64(t, row, 1, bal + 1.0);
+                },
+            )
+            .with_plan_access(move |p, probe| {
+                probe.unique(pk, &IndexKey::single(p[0].as_int()));
+            }),
+        );
+        let sigs: Vec<TxnSignature> = (0..6)
+            .map(|i| TxnSignature::new(i, ty, vec![Value::Int((i % 4) as i64)]))
+            .collect();
+        // Unplanned (probe-at-execution) reference.
+        let mut db_a = db0.clone();
+        let mut out_a = Vec::new();
+        for sig in &sigs {
+            out_a.push(reg.execute(sig, &mut db_a));
+        }
+        // Planned: lookups resolved up front, zero probes during execution.
+        let plan = AccessPlan::build(&reg, &db0, &sigs);
+        assert_eq!(plan.num_entries(), sigs.len());
+        let mut db_b = db0.clone();
+        let mut scratch = TxnScratch::default();
+        let mut out_b = Vec::new();
+        for sig in &sigs {
+            out_b.push(reg.execute_planned(sig, &mut db_b, Some(&plan), &mut scratch));
+        }
+        assert_eq!(out_a, out_b, "traces/outcomes/undo counts must match");
+        assert!(db_a == db_b, "final state must match");
     }
 
     // Unused import guard: Table/StorageLayout are exercised indirectly.

@@ -46,4 +46,4 @@ pub use stream::{
 pub use tm1::Tm1Config;
 pub use tpcb::TpcbConfig;
 pub use tpcc::TpccConfig;
-pub use workload::WorkloadBundle;
+pub use workload::{AccessApi, WorkloadBundle};

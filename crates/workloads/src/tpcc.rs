@@ -200,12 +200,12 @@ impl TpccConfig {
             vec![],
         ));
 
-        db.create_index(dist_t, "pk", vec![0, 1], true);
-        db.create_index(cust_t, "pk", vec![0, 1, 2], true);
-        db.create_index(cust_t, "by_last", vec![0, 1, 3], false);
-        db.create_index(item_t, "pk", vec![0], true);
-        db.create_index(stock_t, "pk", vec![0, 1], true);
-        db.create_index(orders_t, "pk", vec![0, 1, 2], true);
+        let dist_pk = db.create_index(dist_t, "pk", vec![0, 1], true);
+        let cust_pk = db.create_index(cust_t, "pk", vec![0, 1, 2], true);
+        let cust_by_last = db.create_index(cust_t, "by_last", vec![0, 1, 3], false);
+        let item_pk = db.create_index(item_t, "pk", vec![0], true);
+        let stock_pk = db.create_index(stock_t, "pk", vec![0, 1], true);
+        let orders_pk = db.create_index(orders_t, "pk", vec![0, 1, 2], true);
 
         for w in 0..warehouses {
             db.insert_indexed(wh_t, vec![Value::Int(w as i64), Value::Double(0.0)]);
@@ -303,7 +303,7 @@ impl TpccConfig {
                 let c = ctx.param_int(2);
                 let n_items = ctx.param_int(4) as usize;
                 let d_row = ctx
-                    .lookup_unique(dist_t, "pk", &IndexKey::pair(w, d))
+                    .lookup_unique_by(dist_pk, || IndexKey::pair(w, d))
                     .expect("district exists");
                 let o_id = ctx.read(dist_t, d_row, 3).as_int();
                 ctx.write(dist_t, d_row, 3, Value::Int(o_id + 1));
@@ -314,11 +314,11 @@ impl TpccConfig {
                     let qty = ctx.param_int(5 + 3 * k + 1);
                     let supply_w = ctx.param_int(5 + 3 * k + 2);
                     let i_row = ctx
-                        .lookup_unique(item_t, "pk", &IndexKey::single(i_id))
+                        .lookup_unique_by(item_pk, || IndexKey::single(i_id))
                         .expect("item exists");
                     let price = ctx.read(item_t, i_row, 1).as_double();
                     let s_row = ctx
-                        .lookup_unique(stock_t, "pk", &IndexKey::pair(supply_w, i_id))
+                        .lookup_unique_by(stock_pk, || IndexKey::pair(supply_w, i_id))
                         .expect("stock exists");
                     let s_qty = ctx.read(stock_t, s_row, 2).as_int();
                     let new_qty = if s_qty >= qty + 10 {
@@ -396,18 +396,15 @@ impl TpccConfig {
                 let c_row = if by_last {
                     let name = ctx.param_str(6).to_string();
                     let rows =
-                        ctx.lookup(cust_t, "by_last", &IndexKey::triple(cw, cd, name.as_str()));
+                        ctx.lookup_by(cust_by_last, || IndexKey::triple(cw, cd, name.as_str()));
                     if rows.is_empty() {
                         ctx.abort("no customer with that last name");
                         return;
                     }
                     rows[rows.len() / 2]
                 } else {
-                    match ctx.lookup_unique(
-                        cust_t,
-                        "pk",
-                        &IndexKey::triple(cw, cd, ctx.param_int(5)),
-                    ) {
+                    let c_id = ctx.param_int(5);
+                    match ctx.lookup_unique_by(cust_pk, || IndexKey::triple(cw, cd, c_id)) {
                         Some(r) => r,
                         None => {
                             ctx.abort("customer not found");
@@ -420,7 +417,7 @@ impl TpccConfig {
                 let w_ytd = ctx.read(wh_t, w_row, 1).as_double();
                 ctx.write(wh_t, w_row, 1, Value::Double(w_ytd + amount));
                 let d_row = ctx
-                    .lookup_unique(dist_t, "pk", &IndexKey::pair(w, d))
+                    .lookup_unique_by(dist_pk, || IndexKey::pair(w, d))
                     .expect("district exists");
                 let d_ytd = ctx.read(dist_t, d_row, 2).as_double();
                 ctx.write(dist_t, d_row, 2, Value::Double(d_ytd + amount));
@@ -454,15 +451,15 @@ impl TpccConfig {
                 let c_row = if by_last {
                     let name = ctx.param_str(4).to_string();
                     let rows =
-                        ctx.lookup(cust_t, "by_last", &IndexKey::triple(w, d, name.as_str()));
+                        ctx.lookup_by(cust_by_last, || IndexKey::triple(w, d, name.as_str()));
                     if rows.is_empty() {
                         ctx.abort("no customer with that last name");
                         return;
                     }
                     rows[rows.len() / 2]
                 } else {
-                    match ctx.lookup_unique(cust_t, "pk", &IndexKey::triple(w, d, ctx.param_int(3)))
-                    {
+                    let c_id = ctx.param_int(3);
+                    match ctx.lookup_unique_by(cust_pk, || IndexKey::triple(w, d, c_id)) {
                         Some(r) => r,
                         None => {
                             ctx.abort("customer not found");
@@ -473,12 +470,12 @@ impl TpccConfig {
                 ctx.read(cust_t, c_row, 4);
                 // Read the customer's most recent order if there is one.
                 let d_row = ctx
-                    .lookup_unique(dist_t, "pk", &IndexKey::pair(w, d))
+                    .lookup_unique_by(dist_pk, || IndexKey::pair(w, d))
                     .expect("district exists");
                 let next = ctx.read(dist_t, d_row, 3).as_int();
                 if next > 1 {
                     if let Some(o_row) =
-                        ctx.lookup_unique(orders_t, "pk", &IndexKey::triple(w, d, next - 1))
+                        ctx.lookup_unique_by(orders_pk, || IndexKey::triple(w, d, next - 1))
                     {
                         ctx.read(orders_t, o_row, 4);
                         ctx.read(orders_t, o_row, 5);
@@ -497,7 +494,7 @@ impl TpccConfig {
                 let d = ctx.param_int(1);
                 let carrier = ctx.param_int(2);
                 let d_row = ctx
-                    .lookup_unique(dist_t, "pk", &IndexKey::pair(w, d))
+                    .lookup_unique_by(dist_pk, || IndexKey::pair(w, d))
                     .expect("district exists");
                 let next = ctx.read(dist_t, d_row, 3).as_int();
                 if next <= 1 {
@@ -506,7 +503,7 @@ impl TpccConfig {
                 }
                 // Deliver the most recent undelivered order (simplified: the
                 // newest order of the district).
-                match ctx.lookup_unique(orders_t, "pk", &IndexKey::triple(w, d, next - 1)) {
+                match ctx.lookup_unique_by(orders_pk, || IndexKey::triple(w, d, next - 1)) {
                     Some(o_row) => {
                         let cur = ctx.read(orders_t, o_row, 5).as_int();
                         if cur >= 0 {
@@ -516,7 +513,7 @@ impl TpccConfig {
                         ctx.write(orders_t, o_row, 5, Value::Int(carrier));
                         let c_id = ctx.read(orders_t, o_row, 3).as_int();
                         if let Some(c_row) =
-                            ctx.lookup_unique(cust_t, "pk", &IndexKey::triple(w, d, c_id))
+                            ctx.lookup_unique_by(cust_pk, || IndexKey::triple(w, d, c_id))
                         {
                             let bal = ctx.read(cust_t, c_row, 4).as_double();
                             ctx.write(cust_t, c_row, 4, Value::Double(bal + 1.0));
@@ -537,14 +534,14 @@ impl TpccConfig {
                 let d = ctx.param_int(1);
                 let threshold = ctx.param_int(2);
                 let d_row = ctx
-                    .lookup_unique(dist_t, "pk", &IndexKey::pair(w, d))
+                    .lookup_unique_by(dist_pk, || IndexKey::pair(w, d))
                     .expect("district exists");
                 ctx.read(dist_t, d_row, 3);
                 // Examine a window of stock rows for the home warehouse.
                 let mut low = 0;
                 for i in 0..20i64 {
                     let i_id = (d * 20 + i) % NUM_ITEMS as i64;
-                    if let Some(s_row) = ctx.lookup_unique(stock_t, "pk", &IndexKey::pair(w, i_id))
+                    if let Some(s_row) = ctx.lookup_unique_by(stock_pk, || IndexKey::pair(w, i_id))
                     {
                         if ctx.read(stock_t, s_row, 2).as_int() < threshold {
                             low += 1;

@@ -7,6 +7,7 @@
 use gputx_core::pipeline::{simulate_pipeline, IntervalSimConfig};
 use gputx_core::{EngineConfig, GpuTxEngine, StrategyKind};
 use gputx_sim::SimDuration;
+use gputx_storage::index::IndexKey;
 use gputx_workloads::Tm1Config;
 
 fn main() {
@@ -15,6 +16,19 @@ fn main() {
         "TM1 with {} subscribers, {} call-forwarding rows",
         bundle.db.table_by_name("subscriber").num_rows(),
         bundle.db.table_by_name("call_forwarding").num_rows()
+    );
+
+    // Index handles are resolved once (`index_id`) and probed by handle —
+    // the string-keyed lookup path is deprecated.
+    let sub_t = bundle.db.table_id("subscriber").expect("table exists");
+    let by_nbr = bundle.db.index_id(sub_t, "by_nbr").expect("index exists");
+    let row = bundle
+        .db
+        .lookup_unique_id(by_nbr, &IndexKey::single(format!("{:015}", 42)))
+        .expect("subscriber 42 exists");
+    println!(
+        "subscriber 42 resolved by handle: row {row}, vlr_location {}",
+        bundle.db.table(sub_t).get_i64(row, 4)
     );
 
     // Drive the engine end to end with automatic strategy selection.

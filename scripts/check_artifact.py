@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Schema check for the bench-smoke JSON artifacts.
 
-Usage: check_artifact.py <kind> <path>   (kind: smoke | pipeline)
+Usage: check_artifact.py <kind> <path>   (kind: smoke | pipeline | hotpath)
 
 CI runs this against every figures artifact before uploading it, so a
 silently-empty or truncated figures run (missing keys, zero transactions, no
@@ -54,6 +54,31 @@ SCHEMAS = {
             "bottleneck": str,
         },
         "positive": ["transactions", "committed", "bulks", "throughput_tps", "p99_ms"],
+    },
+    # `figures -- hotpath --json`
+    "hotpath": {
+        "required": {
+            "schema": int,
+            "experiment": str,
+            "transactions": int,
+            "tm1_legacy_ms": NUMBER,
+            "tm1_planned_ms": NUMBER,
+            "tm1_plan_build_ms": NUMBER,
+            "tm1_speedup": NUMBER,
+            "tpcb_legacy_ms": NUMBER,
+            "tpcb_planned_ms": NUMBER,
+            "tpcb_plan_build_ms": NUMBER,
+            "tpcb_speedup": NUMBER,
+        },
+        "positive": [
+            "transactions",
+            "tm1_legacy_ms",
+            "tm1_planned_ms",
+            "tm1_speedup",
+            "tpcb_legacy_ms",
+            "tpcb_planned_ms",
+            "tpcb_speedup",
+        ],
     },
 }
 

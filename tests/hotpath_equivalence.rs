@@ -1,0 +1,309 @@
+//! The plan-backed typed fast path is bit-identical to the legacy
+//! `Value`/hash path.
+//!
+//! Each bundled workload (TM1, TPC-B, micro) can be built against either
+//! storage-access API (`AccessApi::Legacy` / `AccessApi::Planned`). For the
+//! same seed both variants receive the identical transaction stream; this
+//! suite asserts that executing it produces identical per-transaction
+//! outcomes, identical thread traces (byte-for-byte trace accounting) and an
+//! identical final database state —
+//!
+//! * per transaction through the registry (serial, with and without a
+//!   pre-built [`AccessPlan`]),
+//! * through the full strategy path (`execute_bulk`, K-SET and PART) at
+//!   1/2/4/8 worker threads,
+//! * and for a plan gone *stale* (built against a snapshot whose indexes
+//!   have since changed), which must transparently fall back to live probes.
+
+use gputx_core::{execute_bulk, Bulk, EngineConfig, ExecContext, StrategyKind};
+use gputx_exec::Executor;
+use gputx_exec::{ExecPolicy, ExecutorChoice, ParallelExecutor, SerialExecutor};
+use gputx_sim::Gpu;
+use gputx_storage::{Database, Value};
+use gputx_txn::{AccessPlan, ProcedureRegistry, TxnScratch, TxnSignature};
+use gputx_workloads::{
+    AccessApi, MicroConfig, MicroWorkload, Tm1Config, TpcbConfig, WorkloadBundle,
+};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Build the Legacy and Planned variants of one workload plus the identical
+/// transaction stream both will execute.
+fn variants(
+    name: &str,
+    n: usize,
+    seed: u64,
+) -> (WorkloadBundle, WorkloadBundle, Vec<TxnSignature>) {
+    let build = |api: AccessApi| -> WorkloadBundle {
+        match name {
+            "tm1" => Tm1Config { scale_factor: 1 }.build_with_api(api),
+            "tpcb" => TpcbConfig::default()
+                .with_scale_factor(8)
+                .build_with_api(api),
+            "micro" => MicroWorkload::build_with_api(
+                &MicroConfig::default().with_tuples(512).with_skew(0.3),
+                api,
+            ),
+            other => panic!("unknown workload {other}"),
+        }
+    };
+    let mut legacy = build(AccessApi::Legacy);
+    let mut planned = build(AccessApi::Planned);
+    assert!(
+        legacy.db == planned.db,
+        "{name}: the API choice must not change the populated database"
+    );
+    legacy.reseed(seed);
+    planned.reseed(seed);
+    let sigs = legacy.generate_signatures(n, 0);
+    let planned_sigs = planned.generate_signatures(n, 0);
+    let a: Vec<_> = sigs
+        .iter()
+        .map(|s| (s.id, s.ty, s.params.clone()))
+        .collect();
+    let b: Vec<_> = planned_sigs
+        .iter()
+        .map(|s| (s.id, s.ty, s.params.clone()))
+        .collect();
+    assert_eq!(a, b, "{name}: identical streams for identical seeds");
+    (legacy, planned, sigs)
+}
+
+/// Serial, per-transaction: legacy execution vs planned execution with a
+/// pre-built access plan. Traces, outcomes and undo counts must be equal
+/// transaction by transaction; the final databases must be equal.
+#[test]
+fn serial_per_txn_traces_outcomes_and_state_match() {
+    for name in ["tm1", "tpcb", "micro"] {
+        let (legacy, planned, sigs) = variants(name, 1_500, 7);
+        let mut legacy_db = legacy.db.clone();
+        let legacy_out: Vec<_> = sigs
+            .iter()
+            .map(|sig| legacy.registry.execute(sig, &mut legacy_db))
+            .collect();
+        legacy_db.apply_insert_buffers();
+
+        let plan = AccessPlan::build(&planned.registry, &planned.db, &sigs);
+        let plan = (!plan.is_empty()).then_some(plan);
+        if name == "tm1" {
+            assert!(plan.is_some(), "TM1 procedures declare plan callbacks");
+        }
+        let mut planned_db = planned.db.clone();
+        let mut scratch = TxnScratch::default();
+        let planned_out: Vec<_> = sigs
+            .iter()
+            .map(|sig| {
+                planned
+                    .registry
+                    .execute_planned(sig, &mut planned_db, plan.as_ref(), &mut scratch)
+            })
+            .collect();
+        planned_db.apply_insert_buffers();
+
+        assert_eq!(
+            legacy_out, planned_out,
+            "{name}: traces/outcomes/undo counts must be bit-identical"
+        );
+        assert!(
+            legacy_db == planned_db,
+            "{name}: final database state must be bit-identical"
+        );
+    }
+}
+
+/// Executor-level at 1/2/4/8 threads: the planned path (with plan) through
+/// the parallel executor must match the legacy path through the serial
+/// reference, including traces.
+#[test]
+fn parallel_executor_matches_legacy_serial_reference() {
+    for name in ["tm1", "tpcb", "micro"] {
+        let (legacy, planned, sigs) = variants(name, 1_200, 11);
+        // One group per partition key, in timestamp order.
+        let groups = |bundle: &WorkloadBundle, sigs: &[TxnSignature]| {
+            let mut by_partition: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+            for (i, sig) in sigs.iter().enumerate() {
+                let key = bundle
+                    .registry
+                    .partition_key(sig)
+                    .expect("single-partition");
+                by_partition.entry(key).or_default().push(i);
+            }
+            by_partition.into_values().collect::<Vec<_>>()
+        };
+        let group_idx = groups(&legacy, &sigs);
+        let as_refs = |idx: &[Vec<usize>]| -> Vec<Vec<&TxnSignature>> {
+            idx.iter()
+                .map(|g| g.iter().map(|&i| &sigs[i]).collect())
+                .collect()
+        };
+        let group_refs = as_refs(&group_idx);
+        let policy = ExecPolicy::gpu(true);
+
+        let mut legacy_db = legacy.db.clone();
+        let legacy_out = SerialExecutor
+            .run_groups(&mut legacy_db, &legacy.registry, &policy, &group_refs, None)
+            .unwrap();
+        legacy_db.apply_insert_buffers();
+
+        let plan = AccessPlan::build(&planned.registry, &planned.db, &sigs);
+        let plan = (!plan.is_empty()).then_some(plan);
+        for threads in THREAD_COUNTS {
+            let exec = ParallelExecutor::new(threads).with_min_parallel_txns(2);
+            let mut db = planned.db.clone();
+            let out = exec
+                .run_groups(
+                    &mut db,
+                    &planned.registry,
+                    &policy,
+                    &group_refs,
+                    plan.as_ref(),
+                )
+                .unwrap();
+            db.apply_insert_buffers();
+            assert!(
+                db == legacy_db,
+                "{name}@{threads} threads: final state must match the legacy serial reference"
+            );
+            assert_eq!(out.len(), legacy_out.len());
+            for (g, (got, want)) in out.iter().zip(&legacy_out).enumerate() {
+                for (a, b) in got.iter().zip(want) {
+                    assert_eq!(a.id, b.id, "{name}@{threads} group {g}: id order");
+                    assert_eq!(a.outcome, b.outcome, "{name}@{threads} txn {}", a.id);
+                    assert_eq!(a.trace, b.trace, "{name}@{threads} txn {} trace", a.id);
+                }
+            }
+        }
+    }
+}
+
+/// Full strategy path (`execute_bulk`, K-SET + PART) at 1/2/4/8 threads:
+/// the planned bundle must produce the same outcomes and final state as the
+/// legacy bundle.
+#[test]
+fn execute_bulk_matches_across_apis_strategies_and_threads() {
+    for name in ["tm1", "tpcb", "micro"] {
+        let (legacy, planned, sigs) = variants(name, 1_000, 23);
+        let run = |bundle: &WorkloadBundle, choice: ExecutorChoice, strategy: StrategyKind| {
+            let mut db = bundle.db.clone();
+            let mut gpu = Gpu::c1060();
+            let config = EngineConfig::default().with_executor(choice);
+            let mut ctx = ExecContext {
+                gpu: &mut gpu,
+                db: &mut db,
+                registry: &bundle.registry,
+                config: &config,
+            };
+            let out = execute_bulk(&mut ctx, strategy, &Bulk::new(sigs.clone()));
+            (db, out.outcomes, out.committed, out.aborted)
+        };
+        for strategy in [StrategyKind::Kset, StrategyKind::Part] {
+            let (ref_db, ref_outcomes, ref_committed, ref_aborted) =
+                run(&legacy, ExecutorChoice::Serial, strategy);
+            for threads in THREAD_COUNTS {
+                let (db, outcomes, committed, aborted) =
+                    run(&planned, ExecutorChoice::parallel(threads), strategy);
+                assert_eq!(
+                    outcomes, ref_outcomes,
+                    "{name}/{strategy}@{threads}: outcomes must match"
+                );
+                assert_eq!((committed, aborted), (ref_committed, ref_aborted));
+                assert!(
+                    db == ref_db,
+                    "{name}/{strategy}@{threads}: final state must match"
+                );
+            }
+        }
+    }
+}
+
+/// A plan built against a stale snapshot (indexes mutated since) must fall
+/// back to live probes and still be bit-identical to unplanned execution —
+/// the streaming pipeline's revalidation path.
+#[test]
+fn stale_plan_revalidates_and_falls_back_correctly() {
+    let (_, planned, sigs) = variants("tm1", 800, 42);
+    // The snapshot the plan is resolved against.
+    let snapshot = planned.db.clone();
+    let mut plan = AccessPlan::build(&planned.registry, &snapshot, &sigs);
+
+    // The live database has advanced: an earlier bulk inserted (and indexed)
+    // new call-forwarding rows.
+    let mut live = planned.db.clone();
+    let cf_t = live.table_id("call_forwarding").expect("table exists");
+    for k in 0..20i64 {
+        live.insert_indexed(
+            cf_t,
+            vec![
+                Value::Int(k % 7),
+                Value::Int(1 + k % 4),
+                Value::Int(99),
+                Value::Int(23),
+                Value::Str(format!("{k:015}")),
+            ],
+        );
+    }
+    let stale = plan.revalidate(&live);
+    assert!(stale > 0, "call-forwarding indexes must be detected stale");
+
+    // Reference: unplanned execution on the live database.
+    let mut ref_db = live.clone();
+    let ref_out: Vec<_> = sigs
+        .iter()
+        .map(|sig| planned.registry.execute(sig, &mut ref_db))
+        .collect();
+    ref_db.apply_insert_buffers();
+
+    // Stale-plan execution on the same live database.
+    let mut db = live.clone();
+    let mut scratch = TxnScratch::default();
+    let out: Vec<_> = sigs
+        .iter()
+        .map(|sig| {
+            planned
+                .registry
+                .execute_planned(sig, &mut db, Some(&plan), &mut scratch)
+        })
+        .collect();
+    db.apply_insert_buffers();
+
+    assert_eq!(out, ref_out, "stale entries must re-probe, not mis-resolve");
+    assert!(db == ref_db, "final state must match unplanned execution");
+}
+
+/// Cross-check helper types stay exported: a registry built for one API must
+/// report the same procedure names in the same order as the other.
+#[test]
+fn both_apis_register_identical_type_tables() {
+    for name in ["tm1", "tpcb", "micro"] {
+        let (legacy, planned, _) = variants(name, 1, 1);
+        assert_eq!(legacy.registry.num_types(), planned.registry.num_types());
+        for ty in 0..legacy.registry.num_types() as u32 {
+            assert_eq!(
+                legacy.registry.get(ty).name,
+                planned.registry.get(ty).name,
+                "{name}: type id {ty} must name the same procedure"
+            );
+            assert_eq!(
+                legacy.registry.get(ty).two_phase,
+                planned.registry.get(ty).two_phase
+            );
+        }
+    }
+}
+
+/// The registries must be interchangeable from the engine's point of view:
+/// declared read/write sets and partition keys agree on every signature.
+#[test]
+fn declared_sets_and_partition_keys_agree() {
+    for name in ["tm1", "tpcb", "micro"] {
+        let (legacy, planned, sigs) = variants(name, 400, 3);
+        let db: &Database = &legacy.db;
+        let check = |a: &ProcedureRegistry, b: &ProcedureRegistry| {
+            for sig in &sigs {
+                assert_eq!(a.read_write_set(sig, db), b.read_write_set(sig, db));
+                assert_eq!(a.partition_key(sig), b.partition_key(sig));
+            }
+        };
+        check(&legacy.registry, &planned.registry);
+    }
+}
