@@ -1,0 +1,126 @@
+//! WAL overhead of bulk-granular redo logging: logged vs. unlogged
+//! throughput on TM1 and TPC-B.
+//!
+//! The durability design logs one redo record per *bulk* (group commit at
+//! bulk boundaries), so the interesting numbers are (a) how much the
+//! capture+encode+append path costs relative to execution and (b) how much
+//! of that is the fsync policy. The measurement protocol itself lives in
+//! [`gputx_bench::wal_overhead`], shared with the `figures -- durability`
+//! CI experiment so the two never diverge; this bench runs it on the larger
+//! acceptance streams and adds criterion samples.
+//!
+//! One `WAL-OVERHEAD` line per workload × policy is printed alongside the
+//! criterion samples, plus a `WAL-RECOVERY` line proving the log actually
+//! recovers (recover the PerBulk run's directory and compare databases).
+//! Run with:
+//!
+//! ```text
+//! cargo bench --bench durability
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gputx_bench::wal_overhead::{overhead_pct, run_logged, run_unlogged, scratch_dir, POLICIES};
+use gputx_durability::{recover, FsyncPolicy};
+use gputx_txn::TxnSignature;
+use gputx_workloads::{Tm1Config, TpcbConfig, WorkloadBundle};
+use std::time::Instant;
+
+const TM1_TXNS: usize = 65_536;
+const TPCB_TXNS: usize = 32_768;
+/// Bulk size of the logged runs: one WAL record per this many transactions.
+const BULK: usize = 8_192;
+const ROUNDS: usize = 3;
+
+fn fixtures() -> Vec<(&'static str, WorkloadBundle, Vec<TxnSignature>)> {
+    let mut tm1 = Tm1Config::default().build();
+    let tm1_sigs = tm1.generate_signatures(TM1_TXNS, 0);
+    let mut tpcb = TpcbConfig::default().with_scale_factor(64).build();
+    let tpcb_sigs = tpcb.generate_signatures(TPCB_TXNS, 0);
+    vec![("tm1", tm1, tm1_sigs), ("tpcb", tpcb, tpcb_sigs)]
+}
+
+fn best_of<T>(rounds: usize, mut f: impl FnMut() -> (f64, T)) -> (f64, T) {
+    let mut best: Option<(f64, T)> = None;
+    for _ in 0..rounds {
+        let (secs, value) = f();
+        if best.as_ref().map_or(true, |(b, _)| secs < *b) {
+            best = Some((secs, value));
+        }
+    }
+    best.expect("at least one round")
+}
+
+/// The headline report: WAL-OVERHEAD and WAL-RECOVERY lines.
+fn report() {
+    for (name, bundle, sigs) in fixtures() {
+        let n = sigs.len();
+        let (unlogged_secs, unlogged_db) = best_of(ROUNDS, || run_unlogged(&bundle, &sigs, BULK));
+        let unlogged_tps = n as f64 / unlogged_secs;
+        for (policy_name, policy) in POLICIES {
+            let dir = scratch_dir(&format!("bench-{name}-{policy_name}"));
+            let (secs, (db, wal_bytes)) = best_of(ROUNDS, || {
+                let (s, db, b) = run_logged(&bundle, &sigs, &dir, policy, BULK);
+                (s, (db, b))
+            });
+            let tps = n as f64 / secs;
+            println!(
+                "WAL-OVERHEAD {name} {policy_name}: {:+.1}% \
+                 (unlogged {unlogged_tps:.0} tps, logged {tps:.0} tps, \
+                 {:.1} KiB/bulk over {} bulks)",
+                overhead_pct(unlogged_secs, secs),
+                wal_bytes as f64 / 1024.0 / n.div_ceil(BULK) as f64,
+                n.div_ceil(BULK),
+            );
+            assert!(db == unlogged_db, "logging must not change execution");
+            // Prove the log recovers: only for the strongest policy (the
+            // directories of the others hold identical bytes anyway).
+            if policy == FsyncPolicy::PerBulk {
+                let start = Instant::now();
+                let recovery = recover(&dir).expect("recover");
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                assert!(
+                    recovery.db == db,
+                    "{name}: recovery must reproduce the live state"
+                );
+                println!(
+                    "WAL-RECOVERY {name}: {} bulks replayed in {ms:.1} ms, state bit-identical",
+                    recovery.replayed
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Criterion samples over the logged vs unlogged bulk loop (smaller stream
+/// so the sampling loop stays tractable).
+fn bench_logged_vs_unlogged(c: &mut Criterion) {
+    for (name, bundle, sigs) in fixtures() {
+        let short = &sigs[..(BULK * 2).min(sigs.len())];
+        let mut group = c.benchmark_group(format!("durability/{name}"));
+        group.sample_size(5);
+        group.bench_function("unlogged", |b| {
+            b.iter(|| run_unlogged(&bundle, short, BULK));
+        });
+        for (policy_name, policy) in POLICIES {
+            group.bench_with_input(
+                BenchmarkId::new("logged", policy_name),
+                &policy,
+                |b, &policy| {
+                    let dir = scratch_dir(&format!("criterion-{name}-{policy_name}"));
+                    b.iter(|| run_logged(&bundle, short, &dir, policy, BULK));
+                    let _ = std::fs::remove_dir_all(&dir);
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn run_all(c: &mut Criterion) {
+    report();
+    bench_logged_vs_unlogged(c);
+}
+
+criterion_group!(benches, run_all);
+criterion_main!(benches);

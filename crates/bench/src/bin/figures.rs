@@ -17,7 +17,9 @@
 //! artifact. The extra `pipeline` experiment (also not part of `all`) drives
 //! a tiny TM1 stream through the streaming pipelined engine and reports
 //! throughput, p50/p99 ticket latency and per-stage occupancy, likewise as an
-//! optional JSON artifact.
+//! optional JSON artifact. The extra `durability` experiment measures the
+//! WAL overhead of bulk-granular redo logging (logged vs. unlogged tps under
+//! each fsync policy) and proves crash recovery reproduces the live state.
 
 use gputx_bench::{
     adhoc_cpu_throughput, adhoc_gpu_throughput, cpu_workload_throughput, gpu_workload_throughput,
@@ -108,6 +110,166 @@ fn main() {
     }
     if wanted.contains(&"hotpath") {
         hotpath(json_path.as_deref());
+    }
+    if wanted.contains(&"durability") {
+        durability(json_path.as_deref());
+    }
+}
+
+/// Durability experiment: WAL overhead (logged vs. unlogged wall-clock tps on
+/// TM1/TPC-B under each fsync policy) plus a crash-recovery proof — recover
+/// the PerBulk run's directory and assert the reconstructed database is
+/// bit-identical to the live engine's. CI runs this as part of bench-smoke
+/// and schema-checks the JSON artifact.
+fn durability(json_path: Option<&str>) {
+    use gputx_bench::wal_overhead::{
+        overhead_pct, run_logged, run_unlogged, scratch_dir, POLICIES,
+    };
+    use gputx_durability::{recover, FsyncPolicy};
+    use gputx_workloads::WorkloadBundle;
+    use std::time::Instant;
+
+    banner("Durability — WAL overhead (bulk-granular redo logging) and recovery");
+    const N_TXNS: usize = 8_192;
+    const BULK: usize = 2_048;
+    const ROUNDS: usize = 3;
+
+    struct Case {
+        name: &'static str,
+        unlogged_tps: f64,
+        policy_tps: [f64; 3],
+        wal_bytes: u64,
+        recovery_ms: f64,
+        replayed: u64,
+    }
+
+    let mut cases: Vec<Case> = Vec::new();
+    let workloads: [(&'static str, WorkloadBundle); 2] = [
+        ("tm1", Tm1Config { scale_factor: 1 }.build()),
+        ("tpcb", TpcbConfig::default().with_scale_factor(64).build()),
+    ];
+    for (name, mut bundle) in workloads {
+        let sigs = bundle.generate_signatures(N_TXNS, 0);
+        let mut unlogged_secs = f64::INFINITY;
+        let mut unlogged_db = None;
+        for _ in 0..ROUNDS {
+            let (secs, db) = run_unlogged(&bundle, &sigs, BULK);
+            if secs < unlogged_secs {
+                unlogged_secs = secs;
+                unlogged_db = Some(db);
+            }
+        }
+        let unlogged_db = unlogged_db.expect("at least one round");
+        let unlogged_tps = N_TXNS as f64 / unlogged_secs;
+
+        let mut policy_tps = [0.0f64; 3];
+        let mut wal_bytes = 0u64;
+        let mut recovery_ms = 0.0f64;
+        let mut replayed = 0u64;
+        for (p, (policy_name, policy)) in POLICIES.iter().enumerate() {
+            let dir = scratch_dir(&format!("figures-{name}-{policy_name}"));
+            let mut best_secs = f64::INFINITY;
+            let mut final_db = None;
+            for _ in 0..ROUNDS {
+                let (secs, db, bytes) = run_logged(&bundle, &sigs, &dir, *policy, BULK);
+                wal_bytes = bytes;
+                if secs < best_secs {
+                    best_secs = secs;
+                    final_db = Some(db);
+                }
+            }
+            let final_db = final_db.expect("at least one round");
+            assert!(
+                final_db == unlogged_db,
+                "{name}/{policy_name}: logging must not change execution"
+            );
+            policy_tps[p] = N_TXNS as f64 / best_secs;
+            println!(
+                "WAL-OVERHEAD {name} {policy_name}: {:+.1}% \
+                 (unlogged {unlogged_tps:.0} tps, logged {:.0} tps)",
+                overhead_pct(unlogged_secs, best_secs),
+                policy_tps[p],
+            );
+            // The last-written directory recovers to the live state; time it
+            // on the strongest policy.
+            if *policy == FsyncPolicy::PerBulk {
+                let start = Instant::now();
+                let recovery = recover(&dir).expect("recover");
+                recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+                replayed = recovery.replayed;
+                assert!(
+                    recovery.db == final_db,
+                    "{name}: recovery must reproduce the live state bit-identically"
+                );
+                println!(
+                    "WAL-RECOVERY {name}: {replayed} bulks replayed in {recovery_ms:.1} ms, \
+                     state bit-identical"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        cases.push(Case {
+            name,
+            unlogged_tps,
+            policy_tps,
+            wal_bytes,
+            recovery_ms,
+            replayed,
+        });
+    }
+
+    let mut table = TextTable::new(&[
+        "workload",
+        "unlogged (tps)",
+        "perbulk (tps)",
+        "everyn8 (tps)",
+        "async (tps)",
+        "wal (KiB)",
+        "recovery (ms)",
+    ]);
+    for c in &cases {
+        table.row(vec![
+            c.name.to_string(),
+            format!("{:.0}", c.unlogged_tps),
+            format!("{:.0}", c.policy_tps[0]),
+            format!("{:.0}", c.policy_tps[1]),
+            format!("{:.0}", c.policy_tps[2]),
+            format!("{:.1}", c.wal_bytes as f64 / 1024.0),
+            format!("{:.1}", c.recovery_ms),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Hand-rolled JSON (the workspace serde is an offline shim).
+    let per_case = |c: &Case| {
+        format!(
+            "  \"{0}_unlogged_tps\": {1:.3},\n  \"{0}_perbulk_tps\": {2:.3},\n  \
+             \"{0}_everyn8_tps\": {3:.3},\n  \"{0}_async_tps\": {4:.3},\n  \
+             \"{0}_wal_bytes\": {5},\n  \"{0}_recovery_ms\": {6:.4},\n  \
+             \"{0}_replayed_bulks\": {7}",
+            c.name,
+            c.unlogged_tps,
+            c.policy_tps[0],
+            c.policy_tps[1],
+            c.policy_tps[2],
+            c.wal_bytes,
+            c.recovery_ms,
+            c.replayed,
+        )
+    };
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"experiment\": \"durability\",\n  \"transactions\": {},\n{},\n{}\n}}\n",
+        N_TXNS,
+        per_case(&cases[0]),
+        per_case(&cases[1]),
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("cannot write durability JSON to {path}: {e}"));
+            println!("durability metrics written to {path}");
+        }
+        None => println!("{json}"),
     }
 }
 

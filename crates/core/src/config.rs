@@ -1,8 +1,10 @@
 //! Engine configuration.
 
+use gputx_durability::DurabilityConfig;
 use gputx_exec::ExecutorChoice;
 use gputx_sim::DeviceSpec;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// How the engine picks the execution strategy for a bulk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,6 +72,13 @@ pub struct EngineConfig {
     /// sets / partition groups on worker threads. The simulated GPU timings
     /// are identical either way; only wall-clock time changes.
     pub executor: ExecutorChoice,
+    /// Crash durability: when a directory is configured, every committed
+    /// bulk appends one redo record (its net typed write-set) to a
+    /// write-ahead log there, fsynced per the configured policy, and
+    /// `gputx_durability::recover` rebuilds the committed state after a
+    /// crash. Disabled by default — the engines then behave exactly as
+    /// before, paying zero logging cost.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +93,7 @@ impl Default for EngineConfig {
             undo_logging: true,
             relax_timestamps: false,
             executor: ExecutorChoice::Serial,
+            durability: DurabilityConfig::disabled(),
         }
     }
 }
@@ -128,6 +138,21 @@ impl EngineConfig {
     /// Builder-style: pick the host executor (serial or `parallel(n)`).
     pub fn with_executor(mut self, executor: ExecutorChoice) -> Self {
         self.executor = executor;
+        self
+    }
+
+    /// Builder-style: enable bulk-granular redo logging into `dir` with the
+    /// default `PerBulk` fsync policy (see
+    /// [`EngineConfig::with_durability_config`] for the other policies).
+    pub fn with_durability(self, dir: impl Into<PathBuf>) -> Self {
+        self.with_durability_config(DurabilityConfig::at(dir))
+    }
+
+    /// Builder-style: full durability configuration (directory + fsync
+    /// policy, e.g. `DurabilityConfig::at(dir).with_fsync(FsyncPolicy::
+    /// EveryN(8))`).
+    pub fn with_durability_config(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
         self
     }
 }
@@ -197,6 +222,7 @@ impl PipelineConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gputx_durability::FsyncPolicy;
 
     #[test]
     fn default_matches_paper_setup() {
@@ -227,6 +253,19 @@ mod tests {
     #[test]
     fn default_executor_is_serial() {
         assert_eq!(EngineConfig::default().executor, ExecutorChoice::Serial);
+    }
+
+    #[test]
+    fn durability_disabled_by_default_and_builders_apply() {
+        let c = EngineConfig::default();
+        assert!(!c.durability.enabled());
+        let c = c.with_durability_config(
+            DurabilityConfig::at("/tmp/gputx-wal").with_fsync(FsyncPolicy::EveryN(4)),
+        );
+        assert!(c.durability.enabled());
+        assert_eq!(c.durability.fsync, FsyncPolicy::EveryN(4));
+        let c = EngineConfig::default().with_durability("/tmp/gputx-wal");
+        assert_eq!(c.durability.fsync, FsyncPolicy::PerBulk);
     }
 
     #[test]

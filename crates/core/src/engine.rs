@@ -13,6 +13,7 @@ use crate::pipeline::PipelinedGpuTx;
 use crate::profiler::{profile_bulk, BulkProfile};
 use crate::select::choose_strategy;
 use crate::strategy::{execute_bulk, ExecContext, StrategyKind};
+use gputx_durability::{Durability, DurabilityStats};
 use gputx_sim::{Gpu, SimDuration, Throughput};
 use gputx_storage::{Database, Value};
 use gputx_txn::{ProcedureRegistry, TransactionPool, TxnId, TxnOutcome, TxnTypeId};
@@ -37,15 +38,28 @@ pub struct GpuTxEngine {
     reports: Vec<BulkReport>,
     results: Vec<TxnResult>,
     load_time: SimDuration,
+    /// Redo logging, when `config.durability` names a directory: each
+    /// committed bulk appends one record; `checkpoint` snapshots and
+    /// truncates.
+    durability: Option<Durability>,
 }
 
 impl GpuTxEngine {
     /// Create an engine: allocates the database in device memory and accounts
     /// for the initial host→device load (the "initialization" transfer of
     /// Figure 16).
+    ///
+    /// With durability configured, the engine writes the initial checkpoint
+    /// of `db` and opens a fresh write-ahead log before accepting work, so
+    /// recovery is self-contained from the first bulk onward. Panics if the
+    /// durability directory cannot be initialized — an engine that silently
+    /// dropped its durability guarantee would be worse than one that refuses
+    /// to start.
     pub fn new(db: Database, registry: ProcedureRegistry, config: EngineConfig) -> Self {
         let mut gpu = Gpu::new(config.device.clone());
         let load_time = db.load_to_device(&mut gpu);
+        let durability = Durability::from_config(&config.durability, &db)
+            .unwrap_or_else(|e| panic!("cannot initialize durability: {e}"));
         GpuTxEngine {
             gpu,
             db,
@@ -55,6 +69,7 @@ impl GpuTxEngine {
             reports: Vec::new(),
             results: Vec::new(),
             load_time,
+            durability,
         }
     }
 
@@ -92,13 +107,22 @@ impl GpuTxEngine {
         self.execute_pending_with(strategy)
     }
 
-    /// Generate and execute one bulk with an explicit strategy.
+    /// Generate and execute one bulk with an explicit strategy. With
+    /// durability enabled, the bulk's redo record is appended (and fsynced
+    /// per policy) before this returns — the group-commit point of the
+    /// one-shot engine.
     pub fn execute_pending_with(&mut self, strategy: StrategyKind) -> Option<BulkReport> {
         if self.pool.is_empty() {
             return None;
         }
         let sigs = self.pool.drain(self.config.bulk_size);
         let bulk = Bulk::new(sigs);
+        // Arm dirty-field tracking so the bulk's physical writes can be read
+        // back into its redo record after commit.
+        let capture = self
+            .durability
+            .as_ref()
+            .map(|_| gputx_durability::WriteCapture::begin(&mut self.db));
         let mut ctx = ExecContext {
             gpu: &mut self.gpu,
             db: &mut self.db,
@@ -106,6 +130,11 @@ impl GpuTxEngine {
             config: &self.config,
         };
         let outcome = execute_bulk(&mut ctx, strategy, &bulk);
+        if let (Some(durability), Some(capture)) = (self.durability.as_mut(), capture) {
+            durability
+                .commit_bulk(capture, &mut self.db)
+                .unwrap_or_else(|e| panic!("durability log append failed: {e}"));
+        }
         for (id, o) in &outcome.outcomes {
             self.results.push(TxnResult {
                 id: *id,
@@ -183,6 +212,28 @@ impl GpuTxEngine {
         self.reports.iter().map(|r| r.aborted).sum()
     }
 
+    /// Take a durability checkpoint: snapshot the current database state and
+    /// truncate the write-ahead log. No-op returning `false` when durability
+    /// is disabled; panics on I/O failure (like the logging path, a silently
+    /// dropped snapshot would forfeit the durability guarantee).
+    pub fn checkpoint(&mut self) -> bool {
+        match self.durability.as_mut() {
+            Some(durability) => {
+                durability
+                    .checkpoint(&self.db)
+                    .unwrap_or_else(|e| panic!("durability checkpoint failed: {e}"));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Durability cost accounting (records, bytes, fsyncs, logging seconds);
+    /// `None` when durability is disabled.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.durability.as_ref().map(|d| d.stats())
+    }
+
     /// Convert this one-shot engine into the streaming
     /// [`PipelinedGpuTx`]: the database, registry and configuration carry
     /// over, and any transactions still pending in the pool are re-submitted
@@ -190,6 +241,9 @@ impl GpuTxEngine {
     /// order, which preserves their relative order).
     pub fn into_pipelined(mut self, pipeline: PipelineConfig) -> PipelinedGpuTx {
         let pending = self.pool.drain_all();
+        // Release this engine's log writer before the pipeline re-initializes
+        // the same durability directory (fresh checkpoint + truncated log).
+        drop(self.durability.take());
         let streaming = PipelinedGpuTx::new(self.db, self.registry, self.config, pipeline);
         for sig in pending {
             // The engine just started, so submissions cannot fail; tickets

@@ -29,7 +29,7 @@
 //!   collect results.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bulk;
 pub mod config;

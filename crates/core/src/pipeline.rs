@@ -21,6 +21,7 @@ use crate::config::{EngineConfig, PipelineConfig, StrategyChoice};
 use crate::profiler::profile_bulk;
 use crate::select::choose_strategy;
 use crate::strategy::{execute_bulk, ExecContext, StrategyKind};
+use gputx_durability::Durability;
 use gputx_exec::{
     run_txn_planned, BulkPlanner, BulkRunner, ExecError, ExecPolicy, Executor, PipelineError,
     PipelineOptions, PipelineStats, PipelinedEngine, Ticket,
@@ -161,6 +162,13 @@ pub struct GpuTxRunner {
     registry: ProcedureRegistry,
     executor: Box<dyn Executor>,
     policy: ExecPolicy,
+    /// Redo logging, when the engine config names a durability directory.
+    /// The execution stage is the pipeline's group-commit point: a bulk's
+    /// record is appended (and fsynced per policy) before the bulk reaches
+    /// the commit stage, so tickets resolve only after their bulk is durable
+    /// per policy — the fsync wait is naturally folded into the ticket
+    /// latencies `PipelineStats` reports as p50/p99.
+    durability: Option<Durability>,
 }
 
 impl GpuTxRunner {
@@ -253,6 +261,14 @@ impl BulkRunner for GpuTxRunner {
         if let Some(access) = plan.access.as_mut() {
             access.revalidate(&self.db);
         }
+        // Arm dirty-field tracking so the bulk's physical writes can be read
+        // back into its redo record after commit. Unlike the access plan,
+        // the capture cannot move to the grouping stage: it brackets the
+        // live database's mutation window.
+        let capture = self
+            .durability
+            .as_ref()
+            .map(|_| gputx_durability::WriteCapture::begin(&mut self.db));
         let mut outcomes = Vec::with_capacity(bulk.len());
         if let Err(e) = self.run_plan(&bulk, &plan, &mut outcomes) {
             self.discard_insert_buffers();
@@ -260,6 +276,20 @@ impl BulkRunner for GpuTxRunner {
         }
         self.db.apply_insert_buffers();
         outcomes.sort_by_key(|(id, _)| *id);
+        if let (Some(durability), Some(capture)) = (self.durability.as_mut(), capture) {
+            // Group commit: the record (and its policy-driven fsync) must
+            // land before the commit stage resolves this bulk's tickets. An
+            // append failure fails this bulk's tickets AND poisons the log
+            // writer, so every later bulk's tickets fail too — the
+            // functional effects are applied, but nobody is ever told
+            // "durable" for work the log cannot reproduce. A checkpoint
+            // (full snapshot + fresh log epoch) is the way back.
+            durability.commit_bulk(capture, &mut self.db).map_err(|e| {
+                ExecError::LogAppendFailed {
+                    message: e.to_string(),
+                }
+            })?;
+        }
         Ok(outcomes)
     }
 
@@ -303,6 +333,8 @@ impl PipelinedGpuTx {
             engine_config.strategy,
             StrategyChoice::ForceKset | StrategyChoice::Auto
         );
+        let durability = Durability::from_config(&engine_config.durability, &db)
+            .unwrap_or_else(|e| panic!("cannot initialize durability: {e}"));
         let planner = GpuTxPlanner {
             registry: registry.clone(),
             snapshot: needs_snapshot.then(|| db.clone()),
@@ -313,6 +345,7 @@ impl PipelinedGpuTx {
             registry,
             executor: pipeline.executor.build(),
             policy: ExecPolicy::functional(),
+            durability,
         };
         let opts = PipelineOptions {
             max_bulk_size: pipeline.max_bulk_size,

@@ -13,6 +13,7 @@
 //! its slowest core finishes.
 
 use crate::cost::{trace_cpu_seconds, CPU_DISPATCH_OVERHEAD_NS};
+use gputx_durability::Durability;
 use gputx_exec::{ExecError, ExecPolicy, Executor, ExecutorChoice};
 use gputx_sim::{CpuSpec, SimDuration, Throughput};
 use gputx_storage::Database;
@@ -36,6 +37,10 @@ pub struct CpuBulkReport {
     pub committed: usize,
     /// Aborted transaction count.
     pub aborted: usize,
+    /// Per-transaction outcomes in timestamp order — the CPU engine's result
+    /// pool, mirroring what `GpuTxEngine::results` exposes per bulk (the
+    /// engine previously reported counts only).
+    pub outcomes: Vec<(TxnId, TxnOutcome)>,
 }
 
 impl CpuBulkReport {
@@ -46,6 +51,47 @@ impl CpuBulkReport {
 }
 
 /// The H-Store-style partitioned CPU engine.
+///
+/// # Examples
+///
+/// Build a one-table bank, register a deposit procedure, and run a bulk on
+/// the paper's quad-core CPU model:
+///
+/// ```
+/// use gputx_cpu::engine::CpuEngine;
+/// use gputx_storage::schema::{ColumnDef, TableSchema};
+/// use gputx_storage::{DataItemId, Database, DataType, Value};
+/// use gputx_txn::{BasicOp, ProcedureDef, ProcedureRegistry, TxnSignature};
+///
+/// let mut db = Database::column_store();
+/// let t = db.create_table(TableSchema::new(
+///     "accounts",
+///     vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("balance", DataType::Double)],
+///     vec![0],
+/// ));
+/// for i in 0..8i64 {
+///     db.table_mut(t).insert(vec![Value::Int(i), Value::Double(0.0)]);
+/// }
+/// let mut reg = ProcedureRegistry::new();
+/// reg.register(ProcedureDef::new(
+///     "deposit",
+///     move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+///     |p| Some(p[0].as_int() as u64),
+///     move |ctx| {
+///         let row = ctx.param_int(0) as u64;
+///         let bal = ctx.read(t, row, 1).as_double();
+///         ctx.write(t, row, 1, Value::Double(bal + 1.0));
+///     },
+/// ));
+///
+/// let bulk: Vec<TxnSignature> = (0..64)
+///     .map(|i| TxnSignature::new(i, 0, vec![Value::Int((i % 8) as i64)]))
+///     .collect();
+/// let report = CpuEngine::xeon_quad_core().execute_bulk(&mut db, &reg, &bulk);
+/// assert_eq!(report.committed, 64);
+/// assert_eq!(db.table(t).get(3, 1), Value::Double(8.0));
+/// assert!(report.throughput().tps() > 0.0);
+/// ```
 #[derive(Debug)]
 pub struct CpuEngine {
     spec: CpuSpec,
@@ -204,6 +250,7 @@ impl CpuEngine {
 
         let slowest = core_busy.iter().copied().fold(0.0f64, f64::max);
         let committed = outcomes.iter().filter(|(_, o)| o.is_committed()).count();
+        outcomes.sort_by_key(|(id, _)| *id);
         Ok(CpuBulkReport {
             transactions: bulk.len(),
             elapsed: SimDuration::from_secs(slowest + cross_time),
@@ -211,7 +258,31 @@ impl CpuEngine {
             cross_partition_time: SimDuration::from_secs(cross_time),
             committed,
             aborted: bulk.len() - committed,
+            outcomes,
         })
+    }
+
+    /// [`CpuEngine::try_execute_bulk`] with redo logging: the bulk's write
+    /// capture brackets the execution and the record is appended (fsynced per
+    /// the durability handle's policy) before this returns — the same
+    /// bulk-boundary group commit the GPU engines use. On an append failure
+    /// the bulk's functional effects are applied but the error tells the
+    /// caller durability was not achieved.
+    pub fn try_execute_bulk_durable(
+        &self,
+        db: &mut Database,
+        registry: &ProcedureRegistry,
+        bulk: &[TxnSignature],
+        durability: &mut Durability,
+    ) -> Result<CpuBulkReport, ExecError> {
+        let capture = durability.begin_bulk(db);
+        let report = self.try_execute_bulk(db, registry, bulk)?;
+        durability
+            .commit_bulk(capture, db)
+            .map_err(|e| ExecError::LogAppendFailed {
+                message: e.to_string(),
+            })?;
+        Ok(report)
     }
 
     /// Execute one maximal run of single-partition transactions as disjoint

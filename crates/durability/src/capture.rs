@@ -1,0 +1,322 @@
+//! Assembling a committed bulk's redo write-set.
+//!
+//! Every execution path in the workspace — serial in-place execution, the
+//! TPL host loop, the H-Store-style CPU engine, and the parallel executor's
+//! commit-order merge — ultimately mutates the committed database through
+//! `Table`'s field setters and delete-flag flips. The capture leans on that
+//! single funnel instead of instrumenting any executor: the storage layer's
+//! *dirty-field tracking* (`Database::set_dirty_tracking`) records which
+//! fields a bulk touched, and the capture reads their **final committed
+//! values** back afterwards.
+//!
+//! The protocol per bulk:
+//!
+//! 1. [`WriteCapture::begin`] — drain (and discard) stale dirty marks, note
+//!    each table's row count.
+//! 2. The bulk executes through any path. Nothing is intercepted; the
+//!    parallel executor's shard overlays record nothing until their net
+//!    cells merge into the base, which is exactly the committed effect.
+//! 3. [`WriteCapture::finish`] — drain the dirty marks and read back, into a
+//!    dense [`ShardDelta`]: the last committed
+//!    value of every touched field, the final delete flag of every flipped
+//!    row, and every row the bulk appended (the row-count delta).
+//!
+//! The result is the bulk's *net* effect — last-writer values only, which is
+//! all redo needs. Aborted transactions need no special handling: on the
+//! serial path their rollback writes re-mark fields whose read-back value is
+//! the rolled-back (committed) one, and on the sharded path their writes
+//! never reach the base at all. Replaying a value equal to what an aborted
+//! transaction restored is an idempotent no-op.
+
+use gputx_storage::shard::FxHashSet;
+use gputx_storage::{Database, RowId, ShardDelta, ShardView, StorageView};
+
+/// Pre-bulk bookkeeping needed to assemble the bulk's redo record after it
+/// commits. See the [module docs](self) for the protocol.
+#[derive(Debug)]
+pub struct WriteCapture {
+    /// Per-table row count at bulk start; rows at or past this mark after
+    /// the bulk are the bulk's inserts.
+    base_rows: Vec<usize>,
+}
+
+impl WriteCapture {
+    /// Arm the capture: enable dirty tracking (discarding marks left by any
+    /// earlier, unlogged activity) and snapshot each table's row count. Call
+    /// immediately before executing the bulk.
+    pub fn begin(db: &mut Database) -> Self {
+        // Re-enabling clears recorded marks, so each capture window starts
+        // empty even though tracking stays on across bulks.
+        db.set_dirty_tracking(true);
+        let base_rows = (0..db.num_tables())
+            .map(|t| db.table(t as u32).num_rows())
+            .collect();
+        WriteCapture { base_rows }
+    }
+
+    /// Read the committed bulk's net effect out of the post-commit database
+    /// (insert buffers already applied).
+    pub fn finish(self, db: &mut Database) -> ShardDelta {
+        let mut delta = ShardDelta::new();
+        {
+            // Marks are read in place (no drain, no allocation); the dedup
+            // sets use the same multiply-xor hash as the overlay itself —
+            // this runs on the group-commit path of every logged bulk.
+            let mut view = ShardView::new(db, &mut delta);
+            let mut seen_fields: FxHashSet<(RowId, u32)> = FxHashSet::default();
+            let mut seen_flags: FxHashSet<RowId> = FxHashSet::default();
+            for t in 0..db.num_tables() {
+                let table = t as u32;
+                let (fields, flags) = db.table(table).dirty_marks();
+                seen_fields.clear();
+                seen_flags.clear();
+                for &(row, col) in fields {
+                    if seen_fields.insert((row, col)) {
+                        let value = db.table(table).get(row, col as usize);
+                        view.set_field(table, row, col as usize, &value);
+                    }
+                }
+                for &row in flags {
+                    if seen_flags.insert(row) {
+                        if db.table(table).is_deleted(row) {
+                            view.mark_deleted(table, row);
+                        } else {
+                            view.unmark_deleted(table, row);
+                        }
+                    }
+                }
+                // The rows this bulk appended, in application (row id)
+                // order. Tags restart at 0 per table: replay re-buffers them
+                // and the tag-ordered batched update reproduces the same ids
+                // in order.
+                let base = self.base_rows[t];
+                for (tag, row) in (base..db.table(table).num_rows()).enumerate() {
+                    view.buffer_insert(table, tag as u64, db.table(table).get_row(row as u64));
+                }
+            }
+        }
+        // Marks consumed: clear them (buffers keep their capacity, so after
+        // warm-up the tracking side of the commit path is allocation-free).
+        for t in 0..db.num_tables() {
+            db.table_mut(t as u32).clear_dirty();
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gputx_storage::schema::{ColumnDef, TableSchema};
+    use gputx_storage::{DataItemId, DataType, Value};
+    use gputx_txn::{BasicOp, ProcedureDef, ProcedureRegistry, TxnSignature};
+
+    fn setup(rows: i64) -> (Database, ProcedureRegistry, u32) {
+        let mut db = Database::column_store();
+        let t = db.create_table(TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("balance", DataType::Double),
+            ],
+            vec![0],
+        ));
+        db.create_index(t, "pk", vec![0], true);
+        for i in 0..rows {
+            db.insert_indexed(t, vec![Value::Int(i), Value::Double(100.0)]);
+        }
+        let mut reg = ProcedureRegistry::new();
+        // 0: deposit(row, amount)
+        reg.register(ProcedureDef::new(
+            "deposit",
+            move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let row = ctx.param_int(0) as u64;
+                let bal = ctx.read(t, row, 1).as_double();
+                ctx.write(t, row, 1, Value::Double(bal + ctx.param_double(1)));
+            },
+        ));
+        // 1: insert a fresh account
+        reg.register(ProcedureDef::new(
+            "open_account",
+            move |p, _| {
+                vec![BasicOp::write(DataItemId::whole_row(
+                    t,
+                    p[0].as_int() as u64,
+                ))]
+            },
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let id = ctx.param_int(0);
+                ctx.insert(t, vec![Value::Int(id), Value::Double(0.0)]);
+            },
+        ));
+        // 2: delete an account
+        reg.register(ProcedureDef::new(
+            "close_account",
+            move |p, _| {
+                vec![BasicOp::write(DataItemId::whole_row(
+                    t,
+                    p[0].as_int() as u64,
+                ))]
+            },
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let row = ctx.param_int(0) as u64;
+                ctx.delete(t, row);
+            },
+        ));
+        // 3: deposit that always aborts after writing
+        reg.register(
+            ProcedureDef::new(
+                "doomed_deposit",
+                move |p, _| vec![BasicOp::write(DataItemId::new(t, p[0].as_int() as u64, 1))],
+                |p| Some(p[0].as_int() as u64),
+                move |ctx| {
+                    let row = ctx.param_int(0) as u64;
+                    ctx.write(t, row, 1, Value::Double(-1.0));
+                    ctx.abort("doomed");
+                },
+            )
+            .not_two_phase(),
+        );
+        (db, reg, t)
+    }
+
+    /// Execute a bulk serially (the reference path) with capture around it;
+    /// returns (post-bulk db, captured delta).
+    fn run_captured(
+        db0: &Database,
+        reg: &ProcedureRegistry,
+        sigs: &[TxnSignature],
+    ) -> (Database, ShardDelta) {
+        let mut db = db0.clone();
+        let capture = WriteCapture::begin(&mut db);
+        for sig in sigs {
+            reg.execute(sig, &mut db);
+        }
+        db.apply_insert_buffers();
+        let delta = capture.finish(&mut db);
+        (db, delta)
+    }
+
+    fn replay(db0: &Database, delta: ShardDelta) -> Database {
+        let mut db = db0.clone();
+        let mut delta = delta;
+        delta.merge_into(&mut db);
+        db.apply_insert_buffers();
+        db
+    }
+
+    #[test]
+    fn captures_updates_inserts_and_deletes() {
+        let (db0, reg, _t) = setup(8);
+        let sigs = vec![
+            TxnSignature::new(0, 0, vec![Value::Int(2), Value::Double(5.0)]),
+            TxnSignature::new(1, 1, vec![Value::Int(100)]),
+            TxnSignature::new(2, 2, vec![Value::Int(4)]),
+            TxnSignature::new(3, 0, vec![Value::Int(2), Value::Double(1.0)]),
+        ];
+        let (live, delta) = run_captured(&db0, &reg, &sigs);
+        assert_eq!(delta.num_buffered_inserts(), 1);
+        let recovered = replay(&db0, delta);
+        assert!(
+            recovered == live,
+            "replay must reproduce the committed state"
+        );
+        assert!(live.table_by_name("accounts").is_deleted(4));
+    }
+
+    #[test]
+    fn aborted_transactions_leave_no_net_trace() {
+        let (db0, reg, _t) = setup(4);
+        let sigs = vec![
+            TxnSignature::new(0, 3, vec![Value::Int(1)]),
+            TxnSignature::new(1, 0, vec![Value::Int(2), Value::Double(3.0)]),
+        ];
+        let (live, delta) = run_captured(&db0, &reg, &sigs);
+        // The aborted write to row 1 was rolled back before the capture read
+        // values, so the record holds the committed 100.0 — replay equals
+        // the live state exactly.
+        let recovered = replay(&db0, delta);
+        assert!(recovered == live);
+        assert_eq!(
+            live.table_by_name("accounts").get(1, 1),
+            Value::Double(100.0)
+        );
+    }
+
+    #[test]
+    fn last_writer_wins_within_a_bulk() {
+        let (db0, reg, t) = setup(4);
+        let sigs: Vec<TxnSignature> = (0..5)
+            .map(|i| TxnSignature::new(i, 0, vec![Value::Int(0), Value::Double(1.0)]))
+            .collect();
+        let (live, delta) = run_captured(&db0, &reg, &sigs);
+        assert_eq!(
+            delta.num_updates(),
+            1,
+            "five deposits to one field collapse to one net cell"
+        );
+        let recovered = replay(&db0, delta);
+        assert!(recovered == live);
+        assert_eq!(live.table(t).get(0, 1), Value::Double(105.0));
+    }
+
+    #[test]
+    fn empty_and_all_aborted_bulks_capture_no_inserts_or_flags() {
+        let (db0, reg, _t) = setup(4);
+        let (live, delta) = run_captured(&db0, &reg, &[]);
+        assert!(delta.is_empty());
+        assert!(live == db0);
+        // A fully aborted bulk records only rolled-back (committed) values —
+        // replay is a no-op on the state.
+        let sigs = vec![TxnSignature::new(0, 3, vec![Value::Int(1)])];
+        let (live, delta) = run_captured(&db0, &reg, &sigs);
+        assert_eq!(delta.num_buffered_inserts(), 0);
+        let recovered = replay(&db0, delta);
+        assert!(recovered == live);
+        assert!(live == db0);
+    }
+
+    #[test]
+    fn writes_outside_declared_sets_are_still_captured() {
+        // A second table the procedure writes without declaring it (the
+        // paper's tree-schema trick: conflicts detected at the root row
+        // only). Dirty tracking must still capture the child write.
+        let (mut db0, mut reg, root_t) = setup(4);
+        let child_t = db0.create_table(TableSchema::new(
+            "child",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            vec![0],
+        ));
+        for i in 0..4i64 {
+            db0.table_mut(child_t)
+                .insert(vec![Value::Int(i), Value::Int(0)]);
+        }
+        reg.register(ProcedureDef::new(
+            "root_declared_child_write",
+            move |p, _| {
+                vec![BasicOp::write(DataItemId::whole_row(
+                    root_t,
+                    p[0].as_int() as u64,
+                ))]
+            },
+            |p| Some(p[0].as_int() as u64),
+            move |ctx| {
+                let row = ctx.param_int(0) as u64;
+                ctx.write(child_t, row, 1, Value::Int(99));
+            },
+        ));
+        let sigs = vec![TxnSignature::new(0, 4, vec![Value::Int(2)])];
+        let (live, delta) = run_captured(&db0, &reg, &sigs);
+        assert_eq!(delta.num_updates(), 1);
+        let recovered = replay(&db0, delta);
+        assert!(recovered == live);
+        assert_eq!(live.table(child_t).get(2, 1), Value::Int(99));
+    }
+}

@@ -55,6 +55,14 @@ pub enum ExecError {
         /// Stringified panic payload.
         message: String,
     },
+    /// The durability layer failed to persist the bulk's redo record (disk
+    /// full, I/O error). The bulk's *functional* effects were applied before
+    /// the append was attempted; callers fail the bulk's completion handles
+    /// so no client mistakes the bulk for durable.
+    LogAppendFailed {
+        /// Stringified I/O error from the write-ahead log.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -62,6 +70,9 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::WorkerPanicked { shard, message } => {
                 write!(f, "executor worker for shard {shard} panicked: {message}")
+            }
+            ExecError::LogAppendFailed { message } => {
+                write!(f, "durability log append failed: {message}")
             }
         }
     }

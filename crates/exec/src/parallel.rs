@@ -528,7 +528,9 @@ mod tests {
             let err = exec
                 .run_groups(&mut db, &reg, &ExecPolicy::functional(), &groups, None)
                 .expect_err("the exploding procedure must fail the bulk");
-            let ExecError::WorkerPanicked { message, .. } = &err;
+            let ExecError::WorkerPanicked { message, .. } = &err else {
+                panic!("expected WorkerPanicked, got {err}");
+            };
             assert!(message.contains("row 37"), "got {err}");
             assert!(db == db0, "no shard delta may be merged on failure");
 

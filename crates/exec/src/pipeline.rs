@@ -450,6 +450,47 @@ where
     /// Submit a transaction. Blocks while the admission queue is full
     /// (backpressure); returns the [`Ticket`] that resolves when the
     /// transaction's bulk commits. Errors once the engine is shut down.
+    ///
+    /// # Examples
+    ///
+    /// A minimal planner/runner pair (the "plan" is the parameter list, the
+    /// runner counts submissions) driven through the full pipeline:
+    ///
+    /// ```
+    /// use gputx_exec::{BulkPlanner, BulkRunner, ExecError, PipelineOptions, PipelinedEngine};
+    /// use gputx_storage::Value;
+    /// use gputx_txn::{TxnId, TxnOutcome, TxnSignature};
+    ///
+    /// struct EchoPlanner;
+    /// impl BulkPlanner for EchoPlanner {
+    ///     type Plan = usize;
+    ///     fn plan(&mut self, bulk: &[TxnSignature]) -> usize { bulk.len() }
+    /// }
+    /// struct CountRunner { total: usize }
+    /// impl BulkRunner for CountRunner {
+    ///     type Plan = usize;
+    ///     type Output = usize;
+    ///     fn run(
+    ///         &mut self,
+    ///         bulk: Vec<TxnSignature>,
+    ///         plan: usize,
+    ///     ) -> Result<Vec<(TxnId, TxnOutcome)>, ExecError> {
+    ///         self.total += plan;
+    ///         Ok(bulk.iter().map(|s| (s.id, TxnOutcome::Committed)).collect())
+    ///     }
+    ///     fn finish(self) -> usize { self.total }
+    /// }
+    ///
+    /// let engine = PipelinedEngine::new(EchoPlanner, CountRunner { total: 0 },
+    ///     PipelineOptions::default());
+    /// let ticket = engine.submit(0, vec![Value::Int(7)]).unwrap();
+    /// let (id, outcome) = ticket.wait().unwrap();
+    /// assert_eq!(id, 0);
+    /// assert!(outcome.is_committed());
+    /// let (total, stats) = engine.finish().unwrap();
+    /// assert_eq!(total, 1);
+    /// assert_eq!(stats.committed, 1);
+    /// ```
     pub fn submit(&self, ty: TxnTypeId, params: Vec<Value>) -> Result<Ticket, PipelineError> {
         let input = self.input.as_ref().ok_or(PipelineError::ShutDown)?;
         let (ticket, slot) = TicketSlot::new();

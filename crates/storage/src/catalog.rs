@@ -5,6 +5,7 @@ use crate::item::DataItemId;
 use crate::schema::TableSchema;
 use crate::table::{RowId, StorageLayout, Table};
 use crate::value::Value;
+use crate::wire::{WireError, WireReader, WireWriter};
 use gputx_sim::{Gpu, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -206,6 +207,16 @@ impl Database {
         DataItemId::new(table, row, col as u32)
     }
 
+    /// Enable or disable dirty-field tracking on every table, clearing any
+    /// recorded marks (see [`Table::set_dirty_tracking`]). The durability
+    /// capture turns this on for the lifetime of a logged engine and drains
+    /// the marks at each bulk boundary.
+    pub fn set_dirty_tracking(&mut self, enabled: bool) {
+        for table in &mut self.tables {
+            table.set_dirty_tracking(enabled);
+        }
+    }
+
     /// Apply every table's insert buffer as a batched update (the post-kernel
     /// step of §3.2), maintaining indexes for the newly visible rows.
     pub fn apply_insert_buffers(&mut self) {
@@ -258,6 +269,59 @@ impl Database {
             }
         }
         out
+    }
+
+    /// Encode the complete database state for checkpointing: layout, every
+    /// table (schema, data, delete bitmap, insert buffer) and every index
+    /// (definition plus entries). The encoding is self-contained — decoding
+    /// needs no schema registry — and `decode(encode(db)) == db` under the
+    /// catalog's content equality.
+    ///
+    /// Framing, versioning and checksums are the caller's job; the durability
+    /// crate (`gputx-durability`) wraps this in its checkpoint file format.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.put_u8(match self.layout {
+            StorageLayout::Column => 0,
+            StorageLayout::Row => 1,
+        });
+        w.put_len(self.tables.len());
+        for (t, table) in self.tables.iter().enumerate() {
+            table.encode_into(w);
+            w.put_len(self.indexes[t].len());
+            for idx in &self.indexes[t] {
+                idx.encode_into(w);
+            }
+        }
+    }
+
+    /// Decode a database encoded by [`Database::encode_into`]. Table ids are
+    /// assigned in encode order, so ids, index handles and row ids resolved
+    /// against the original database stay valid against the decoded one.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Database, WireError> {
+        let layout = match r.get_u8()? {
+            0 => StorageLayout::Column,
+            1 => StorageLayout::Row,
+            tag => return Err(WireError::Invalid(format!("unknown layout tag {tag}"))),
+        };
+        let n_tables = r.get_len()?;
+        let mut db = Database::new(layout);
+        for _ in 0..n_tables {
+            let table = Table::decode(r)?;
+            let name = table.schema().name.clone();
+            if db.names.contains_key(&name) {
+                return Err(WireError::Invalid(format!("duplicate table {name}")));
+            }
+            let id = db.tables.len() as TableId;
+            db.names.insert(name, id);
+            db.tables.push(table);
+            let n_indexes = r.get_len()?;
+            let mut indexes = Vec::with_capacity(n_indexes);
+            for _ in 0..n_indexes {
+                indexes.push(HashIndex::decode(r)?);
+            }
+            db.indexes.push(indexes);
+        }
+        Ok(db)
     }
 
     /// Account for loading the database into GPU device memory: allocates the

@@ -9,6 +9,7 @@
 
 use crate::schema::TableSchema;
 use crate::value::{DataType, Value};
+use crate::wire::{WireError, WireReader, WireWriter};
 use serde::{Deserialize, Serialize};
 
 /// Storage for one column.
@@ -31,12 +32,25 @@ pub enum ColumnData {
 /// live slot is guaranteed to span valid UTF-8. That invariant lets [`StrColumn::get`]
 /// skip UTF-8 re-validation on the hot read path (validation happens once, at
 /// write time, for free via the type system).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct StrColumn {
     /// Per-row descriptors into `heap`.
     slots: Vec<(u64, u32)>,
     /// Concatenated string bytes.
     heap: Vec<u8>,
+}
+
+/// Equality is *logical*: two columns are equal when every row resolves to
+/// the same string. The raw heap is deliberately not compared — `set`
+/// re-points descriptors and leaves the old bytes as garbage, so two columns
+/// that went through different write histories (e.g. a live database versus
+/// one rebuilt by redo-log replay, which only writes each field's final
+/// value) hold the same rows over different heap bytes. Garbage is not state.
+impl PartialEq for StrColumn {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots.len() == other.slots.len()
+            && (0..self.slots.len()).all(|row| self.span(row) == other.span(row))
+    }
 }
 
 // Deliberately NOT derived: a derived `Deserialize` would construct
@@ -77,6 +91,40 @@ impl StrColumn {
         let offset = self.heap.len() as u64;
         self.heap.extend_from_slice(value.as_bytes());
         self.slots[row] = (offset, value.len() as u32);
+    }
+
+    /// The raw byte span of one row (used by the logical equality above
+    /// without allocating a `String` per row).
+    #[inline]
+    fn span(&self, row: usize) -> &[u8] {
+        let (offset, len) = self.slots[row];
+        &self.heap[offset as usize..offset as usize + len as usize]
+    }
+
+    /// Encode the column's logical content (row count + per-row strings).
+    /// Garbage heap bytes are dropped, so a decode produces a compacted heap;
+    /// the logical `PartialEq` above makes that round trip an equality.
+    pub(crate) fn encode_into(&self, w: &mut WireWriter) {
+        w.put_len(self.slots.len());
+        for row in 0..self.slots.len() {
+            let span = self.span(row);
+            // Spans were copied from `&str` at write time, so this re-encodes
+            // valid UTF-8 verbatim (the same framing `put_str` uses).
+            w.put_len(span.len());
+            w.put_bytes(span);
+        }
+    }
+
+    /// Decode a column encoded by [`StrColumn::encode_into`], re-validating
+    /// UTF-8 so the unchecked read invariant holds for decoded heaps too.
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rows = r.get_len()?;
+        let mut col = StrColumn::default();
+        for _ in 0..rows {
+            let s = r.get_str()?;
+            col.push(&s);
+        }
+        Ok(col)
     }
 
     /// Read one row without re-validating UTF-8.
@@ -219,6 +267,54 @@ impl ColumnData {
             ColumnData::Str(col) => col.bytes(),
         }
     }
+
+    /// Encode the column (type tag + flat payload) for checkpointing.
+    pub(crate) fn encode_into(&self, w: &mut WireWriter) {
+        match self {
+            ColumnData::Int(v) => {
+                w.put_u8(0);
+                w.put_len(v.len());
+                for &x in v {
+                    w.put_i64(x);
+                }
+            }
+            ColumnData::Double(v) => {
+                w.put_u8(1);
+                w.put_len(v.len());
+                for &x in v {
+                    w.put_f64(x);
+                }
+            }
+            ColumnData::Str(col) => {
+                w.put_u8(2);
+                col.encode_into(w);
+            }
+        }
+    }
+
+    /// Decode a column encoded by [`ColumnData::encode_into`].
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => {
+                let len = r.get_len()?;
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(r.get_i64()?);
+                }
+                Ok(ColumnData::Int(v))
+            }
+            1 => {
+                let len = r.get_len()?;
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(r.get_f64()?);
+                }
+                Ok(ColumnData::Double(v))
+            }
+            2 => Ok(ColumnData::Str(StrColumn::decode(r)?)),
+            tag => Err(WireError::Invalid(format!("unknown column tag {tag}"))),
+        }
+    }
 }
 
 /// A table stored column-wise.
@@ -308,6 +404,33 @@ impl ColumnStore {
             .filter(|(_, def)| def.device_resident)
             .map(|(c, _)| c.bytes())
             .sum()
+    }
+
+    /// Encode every column plus the row count for checkpointing.
+    pub(crate) fn encode_into(&self, w: &mut WireWriter) {
+        w.put_len(self.rows);
+        w.put_len(self.columns.len());
+        for col in &self.columns {
+            col.encode_into(w);
+        }
+    }
+
+    /// Decode a store encoded by [`ColumnStore::encode_into`].
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rows = r.get_len()?;
+        let n_cols = r.get_len()?;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let col = ColumnData::decode(r)?;
+            if col.len() != rows {
+                return Err(WireError::Invalid(format!(
+                    "column holds {} rows, store declares {rows}",
+                    col.len()
+                )));
+            }
+            columns.push(col);
+        }
+        Ok(ColumnStore { columns, rows })
     }
 }
 

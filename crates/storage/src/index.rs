@@ -8,6 +8,7 @@
 
 use crate::table::RowId;
 use crate::value::Value;
+use crate::wire::{WireError, WireReader, WireWriter};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -149,6 +150,70 @@ impl HashIndex {
         // Bucket array + one 8-byte key hash and 8-byte row id per entry.
         let entries: u64 = self.entries.values().map(|v| v.len() as u64).sum();
         16 * entries + 8 * self.entries.len() as u64
+    }
+
+    /// Encode the index definition and entries for checkpointing. Hash-map
+    /// iteration order varies run to run, but equality over decoded indexes
+    /// is content-based, so the byte order is immaterial.
+    pub(crate) fn encode_into(&self, w: &mut WireWriter) {
+        w.put_str(&self.name);
+        w.put_len(self.columns.len());
+        for &c in &self.columns {
+            w.put_len(c);
+        }
+        w.put_u8(self.unique as u8);
+        w.put_len(self.entries.len());
+        for (key, rows) in &self.entries {
+            w.put_len(key.0.len());
+            for v in &key.0 {
+                w.put_value(v);
+            }
+            w.put_len(rows.len());
+            for &row in rows {
+                w.put_u64(row);
+            }
+        }
+    }
+
+    /// Decode an index encoded by [`HashIndex::encode_into`]. The mutation
+    /// counter restarts at zero — it is bookkeeping for access-plan
+    /// revalidation within one engine run, not persistent state (and it is
+    /// excluded from equality for the same reason).
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let name = r.get_str()?;
+        let n_cols = r.get_len()?;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            columns.push(r.get_len()?);
+        }
+        let unique = r.get_u8()? != 0;
+        let n_entries = r.get_len()?;
+        let mut entries = HashMap::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let key_len = r.get_len()?;
+            let mut key = Vec::with_capacity(key_len);
+            for _ in 0..key_len {
+                key.push(r.get_value()?);
+            }
+            let n_rows = r.get_len()?;
+            if unique && n_rows > 1 {
+                return Err(WireError::Invalid(format!(
+                    "unique index {name} decodes {n_rows} rows for one key"
+                )));
+            }
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                rows.push(r.get_u64()?);
+            }
+            entries.insert(IndexKey(key), rows);
+        }
+        Ok(HashIndex {
+            name,
+            columns,
+            unique,
+            entries,
+            version: 0,
+        })
     }
 }
 

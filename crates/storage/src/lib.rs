@@ -25,12 +25,15 @@
 //!   residency accounting.
 //! * [`item`] — compact identifiers for individual data fields, the
 //!   granularity at which GPUTx detects conflicts (§3.2, §4.1).
+//! * [`wire`] — binary (de)serialization primitives: the typed-cell codec for
+//!   [`ShardDelta`] redo payloads and whole-[`Database`] checkpoint
+//!   snapshots used by the durability subsystem (`gputx-durability`).
 
 // `deny` instead of `forbid`: the column store's string heap read opts out
 // locally (one `from_utf8_unchecked` whose validity is established at write
 // time); everything else stays safe code.
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod catalog;
 pub mod column_store;
@@ -43,6 +46,7 @@ pub mod shard;
 pub mod table;
 pub mod value;
 pub mod view;
+pub mod wire;
 
 pub use catalog::{Database, IndexId};
 pub use item::DataItemId;
@@ -51,3 +55,4 @@ pub use shard::{ShardDelta, ShardView};
 pub use table::{RowId, StorageLayout, Table};
 pub use value::{DataType, Value};
 pub use view::StorageView;
+pub use wire::{WireError, WireReader, WireWriter};

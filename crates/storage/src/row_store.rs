@@ -8,6 +8,7 @@
 
 use crate::schema::TableSchema;
 use crate::value::Value;
+use crate::wire::{WireError, WireReader, WireWriter};
 use serde::{Deserialize, Serialize};
 
 /// A table stored row-wise.
@@ -70,6 +71,33 @@ impl RowStore {
     /// goes to the device, so this equals [`RowStore::total_bytes`].
     pub fn device_bytes(&self) -> u64 {
         self.total_bytes()
+    }
+
+    /// Encode every row for checkpointing (the row width is re-derived from
+    /// the schema on decode).
+    pub(crate) fn encode_into(&self, w: &mut WireWriter) {
+        w.put_len(self.rows.len());
+        for row in &self.rows {
+            w.put_len(row.len());
+            for v in row {
+                w.put_value(v);
+            }
+        }
+    }
+
+    /// Decode a store encoded by [`RowStore::encode_into`].
+    pub(crate) fn decode(r: &mut WireReader<'_>, schema: &TableSchema) -> Result<Self, WireError> {
+        let n_rows = r.get_len()?;
+        let mut store = RowStore::new(schema);
+        for _ in 0..n_rows {
+            let arity = r.get_len()?;
+            let mut row = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                row.push(r.get_value()?);
+            }
+            store.rows.push(row);
+        }
+        Ok(store)
     }
 }
 

@@ -42,6 +42,7 @@ use crate::catalog::{Database, TableId};
 use crate::table::RowId;
 use crate::value::Value;
 use crate::view::StorageView;
+use crate::wire::{WireError, WireReader, WireWriter};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -97,6 +98,11 @@ impl Hasher for FxHasher {
 /// `HashMap` keyed with [`FxHasher`] — exported for other crates that index
 /// by small integer tuples on a hot path (e.g. access-plan spans).
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`] — the set counterpart of
+/// [`FxHashMap`], used e.g. by the durability capture to deduplicate dirty
+/// field marks on the group-commit path.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
 
 /// One buffered field value. Scalars are stored unboxed so the common case
 /// (integer and double columns — every device-resident column in the bundled
@@ -230,6 +236,101 @@ impl ShardDelta {
                 });
             }
         }
+    }
+
+    /// Encode the delta's typed cells, buffered inserts and delete flags —
+    /// the redo payload of a bulk log record (`gputx-durability`). Scalar
+    /// cells are written unboxed (tag + 8 bytes), exactly mirroring the dense
+    /// in-memory representation; insert buffers and delete flags are encoded
+    /// in ascending table/row order so the byte stream is deterministic for a
+    /// given delta.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.put_len(self.slots.len());
+        for slot in &self.slots {
+            w.put_u32(slot.table);
+            w.put_u64(slot.row);
+            w.put_u32(slot.col);
+            match &slot.cell {
+                Cell::I64(v) => {
+                    w.put_u8(0);
+                    w.put_i64(*v);
+                }
+                Cell::F64(v) => {
+                    w.put_u8(1);
+                    w.put_f64(*v);
+                }
+                Cell::Val(v) => {
+                    w.put_u8(2);
+                    w.put_value(v);
+                }
+            }
+        }
+        let mut tables: Vec<&TableId> = self.inserts.keys().collect();
+        tables.sort_unstable();
+        w.put_len(tables.len());
+        for &table in tables {
+            w.put_u32(table);
+            let rows = &self.inserts[&table];
+            w.put_len(rows.len());
+            for (tag, row) in rows {
+                w.put_u64(*tag);
+                w.put_len(row.len());
+                for v in row {
+                    w.put_value(v);
+                }
+            }
+        }
+        let mut deleted: Vec<(&(TableId, RowId), &bool)> = self.deleted.iter().collect();
+        deleted.sort_unstable_by_key(|(key, _)| **key);
+        w.put_len(deleted.len());
+        for ((table, row), &flag) in deleted {
+            w.put_u32(*table);
+            w.put_u64(*row);
+            w.put_u8(flag as u8);
+        }
+    }
+
+    /// Decode a delta encoded by [`ShardDelta::encode_into`]. The field→slot
+    /// map is rebuilt, so the decoded delta behaves exactly like the one that
+    /// was encoded (reads, further writes, [`ShardDelta::merge_into`]).
+    pub fn decode(r: &mut WireReader<'_>) -> Result<ShardDelta, WireError> {
+        let mut delta = ShardDelta::new();
+        let n_slots = r.get_len()?;
+        for _ in 0..n_slots {
+            let table = r.get_u32()?;
+            let row = r.get_u64()?;
+            let col = r.get_u32()?;
+            let cell = match r.get_u8()? {
+                0 => Cell::I64(r.get_i64()?),
+                1 => Cell::F64(r.get_f64()?),
+                2 => Cell::Val(r.get_value()?),
+                tag => return Err(WireError::Invalid(format!("unknown cell tag {tag}"))),
+            };
+            delta.write_cell(table, row, col, cell);
+        }
+        let n_tables = r.get_len()?;
+        for _ in 0..n_tables {
+            let table = r.get_u32()?;
+            let n_rows = r.get_len()?;
+            let rows = delta.inserts.entry(table).or_default();
+            for _ in 0..n_rows {
+                let tag = r.get_u64()?;
+                let arity = r.get_len()?;
+                let mut row = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    row.push(r.get_value()?);
+                }
+                rows.push((tag, row));
+            }
+        }
+        let n_deleted = r.get_len()?;
+        for _ in 0..n_deleted {
+            let table = r.get_u32()?;
+            let row = r.get_u64()?;
+            let flag = r.get_u8()? != 0;
+            delta.deleted.insert((table, row), flag);
+        }
+        Ok(delta)
     }
 
     /// Apply the delta to the database and drain it (the delta keeps its

@@ -8,8 +8,9 @@
 
 use crate::column_store::ColumnStore;
 use crate::row_store::RowStore;
-use crate::schema::TableSchema;
+use crate::schema::{ColumnDef, TableSchema};
 use crate::value::Value;
+use crate::wire::{WireError, WireReader, WireWriter};
 use serde::{Deserialize, Serialize};
 
 /// Row identifier within a table.
@@ -30,8 +31,27 @@ enum TableData {
     Row(RowStore),
 }
 
+/// Dirty-field tracking used by the durability subsystem: when enabled,
+/// every committed-path mutation (field setters, delete-flag flips) records
+/// which field it touched, so a bulk's physical redo write-set can be read
+/// back after commit without instrumenting any execution path — serial
+/// in-place execution, TPL, the CPU engine and the parallel executor's
+/// commit-order merge all funnel through these setters.
+///
+/// Disabled (the default) this costs one predictable branch per setter.
+/// Entries may repeat (each write pushes); consumers deduplicate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct DirtyLog {
+    enabled: bool,
+    /// `(row, col)` of every field written since the last drain.
+    fields: Vec<(RowId, u32)>,
+    /// Rows whose delete flag was flipped (either direction) since the last
+    /// drain.
+    flags: Vec<RowId>,
+}
+
 /// A table: schema + data + insert buffer + delete bitmap.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     schema: TableSchema,
     data: TableData,
@@ -40,6 +60,19 @@ pub struct Table {
     /// transaction, so the batched update can apply them in timestamp order
     /// regardless of the execution strategy's functional order.
     insert_buffer: Vec<(u64, Vec<Value>)>,
+    /// Redo-capture bookkeeping; excluded from equality like the index
+    /// mutation counters (it describes *how* the state was reached, not the
+    /// state).
+    dirty: DirtyLog,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.data == other.data
+            && self.deleted == other.deleted
+            && self.insert_buffer == other.insert_buffer
+    }
 }
 
 impl Table {
@@ -54,7 +87,32 @@ impl Table {
             data,
             deleted: Vec::new(),
             insert_buffer: Vec::new(),
+            dirty: DirtyLog::default(),
         }
+    }
+
+    /// Enable or disable dirty-field tracking, clearing any recorded marks.
+    /// Enabled by the durability capture for the lifetime of a logged engine;
+    /// freshly built and decoded tables start disabled.
+    pub fn set_dirty_tracking(&mut self, enabled: bool) {
+        self.dirty.enabled = enabled;
+        self.dirty.fields.clear();
+        self.dirty.flags.clear();
+    }
+
+    /// The recorded dirty marks since tracking was last enabled or cleared:
+    /// `(written fields, flipped delete-flag rows)`, in mutation order,
+    /// possibly with repeats (consumers deduplicate).
+    pub fn dirty_marks(&self) -> (&[(RowId, u32)], &[RowId]) {
+        (&self.dirty.fields, &self.dirty.flags)
+    }
+
+    /// Clear the recorded dirty marks, keeping the buffers' capacity (the
+    /// durability capture drains marks once per bulk; retaining capacity
+    /// keeps the commit path allocation-free after warm-up).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fields.clear();
+        self.dirty.flags.clear();
     }
 
     /// The table schema.
@@ -152,6 +210,9 @@ impl Table {
 
     /// Write one field.
     pub fn set(&mut self, row: RowId, col: usize, value: &Value) {
+        if self.dirty.enabled {
+            self.dirty.fields.push((row, col as u32));
+        }
         match &mut self.data {
             TableData::Column(c) => c.set(row as usize, col, value),
             TableData::Row(r) => r.set(row as usize, col, value),
@@ -182,6 +243,9 @@ impl Table {
     /// Write one integer field without materializing a [`Value`].
     #[inline]
     pub fn set_i64(&mut self, row: RowId, col: usize, value: i64) {
+        if self.dirty.enabled {
+            self.dirty.fields.push((row, col as u32));
+        }
         match &mut self.data {
             TableData::Column(c) => c.set_i64(row as usize, col, value),
             TableData::Row(r) => r.set(row as usize, col, &Value::Int(value)),
@@ -191,6 +255,9 @@ impl Table {
     /// Write one double field without materializing a [`Value`].
     #[inline]
     pub fn set_f64(&mut self, row: RowId, col: usize, value: f64) {
+        if self.dirty.enabled {
+            self.dirty.fields.push((row, col as u32));
+        }
         match &mut self.data {
             TableData::Column(c) => c.set_f64(row as usize, col, value),
             TableData::Row(r) => r.set(row as usize, col, &Value::Double(value)),
@@ -207,11 +274,17 @@ impl Table {
 
     /// Mark a row deleted.
     pub fn delete(&mut self, row: RowId) {
+        if self.dirty.enabled {
+            self.dirty.flags.push(row);
+        }
         self.deleted[row as usize] = true;
     }
 
     /// Un-delete a row (used by undo-log rollback).
     pub fn undelete(&mut self, row: RowId) {
+        if self.dirty.enabled {
+            self.dirty.flags.push(row);
+        }
         self.deleted[row as usize] = false;
     }
 
@@ -239,6 +312,117 @@ impl Table {
             TableData::Column(c) => c.device_bytes(&self.schema),
             TableData::Row(r) => r.device_bytes(),
         }
+    }
+
+    /// Encode the full table state (schema, data, delete bitmap, insert
+    /// buffer) for checkpointing.
+    pub(crate) fn encode_into(&self, w: &mut WireWriter) {
+        // Schema.
+        w.put_str(&self.schema.name);
+        w.put_len(self.schema.columns.len());
+        for col in &self.schema.columns {
+            w.put_str(&col.name);
+            w.put_data_type(col.data_type);
+            w.put_u8(col.device_resident as u8);
+        }
+        w.put_len(self.schema.primary_key.len());
+        for &pk in &self.schema.primary_key {
+            w.put_len(pk);
+        }
+        // Data.
+        match &self.data {
+            TableData::Column(c) => {
+                w.put_u8(0);
+                c.encode_into(w);
+            }
+            TableData::Row(r) => {
+                w.put_u8(1);
+                r.encode_into(w);
+            }
+        }
+        // Delete bitmap.
+        w.put_len(self.deleted.len());
+        for &flag in &self.deleted {
+            w.put_u8(flag as u8);
+        }
+        // Insert buffer (normally empty in a checkpoint: engines apply the
+        // buffers at bulk commit, before any checkpoint can run).
+        w.put_len(self.insert_buffer.len());
+        for (tag, row) in &self.insert_buffer {
+            w.put_u64(*tag);
+            w.put_len(row.len());
+            for v in row {
+                w.put_value(v);
+            }
+        }
+    }
+
+    /// Decode a table encoded by [`Table::encode_into`].
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let name = r.get_str()?;
+        let n_cols = r.get_len()?;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let col_name = r.get_str()?;
+            let data_type = r.get_data_type()?;
+            let device_resident = r.get_u8()? != 0;
+            columns.push(ColumnDef {
+                name: col_name,
+                data_type,
+                device_resident,
+            });
+        }
+        let n_pk = r.get_len()?;
+        let mut primary_key = Vec::with_capacity(n_pk);
+        for _ in 0..n_pk {
+            primary_key.push(r.get_len()?);
+        }
+        if primary_key.iter().any(|&pk| pk >= columns.len()) {
+            return Err(WireError::Invalid(format!(
+                "primary key out of range in table {name}"
+            )));
+        }
+        let schema = TableSchema::new(name, columns, primary_key);
+        let data = match r.get_u8()? {
+            0 => TableData::Column(ColumnStore::decode(r)?),
+            1 => TableData::Row(RowStore::decode(r, &schema)?),
+            tag => return Err(WireError::Invalid(format!("unknown layout tag {tag}"))),
+        };
+        let n_deleted = r.get_len()?;
+        let mut deleted = Vec::with_capacity(n_deleted);
+        for _ in 0..n_deleted {
+            deleted.push(r.get_u8()? != 0);
+        }
+        let rows = match &data {
+            TableData::Column(c) => c.num_rows(),
+            TableData::Row(rs) => rs.num_rows(),
+        };
+        if deleted.len() != rows {
+            return Err(WireError::Invalid(format!(
+                "delete bitmap covers {} rows, table {} holds {rows}",
+                deleted.len(),
+                schema.name
+            )));
+        }
+        let n_buffered = r.get_len()?;
+        let mut insert_buffer = Vec::with_capacity(n_buffered);
+        for _ in 0..n_buffered {
+            let tag = r.get_u64()?;
+            let arity = r.get_len()?;
+            let mut row = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                row.push(r.get_value()?);
+            }
+            schema.validate_row(&row).map_err(WireError::Invalid)?;
+            insert_buffer.push((tag, row));
+        }
+        Ok(Table {
+            schema,
+            data,
+            deleted,
+            insert_buffer,
+            dirty: DirtyLog::default(),
+        })
     }
 }
 
@@ -325,5 +509,36 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = Table::new(schema(), StorageLayout::Column);
         t.insert(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn dirty_tracking_records_setters_and_flag_flips_only_when_enabled() {
+        let mut t = Table::new(schema(), StorageLayout::Column);
+        for i in 0..3 {
+            t.insert(row(i, 0.0));
+        }
+        // Disabled (the default): nothing is recorded.
+        t.set(0, 1, &Value::Double(1.0));
+        t.delete(1);
+        assert_eq!(t.dirty_marks(), (&[][..], &[][..]));
+        // Enabled: every setter and flag flip pushes a mark, repeats and all.
+        t.set_dirty_tracking(true);
+        t.set(0, 1, &Value::Double(2.0));
+        t.set_f64(0, 1, 3.0);
+        t.set_i64(2, 0, 9);
+        t.undelete(1);
+        let (fields, flags) = t.dirty_marks();
+        assert_eq!(fields, &[(0, 1), (0, 1), (2, 0)]);
+        assert_eq!(flags, &[1]);
+        // Clearing keeps tracking on; inserts are not field marks (the
+        // capture derives them from the row-count delta instead).
+        t.clear_dirty();
+        t.insert(row(7, 7.0));
+        assert_eq!(t.dirty_marks(), (&[][..], &[][..]));
+        // The marks are bookkeeping, not state: equality ignores them.
+        t.set(0, 1, &Value::Double(4.0));
+        let mut other = t.clone();
+        other.set_dirty_tracking(false);
+        assert!(t == other);
     }
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Schema check for the bench-smoke JSON artifacts.
 
-Usage: check_artifact.py <kind> <path>   (kind: smoke | pipeline | hotpath)
+Usage: check_artifact.py <kind> <path>   (kind: smoke | pipeline | hotpath | durability)
 
 CI runs this against every figures artifact before uploading it, so a
 silently-empty or truncated figures run (missing keys, zero transactions, no
@@ -78,6 +78,41 @@ SCHEMAS = {
             "tpcb_legacy_ms",
             "tpcb_planned_ms",
             "tpcb_speedup",
+        ],
+    },
+    # `figures -- durability --json`
+    "durability": {
+        "required": {
+            "schema": int,
+            "experiment": str,
+            "transactions": int,
+            "tm1_unlogged_tps": NUMBER,
+            "tm1_perbulk_tps": NUMBER,
+            "tm1_everyn8_tps": NUMBER,
+            "tm1_async_tps": NUMBER,
+            "tm1_wal_bytes": int,
+            "tm1_recovery_ms": NUMBER,
+            "tm1_replayed_bulks": int,
+            "tpcb_unlogged_tps": NUMBER,
+            "tpcb_perbulk_tps": NUMBER,
+            "tpcb_everyn8_tps": NUMBER,
+            "tpcb_async_tps": NUMBER,
+            "tpcb_wal_bytes": int,
+            "tpcb_recovery_ms": NUMBER,
+            "tpcb_replayed_bulks": int,
+        },
+        # A durability run that logged nothing or recovered nothing proves
+        # nothing — the figures binary also hard-asserts recovered == live.
+        "positive": [
+            "transactions",
+            "tm1_unlogged_tps",
+            "tm1_perbulk_tps",
+            "tm1_wal_bytes",
+            "tm1_replayed_bulks",
+            "tpcb_unlogged_tps",
+            "tpcb_perbulk_tps",
+            "tpcb_wal_bytes",
+            "tpcb_replayed_bulks",
         ],
     },
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repository's markdown docs.
+
+Usage: check_links.py <file-or-dir> [...]
+
+Walks every markdown file given (directories are scanned for *.md), extracts
+inline links and images, and fails if a relative link points at a file that
+does not exist. External links (http/https/mailto) are not fetched — CI must
+not flake on the network — and pure in-page anchors (#section) are skipped.
+Anchored file links (path#section) check the file part only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links/images: [text](target) / ![alt](target).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(args: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for arg in args:
+        path = Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+        else:
+            print(f"LINK-CHECK-FAIL: {path}: not a markdown file or directory",
+                  file=sys.stderr)
+            sys.exit(1)
+    return files
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        print(f"usage: {sys.argv[0]} <file-or-dir> [...]", file=sys.stderr)
+        sys.exit(1)
+    files = markdown_files(sys.argv[1:])
+    if not files:
+        print("LINK-CHECK-FAIL: no markdown files found", file=sys.stderr)
+        sys.exit(1)
+    broken: list[str] = []
+    checked = 0
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        # Drop fenced code blocks: links in examples are illustrative.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (md.parent / file_part).resolve()
+            checked += 1
+            if not resolved.exists():
+                broken.append(f"{md}: broken relative link '{target}'")
+    for problem in broken:
+        print(f"LINK-CHECK-FAIL: {problem}", file=sys.stderr)
+    if broken:
+        sys.exit(1)
+    print(f"LINK-CHECK-OK: {checked} relative links across {len(files)} files")
+
+
+if __name__ == "__main__":
+    main()

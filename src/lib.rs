@@ -7,6 +7,7 @@
 
 pub use gputx_core as core;
 pub use gputx_cpu as cpu;
+pub use gputx_durability as durability;
 pub use gputx_exec as exec;
 pub use gputx_sim as sim;
 pub use gputx_storage as storage;
