@@ -1,0 +1,130 @@
+//! Wall-clock throughput of the network front door: TM1 driven through
+//! gputx-server's wire protocol by pipelined gputx-client connections,
+//! closed-loop and rate-paced, over loopback TCP and in-process socket
+//! pairs.
+//!
+//! Besides the criterion samples, the binary prints one `NET-THROUGHPUT`
+//! line per transport × mode × connection count with committed tps and
+//! p50/p99 reply latency. Run with:
+//!
+//! ```text
+//! cargo bench --bench net_throughput
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gputx_client::bench_run::{run_bench, BenchConfig, BenchMode, BenchReport};
+use gputx_client::Client;
+use gputx_core::config::StrategyChoice;
+use gputx_core::{EngineConfig, PipelineConfig, PipelinedGpuTx};
+use gputx_server::{socket_pair, Server};
+use gputx_storage::Value;
+use gputx_txn::TxnTypeId;
+use gputx_workloads::Tm1Config;
+use std::time::Duration;
+
+/// Which transport the clients ride.
+#[derive(Clone, Copy)]
+enum Transport {
+    Tcp,
+    SocketPair,
+}
+
+/// Stand up engine + server, run the harness, tear both down.
+fn run_net(
+    transport: Transport,
+    connections: usize,
+    mode: BenchMode,
+    measure: Duration,
+) -> BenchReport {
+    let mut bundle = Tm1Config { scale_factor: 1 }.build();
+    let type_names: Vec<String> = (0..bundle.registry.num_types())
+        .map(|t| bundle.registry.get(t as TxnTypeId).name.clone())
+        .collect();
+    let streams: Vec<Vec<(TxnTypeId, Vec<Value>)>> =
+        (0..connections).map(|_| bundle.generate(2_048)).collect();
+    let engine = PipelinedGpuTx::new(
+        bundle.db.clone(),
+        bundle.registry.clone(),
+        EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
+        PipelineConfig::default()
+            .with_max_bulk_size(512)
+            .with_max_wait_us(2_000),
+    );
+    let server = Server::new(engine.handle());
+    let config = BenchConfig {
+        connections,
+        mode,
+        warmup: Duration::from_millis(100),
+        measure,
+        max_in_flight: 64,
+    };
+    let report = match transport {
+        Transport::Tcp => {
+            let addr = server.listen("127.0.0.1:0").expect("bind loopback");
+            run_bench(&config, &type_names, &streams, &|_| Client::connect(addr))
+        }
+        Transport::SocketPair => run_bench(&config, &type_names, &streams, &|_| {
+            let (server_end, client_end) = socket_pair()?;
+            server.attach(server_end)?;
+            Client::from_duplex(client_end)
+        }),
+    }
+    .expect("clients connect");
+    server.stop();
+    engine.finish().expect("pipeline stays healthy");
+    assert!(report.is_lossless(), "bench run lost a ticket resolution");
+    report
+}
+
+fn bench_net(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net/tm1");
+    group.sample_size(5);
+    for (label, transport) in [("tcp", Transport::Tcp), ("pair", Transport::SocketPair)] {
+        let id = format!("closed-4conn-{label}");
+        group.bench_function(id.as_str(), |b| {
+            b.iter(|| {
+                black_box(
+                    run_net(transport, 4, BenchMode::Closed, Duration::from_millis(300))
+                        .committed(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn throughput_report(_c: &mut Criterion) {
+    let all_types = |report: &BenchReport, p: f64| -> f64 {
+        // Worst per-type percentile, as a conservative latency summary.
+        report
+            .per_type
+            .iter()
+            .filter_map(|t| t.latency_percentile_us(p))
+            .max()
+            .unwrap_or(0) as f64
+            / 1e3
+    };
+    for (label, transport) in [("tcp", Transport::Tcp), ("pair", Transport::SocketPair)] {
+        for (mode_label, mode, conns) in [
+            ("closed", BenchMode::Closed, 4),
+            ("closed", BenchMode::Closed, 8),
+            ("paced-20k", BenchMode::Paced { rate_tps: 20_000.0 }, 4),
+        ] {
+            let report = run_net(transport, conns, mode, Duration::from_millis(700));
+            println!(
+                "NET-THROUGHPUT {label} {mode_label} {conns}conn: {:.0} tps committed \
+                 ({:.0} tpm), worst-type p50 {:.3} ms, p99 {:.3} ms, \
+                 {} submitted / {} resolved",
+                report.throughput_tps(),
+                report.tpm(),
+                all_types(&report, 50.0),
+                all_types(&report, 99.0),
+                report.submitted_total,
+                report.resolved_total,
+            );
+        }
+    }
+}
+
+criterion_group!(net_throughput, bench_net, throughput_report);
+criterion_main!(net_throughput);

@@ -20,6 +20,12 @@
 //! optional JSON artifact. The extra `durability` experiment measures the
 //! WAL overhead of bulk-granular redo logging (logged vs. unlogged tps under
 //! each fsync policy) and proves crash recovery reproduces the live state.
+//! The extra `net` experiment drives the pipelined engine through the real
+//! network front door (gputx-server over loopback TCP, several closed-loop
+//! client connections) and reports per-transaction-type commit/error counts
+//! and latency percentiles; `net-soak` is its CI hardening twin — more
+//! connections, longer run, hard-failing on any lost or duplicated ticket
+//! resolution.
 
 use gputx_bench::{
     adhoc_cpu_throughput, adhoc_gpu_throughput, cpu_workload_throughput, gpu_workload_throughput,
@@ -114,6 +120,202 @@ fn main() {
     if wanted.contains(&"durability") {
         durability(json_path.as_deref());
     }
+    if wanted.contains(&"net") {
+        net(json_path.as_deref());
+    }
+    if wanted.contains(&"net-soak") {
+        net_soak();
+    }
+}
+
+/// Shared setup for the network experiments: a TM1-backed pipelined engine
+/// behind a real TCP listener on loopback, plus pre-drawn per-connection
+/// transaction streams and type names for the client-side bench harness.
+fn net_run(
+    connections: usize,
+    measure: std::time::Duration,
+    max_bulk: usize,
+) -> (
+    gputx_client::bench_run::BenchReport,
+    gputx_server::ServerStats,
+) {
+    use gputx_client::bench_run::{run_bench, BenchConfig, BenchMode};
+    use gputx_client::Client;
+    use gputx_core::config::StrategyChoice;
+    use gputx_core::{PipelineConfig, PipelinedGpuTx};
+    use gputx_server::Server;
+    use gputx_txn::TxnTypeId;
+
+    let mut bundle = Tm1Config { scale_factor: 1 }.build();
+    let type_names: Vec<String> = (0..bundle.registry.num_types())
+        .map(|t| bundle.registry.get(t as TxnTypeId).name.clone())
+        .collect();
+    let streams: Vec<_> = (0..connections).map(|_| bundle.generate(2_048)).collect();
+    let engine = PipelinedGpuTx::new(
+        bundle.db.clone(),
+        bundle.registry.clone(),
+        EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
+        PipelineConfig::default()
+            .with_max_bulk_size(max_bulk)
+            .with_max_wait_us(2_000),
+    );
+    let server = Server::new(engine.handle());
+    let addr = server
+        .listen("127.0.0.1:0")
+        .expect("bind a loopback listener");
+    let report = run_bench(
+        &BenchConfig {
+            connections,
+            mode: BenchMode::Closed,
+            warmup: std::time::Duration::from_millis(200),
+            measure,
+            max_in_flight: 64,
+        },
+        &type_names,
+        &streams,
+        &|_| Client::connect(addr),
+    )
+    .expect("connect to the loopback server");
+    server.stop();
+    let stats = server.stats();
+    engine
+        .finish()
+        .expect("pipeline stages must stay healthy under network load");
+    (report, stats)
+}
+
+/// Network throughput experiment: several closed-loop client connections
+/// drive TM1 through the wire protocol over loopback TCP; reports
+/// per-transaction-type commit/error counts and latency percentiles plus a
+/// tpm-style weighted summary. CI bench-smoke runs this and schema-checks
+/// the JSON artifact.
+fn net(json_path: Option<&str>) {
+    banner("Network — closed-loop TM1 over loopback TCP (gputx-server)");
+    let connections = 4;
+    let (report, stats) = net_run(connections, std::time::Duration::from_millis(1_500), 512);
+
+    let mut table = TextTable::new(&[
+        "type",
+        "committed",
+        "aborted",
+        "shed",
+        "errors",
+        "p50 (ms)",
+        "p95 (ms)",
+        "p99 (ms)",
+    ]);
+    let ms = |v: Option<u64>| match v {
+        Some(us) => format!("{:.3}", us as f64 / 1e3),
+        None => "-".to_string(),
+    };
+    for t in &report.per_type {
+        table.row(vec![
+            t.name.clone(),
+            t.committed.to_string(),
+            t.aborted.to_string(),
+            t.queue_full.to_string(),
+            t.errors.to_string(),
+            ms(t.latency_percentile_us(50.0)),
+            ms(t.latency_percentile_us(95.0)),
+            ms(t.latency_percentile_us(99.0)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "NET-THROUGHPUT: {:.0} tps ({:.0} tpm) over {} connections; \
+         {} submitted / {} resolved / {} unmatched; server saw {} requests",
+        report.throughput_tps(),
+        report.tpm(),
+        report.connections,
+        report.submitted_total,
+        report.resolved_total,
+        report.unmatched_total,
+        stats.requests,
+    );
+    assert!(
+        report.is_lossless(),
+        "every submitted request must resolve exactly once"
+    );
+
+    // Hand-rolled JSON (the workspace serde is an offline shim); per-type
+    // rows become a list of flat objects.
+    let per_type_json: Vec<String> = report
+        .per_type
+        .iter()
+        .map(|t| {
+            let us = |v: Option<u64>| v.unwrap_or(0);
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"committed\": {},\n      \
+                 \"aborted\": {},\n      \"queue_full\": {},\n      \"bulk_failed\": {},\n      \
+                 \"errors\": {},\n      \"p50_us\": {},\n      \"p95_us\": {},\n      \
+                 \"p99_us\": {}\n    }}",
+                t.name,
+                t.committed,
+                t.aborted,
+                t.queue_full,
+                t.bulk_failed,
+                t.errors,
+                us(t.latency_percentile_us(50.0)),
+                us(t.latency_percentile_us(95.0)),
+                us(t.latency_percentile_us(99.0)),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"experiment\": \"net\",\n  \"workload\": \"tm1\",\n  \
+         \"mode\": \"closed\",\n  \"connections\": {},\n  \"elapsed_secs\": {:.3},\n  \
+         \"committed\": {},\n  \"throughput_tps\": {:.3},\n  \"tpm\": {:.3},\n  \
+         \"submitted_total\": {},\n  \"resolved_total\": {},\n  \"unmatched_total\": {},\n  \
+         \"per_type\": [\n{}\n  ]\n}}\n",
+        report.connections,
+        report.elapsed_secs,
+        report.committed(),
+        report.throughput_tps(),
+        report.tpm(),
+        report.submitted_total,
+        report.resolved_total,
+        report.unmatched_total,
+        per_type_json.join(",\n"),
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("cannot write net JSON to {path}: {e}"));
+            println!("net metrics written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+/// Network soak for CI: 8 closed-loop connections over loopback TCP for a
+/// few seconds, hard-failing on any lost or duplicated ticket resolution
+/// (submitted != resolved, or any response that matched no request).
+fn net_soak() {
+    banner("Network soak — 8 closed-loop connections over loopback TCP");
+    let (report, stats) = net_run(8, std::time::Duration::from_millis(2_500), 512);
+    println!(
+        "soak: {} submitted / {} resolved / {} unmatched across {} connections \
+         ({:.0} tps committed); server: {} requests, {} responses, {} protocol errors",
+        report.submitted_total,
+        report.resolved_total,
+        report.unmatched_total,
+        report.connections,
+        report.throughput_tps(),
+        stats.requests,
+        stats.responses,
+        stats.protocol_errors,
+    );
+    assert_eq!(
+        report.submitted_total, report.resolved_total,
+        "soak lost or duplicated a ticket resolution"
+    );
+    assert_eq!(report.unmatched_total, 0, "soak saw an unmatched response");
+    assert_eq!(stats.protocol_errors, 0, "soak hit protocol errors");
+    assert!(report.committed() > 0, "soak must commit transactions");
+    println!(
+        "NET-SOAK: OK (lossless under {} connections)",
+        report.connections
+    );
 }
 
 /// Durability experiment: WAL overhead (logged vs. unlogged wall-clock tps on

@@ -1,0 +1,382 @@
+//! Network benchmark harness: N client connections driving a GPUTx server
+//! with warmup and timed measurement windows, in closed-loop (bounded
+//! in-flight window per connection) or rate-paced open-loop (shedding) mode,
+//! with per-transaction-type outcome and latency accounting.
+//!
+//! The harness is deliberately decoupled from workload generation and from
+//! the transport: callers pre-draw each connection's parameter stream and
+//! pass a `connect` closure, so the same code drives loopback TCP in the
+//! figures binary and in-process socket pairs in CI, against any workload.
+
+use crate::{Client, ClientError, Reply, TxnResult};
+use gputx_storage::Value;
+use gputx_txn::TxnTypeId;
+use std::collections::VecDeque;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// How the harness paces submissions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BenchMode {
+    /// Closed loop: each connection keeps up to `max_in_flight` submits
+    /// outstanding and blocks on the oldest reply before sending more.
+    Closed,
+    /// Open loop: submissions are paced at a fixed aggregate rate (split
+    /// evenly across connections) with `no_wait` shedding — a full admission
+    /// queue answers `QueueFull` instead of applying backpressure.
+    Paced {
+        /// Target aggregate submission rate, transactions per second.
+        rate_tps: f64,
+    },
+}
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Number of client connections (each gets its own OS thread).
+    pub connections: usize,
+    /// Pacing discipline.
+    pub mode: BenchMode,
+    /// Untimed ramp-up; samples resolved during warmup are discarded.
+    pub warmup: Duration,
+    /// Timed measurement window.
+    pub measure: Duration,
+    /// Per-connection in-flight window (closed loop) or in-flight cap before
+    /// draining resolved replies (paced).
+    pub max_in_flight: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            connections: 4,
+            mode: BenchMode::Closed,
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_secs(2),
+            max_in_flight: 64,
+        }
+    }
+}
+
+/// Per-transaction-type outcome and latency statistics over the measurement
+/// window.
+#[derive(Debug, Clone)]
+pub struct TypeStats {
+    /// Registered transaction-type name.
+    pub name: String,
+    /// Replies resolved `Committed` during the window.
+    pub committed: u64,
+    /// Replies resolved `Aborted` during the window.
+    pub aborted: u64,
+    /// Replies shed with `QueueFull` during the window.
+    pub queue_full: u64,
+    /// Replies resolved `BulkFailed` during the window.
+    pub bulk_failed: u64,
+    /// Replies resolved `Disconnected` or failed client-side during the
+    /// window.
+    pub errors: u64,
+    /// Submit → reply latencies (µs) of committed/aborted transactions,
+    /// sorted ascending. Shed and errored requests carry no latency.
+    latencies_us: Vec<u64>,
+}
+
+impl TypeStats {
+    fn new(name: &str) -> TypeStats {
+        TypeStats {
+            name: name.to_string(),
+            committed: 0,
+            aborted: 0,
+            queue_full: 0,
+            bulk_failed: 0,
+            errors: 0,
+            latencies_us: Vec::new(),
+        }
+    }
+
+    /// Replies resolved during the window, of any outcome.
+    pub fn resolved(&self) -> u64 {
+        self.committed + self.aborted + self.queue_full + self.bulk_failed + self.errors
+    }
+
+    /// Latency percentile in microseconds (`p` in `0..=100`); `None` when no
+    /// transaction finished.
+    pub fn latency_percentile_us(&self, p: f64) -> Option<u64> {
+        if self.latencies_us.is_empty() {
+            return None;
+        }
+        let rank = (p / 100.0) * (self.latencies_us.len() - 1) as f64;
+        Some(self.latencies_us[rank.round() as usize])
+    }
+
+    /// Mean latency in microseconds; `None` when no transaction finished.
+    pub fn mean_latency_us(&self) -> Option<f64> {
+        if self.latencies_us.is_empty() {
+            return None;
+        }
+        Some(self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64)
+    }
+
+    fn merge(&mut self, other: &TypeStats) {
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.queue_full += other.queue_full;
+        self.bulk_failed += other.bulk_failed;
+        self.errors += other.errors;
+        self.latencies_us.extend_from_slice(&other.latencies_us);
+    }
+}
+
+/// The harness's result: per-type statistics plus whole-run integrity
+/// counters (every submit must resolve exactly once — the soak asserts it).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Per-transaction-type statistics, in registry order.
+    pub per_type: Vec<TypeStats>,
+    /// Length of the measurement window in seconds (wall clock).
+    pub elapsed_secs: f64,
+    /// Connections driven.
+    pub connections: usize,
+    /// Every request written to the wire, including warmup and drain.
+    pub submitted_total: u64,
+    /// Every reply resolved (any outcome), including warmup and drain.
+    pub resolved_total: u64,
+    /// Responses that matched no pending request, across all connections.
+    pub unmatched_total: u64,
+}
+
+impl BenchReport {
+    /// Transactions committed during the measurement window.
+    pub fn committed(&self) -> u64 {
+        self.per_type.iter().map(|t| t.committed).sum()
+    }
+
+    /// Committed transactions per second over the measurement window.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.committed() as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Committed transactions per minute — the tpm-style summary number
+    /// (tpmTM1 when driven by the TM1 mix, with the mix weighting already
+    /// baked into the submitted stream).
+    pub fn tpm(&self) -> f64 {
+        self.throughput_tps() * 60.0
+    }
+
+    /// True iff every submitted request resolved exactly once and no
+    /// response went unmatched.
+    pub fn is_lossless(&self) -> bool {
+        self.submitted_total == self.resolved_total && self.unmatched_total == 0
+    }
+}
+
+struct WorkerOutcome {
+    per_type: Vec<TypeStats>,
+    submitted: u64,
+    resolved: u64,
+    unmatched: u64,
+}
+
+/// Run the benchmark: `connections` threads each connect via `connect(i)`,
+/// cycle through `streams[i % streams.len()]`, and drive the server per
+/// `config.mode`. `type_names[ty]` labels transaction type `ty` in the
+/// report.
+///
+/// The error is the first *connect* failure; transport failures after
+/// connect are counted per type in `errors`, not returned.
+pub fn run_bench(
+    config: &BenchConfig,
+    type_names: &[String],
+    streams: &[Vec<(TxnTypeId, Vec<Value>)>],
+    connect: &(dyn Fn(usize) -> io::Result<Client> + Sync),
+) -> io::Result<BenchReport> {
+    assert!(config.connections > 0, "need at least one connection");
+    assert!(config.max_in_flight > 0, "need a non-zero in-flight window");
+    assert!(
+        !streams.is_empty() && streams.iter().all(|s| !s.is_empty()),
+        "every connection needs a non-empty transaction stream"
+    );
+    let start = Instant::now();
+    let warm_end = start + config.warmup;
+    let measure_end = warm_end + config.measure;
+    let outcomes: Vec<io::Result<WorkerOutcome>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.connections)
+            .map(|i| {
+                let stream = &streams[i % streams.len()];
+                scope.spawn(move || {
+                    let client = connect(i)?;
+                    Ok(drive_connection(
+                        &client,
+                        config,
+                        type_names,
+                        stream,
+                        warm_end,
+                        measure_end,
+                    ))
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("bench worker panicked"))
+            .collect()
+    });
+    let mut per_type: Vec<TypeStats> = type_names.iter().map(|n| TypeStats::new(n)).collect();
+    let mut report = BenchReport {
+        per_type: Vec::new(),
+        elapsed_secs: config.measure.as_secs_f64(),
+        connections: config.connections,
+        submitted_total: 0,
+        resolved_total: 0,
+        unmatched_total: 0,
+    };
+    for outcome in outcomes {
+        let outcome = outcome?;
+        for (agg, local) in per_type.iter_mut().zip(&outcome.per_type) {
+            agg.merge(local);
+        }
+        report.submitted_total += outcome.submitted;
+        report.resolved_total += outcome.resolved;
+        report.unmatched_total += outcome.unmatched;
+    }
+    for t in &mut per_type {
+        t.latencies_us.sort_unstable();
+    }
+    report.per_type = per_type;
+    Ok(report)
+}
+
+fn drive_connection(
+    client: &Client,
+    config: &BenchConfig,
+    type_names: &[String],
+    stream: &[(TxnTypeId, Vec<Value>)],
+    warm_end: Instant,
+    measure_end: Instant,
+) -> WorkerOutcome {
+    let mut per_type: Vec<TypeStats> = type_names.iter().map(|n| TypeStats::new(n)).collect();
+    let mut window: VecDeque<(Reply, Instant, TxnTypeId)> = VecDeque::new();
+    let mut submitted = 0u64;
+    let mut resolved = 0u64;
+    let mut next = 0usize;
+    // Open-loop pacing: this connection's share of the aggregate rate.
+    let pace = match config.mode {
+        BenchMode::Closed => None,
+        BenchMode::Paced { rate_tps } => {
+            let per_conn = (rate_tps / config.connections as f64).max(1e-9);
+            Some(Duration::from_secs_f64(1.0 / per_conn))
+        }
+    };
+    let mut next_send = Instant::now();
+    loop {
+        let now = Instant::now();
+        if now >= measure_end {
+            break;
+        }
+        match pace {
+            None => {
+                // Closed loop: block on the oldest reply once the window is
+                // full.
+                if window.len() >= config.max_in_flight {
+                    if let Some(entry) = window.pop_front() {
+                        resolved += 1;
+                        record(&mut per_type, entry, warm_end, measure_end);
+                    }
+                }
+            }
+            Some(interval) => {
+                // Open loop: drain whatever already resolved, then pace.
+                while let Some((reply, _, _)) = window.front() {
+                    if reply.try_get().is_none() {
+                        break;
+                    }
+                    let entry = window.pop_front().expect("front checked");
+                    resolved += 1;
+                    record(&mut per_type, entry, warm_end, measure_end);
+                }
+                if now < next_send {
+                    std::thread::sleep(next_send - now);
+                }
+                next_send += interval;
+                if window.len() >= config.max_in_flight {
+                    // The cap exists so an overdriven server cannot grow the
+                    // window unboundedly; block like the closed loop would.
+                    if let Some(entry) = window.pop_front() {
+                        resolved += 1;
+                        record(&mut per_type, entry, warm_end, measure_end);
+                    }
+                }
+            }
+        }
+        let (ty, params) = stream[next].clone();
+        next = (next + 1) % stream.len();
+        let submit = if pace.is_some() {
+            client.submit_nowait(ty, params)
+        } else {
+            client.submit(ty, params)
+        };
+        match submit {
+            Ok(reply) => {
+                submitted += 1;
+                window.push_back((reply, Instant::now(), ty));
+            }
+            Err(_) => {
+                // Transport gone: drain what's in flight and stop this
+                // connection's loop.
+                per_type[ty as usize % type_names.len()].errors += 1;
+                break;
+            }
+        }
+    }
+    // Drain the window so every submit resolves (integrity accounting);
+    // post-window resolutions carry no latency samples.
+    while let Some(entry) = window.pop_front() {
+        resolved += 1;
+        record(&mut per_type, entry, warm_end, measure_end);
+    }
+    WorkerOutcome {
+        per_type,
+        submitted,
+        resolved,
+        unmatched: client.unmatched_responses(),
+    }
+}
+
+/// Resolve one window entry and attribute it to its type if it finished
+/// inside the measurement window.
+fn record(
+    per_type: &mut [TypeStats],
+    (reply, sent_at, ty): (Reply, Instant, TxnTypeId),
+    warm_end: Instant,
+    measure_end: Instant,
+) {
+    let result = reply.wait();
+    let now = Instant::now();
+    if now < warm_end || now >= measure_end {
+        return;
+    }
+    let stats = &mut per_type[ty as usize % per_type.len()];
+    match result {
+        Ok(TxnResult::Committed(_)) => {
+            stats.committed += 1;
+            stats.latencies_us.push(elapsed_us(sent_at, now));
+        }
+        Ok(TxnResult::Aborted(_)) => {
+            stats.aborted += 1;
+            stats.latencies_us.push(elapsed_us(sent_at, now));
+        }
+        Ok(TxnResult::QueueFull) => stats.queue_full += 1,
+        Ok(TxnResult::BulkFailed(_)) => stats.bulk_failed += 1,
+        Ok(TxnResult::Disconnected)
+        | Ok(TxnResult::Pong)
+        | Err(ClientError::Io(_))
+        | Err(ClientError::ConnectionClosed(_)) => stats.errors += 1,
+    }
+}
+
+fn elapsed_us(sent_at: Instant, now: Instant) -> u64 {
+    now.saturating_duration_since(sent_at).as_micros() as u64
+}

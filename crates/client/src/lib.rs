@@ -1,0 +1,382 @@
+//! # gputx-client — pipelined client for the GPUTx network front door
+//!
+//! Counterpart of `gputx-server`: a [`Client`] owns one connection speaking
+//! the length-framed binary protocol of `gputx_server::proto` and keeps many
+//! submits in flight at once. [`Client::submit`] writes a frame and returns a
+//! [`Reply`] immediately; a background reader thread demultiplexes response
+//! frames back to their replies by `request_id`. That mirrors the pipeline's
+//! own shape — transactions resolve asynchronously when their bulk commits,
+//! so a client that waited for each reply before sending the next would
+//! serialize the wire onto bulk-commit latency and never fill a bulk.
+//!
+//! [`bench_run`] builds the benchmark harness on top: N connections in
+//! closed-loop (bounded in-flight window) or rate-paced open-loop mode, with
+//! warmup and timed measurement windows and per-transaction-type latency and
+//! outcome accounting.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bench_run;
+
+use gputx_server::proto::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, Request, Response,
+    MAX_FRAME_LEN,
+};
+use gputx_server::Duplex;
+use gputx_storage::Value;
+use gputx_txn::{TxnId, TxnTypeId};
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How the server resolved one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnResult {
+    /// The transaction's bulk committed and the transaction committed.
+    Committed(TxnId),
+    /// The transaction's bulk committed but the procedure aborted.
+    Aborted(TxnId),
+    /// A no-wait submit was shed by a full admission queue.
+    QueueFull,
+    /// The bulk containing the transaction failed; the message says why.
+    BulkFailed(String),
+    /// The engine shut down before resolving the transaction.
+    Disconnected,
+    /// Answer to a ping (only ever seen by [`Client::ping`]).
+    Pong,
+}
+
+impl TxnResult {
+    /// True iff the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnResult::Committed(_))
+    }
+}
+
+/// Client-side failures (distinct from server-resolved [`TxnResult`]s).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Writing the request (or reading responses) failed at the transport.
+    Io(String),
+    /// The connection closed before this request's response arrived. Carries
+    /// the server's protocol-error message when one was received.
+    ConnectionClosed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(msg) => write!(f, "transport error: {msg}"),
+            ClientError::ConnectionClosed(msg) => write!(f, "connection closed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+type ReplyResult = Result<TxnResult, ClientError>;
+
+#[derive(Debug)]
+struct ReplySlot {
+    slot: Mutex<Option<ReplyResult>>,
+    cond: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            slot: Mutex::new(None),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn resolve(&self, result: ReplyResult) {
+        let mut slot = self.slot.lock().expect("reply slot poisoned");
+        if slot.is_none() {
+            *slot = Some(result);
+            self.cond.notify_all();
+        }
+    }
+}
+
+/// A future-style handle for one in-flight request: resolves when the
+/// server's response frame arrives.
+#[derive(Debug)]
+pub struct Reply {
+    slot: Arc<ReplySlot>,
+    request_id: u64,
+}
+
+impl Reply {
+    /// The client-assigned correlation id this reply is keyed on.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// Block until the response arrives. Repeatable; later calls return
+    /// immediately.
+    pub fn wait(&self) -> ReplyResult {
+        let mut slot = self.slot.slot.lock().expect("reply slot poisoned");
+        while slot.is_none() {
+            slot = self.slot.cond.wait(slot).expect("reply slot poisoned");
+        }
+        slot.clone().expect("checked above")
+    }
+
+    /// Non-blocking poll: `None` while the response is still in flight.
+    pub fn try_get(&self) -> Option<ReplyResult> {
+        self.slot.slot.lock().expect("reply slot poisoned").clone()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Demux {
+    /// request_id → unresolved reply slot.
+    pending: Mutex<HashMap<u64, Arc<ReplySlot>>>,
+    /// Responses whose request_id matched no pending reply — must stay zero
+    /// in a correct run (the soak asserts on it).
+    unmatched: AtomicU64,
+    /// Connection-scoped server error (`request_id == 0`), reported to every
+    /// reply left pending when the connection closes.
+    conn_error: Mutex<Option<String>>,
+}
+
+/// One connection to a GPUTx server, usable from multiple threads.
+///
+/// ```no_run
+/// use gputx_client::Client;
+/// # fn demo() -> Result<(), Box<dyn std::error::Error>> {
+/// let client = Client::connect("127.0.0.1:7878")?;
+/// let reply = client.submit(0, vec![gputx_storage::Value::Int(42)])?;
+/// // ... submit more while that one is in flight ...
+/// println!("resolved: {:?}", reply.wait()?);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Client {
+    writer: Mutex<Box<dyn Duplex>>,
+    stream: Box<dyn Duplex>,
+    next_id: AtomicU64,
+    demux: Arc<Demux>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Client {
+    /// Connect over TCP (`TCP_NODELAY` set — frames are latency-sensitive).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Client::from_duplex(stream)
+    }
+
+    /// Wrap an already-connected stream (e.g. one end of
+    /// `gputx_server::socket_pair`).
+    pub fn from_duplex<S: Duplex>(stream: S) -> io::Result<Client> {
+        let read_half = stream.try_clone_box()?;
+        let write_half = stream.try_clone_box()?;
+        let demux = Arc::new(Demux::default());
+        let reader = {
+            let demux = Arc::clone(&demux);
+            std::thread::Builder::new()
+                .name("gputx-client-reader".into())
+                .spawn(move || reader_loop(read_half, &demux))
+                .map_err(io::Error::other)?
+        };
+        Ok(Client {
+            writer: Mutex::new(write_half),
+            stream: Box::new(stream),
+            next_id: AtomicU64::new(1), // 0 is the server's "no request" id
+            demux,
+            reader: Some(reader),
+        })
+    }
+
+    fn send(&self, request: &Request) -> Result<Reply, ClientError> {
+        let request_id = request.request_id();
+        let slot = ReplySlot::new();
+        // Register before writing: the response can race the write returning.
+        self.demux
+            .pending
+            .lock()
+            .expect("pending map poisoned")
+            .insert(request_id, Arc::clone(&slot));
+        let payload = encode_request(request);
+        let write = {
+            let mut writer = self.writer.lock().expect("writer poisoned");
+            write_frame(&mut *writer, &payload)
+        };
+        if let Err(e) = write {
+            self.demux
+                .pending
+                .lock()
+                .expect("pending map poisoned")
+                .remove(&request_id);
+            return Err(ClientError::Io(e.to_string()));
+        }
+        Ok(Reply { slot, request_id })
+    }
+
+    /// Submit one transaction; blocks server-side if the admission queue is
+    /// full (backpressure through the TCP window). Returns as soon as the
+    /// frame is written — resolution comes through the [`Reply`].
+    pub fn submit(&self, txn_type: TxnTypeId, params: Vec<Value>) -> Result<Reply, ClientError> {
+        self.send(&Request::Submit {
+            request_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            txn_type,
+            params,
+            no_wait: false,
+        })
+    }
+
+    /// Submit with shedding: a full admission queue resolves the reply as
+    /// [`TxnResult::QueueFull`] immediately instead of blocking (the
+    /// open-loop policy).
+    pub fn submit_nowait(
+        &self,
+        txn_type: TxnTypeId,
+        params: Vec<Value>,
+    ) -> Result<Reply, ClientError> {
+        self.send(&Request::Submit {
+            request_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            txn_type,
+            params,
+            no_wait: true,
+        })
+    }
+
+    /// Round-trip a ping. Responses are FIFO per connection, so this returns
+    /// only after every earlier submit on this connection has been answered —
+    /// a commit barrier.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        let reply = self.send(&Request::Ping {
+            request_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+        })?;
+        match reply.wait()? {
+            TxnResult::Pong => Ok(()),
+            other => Err(ClientError::ConnectionClosed(format!(
+                "ping answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// Responses that matched no pending request — zero in a correct run.
+    pub fn unmatched_responses(&self) -> u64 {
+        self.demux.unmatched.load(Ordering::Relaxed)
+    }
+
+    /// Requests still awaiting a response.
+    pub fn in_flight(&self) -> usize {
+        self.demux
+            .pending
+            .lock()
+            .expect("pending map poisoned")
+            .len()
+    }
+
+    /// Close the connection: signals EOF to the server (which finishes
+    /// resolving whatever was admitted), fails any still-pending replies with
+    /// [`ClientError::ConnectionClosed`], and joins the reader. Also run by
+    /// `Drop`.
+    pub fn close(&mut self) {
+        let _ = self.stream.shutdown_both();
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Demultiplex response frames to their replies until the connection ends,
+/// then fail whatever is left pending.
+fn reader_loop(mut stream: Box<dyn Duplex>, demux: &Demux) {
+    let close_reason = loop {
+        let payload = match read_frame(&mut stream, MAX_FRAME_LEN) {
+            Ok(Some(p)) => p,
+            Ok(None) => break None,
+            Err(FrameError::Corrupt(msg)) => break Some(msg),
+            Err(FrameError::Io(e)) => break Some(e.to_string()),
+        };
+        let response = match decode_response(&payload) {
+            Ok(r) => r,
+            Err(e) => break Some(e.to_string()),
+        };
+        let (request_id, result) = match response {
+            Response::Committed { request_id, txn_id } => {
+                (request_id, TxnResult::Committed(txn_id))
+            }
+            Response::Aborted { request_id, txn_id } => (request_id, TxnResult::Aborted(txn_id)),
+            Response::QueueFull { request_id } => (request_id, TxnResult::QueueFull),
+            Response::BulkFailed {
+                request_id,
+                message,
+            } => (request_id, TxnResult::BulkFailed(message)),
+            Response::Disconnected { request_id } => (request_id, TxnResult::Disconnected),
+            Response::Pong { request_id } => (request_id, TxnResult::Pong),
+            Response::Error {
+                request_id: 0,
+                message,
+            } => {
+                // Connection-scoped protocol error: the server closes after
+                // this; remember it so pending replies fail with the cause.
+                *demux.conn_error.lock().expect("conn error poisoned") = Some(message);
+                continue;
+            }
+            Response::Error {
+                request_id,
+                message,
+            } => {
+                let slot = demux
+                    .pending
+                    .lock()
+                    .expect("pending map poisoned")
+                    .remove(&request_id);
+                match slot {
+                    Some(s) => s.resolve(Err(ClientError::ConnectionClosed(message))),
+                    None => {
+                        demux.unmatched.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                continue;
+            }
+        };
+        let slot = demux
+            .pending
+            .lock()
+            .expect("pending map poisoned")
+            .remove(&request_id);
+        match slot {
+            Some(s) => s.resolve(Ok(result)),
+            None => {
+                demux.unmatched.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    };
+    let reason = close_reason
+        .or_else(|| {
+            demux
+                .conn_error
+                .lock()
+                .expect("conn error poisoned")
+                .clone()
+        })
+        .unwrap_or_else(|| "connection closed by peer".into());
+    let leftovers: Vec<Arc<ReplySlot>> = demux
+        .pending
+        .lock()
+        .expect("pending map poisoned")
+        .drain()
+        .map(|(_, s)| s)
+        .collect();
+    for slot in leftovers {
+        slot.resolve(Err(ClientError::ConnectionClosed(reason.clone())));
+    }
+}

@@ -24,7 +24,7 @@ use crate::strategy::{execute_bulk, ExecContext, StrategyKind};
 use gputx_durability::Durability;
 use gputx_exec::{
     run_txn_planned, BulkPlanner, BulkRunner, ExecError, ExecPolicy, Executor, PipelineError,
-    PipelineOptions, PipelineStats, PipelinedEngine, Ticket,
+    PipelineOptions, PipelineStats, PipelinedEngine, SubmitHandle, Ticket,
 };
 use gputx_sim::{Gpu, SimDuration, Throughput};
 use gputx_storage::{Database, Value};
@@ -368,6 +368,15 @@ impl PipelinedGpuTx {
     /// [`PipelineError::QueueFull`] instead of blocking.
     pub fn try_submit(&self, ty: TxnTypeId, params: Vec<Value>) -> Result<Ticket, PipelineError> {
         self.engine.try_submit(ty, params)
+    }
+
+    /// A cloneable [`SubmitHandle`] for submitter threads that may outlive or
+    /// race this engine's shutdown — the ingest surface a network front door
+    /// (`gputx-server`) serves connections from. After shutdown every handle
+    /// call fails with [`PipelineError::ShutDown`] instead of blocking the
+    /// engine's drop.
+    pub fn handle(&self) -> SubmitHandle {
+        self.engine.handle()
     }
 
     /// Close the currently open partial bulk and block until everything

@@ -64,5 +64,5 @@ pub use executor::{
 pub use parallel::ParallelExecutor;
 pub use pipeline::{
     BulkCloseCounts, BulkPlanner, BulkRunner, PipelineError, PipelineOptions, PipelineStats,
-    PipelinedEngine, StageBusy, Ticket, TicketResult,
+    PipelinedEngine, StageBusy, SubmitHandle, Ticket, TicketResult,
 };

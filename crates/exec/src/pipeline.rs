@@ -40,6 +40,7 @@ use crate::executor::ExecError;
 use gputx_storage::Value;
 use gputx_txn::{TxnId, TxnOutcome, TxnSignature, TxnTypeId};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -203,6 +204,104 @@ impl Drop for TicketSlot {
         if !self.resolved {
             self.fill(Err(PipelineError::Disconnected));
         }
+    }
+}
+
+/// The shared submission gate: the master channel sender plus a closed flag.
+///
+/// Submitters (the engine itself and every cloned [`SubmitHandle`]) check the
+/// flag, clone the sender out of the mutex and send *outside* the lock, so a
+/// submit blocked on a full admission queue never holds the gate. Shutdown
+/// sets the flag and drops the master sender; in-flight sends still complete
+/// (admission keeps draining until every transient sender clone is gone), and
+/// every later submit fails fast with [`PipelineError::ShutDown`] instead of
+/// blocking the engine's drop.
+#[derive(Debug)]
+struct SubmitGate {
+    closed: AtomicBool,
+    sender: Mutex<Option<SyncSender<Input>>>,
+}
+
+impl SubmitGate {
+    /// A transient sender clone, or `ShutDown` once the gate is closed.
+    fn sender(&self) -> Result<SyncSender<Input>, PipelineError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(PipelineError::ShutDown);
+        }
+        self.sender
+            .lock()
+            .expect("submit gate mutex poisoned")
+            .clone()
+            .ok_or(PipelineError::ShutDown)
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        drop(
+            self.sender
+                .lock()
+                .expect("submit gate mutex poisoned")
+                .take(),
+        );
+    }
+}
+
+/// A cloneable, engine-independent submission handle.
+///
+/// Obtained from [`PipelinedEngine::handle`]; hand clones to client threads
+/// (a network server's connection handlers, stream drivers) that must outlive
+/// or race the engine's shutdown. Unlike a shared `&PipelinedEngine`, a
+/// handle never blocks the engine's drop: once the engine shuts down, every
+/// handle call fails fast with [`PipelineError::ShutDown`], and tickets
+/// already obtained still resolve (committed, or `Disconnected` if their bulk
+/// never ran).
+#[derive(Debug, Clone)]
+pub struct SubmitHandle {
+    gate: Arc<SubmitGate>,
+}
+
+impl SubmitHandle {
+    /// Submit a transaction; blocks while the admission queue is full
+    /// (backpressure). Fails with [`PipelineError::ShutDown`] once the engine
+    /// shut down. See [`PipelinedEngine::submit`].
+    pub fn submit(&self, ty: TxnTypeId, params: Vec<Value>) -> Result<Ticket, PipelineError> {
+        let sender = self.gate.sender()?;
+        let (ticket, slot) = TicketSlot::new();
+        sender
+            .send(Input::Submit { ty, params, slot })
+            .map_err(|_| PipelineError::Disconnected)?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking [`SubmitHandle::submit`]: fails with
+    /// [`PipelineError::QueueFull`] instead of blocking when the admission
+    /// queue is full.
+    pub fn try_submit(&self, ty: TxnTypeId, params: Vec<Value>) -> Result<Ticket, PipelineError> {
+        let sender = self.gate.sender()?;
+        let (ticket, slot) = TicketSlot::new();
+        match sender.try_send(Input::Submit { ty, params, slot }) {
+            Ok(()) => Ok(ticket),
+            Err(TrySendError::Full(_)) => Err(PipelineError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(PipelineError::Disconnected),
+        }
+    }
+
+    /// Close the currently open partial bulk and block until everything
+    /// submitted before the flush has committed. See
+    /// [`PipelinedEngine::flush`].
+    pub fn flush(&self) -> Result<(), PipelineError> {
+        let sender = self.gate.sender()?;
+        let (ticket, barrier) = TicketSlot::new();
+        sender
+            .send(Input::Flush { barrier })
+            .map_err(|_| PipelineError::Disconnected)?;
+        ticket.wait().map(|_| ())
+    }
+
+    /// True once the engine has shut down (every subsequent call fails with
+    /// [`PipelineError::ShutDown`]).
+    pub fn is_closed(&self) -> bool {
+        self.gate.closed.load(Ordering::Acquire)
     }
 }
 
@@ -397,7 +496,7 @@ where
     P: BulkPlanner,
     R: BulkRunner<Plan = P::Plan>,
 {
-    input: Option<SyncSender<Input>>,
+    gate: Arc<SubmitGate>,
     admission: Option<JoinHandle<AdmissionStats>>,
     grouping: Option<JoinHandle<(P, f64)>>,
     execution: Option<JoinHandle<(R, f64)>>,
@@ -437,7 +536,10 @@ where
             .expect("spawn commit stage");
 
         PipelinedEngine {
-            input: Some(input_tx),
+            gate: Arc::new(SubmitGate {
+                closed: AtomicBool::new(false),
+                sender: Mutex::new(Some(input_tx)),
+            }),
             admission: Some(admission),
             grouping: Some(grouping),
             execution: Some(execution),
@@ -492,49 +594,53 @@ where
     /// assert_eq!(stats.committed, 1);
     /// ```
     pub fn submit(&self, ty: TxnTypeId, params: Vec<Value>) -> Result<Ticket, PipelineError> {
-        let input = self.input.as_ref().ok_or(PipelineError::ShutDown)?;
-        let (ticket, slot) = TicketSlot::new();
-        input
-            .send(Input::Submit { ty, params, slot })
-            .map_err(|_| PipelineError::Disconnected)?;
-        Ok(ticket)
+        self.handle().submit(ty, params)
     }
 
     /// Non-blocking [`PipelinedEngine::submit`]: fails with
     /// [`PipelineError::QueueFull`] instead of blocking when the admission
     /// queue is full (the shed-load policy of an open-loop client).
     pub fn try_submit(&self, ty: TxnTypeId, params: Vec<Value>) -> Result<Ticket, PipelineError> {
-        let input = self.input.as_ref().ok_or(PipelineError::ShutDown)?;
-        let (ticket, slot) = TicketSlot::new();
-        match input.try_send(Input::Submit { ty, params, slot }) {
-            Ok(()) => Ok(ticket),
-            Err(TrySendError::Full(_)) => Err(PipelineError::QueueFull),
-            Err(TrySendError::Disconnected(_)) => Err(PipelineError::Disconnected),
-        }
+        self.handle().try_submit(ty, params)
     }
 
     /// Close the currently open (partial) bulk immediately and block until
     /// everything submitted before the flush has committed. Returns the
     /// failure of the flushed bulk, if any.
     pub fn flush(&self) -> Result<(), PipelineError> {
-        let input = self.input.as_ref().ok_or(PipelineError::ShutDown)?;
-        let (ticket, barrier) = TicketSlot::new();
-        input
-            .send(Input::Flush { barrier })
-            .map_err(|_| PipelineError::Disconnected)?;
-        ticket.wait().map(|_| ())
+        self.handle().flush()
+    }
+
+    /// A cloneable [`SubmitHandle`] for submitter threads that may outlive or
+    /// race the engine's shutdown (e.g. a network server's connection
+    /// handlers). Handles never keep the engine alive and never block its
+    /// drop: after shutdown every handle call fails with
+    /// [`PipelineError::ShutDown`].
+    pub fn handle(&self) -> SubmitHandle {
+        SubmitHandle {
+            gate: Arc::clone(&self.gate),
+        }
     }
 
     /// Drain and stop: close the open bulk, run everything still queued, join
     /// the stage threads and collect [`PipelineStats`]. Idempotent; after
     /// shutdown, `submit` returns [`PipelineError::ShutDown`].
+    ///
+    /// Safe to call (and safe to `drop` the engine) while [`SubmitHandle`]
+    /// clones are still submitting from other threads: the gate is closed
+    /// first, so racing submitters either land in the final drain or fail
+    /// with [`PipelineError::ShutDown`] — they can no longer keep the
+    /// admission stage alive indefinitely, and tickets that never reach a
+    /// bulk resolve as [`PipelineError::Disconnected`] instead of hanging.
     pub fn shutdown(&mut self) {
         if self.finished.is_some() {
             return;
         }
-        // Dropping the input sender disconnects admission, which closes the
-        // final partial bulk and lets the stages drain in order.
-        drop(self.input.take());
+        // Close the gate (new submits fail fast), then drop the master
+        // sender: admission sees the disconnect as soon as the last transient
+        // sender clone is gone, closes the final partial bulk and lets the
+        // stages drain in order.
+        self.gate.close();
         let mut stats = PipelineStats::default();
         let mut output: Result<Option<R::Output>, PipelineError> = Ok(None);
         match self.admission.take().map(JoinHandle::join) {
@@ -990,6 +1096,68 @@ mod tests {
         assert_eq!(tickets.iter().filter(|t| t.wait().is_ok()).count(), 500);
         assert_eq!(counts.values().sum::<i64>(), 500);
         assert_eq!(stats.transactions(), 500);
+    }
+
+    #[test]
+    fn engine_drop_with_live_handle_submitters_does_not_block() {
+        // A remote submitter (e.g. a network connection handler) keeps
+        // submitting through a SubmitHandle while the engine is dropped from
+        // another thread. The drop must complete promptly — shutdown may not
+        // wait for the submitter to stop first — and every ticket the
+        // submitter obtained must still resolve (committed or an error),
+        // never hang.
+        let eng = engine(PipelineOptions {
+            max_bulk_size: 4,
+            max_wait: Duration::from_micros(100),
+            queue_depth: 4,
+        });
+        let handle = eng.handle();
+        let submitter = std::thread::spawn(move || {
+            let mut tickets = Vec::new();
+            loop {
+                match handle.submit(0, vec![Value::Int(1)]) {
+                    Ok(t) => tickets.push(t),
+                    Err(PipelineError::ShutDown) => break,
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+            assert!(handle.is_closed());
+            tickets
+        });
+        // Let the submitter get going, then drop the engine out from under it.
+        std::thread::sleep(Duration::from_millis(20));
+        let dropped_at = Instant::now();
+        drop(eng);
+        assert!(
+            dropped_at.elapsed() < Duration::from_secs(10),
+            "drop must not wait for the live submitter"
+        );
+        let tickets = submitter.join().expect("submitter exits via ShutDown");
+        assert!(!tickets.is_empty(), "submitter made progress before drop");
+        for t in tickets {
+            // Resolved either way: committed before the drain, or
+            // Disconnected if its slot was dropped mid-pipeline.
+            let _ = t.wait();
+        }
+    }
+
+    #[test]
+    fn handle_outlives_engine_and_reports_closed() {
+        let eng = engine(PipelineOptions::default());
+        let handle = eng.handle();
+        let t = handle.submit(0, vec![Value::Int(2)]).unwrap();
+        drop(eng);
+        assert!(t.wait().is_ok(), "pre-shutdown submit drains normally");
+        assert!(handle.is_closed());
+        assert_eq!(
+            handle.submit(0, vec![]).unwrap_err(),
+            PipelineError::ShutDown
+        );
+        assert_eq!(
+            handle.try_submit(0, vec![]).unwrap_err(),
+            PipelineError::ShutDown
+        );
+        assert_eq!(handle.flush().unwrap_err(), PipelineError::ShutDown);
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! # gputx-server — the network front door for the pipelined engine
+//!
+//! The streaming engine (`gputx_exec::PipelinedEngine`) ingests transactions
+//! through in-process [`SubmitHandle`]s. This crate puts a real wire in front
+//! of it: a [`Server`] accepts TCP connections (or in-process socket pairs,
+//! for CI and offline runs) speaking the compact length-framed binary
+//! protocol of [`proto`], forwards each request into the pipeline, and
+//! resolves the engine's `Ticket`s back into response frames — asynchronously,
+//! so one connection multiplexes many in-flight submits while bulks form and
+//! commit behind it.
+//!
+//! Per connection the server runs two threads:
+//!
+//! * a **reader** that parses frames, submits into the pipeline, and enqueues
+//!   the resulting ticket (or an immediate response) to the responder in
+//!   request order;
+//! * a **responder** that resolves tickets FIFO and writes response frames.
+//!   Because a single connection's submissions enter admission in frame
+//!   order, its responses also come back in frame order — which is what makes
+//!   a single-connection run bit-reproducible against an in-process run of
+//!   the same stream.
+//!
+//! Failure is data, not a panic: a malformed frame gets a
+//! [`proto::Response::Error`] and a connection close, an engine shutdown
+//! resolves outstanding tickets as `Disconnected`, and a peer that vanishes
+//! mid-bulk simply stops receiving responses while its already-admitted
+//! transactions commit normally (the responder drains its queue so the
+//! pipeline never blocks on a dead connection).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod proto;
+
+use gputx_exec::{PipelineError, SubmitHandle, Ticket};
+use gputx_txn::TxnOutcome;
+use proto::{
+    decode_request, encode_response, read_frame, write_frame, FrameError, Request, Response,
+    MAX_FRAME_LEN,
+};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A bidirectional byte stream the server can serve: both halves of the
+/// conversation need an independent handle (reader and responder run on
+/// separate threads), and shutdown must reach the peer even while clones are
+/// still alive.
+///
+/// Implemented for [`TcpStream`] and [`UnixStream`]; [`socket_pair`] builds
+/// the in-process variant used by CI and the offline tests.
+pub trait Duplex: Read + Write + Send + 'static {
+    /// An independent handle to the same underlying socket.
+    fn try_clone_box(&self) -> io::Result<Box<dyn Duplex>>;
+    /// Shut down both directions of the socket itself (not just this handle),
+    /// so the peer observes EOF even while other clones are alive.
+    fn shutdown_both(&self) -> io::Result<()>;
+}
+
+impl Duplex for TcpStream {
+    fn try_clone_box(&self) -> io::Result<Box<dyn Duplex>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+impl Duplex for UnixStream {
+    fn try_clone_box(&self) -> io::Result<Box<dyn Duplex>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+impl Duplex for Box<dyn Duplex> {
+    fn try_clone_box(&self) -> io::Result<Box<dyn Duplex>> {
+        (**self).try_clone_box()
+    }
+    fn shutdown_both(&self) -> io::Result<()> {
+        (**self).shutdown_both()
+    }
+}
+
+/// A connected in-process socket pair: attach one end to a [`Server`], hand
+/// the other to a client. Same syscalls-and-frames path as TCP, no listener
+/// and no network namespace — what the CI `net` job loops back over.
+pub fn socket_pair() -> io::Result<(UnixStream, UnixStream)> {
+    UnixStream::pair()
+}
+
+/// Monotonic counters describing server activity, snapshot via
+/// [`Server::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections ever attached (accepted or [`Server::attach`]ed).
+    pub connections: u64,
+    /// Well-formed requests parsed off the wire.
+    pub requests: u64,
+    /// Responses written to peers (excludes drained-after-disconnect ones).
+    pub responses: u64,
+    /// Malformed frames / dirty disconnects (each also closes a connection).
+    pub protocol_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCounters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// What the reader hands the responder, in request order.
+enum Outgoing {
+    /// A response that needs no pipeline resolution (Pong, QueueFull, …).
+    Immediate(Response),
+    /// A submitted transaction: resolve the ticket, then respond.
+    Pending { request_id: u64, ticket: Ticket },
+}
+
+struct Connection {
+    stream: Box<dyn Duplex>,
+    reader: Option<JoinHandle<()>>,
+    responder: Option<JoinHandle<()>>,
+}
+
+struct Shared {
+    handle: SubmitHandle,
+    max_frame_len: u32,
+    stopping: AtomicBool,
+    stats: StatCounters,
+    conns: Mutex<Vec<Connection>>,
+}
+
+/// The front door: owns the accept loop(s) and per-connection threads, and
+/// forwards requests into a pipeline via a [`SubmitHandle`].
+///
+/// The server holds only a handle, never the engine itself — so the engine's
+/// owner decides its lifetime, and an engine dropped while connections are
+/// live resolves their in-flight tickets as `Disconnected` instead of
+/// deadlocking (see `SubmitHandle`'s contract).
+///
+/// ```no_run
+/// use gputx_server::Server;
+/// # fn demo(handle: gputx_exec::SubmitHandle) -> std::io::Result<()> {
+/// let server = Server::new(handle);
+/// let addr = server.listen("127.0.0.1:0")?;
+/// println!("serving on {addr}");
+/// // ... clients connect, submit, disconnect ...
+/// server.stop();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptors: Mutex<Vec<(SocketAddr, JoinHandle<()>)>>,
+}
+
+impl Server {
+    /// Create a server forwarding into the pipeline behind `handle`.
+    pub fn new(handle: SubmitHandle) -> Server {
+        Server {
+            shared: Arc::new(Shared {
+                handle,
+                max_frame_len: MAX_FRAME_LEN,
+                stopping: AtomicBool::new(false),
+                stats: StatCounters::default(),
+                conns: Mutex::new(Vec::new()),
+            }),
+            acceptors: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Bind a TCP listener and start accepting connections on a background
+    /// thread. Returns the bound address (use port `0` to let the OS pick).
+    pub fn listen(&self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let accept = std::thread::Builder::new()
+            .name(format!("gputx-accept-{}", local.port()))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stopping.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            let _ = s.set_nodelay(true);
+                            if attach_to(&shared, s).is_err() {
+                                // Clone failure: drop the connection, keep
+                                // accepting.
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        self.acceptors
+            .lock()
+            .expect("acceptor list poisoned")
+            .push((local, accept));
+        Ok(local)
+    }
+
+    /// Serve an already-connected stream (e.g. one end of [`socket_pair`]).
+    pub fn attach<S: Duplex>(&self, stream: S) -> io::Result<()> {
+        attach_to(&self.shared, stream)
+    }
+
+    /// Snapshot the activity counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.shared.stats.connections.load(Ordering::Relaxed),
+            requests: self.shared.stats.requests.load(Ordering::Relaxed),
+            responses: self.shared.stats.responses.load(Ordering::Relaxed),
+            protocol_errors: self.shared.stats.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, close every live connection, and join all server
+    /// threads. Idempotent; also run by `Drop`.
+    pub fn stop(&self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        // Wake each blocked `accept` with a throwaway connection, then join.
+        let mut acceptors = self.acceptors.lock().expect("acceptor list poisoned");
+        for (addr, _) in acceptors.iter() {
+            let _ = TcpStream::connect(*addr);
+        }
+        for (_, handle) in acceptors.drain(..) {
+            let _ = handle.join();
+        }
+        drop(acceptors);
+        // Force readers to EOF, then join both per-connection threads. The
+        // responders finish on their own: every queued ticket resolves
+        // (engine alive → outcome, engine gone → Disconnected).
+        let mut conns = self.shared.conns.lock().expect("connection list poisoned");
+        for conn in conns.iter() {
+            let _ = conn.stream.shutdown_both();
+        }
+        for conn in conns.iter_mut() {
+            if let Some(h) = conn.reader.take() {
+                let _ = h.join();
+            }
+            if let Some(h) = conn.responder.take() {
+                let _ = h.join();
+            }
+        }
+        conns.clear();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn attach_to<S: Duplex>(shared: &Arc<Shared>, stream: S) -> io::Result<()> {
+    let read_half = stream.try_clone_box()?;
+    let write_half = stream.try_clone_box()?;
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    // Bounded queue: a peer that stops reading responses eventually
+    // backpressures its own reader thread instead of buffering unboundedly.
+    let (tx, rx) = sync_channel::<Outgoing>(1024);
+    let conn_id = shared.stats.connections.load(Ordering::Relaxed);
+    let reader = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("gputx-conn-{conn_id}-reader"))
+            .spawn(move || reader_loop(&shared, read_half, &tx))
+            .map_err(io::Error::other)?
+    };
+    let responder = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("gputx-conn-{conn_id}-responder"))
+            .spawn(move || responder_loop(&shared, write_half, rx))
+            .map_err(io::Error::other)?
+    };
+    shared
+        .conns
+        .lock()
+        .expect("connection list poisoned")
+        .push(Connection {
+            stream: Box::new(stream),
+            reader: Some(reader),
+            responder: Some(responder),
+        });
+    Ok(())
+}
+
+/// Parse frames and feed the pipeline until EOF, a malformed frame, or a
+/// transport error. Dropping `tx` at the end is what lets the responder
+/// finish draining and close the connection.
+fn reader_loop(shared: &Shared, mut stream: Box<dyn Duplex>, tx: &SyncSender<Outgoing>) {
+    loop {
+        let payload = match read_frame(&mut stream, shared.max_frame_len) {
+            Ok(Some(p)) => p,
+            // Clean EOF: the peer finished submitting and closed.
+            Ok(None) => return,
+            Err(FrameError::Corrupt(msg)) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Outgoing::Immediate(Response::Error {
+                    request_id: 0,
+                    message: msg,
+                }));
+                return;
+            }
+            Err(FrameError::Io(_)) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let request = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Outgoing::Immediate(Response::Error {
+                    request_id: 0,
+                    message: e.to_string(),
+                }));
+                return;
+            }
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let out = match request {
+            Request::Ping { request_id } => Outgoing::Immediate(Response::Pong { request_id }),
+            Request::Submit {
+                request_id,
+                txn_type,
+                params,
+                no_wait,
+            } => {
+                let submitted = if no_wait {
+                    shared.handle.try_submit(txn_type, params)
+                } else {
+                    shared.handle.submit(txn_type, params)
+                };
+                match submitted {
+                    Ok(ticket) => Outgoing::Pending { request_id, ticket },
+                    Err(PipelineError::QueueFull) => {
+                        Outgoing::Immediate(Response::QueueFull { request_id })
+                    }
+                    Err(PipelineError::BulkFailed(message)) => {
+                        Outgoing::Immediate(Response::BulkFailed {
+                            request_id,
+                            message,
+                        })
+                    }
+                    Err(PipelineError::ShutDown) | Err(PipelineError::Disconnected) => {
+                        Outgoing::Immediate(Response::Disconnected { request_id })
+                    }
+                }
+            }
+        };
+        if tx.send(out).is_err() {
+            // Responder already gone (it never exits before the queue closes
+            // unless the whole connection is being torn down).
+            return;
+        }
+    }
+}
+
+/// Resolve queued work FIFO and write response frames. If the peer stops
+/// accepting writes (disconnect mid-bulk), keep *draining* tickets without
+/// writing, so the pipeline's already-admitted transactions resolve normally
+/// and nothing blocks on the dead connection.
+fn responder_loop(shared: &Shared, mut stream: Box<dyn Duplex>, rx: Receiver<Outgoing>) {
+    let mut peer_alive = true;
+    for out in rx {
+        let response = match out {
+            Outgoing::Immediate(r) => r,
+            Outgoing::Pending { request_id, ticket } => match ticket.wait() {
+                Ok((txn_id, TxnOutcome::Committed)) => Response::Committed { request_id, txn_id },
+                Ok((txn_id, TxnOutcome::Aborted(_))) => Response::Aborted { request_id, txn_id },
+                Err(PipelineError::QueueFull) => Response::QueueFull { request_id },
+                Err(PipelineError::BulkFailed(message)) => Response::BulkFailed {
+                    request_id,
+                    message,
+                },
+                Err(PipelineError::ShutDown) | Err(PipelineError::Disconnected) => {
+                    Response::Disconnected { request_id }
+                }
+            },
+        };
+        if peer_alive {
+            let payload = encode_response(&response);
+            if write_frame(&mut stream, &payload).is_ok() {
+                shared.stats.responses.fetch_add(1, Ordering::Relaxed);
+            } else {
+                peer_alive = false;
+            }
+        }
+    }
+    // All responses written (or drained): signal EOF to the peer even though
+    // the registry in `Shared::conns` still holds a handle to this socket.
+    let _ = stream.shutdown_both();
+}

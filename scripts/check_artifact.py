@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Schema check for the bench-smoke JSON artifacts.
 
-Usage: check_artifact.py <kind> <path>   (kind: smoke | pipeline | hotpath | durability)
+Usage: check_artifact.py <kind> <path>
+       (kind: smoke | pipeline | hotpath | durability | net)
 
 CI runs this against every figures artifact before uploading it, so a
 silently-empty or truncated figures run (missing keys, zero transactions, no
@@ -115,6 +116,40 @@ SCHEMAS = {
             "tpcb_replayed_bulks",
         ],
     },
+    # `figures -- net --json`
+    "net": {
+        "required": {
+            "schema": int,
+            "experiment": str,
+            "workload": str,
+            "mode": str,
+            "connections": int,
+            "elapsed_secs": NUMBER,
+            "committed": int,
+            "throughput_tps": NUMBER,
+            "tpm": NUMBER,
+            "submitted_total": int,
+            "resolved_total": int,
+            "unmatched_total": int,
+            "per_type": list,
+        },
+        "positive": ["connections", "committed", "throughput_tps", "tpm"],
+        # Each per_type element is a flat object with these keys; latency
+        # percentiles may be 0 for types that never finished a transaction.
+        "list_items": {
+            "per_type": {
+                "name": str,
+                "committed": int,
+                "aborted": int,
+                "queue_full": int,
+                "bulk_failed": int,
+                "errors": int,
+                "p50_us": int,
+                "p95_us": int,
+                "p99_us": int,
+            }
+        },
+    },
 }
 
 
@@ -146,8 +181,30 @@ def main() -> None:
     for key in schema["positive"]:
         if not data[key] > 0:
             fail(f"{path}: key '{key}' must be > 0 (got {data[key]}) — empty run?")
+    for key, item_schema in schema.get("list_items", {}).items():
+        if not data[key]:
+            fail(f"{path}: list '{key}' must not be empty — empty run?")
+        for i, item in enumerate(data[key]):
+            if not isinstance(item, dict):
+                fail(f"{path}: {key}[{i}] must be an object")
+            for ikey, expected in item_schema.items():
+                if ikey not in item:
+                    fail(f"{path}: {key}[{i}] missing required key '{ikey}'")
+                if not isinstance(item[ikey], expected) or isinstance(item[ikey], bool):
+                    fail(
+                        f"{path}: {key}[{i}].{ikey} has type "
+                        f"{type(item[ikey]).__name__}, expected {expected}"
+                    )
     if kind == "pipeline" and data["p99_ms"] < data["p50_ms"]:
         fail(f"{path}: p99 ({data['p99_ms']}) below p50 ({data['p50_ms']})")
+    if kind == "net":
+        if data["submitted_total"] != data["resolved_total"]:
+            fail(
+                f"{path}: submitted_total ({data['submitted_total']}) != "
+                f"resolved_total ({data['resolved_total']}) — lost resolutions"
+            )
+        if data["unmatched_total"] != 0:
+            fail(f"{path}: unmatched_total must be 0 (got {data['unmatched_total']})")
     print(f"ARTIFACT-SCHEMA-OK: {path} matches the '{kind}' schema")
 
 

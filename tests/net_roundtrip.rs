@@ -1,0 +1,521 @@
+//! End-to-end tests of the network front door (gputx-server + gputx-client).
+//!
+//! * **Wire == in-process** — a seeded TM1 / micro stream submitted through
+//!   one wire connection (socket pair or loopback TCP) must commit the exact
+//!   same final database state and per-transaction outcomes as submitting the
+//!   same stream into `PipelinedGpuTx` directly. A single connection
+//!   preserves submission order, so with size-based bulk boundaries the two
+//!   runs are bit-identical.
+//! * **Failure is data** — a malformed frame gets an `Error` response and a
+//!   connection close (other connections unaffected); a client that vanishes
+//!   mid-bulk loses only its responses, never its admitted transactions; a
+//!   `no_wait` overload sheds with `QueueFull` and the committed state equals
+//!   a serial replay of exactly the admitted subset.
+//! * **Shutdown** — dropping the engine while wire submitters are live
+//!   resolves their in-flight replies as `Disconnected` instead of hanging
+//!   (the `SubmitGate` regression).
+//! * **Codec fuzz** — arbitrary garbled/byte-chopped request streams yield
+//!   clean per-connection errors, never a panic and never a committed
+//!   partial request (proptest).
+
+use gputx_client::{bench_run, Client, TxnResult};
+use gputx_core::config::StrategyChoice;
+use gputx_core::{EngineConfig, PipelineConfig, PipelinedGpuTx};
+use gputx_server::proto::{
+    self, encode_request, read_frame, write_frame, FrameError, Request, Response,
+};
+use gputx_server::{socket_pair, Server};
+use gputx_storage::wire::crc32;
+use gputx_storage::{Database, Value};
+use gputx_txn::{TxnSignature, TxnTypeId};
+use gputx_workloads::{MicroConfig, MicroWorkload, Tm1Config, WorkloadBundle};
+use std::io::Write;
+use std::time::Duration;
+
+const BULK: usize = 256;
+
+fn tm1() -> WorkloadBundle {
+    let mut bundle = Tm1Config { scale_factor: 1 }.build();
+    bundle.reseed(0xBEEF);
+    bundle
+}
+
+fn micro() -> WorkloadBundle {
+    let mut bundle = MicroWorkload::build(
+        &MicroConfig::default()
+            .with_tuples(512)
+            .with_types(4)
+            .with_skew(0.4),
+    );
+    bundle.reseed(0xF00D);
+    bundle
+}
+
+/// Pipeline config with size-based bulk boundaries only (the huge deadline
+/// never fires), so two runs over the same stream close identical bulks.
+fn deterministic_config() -> PipelineConfig {
+    PipelineConfig::default()
+        .with_max_bulk_size(BULK)
+        .with_max_wait_us(60_000_000)
+}
+
+fn engine_for(bundle: &WorkloadBundle, pipeline: PipelineConfig) -> PipelinedGpuTx {
+    PipelinedGpuTx::new(
+        bundle.db.clone(),
+        bundle.registry.clone(),
+        EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
+        pipeline,
+    )
+}
+
+/// Reference: the same stream submitted in-process, no wire. Returns the
+/// final database and each transaction's `(txn_id, committed?)`.
+fn in_process_run(
+    bundle: &WorkloadBundle,
+    stream: &[(TxnTypeId, Vec<Value>)],
+) -> (Database, Vec<(u64, bool)>) {
+    let engine = engine_for(bundle, deterministic_config());
+    let tickets: Vec<_> = stream
+        .iter()
+        .map(|(ty, params)| {
+            engine
+                .submit(*ty, params.clone())
+                .expect("in-process submit")
+        })
+        .collect();
+    // Close any trailing partial bulk now. Submission is synchronous, so the
+    // flush lands after every transaction and the bulk boundaries stay
+    // deterministic — the wait below never sits out the deadline.
+    engine.flush().expect("flush");
+    let outcomes = tickets
+        .iter()
+        .map(|t| {
+            let (id, outcome) = t.wait().expect("pipeline stays healthy");
+            (id, outcome.is_committed())
+        })
+        .collect();
+    let (db, _stats) = engine.finish().expect("clean finish");
+    (db, outcomes)
+}
+
+/// The same stream submitted through one wire connection.
+fn wire_run(
+    bundle: &WorkloadBundle,
+    stream: &[(TxnTypeId, Vec<Value>)],
+    connect: impl FnOnce(&Server) -> Client,
+) -> (Database, Vec<(u64, bool)>) {
+    let engine = engine_for(bundle, deterministic_config());
+    let server = Server::new(engine.handle());
+    let client = connect(&server);
+    let replies: Vec<_> = stream
+        .iter()
+        .map(|(ty, params)| client.submit(*ty, params.clone()).expect("wire submit"))
+        .collect();
+    let outcomes = replies
+        .iter()
+        .map(|r| match r.wait().expect("reply resolves") {
+            TxnResult::Committed(id) => (id, true),
+            TxnResult::Aborted(id) => (id, false),
+            other => panic!("unexpected wire resolution {other:?}"),
+        })
+        .collect();
+    assert_eq!(client.unmatched_responses(), 0);
+    drop(client);
+    server.stop();
+    let (db, _stats) = engine.finish().expect("clean finish");
+    (db, outcomes)
+}
+
+fn assert_wire_matches_in_process(mut bundle: WorkloadBundle, n: usize, tcp: bool) {
+    // An exact multiple of BULK: the final bulk closes by size on both sides,
+    // so neither run sits out the (deliberately unreachable) deadline.
+    assert_eq!(n % BULK, 0, "stream length must be a multiple of BULK");
+    let stream = bundle.generate(n);
+    let (db_ref, out_ref) = in_process_run(&bundle, &stream);
+    let (db_wire, out_wire) = wire_run(&bundle, &stream, |server| {
+        if tcp {
+            let addr = server.listen("127.0.0.1:0").expect("bind loopback");
+            Client::connect(addr).expect("connect")
+        } else {
+            let (server_end, client_end) = socket_pair().expect("socketpair");
+            server.attach(server_end).expect("attach");
+            Client::from_duplex(client_end).expect("client")
+        }
+    });
+    assert_eq!(out_wire, out_ref, "per-transaction outcomes must match");
+    assert!(
+        db_wire == db_ref,
+        "wire and in-process final database states must be bit-identical"
+    );
+    assert!(
+        out_ref.iter().any(|(_, committed)| *committed),
+        "the stream must commit something for the comparison to mean anything"
+    );
+}
+
+#[test]
+fn wire_tm1_matches_in_process_over_socket_pair() {
+    assert_wire_matches_in_process(tm1(), 3 * BULK, false);
+}
+
+#[test]
+fn wire_micro_matches_in_process_over_socket_pair() {
+    assert_wire_matches_in_process(micro(), 2 * BULK, false);
+}
+
+#[test]
+fn wire_tm1_matches_in_process_over_loopback_tcp() {
+    assert_wire_matches_in_process(tm1(), 2 * BULK, true);
+}
+
+/// A malformed frame is answered with a connection-scoped `Error` response
+/// and a close — while a well-formed connection to the same server keeps
+/// working.
+#[test]
+fn malformed_frame_gets_error_response_then_close() {
+    let bundle = tm1();
+    let engine = engine_for(&bundle, deterministic_config());
+    let server = Server::new(engine.handle());
+
+    // Raw connection: one clean frame, then a frame whose payload is garbled
+    // after the CRC was computed (a corrupted-in-flight frame).
+    let (server_end, mut raw) = socket_pair().expect("socketpair");
+    server.attach(server_end).expect("attach");
+    let payload = encode_request(&Request::Ping { request_id: 9 });
+    write_frame(&mut raw, &payload).expect("first frame is fine");
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bad.extend_from_slice(&crc32(&payload).to_le_bytes());
+    let mut garbled = payload.clone();
+    *garbled.last_mut().expect("non-empty payload") ^= 0xFF;
+    bad.extend_from_slice(&garbled);
+    raw.write_all(&bad).expect("write garbled frame");
+    // First response: the Pong. Second: the connection-scoped Error.
+    let pong = read_frame(&mut raw, proto::MAX_FRAME_LEN)
+        .expect("read pong")
+        .expect("pong present");
+    assert_eq!(
+        proto::decode_response(&pong).expect("pong decodes"),
+        Response::Pong { request_id: 9 }
+    );
+    let err = read_frame(&mut raw, proto::MAX_FRAME_LEN)
+        .expect("read error response")
+        .expect("error present");
+    match proto::decode_response(&err).expect("error decodes") {
+        Response::Error { request_id: 0, .. } => {}
+        other => panic!("expected connection-scoped Error, got {other:?}"),
+    }
+    // Then EOF: the server closed the bad connection.
+    assert!(matches!(
+        read_frame(&mut raw, proto::MAX_FRAME_LEN),
+        Ok(None) | Err(FrameError::Io(_)) | Err(FrameError::Corrupt(_))
+    ));
+
+    // A fresh, well-formed connection still works.
+    let (server_end, client_end) = socket_pair().expect("socketpair");
+    server.attach(server_end).expect("attach");
+    let client = Client::from_duplex(client_end).expect("client");
+    client.ping().expect("healthy connection still served");
+    drop(client);
+    server.stop();
+    assert_eq!(server.stats().protocol_errors, 1);
+    engine.finish().expect("clean finish");
+}
+
+/// A client that disconnects mid-bulk (without ever reading responses) loses
+/// only its responses: every transaction it submitted was admitted and
+/// commits, bit-identical to an in-process run of the same stream.
+#[test]
+fn mid_bulk_disconnect_preserves_admitted_transactions() {
+    let mut bundle = tm1();
+    // 300 is deliberately not a multiple of BULK: the tail is mid-bulk when
+    // the client vanishes.
+    let stream = bundle.generate(300);
+    let (db_ref, _) = in_process_run(&bundle, &stream);
+
+    let engine = engine_for(&bundle, deterministic_config());
+    let server = Server::new(engine.handle());
+    let (server_end, client_end) = socket_pair().expect("socketpair");
+    server.attach(server_end).expect("attach");
+    let client = Client::from_duplex(client_end).expect("client");
+    for (ty, params) in &stream {
+        client.submit(*ty, params.clone()).expect("wire submit");
+    }
+    // Vanish without reading a single response. The socket-pair transport
+    // delivers everything written before the close, then EOF.
+    drop(client);
+    server.stop();
+    let (db_wire, stats) = engine.finish().expect("clean finish");
+    assert_eq!(
+        stats.committed + stats.aborted,
+        300,
+        "every admitted transaction must still resolve"
+    );
+    assert!(
+        db_wire == db_ref,
+        "disconnect must not lose or duplicate admitted transactions"
+    );
+}
+
+/// Overdrive a tiny admission queue with `no_wait` submits: some are shed
+/// with `QueueFull`, and the final state equals a serial replay of exactly
+/// the admitted (non-shed) subset, in submission order.
+#[test]
+fn queue_full_shedding_commits_exactly_the_admitted_subset() {
+    // Micro is update-only, so the serial replay is insensitive to where the
+    // engine's bulk boundaries fell.
+    let mut bundle = MicroWorkload::build(
+        &MicroConfig::default()
+            .with_tuples(256)
+            .with_types(4)
+            .with_compute(8)
+            .with_skew(0.5),
+    );
+    bundle.reseed(0xA11CE);
+    let stream = bundle.generate(2_500);
+
+    let engine = engine_for(
+        &bundle,
+        // The replay is boundary-insensitive, so a short deadline is fine —
+        // it closes the final partial bulk without a long sit.
+        PipelineConfig::default()
+            .with_max_bulk_size(128)
+            .with_max_wait_us(2_000)
+            .with_queue_depth(1),
+    );
+    let server = Server::new(engine.handle());
+    let (server_end, client_end) = socket_pair().expect("socketpair");
+    server.attach(server_end).expect("attach");
+    let client = Client::from_duplex(client_end).expect("client");
+    let replies: Vec<_> = stream
+        .iter()
+        .map(|(ty, params)| {
+            client
+                .submit_nowait(*ty, params.clone())
+                .expect("wire submit")
+        })
+        .collect();
+    // The responses reveal the admitted subset, in submission order.
+    let mut admitted = Vec::new();
+    let mut shed = 0usize;
+    for (reply, (ty, params)) in replies.iter().zip(&stream) {
+        match reply.wait().expect("reply resolves") {
+            TxnResult::Committed(_) | TxnResult::Aborted(_) => admitted.push((*ty, params.clone())),
+            TxnResult::QueueFull => shed += 1,
+            other => panic!("unexpected resolution {other:?}"),
+        }
+    }
+    drop(client);
+    server.stop();
+    let (db_wire, _stats) = engine.finish().expect("clean finish");
+    assert!(shed > 0, "the tiny queue must shed under overdrive");
+    assert!(!admitted.is_empty(), "some transactions must get through");
+
+    // Serial replay of exactly the admitted subset.
+    let mut db_ref = bundle.db.clone();
+    for (i, (ty, params)) in admitted.iter().enumerate() {
+        let sig = TxnSignature::new(i as u64, *ty, params.clone());
+        bundle.registry.execute(&sig, &mut db_ref);
+    }
+    db_ref.apply_insert_buffers();
+    assert!(
+        db_wire == db_ref,
+        "committed state must be the admitted subset, nothing more or less"
+    );
+}
+
+/// Dropping the engine while a wire connection is still submitting resolves
+/// that connection's in-flight replies as `Disconnected` — promptly, instead
+/// of blocking engine teardown on the remote submitter (the `SubmitGate`
+/// regression, seen through the wire).
+#[test]
+fn engine_drop_with_live_wire_connection_resolves_disconnected() {
+    let bundle = micro();
+    let engine = engine_for(&bundle, deterministic_config());
+    let server = Server::new(engine.handle());
+    let (server_end, client_end) = socket_pair().expect("socketpair");
+    server.attach(server_end).expect("attach");
+    let client = Client::from_duplex(client_end).expect("client");
+
+    let before = client
+        .submit(0, vec![Value::Int(1)])
+        .expect("submit while engine lives");
+    // Tear the engine down mid-flight. Must return promptly even though the
+    // server still holds a live SubmitHandle.
+    let start = std::time::Instant::now();
+    drop(engine);
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "engine teardown must not block on live wire submitters"
+    );
+    // The pre-drop submit resolves (committed by the drain, or disconnected
+    // if the gate closed first) — it must not hang.
+    let first = before.wait().expect("pre-drop reply resolves");
+    assert!(
+        matches!(
+            first,
+            TxnResult::Committed(_) | TxnResult::Aborted(_) | TxnResult::Disconnected
+        ),
+        "unexpected pre-drop resolution {first:?}"
+    );
+    // Post-drop submits resolve as Disconnected — the wire stays responsive.
+    let after = client
+        .submit(0, vec![Value::Int(2)])
+        .expect("the wire itself is still up");
+    assert_eq!(
+        after.wait().expect("post-drop reply"),
+        TxnResult::Disconnected
+    );
+    client.ping().expect("connection still serves pings");
+    drop(client);
+    server.stop();
+}
+
+/// Closed-loop harness over socket pairs: the bench path itself must be
+/// lossless (every submit resolves exactly once) and observe commits.
+#[test]
+fn bench_harness_socket_pair_run_is_lossless() {
+    let mut bundle = tm1();
+    let type_names: Vec<String> = (0..bundle.registry.num_types())
+        .map(|t| bundle.registry.get(t as TxnTypeId).name.clone())
+        .collect();
+    let streams: Vec<_> = (0..2).map(|_| bundle.generate(512)).collect();
+    let engine = engine_for(
+        &bundle,
+        PipelineConfig::default()
+            .with_max_bulk_size(128)
+            .with_max_wait_us(2_000),
+    );
+    let server = Server::new(engine.handle());
+    let report = bench_run::run_bench(
+        &bench_run::BenchConfig {
+            connections: 2,
+            mode: bench_run::BenchMode::Closed,
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(400),
+            max_in_flight: 32,
+        },
+        &type_names,
+        &streams,
+        &|_| {
+            let (server_end, client_end) = socket_pair()?;
+            server.attach(server_end)?;
+            Client::from_duplex(client_end)
+        },
+    )
+    .expect("harness runs");
+    server.stop();
+    engine.finish().expect("clean finish");
+    assert!(report.is_lossless(), "harness lost a resolution");
+    assert!(report.committed() > 0, "harness must commit transactions");
+}
+
+mod codec_fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// splitmix64, locally seeded per case.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    proptest! {
+        /// Pure codec fuzz: feeding arbitrary bytes through the frame reader
+        /// yields frames or clean errors — never a panic, and every decoded
+        /// request round-trips.
+        #[test]
+        fn garbled_byte_streams_never_panic_the_codec(seed in 0u64..u64::MAX / 2, len in 0usize..4_096) {
+            let mut state = seed;
+            let bytes: Vec<u8> = (0..len).map(|_| mix(&mut state) as u8).collect();
+            let mut cursor = &bytes[..];
+            loop {
+                match read_frame(&mut cursor, proto::MAX_FRAME_LEN) {
+                    Ok(Some(payload)) => {
+                        // Astronomically unlikely from random bytes, but if a
+                        // frame survives the CRC it must decode or error
+                        // cleanly.
+                        let _ = proto::decode_request(&payload);
+                    }
+                    Ok(None) => break,
+                    Err(FrameError::Corrupt(_)) | Err(FrameError::Io(_)) => break,
+                }
+            }
+        }
+
+        /// Server-level fuzz: a valid request stream chopped at an arbitrary
+        /// byte yields responses for exactly the complete frames (plus at
+        /// most one connection-scoped Error), never a panic, and never a
+        /// committed partial request.
+        #[test]
+        fn chopped_request_streams_commit_only_complete_frames(seed in 0u64..u64::MAX / 2, frac in 0.0f64..1.0) {
+            let mut state = seed;
+            let mut bundle = micro();
+            bundle.reseed(seed);
+            let stream = bundle.generate(20);
+            // Serialize 20 valid submit frames, note each frame's end offset.
+            let mut wire_bytes = Vec::new();
+            let mut frame_ends = Vec::new();
+            for (i, (ty, params)) in stream.iter().enumerate() {
+                let req = Request::Submit {
+                    request_id: i as u64 + 1,
+                    txn_type: *ty,
+                    params: params.clone(),
+                    no_wait: false,
+                };
+                write_frame(&mut wire_bytes, &encode_request(&req)).expect("vec write");
+                frame_ends.push(wire_bytes.len());
+            }
+            // Chop anywhere; optionally garble one byte after the cut point
+            // region to also exercise CRC rejection on the tail.
+            let cut = ((wire_bytes.len() as f64) * frac) as usize;
+            let mut sent = wire_bytes[..cut].to_vec();
+            let garble = mix(&mut state) % 4 == 0 && !sent.is_empty();
+            if garble {
+                let at = (mix(&mut state) as usize) % sent.len();
+                sent[at] ^= 0x55;
+            }
+
+            let engine = engine_for(&bundle, PipelineConfig::default()
+                .with_max_bulk_size(8)
+                .with_max_wait_us(500));
+            let server = Server::new(engine.handle());
+            let (server_end, mut raw) = socket_pair().expect("socketpair");
+            server.attach(server_end).expect("attach");
+            raw.write_all(&sent).expect("write chopped stream");
+            raw.shutdown(std::net::Shutdown::Write).expect("half-close");
+            // Read whatever comes back until the server closes.
+            let mut resolved = Vec::new();
+            let mut conn_errors = 0usize;
+            while let Ok(Some(payload)) = read_frame(&mut raw, proto::MAX_FRAME_LEN) {
+                match proto::decode_response(&payload).expect("server speaks the protocol") {
+                    Response::Error { request_id: 0, .. } => conn_errors += 1,
+                    Response::Committed { request_id, .. }
+                    | Response::Aborted { request_id, .. }
+                    | Response::Disconnected { request_id } => resolved.push(request_id),
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+            server.stop();
+            let (_db, stats) = engine.finish().expect("server never panics, engine stays healthy");
+            // Responses are FIFO: resolved ids are exactly 1..=k for some
+            // prefix k of the complete frames — never a partial frame, never
+            // a hole, never more than one connection error.
+            prop_assert!(conn_errors <= 1);
+            let expect: Vec<u64> = (1..=resolved.len() as u64).collect();
+            prop_assert_eq!(&resolved, &expect);
+            let max_complete = frame_ends.iter().filter(|&&e| e <= cut).count();
+            prop_assert!(resolved.len() <= max_complete);
+            if !garble {
+                // Nothing garbled: every complete frame was admitted.
+                prop_assert_eq!(resolved.len(), max_complete);
+                prop_assert_eq!(stats.committed + stats.aborted, max_complete as u64);
+            } else {
+                prop_assert!((stats.committed + stats.aborted) as usize <= max_complete);
+            }
+        }
+    }
+}
