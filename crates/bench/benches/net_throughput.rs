@@ -15,7 +15,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gputx_client::bench_run::{run_bench, BenchConfig, BenchMode, BenchReport};
 use gputx_client::Client;
 use gputx_core::config::StrategyChoice;
-use gputx_core::{EngineConfig, PipelineConfig, PipelinedGpuTx};
+use gputx_core::EngineBuilder;
 use gputx_server::{socket_pair, Server};
 use gputx_storage::Value;
 use gputx_txn::TxnTypeId;
@@ -42,14 +42,11 @@ fn run_net(
         .collect();
     let streams: Vec<Vec<(TxnTypeId, Vec<Value>)>> =
         (0..connections).map(|_| bundle.generate(2_048)).collect();
-    let engine = PipelinedGpuTx::new(
-        bundle.db.clone(),
-        bundle.registry.clone(),
-        EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
-        PipelineConfig::default()
-            .with_max_bulk_size(512)
-            .with_max_wait_us(2_000),
-    );
+    let engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .with_strategy(StrategyChoice::ForceKset)
+        .with_max_bulk_size(512)
+        .with_max_wait_us(2_000)
+        .build_pipelined();
     let server = Server::new(engine.handle());
     let config = BenchConfig {
         connections,

@@ -102,9 +102,11 @@ fn bench_strategy_level(c: &mut Criterion) {
             ("serial", ExecutorChoice::Serial),
             ("parallel4", ExecutorChoice::parallel(4)),
         ] {
-            let config = EngineConfig::default()
-                .with_strategy(StrategyChoice::Auto)
-                .with_executor(choice);
+            let config = EngineConfig {
+                strategy: StrategyChoice::Auto,
+                executor: choice,
+                ..EngineConfig::default()
+            };
             group.bench_function(BenchmarkId::new(format!("{strategy}"), label), |b| {
                 b.iter(|| {
                     let mut db = bundle.db.clone();

@@ -15,8 +15,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gputx_core::config::StrategyChoice;
 use gputx_core::{
-    execute_bulk, profile_pipeline, Bulk, EngineConfig, ExecContext, PipelineConfig,
-    PipelinedGpuTx, StrategyKind,
+    execute_bulk, profile_pipeline, Bulk, EngineBuilder, EngineConfig, ExecContext, StrategyKind,
 };
 use gputx_exec::ExecutorChoice;
 use gputx_sim::Gpu;
@@ -43,15 +42,12 @@ fn run_pipeline(
     sigs: &[TxnSignature],
     executor: ExecutorChoice,
 ) -> (f64, f64, f64, String) {
-    let engine = PipelinedGpuTx::new(
-        bundle.db.clone(),
-        bundle.registry.clone(),
-        EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
-        PipelineConfig::default()
-            .with_max_bulk_size(BULK)
-            .with_max_wait_us(5_000)
-            .with_executor(executor),
-    );
+    let engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .with_strategy(StrategyChoice::ForceKset)
+        .with_max_bulk_size(BULK)
+        .with_max_wait_us(5_000)
+        .with_executor(executor)
+        .build_pipelined();
     for sig in sigs {
         engine
             .submit(sig.ty, sig.params.clone())

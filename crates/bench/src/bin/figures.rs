@@ -25,7 +25,9 @@
 //! client connections) and reports per-transaction-type commit/error counts
 //! and latency percentiles; `net-soak` is its CI hardening twin — more
 //! connections, longer run, hard-failing on any lost or duplicated ticket
-//! resolution.
+//! resolution. The extra `replication` experiment measures primary
+//! throughput at 0/1/2 attached followers plus the follower apply-lag
+//! percentiles, asserting every follower converges bit-identically.
 
 use gputx_bench::{
     adhoc_cpu_throughput, adhoc_gpu_throughput, cpu_workload_throughput, gpu_workload_throughput,
@@ -33,7 +35,7 @@ use gputx_bench::{
 };
 use gputx_core::pipeline::{simulate_pipeline, IntervalSimConfig};
 use gputx_core::relaxed::compare_strict_vs_relaxed;
-use gputx_core::{Bulk, EngineConfig, GpuTxEngine, StrategyKind};
+use gputx_core::{Bulk, EngineConfig, StrategyKind};
 use gputx_sim::{CpuSpec, SimDuration};
 use gputx_storage::StorageLayout;
 use gputx_workloads::{MicroConfig, MicroWorkload, Tm1Config, TpcbConfig, TpccConfig};
@@ -126,6 +128,9 @@ fn main() {
     if wanted.contains(&"net-soak") {
         net_soak();
     }
+    if wanted.contains(&"replication") {
+        replication(json_path.as_deref());
+    }
 }
 
 /// Shared setup for the network experiments: a TM1-backed pipelined engine
@@ -142,7 +147,7 @@ fn net_run(
     use gputx_client::bench_run::{run_bench, BenchConfig, BenchMode};
     use gputx_client::Client;
     use gputx_core::config::StrategyChoice;
-    use gputx_core::{PipelineConfig, PipelinedGpuTx};
+    use gputx_core::EngineBuilder;
     use gputx_server::Server;
     use gputx_txn::TxnTypeId;
 
@@ -151,14 +156,11 @@ fn net_run(
         .map(|t| bundle.registry.get(t as TxnTypeId).name.clone())
         .collect();
     let streams: Vec<_> = (0..connections).map(|_| bundle.generate(2_048)).collect();
-    let engine = PipelinedGpuTx::new(
-        bundle.db.clone(),
-        bundle.registry.clone(),
-        EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
-        PipelineConfig::default()
-            .with_max_bulk_size(max_bulk)
-            .with_max_wait_us(2_000),
-    );
+    let engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .with_strategy(StrategyChoice::ForceKset)
+        .with_max_bulk_size(max_bulk)
+        .with_max_wait_us(2_000)
+        .build_pipelined();
     let server = Server::new(engine.handle());
     let addr = server
         .listen("127.0.0.1:0")
@@ -316,6 +318,165 @@ fn net_soak() {
         "NET-SOAK: OK (lossless under {} connections)",
         report.connections
     );
+}
+
+/// Replication experiment for CI: a TM1-backed primary committing a fixed
+/// bulk stream at 0, 1 and 2 attached followers over socketpairs. Reports
+/// primary throughput per follower count and the follower apply lag
+/// (commit-to-applied, pooled across followers) at p50/p99, and asserts
+/// every follower converges to the primary's exact final state.
+fn replication(json_path: Option<&str>) {
+    use gputx_core::EngineBuilder;
+    use gputx_replication::Replica;
+    use gputx_server::socket_pair;
+    use std::time::{Duration, Instant};
+
+    banner("Replication — log shipping: primary throughput and follower apply lag");
+    const BULKS: usize = 48;
+    const PER_BULK: usize = 256;
+    const WAIT: Duration = Duration::from_secs(30);
+
+    let percentile = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+
+    let mut tps = [0.0f64; 3];
+    // lag_us[f] = pooled (p50, p99) apply lag at f followers (f >= 1).
+    let mut lag_p50 = [0.0f64; 3];
+    let mut lag_p99 = [0.0f64; 3];
+    let mut shed_total = 0u64;
+
+    for followers in 0..=2usize {
+        let mut bundle = Tm1Config { scale_factor: 1 }.build();
+        let sigs = bundle.generate_signatures(BULKS * PER_BULK, 0);
+        let builder = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone()).replicate();
+        let hub = builder.hub().expect("replicating builder exposes the hub");
+        let mut engine = builder.build();
+
+        // Attach and fully sync each follower before the timed window, then
+        // poll its applied-LSN watermark from a sampler thread so apply
+        // timestamps are captured while the primary keeps committing.
+        let mut pollers = Vec::new();
+        for _ in 0..followers {
+            let (server_end, follower_end) = socket_pair().expect("socketpair");
+            hub.attach(server_end).expect("attach follower");
+            let replica = Replica::start(follower_end).expect("start follower");
+            assert!(
+                replica.wait_synced(WAIT),
+                "follower must finish initial sync"
+            );
+            pollers.push(std::thread::spawn(move || {
+                let deadline = Instant::now() + 2 * WAIT;
+                let mut apply_at: Vec<Instant> = Vec::with_capacity(BULKS);
+                while apply_at.len() < BULKS {
+                    let applied = (replica.applied_lsn() as usize).min(BULKS);
+                    let now = Instant::now();
+                    while apply_at.len() < applied {
+                        apply_at.push(now);
+                    }
+                    if apply_at.len() >= BULKS {
+                        break;
+                    }
+                    assert!(Instant::now() < deadline, "follower stalled mid-run");
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                (replica, apply_at)
+            }));
+        }
+
+        let start = Instant::now();
+        let mut commit_at: Vec<Instant> = Vec::with_capacity(BULKS);
+        for chunk in sigs.chunks(PER_BULK) {
+            for sig in chunk {
+                engine.submit(sig.ty, sig.params.clone());
+            }
+            engine.execute_pending().expect("bulk executes");
+            commit_at.push(Instant::now());
+        }
+        tps[followers] = (BULKS * PER_BULK) as f64 / start.elapsed().as_secs_f64();
+
+        let mut lag_us: Vec<f64> = Vec::new();
+        for poller in pollers {
+            let (replica, apply_at) = poller.join().expect("poller thread");
+            assert!(
+                replica.wait_applied(BULKS as u64, WAIT),
+                "follower must apply the full stream"
+            );
+            assert!(
+                replica
+                    .snapshot_db()
+                    .expect("synced follower has a snapshot")
+                    == *engine.db(),
+                "follower must converge bit-identically to the primary"
+            );
+            for (apply, commit) in apply_at.iter().zip(&commit_at) {
+                // The sampler can observe an apply before the primary's
+                // commit timestamp lands; clamp those to zero lag.
+                let lag = apply.checked_duration_since(*commit).unwrap_or_default();
+                lag_us.push(lag.as_secs_f64() * 1e6);
+            }
+        }
+        lag_us.sort_by(|a, b| a.partial_cmp(b).expect("finite lag"));
+        lag_p50[followers] = percentile(&lag_us, 0.50);
+        lag_p99[followers] = percentile(&lag_us, 0.99);
+        shed_total += hub.stats().records_shed;
+        hub.stop();
+    }
+
+    let mut table = TextTable::new(&["followers", "tps", "lag p50 (us)", "lag p99 (us)"]);
+    for f in 0..=2usize {
+        table.row(vec![
+            f.to_string(),
+            format!("{:.0}", tps[f]),
+            if f == 0 {
+                "-".into()
+            } else {
+                format!("{:.0}", lag_p50[f])
+            },
+            if f == 0 {
+                "-".into()
+            } else {
+                format!("{:.0}", lag_p99[f])
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "REPLICATION: OK ({} bulks x {} txns per follower count, {} records shed)",
+        BULKS, PER_BULK, shed_total
+    );
+
+    // Hand-rolled JSON (the workspace serde is an offline shim).
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"experiment\": \"replication\",\n  \
+         \"transactions\": {},\n  \"bulks\": {},\n  \
+         \"f0_tps\": {:.3},\n  \"f1_tps\": {:.3},\n  \"f2_tps\": {:.3},\n  \
+         \"f1_lag_p50_us\": {:.3},\n  \"f1_lag_p99_us\": {:.3},\n  \
+         \"f2_lag_p50_us\": {:.3},\n  \"f2_lag_p99_us\": {:.3},\n  \
+         \"records_shed\": {}\n}}\n",
+        BULKS * PER_BULK,
+        BULKS,
+        tps[0],
+        tps[1],
+        tps[2],
+        lag_p50[1],
+        lag_p99[1],
+        lag_p50[2],
+        lag_p99[2],
+        shed_total,
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("cannot write replication JSON to {path}: {e}"));
+            println!("replication metrics written to {path}");
+        }
+        None => println!("{json}"),
+    }
 }
 
 /// Durability experiment: WAL overhead (logged vs. unlogged wall-clock tps on
@@ -606,20 +767,17 @@ fn hotpath(json_path: Option<&str>) {
 /// smoke cannot measure.
 fn pipeline_smoke(json_path: Option<&str>) {
     use gputx_core::config::StrategyChoice;
-    use gputx_core::{profile_pipeline, PipelineConfig, PipelinedGpuTx};
+    use gputx_core::{profile_pipeline, EngineBuilder};
     use gputx_workloads::{run_open_loop, OpenLoopConfig};
 
     banner("CI smoke — TM1 stream through the pipelined engine");
     let n_txns = 4_096usize;
     let mut bundle = Tm1Config { scale_factor: 1 }.build();
-    let engine = PipelinedGpuTx::new(
-        bundle.db.clone(),
-        bundle.registry.clone(),
-        EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
-        PipelineConfig::default()
-            .with_max_bulk_size(512)
-            .with_max_wait_us(2_000),
-    );
+    let engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .with_strategy(StrategyChoice::ForceKset)
+        .with_max_bulk_size(512)
+        .with_max_wait_us(2_000)
+        .build_pipelined();
     let offered = run_open_loop(
         &mut bundle,
         &OpenLoopConfig {
@@ -1186,11 +1344,9 @@ fn fig15() {
 fn fig16() {
     banner("Figure 16 — PCIe transfer cost on TM-1 (initialization / input / output)");
     let mut bundle = Tm1Config { scale_factor: 4 }.build();
-    let mut engine = GpuTxEngine::new(
-        bundle.db.clone(),
-        bundle.registry.clone(),
-        EngineConfig::default().with_bulk_size(16_384),
-    );
+    let mut engine = gputx_core::EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .with_bulk_size(16_384)
+        .build();
     for (ty, params) in bundle.generate(65_536) {
         engine.submit(ty, params);
     }

@@ -136,6 +136,10 @@ impl EngineConfig {
     }
 
     /// Builder-style: pick the host executor (serial or `parallel(n)`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct engines through `EngineBuilder::with_executor`, which applies the choice to every engine flavor"
+    )]
     pub fn with_executor(mut self, executor: ExecutorChoice) -> Self {
         self.executor = executor;
         self
@@ -144,13 +148,22 @@ impl EngineConfig {
     /// Builder-style: enable bulk-granular redo logging into `dir` with the
     /// default `PerBulk` fsync policy (see
     /// [`EngineConfig::with_durability_config`] for the other policies).
-    pub fn with_durability(self, dir: impl Into<PathBuf>) -> Self {
-        self.with_durability_config(DurabilityConfig::at(dir))
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct engines through `EngineBuilder::with_durability`"
+    )]
+    pub fn with_durability(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durability = DurabilityConfig::at(dir);
+        self
     }
 
     /// Builder-style: full durability configuration (directory + fsync
     /// policy, e.g. `DurabilityConfig::at(dir).with_fsync(FsyncPolicy::
     /// EveryN(8))`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct engines through `EngineBuilder::with_durability_config`"
+    )]
     pub fn with_durability_config(mut self, durability: DurabilityConfig) -> Self {
         self.durability = durability;
         self
@@ -234,6 +247,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // keeps the forwarding shims honest until removal
     fn builder_methods_apply() {
         let c = EngineConfig::default()
             .with_strategy(StrategyChoice::ForceKset)
@@ -256,6 +270,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // keeps the forwarding shims honest until removal
     fn durability_disabled_by_default_and_builders_apply() {
         let c = EngineConfig::default();
         assert!(!c.durability.enabled());

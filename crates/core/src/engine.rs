@@ -42,6 +42,10 @@ pub struct GpuTxEngine {
     /// committed bulk appends one record; `checkpoint` snapshots and
     /// truncates.
     durability: Option<Durability>,
+    /// Log shipping, when this engine is a replication primary (see
+    /// `EngineBuilder::replicate`): each committed bulk's redo record is
+    /// published to the hub after the local WAL append.
+    replication: Option<gputx_replication::PrimaryHub>,
 }
 
 impl GpuTxEngine {
@@ -56,10 +60,29 @@ impl GpuTxEngine {
     /// dropped its durability guarantee would be worse than one that refuses
     /// to start.
     pub fn new(db: Database, registry: ProcedureRegistry, config: EngineConfig) -> Self {
+        Self::with_parts(db, registry, config, None)
+    }
+
+    /// [`GpuTxEngine::new`] plus an optional replication hub whose mirror was
+    /// seeded from `db` — the `EngineBuilder::build` entry point.
+    pub(crate) fn with_parts(
+        db: Database,
+        registry: ProcedureRegistry,
+        config: EngineConfig,
+        replication: Option<gputx_replication::PrimaryHub>,
+    ) -> Self {
         let mut gpu = Gpu::new(config.device.clone());
         let load_time = db.load_to_device(&mut gpu);
         let durability = Durability::from_config(&config.durability, &db)
             .unwrap_or_else(|e| panic!("cannot initialize durability: {e}"));
+        // Keep WAL and stream numbering in lockstep: a fresh WAL starts at
+        // LSN 0, so a hub that already shipped records restarts its stream
+        // (new epoch, followers resync).
+        if durability.is_some() {
+            if let Some(hub) = replication.as_ref().filter(|h| h.next_lsn() != 0) {
+                hub.rotate_epoch();
+            }
+        }
         GpuTxEngine {
             gpu,
             db,
@@ -70,6 +93,7 @@ impl GpuTxEngine {
             results: Vec::new(),
             load_time,
             durability,
+            replication,
         }
     }
 
@@ -119,10 +143,8 @@ impl GpuTxEngine {
         let bulk = Bulk::new(sigs);
         // Arm dirty-field tracking so the bulk's physical writes can be read
         // back into its redo record after commit.
-        let capture = self
-            .durability
-            .as_ref()
-            .map(|_| gputx_durability::WriteCapture::begin(&mut self.db));
+        let capture = (self.durability.is_some() || self.replication.is_some())
+            .then(|| gputx_durability::WriteCapture::begin(&mut self.db));
         let mut ctx = ExecContext {
             gpu: &mut self.gpu,
             db: &mut self.db,
@@ -130,10 +152,27 @@ impl GpuTxEngine {
             config: &self.config,
         };
         let outcome = execute_bulk(&mut ctx, strategy, &bulk);
-        if let (Some(durability), Some(capture)) = (self.durability.as_mut(), capture) {
-            durability
-                .commit_bulk(capture, &mut self.db)
-                .unwrap_or_else(|e| panic!("durability log append failed: {e}"));
+        if let Some(capture) = capture {
+            // One redo record serves the local WAL and the replication hub;
+            // the local append comes first so followers never hold a record
+            // the primary did not log.
+            let lsn = match (&self.durability, &self.replication) {
+                (Some(d), _) => d.next_lsn(),
+                (None, Some(hub)) => hub.next_lsn(),
+                (None, None) => unreachable!("capture exists only with a consumer"),
+            };
+            let record = gputx_durability::BulkLogRecord {
+                lsn,
+                write_set: capture.finish(&mut self.db),
+            };
+            if let Some(durability) = self.durability.as_mut() {
+                durability
+                    .append_record(&record)
+                    .unwrap_or_else(|e| panic!("durability log append failed: {e}"));
+            }
+            if let Some(hub) = self.replication.as_ref() {
+                hub.publish(&record);
+            }
         }
         for (id, o) in &outcome.outcomes {
             self.results.push(TxnResult {
@@ -239,12 +278,18 @@ impl GpuTxEngine {
     /// over, and any transactions still pending in the pool are re-submitted
     /// into the pipeline (their pool timestamps are re-assigned by admission
     /// order, which preserves their relative order).
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct the streaming engine directly with `EngineBuilder::build_pipelined`"
+    )]
     pub fn into_pipelined(mut self, pipeline: PipelineConfig) -> PipelinedGpuTx {
         let pending = self.pool.drain_all();
         // Release this engine's log writer before the pipeline re-initializes
         // the same durability directory (fresh checkpoint + truncated log).
         drop(self.durability.take());
-        let streaming = PipelinedGpuTx::new(self.db, self.registry, self.config, pipeline);
+        let replication = self.replication.take();
+        let streaming =
+            PipelinedGpuTx::with_parts(self.db, self.registry, self.config, pipeline, replication);
         for sig in pending {
             // The engine just started, so submissions cannot fail; tickets
             // for carried-over transactions are intentionally dropped (the
@@ -347,16 +392,16 @@ mod tests {
 
     #[test]
     fn parallel_executor_runs_through_the_engine() {
+        use crate::builder::EngineBuilder;
         use gputx_exec::ExecutorChoice;
         let (db, reg) = setup(500);
-        let serial_cfg = EngineConfig::default().with_bulk_size(1024);
-        let parallel_cfg = serial_cfg
-            .clone()
-            .with_executor(ExecutorChoice::parallel(4));
         let mut results = Vec::new();
-        for config in [serial_cfg, parallel_cfg] {
+        for executor in [ExecutorChoice::Serial, ExecutorChoice::parallel(4)] {
             let (db, reg) = (db.clone(), reg.clone());
-            let mut engine = GpuTxEngine::new(db, reg, config);
+            let mut engine = EngineBuilder::new(db, reg)
+                .with_bulk_size(1024)
+                .with_executor(executor)
+                .build();
             for i in 0..2500u64 {
                 engine.submit(0, vec![Value::Int((i % 500) as i64), Value::Double(1.0)]);
             }
@@ -375,6 +420,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the conversion shim must keep working until removal
     fn into_pipelined_carries_pending_transactions() {
         let (db, reg) = setup(100);
         let mut engine = GpuTxEngine::new(db, reg, EngineConfig::default());

@@ -23,6 +23,9 @@
 //!   engine (continuous ingest, bulk formation overlapped with execution on
 //!   stage threads) and the arrival/response-time simulation behind the
 //!   response-time-vs-throughput figures (Figures 9 and 15).
+//! * [`builder`] — the [`EngineBuilder`]: one fluent construction surface
+//!   for the one-shot, pipelined and CPU engines, including the replication
+//!   role (primary log shipping via `gputx-replication`).
 //! * [`error`] — typed engine errors ([`EngineError`]).
 //! * [`engine`] — the [`engine::GpuTxEngine`] facade: register procedures,
 //!   load the database to the device, submit transactions, execute bulks and
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod builder;
 pub mod bulk;
 pub mod config;
 pub mod engine;
@@ -43,8 +47,9 @@ pub mod relaxed;
 pub mod select;
 pub mod strategy;
 
+pub use builder::EngineBuilder;
 pub use bulk::{Bulk, BulkReport};
-pub use config::{EngineConfig, PipelineConfig};
+pub use config::{EngineConfig, PipelineConfig, StrategyChoice};
 pub use engine::GpuTxEngine;
 pub use error::EngineError;
 pub use pipeline::PipelinedGpuTx;

@@ -21,7 +21,7 @@ use crate::config::{EngineConfig, PipelineConfig, StrategyChoice};
 use crate::profiler::profile_bulk;
 use crate::select::choose_strategy;
 use crate::strategy::{execute_bulk, ExecContext, StrategyKind};
-use gputx_durability::Durability;
+use gputx_durability::{BulkLogRecord, Durability};
 use gputx_exec::{
     run_txn_planned, BulkPlanner, BulkRunner, ExecError, ExecPolicy, Executor, PipelineError,
     PipelineOptions, PipelineStats, PipelinedEngine, SubmitHandle, Ticket,
@@ -169,6 +169,12 @@ pub struct GpuTxRunner {
     /// per policy — the fsync wait is naturally folded into the ticket
     /// latencies `PipelineStats` reports as p50/p99.
     durability: Option<Durability>,
+    /// Log shipping, when this engine is a replication primary. The same
+    /// group-commit point that appends a bulk's redo record to the WAL
+    /// publishes it into the hub, which fans it out to followers — shipping
+    /// and local durability always agree because they consume the *same*
+    /// record. Publishing never blocks on a follower (bounded queues shed).
+    replication: Option<gputx_replication::PrimaryHub>,
 }
 
 impl GpuTxRunner {
@@ -265,10 +271,8 @@ impl BulkRunner for GpuTxRunner {
         // back into its redo record after commit. Unlike the access plan,
         // the capture cannot move to the grouping stage: it brackets the
         // live database's mutation window.
-        let capture = self
-            .durability
-            .as_ref()
-            .map(|_| gputx_durability::WriteCapture::begin(&mut self.db));
+        let capture = (self.durability.is_some() || self.replication.is_some())
+            .then(|| gputx_durability::WriteCapture::begin(&mut self.db));
         let mut outcomes = Vec::with_capacity(bulk.len());
         if let Err(e) = self.run_plan(&bulk, &plan, &mut outcomes) {
             self.discard_insert_buffers();
@@ -276,19 +280,36 @@ impl BulkRunner for GpuTxRunner {
         }
         self.db.apply_insert_buffers();
         outcomes.sort_by_key(|(id, _)| *id);
-        if let (Some(durability), Some(capture)) = (self.durability.as_mut(), capture) {
-            // Group commit: the record (and its policy-driven fsync) must
-            // land before the commit stage resolves this bulk's tickets. An
-            // append failure fails this bulk's tickets AND poisons the log
-            // writer, so every later bulk's tickets fail too — the
-            // functional effects are applied, but nobody is ever told
-            // "durable" for work the log cannot reproduce. A checkpoint
-            // (full snapshot + fresh log epoch) is the way back.
-            durability.commit_bulk(capture, &mut self.db).map_err(|e| {
-                ExecError::LogAppendFailed {
-                    message: e.to_string(),
-                }
-            })?;
+        if let Some(capture) = capture {
+            // Group commit: one redo record serves both consumers. The WAL
+            // append (and its policy-driven fsync) must land before the
+            // commit stage resolves this bulk's tickets. An append failure
+            // fails this bulk's tickets AND poisons the log writer, so every
+            // later bulk's tickets fail too — the functional effects are
+            // applied, but nobody is ever told "durable" for work the log
+            // cannot reproduce. A checkpoint (full snapshot + fresh log
+            // epoch) is the way back. Publishing to followers happens after
+            // the local append: a record a follower holds is always one the
+            // primary logged.
+            let lsn = match (&self.durability, &self.replication) {
+                (Some(d), _) => d.next_lsn(),
+                (None, Some(hub)) => hub.next_lsn(),
+                (None, None) => unreachable!("capture exists only with a consumer"),
+            };
+            let record = BulkLogRecord {
+                lsn,
+                write_set: capture.finish(&mut self.db),
+            };
+            if let Some(durability) = self.durability.as_mut() {
+                durability
+                    .append_record(&record)
+                    .map_err(|e| ExecError::LogAppendFailed {
+                        message: e.to_string(),
+                    })?;
+            }
+            if let Some(hub) = self.replication.as_ref() {
+                hub.publish(&record);
+            }
         }
         Ok(outcomes)
     }
@@ -329,12 +350,34 @@ impl PipelinedGpuTx {
         engine_config: EngineConfig,
         pipeline: PipelineConfig,
     ) -> Self {
+        Self::with_parts(db, registry, engine_config, pipeline, None)
+    }
+
+    /// [`PipelinedGpuTx::new`] plus an optional replication hub whose mirror
+    /// was seeded from `db` — the `EngineBuilder::build_pipelined` entry
+    /// point.
+    pub(crate) fn with_parts(
+        db: Database,
+        registry: ProcedureRegistry,
+        engine_config: EngineConfig,
+        pipeline: PipelineConfig,
+        replication: Option<gputx_replication::PrimaryHub>,
+    ) -> Self {
         let needs_snapshot = matches!(
             engine_config.strategy,
             StrategyChoice::ForceKset | StrategyChoice::Auto
         );
         let durability = Durability::from_config(&engine_config.durability, &db)
             .unwrap_or_else(|e| panic!("cannot initialize durability: {e}"));
+        // A freshly created WAL numbers records from 0; a hub that already
+        // shipped records must restart its stream too (new epoch, followers
+        // resync) so both consumers keep numbering the same records
+        // identically.
+        if durability.is_some() {
+            if let Some(hub) = replication.as_ref().filter(|h| h.next_lsn() != 0) {
+                hub.rotate_epoch();
+            }
+        }
         let planner = GpuTxPlanner {
             registry: registry.clone(),
             snapshot: needs_snapshot.then(|| db.clone()),
@@ -346,6 +389,7 @@ impl PipelinedGpuTx {
             executor: pipeline.executor.build(),
             policy: ExecPolicy::functional(),
             durability,
+            replication,
         };
         let opts = PipelineOptions {
             max_bulk_size: pipeline.max_bulk_size,

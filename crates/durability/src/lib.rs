@@ -33,5 +33,7 @@ pub mod wal;
 
 pub use capture::WriteCapture;
 pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
-pub use manager::{recover, recover_from, Durability, DurabilityConfig, DurabilityStats, Recovery};
+pub use manager::{
+    fresh_epoch, recover, recover_from, Durability, DurabilityConfig, DurabilityStats, Recovery,
+};
 pub use wal::{read_wal, BulkLogRecord, FsyncPolicy, WalScan, WalWriter};

@@ -156,8 +156,10 @@ pub struct Durability {
 /// folded into the snapshot and possibly LSN-colliding with the new epoch,
 /// must not replay). Wall-clock nanoseconds make collisions with any stale
 /// on-disk epoch practically impossible; the value is a token, not a
-/// timestamp.
-fn fresh_epoch() -> u64 {
+/// timestamp — though replication additionally leans on its coarse
+/// monotonicity: a primary promoted *later* carries a numerically larger
+/// epoch, which is what lets followers fence a stale primary by comparison.
+pub fn fresh_epoch() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)
@@ -216,16 +218,28 @@ impl Durability {
     /// and apply the fsync policy. Returns the record's LSN. When this
     /// returns under [`FsyncPolicy::PerBulk`], the bulk is durable.
     pub fn commit_bulk(&mut self, capture: WriteCapture, db: &mut Database) -> io::Result<u64> {
-        let start = Instant::now();
-        let lsn = self.next_lsn;
         let record = BulkLogRecord {
-            lsn,
+            lsn: self.next_lsn,
             write_set: capture.finish(db),
         };
-        self.wal.append(&record)?;
+        self.append_record(&record)
+    }
+
+    /// Append an already-assembled redo record (its `lsn` must be this
+    /// handle's [`Durability::next_lsn`]) and apply the fsync policy.
+    /// Returns the record's LSN. This is the lower-level half of
+    /// [`Durability::commit_bulk`] for callers that build the record once and
+    /// feed it to several sinks — e.g. the WAL *and* a replication fan-out.
+    pub fn append_record(&mut self, record: &BulkLogRecord) -> io::Result<u64> {
+        let start = Instant::now();
+        assert_eq!(
+            record.lsn, self.next_lsn,
+            "redo record LSN must continue the log sequence"
+        );
+        self.wal.append(record)?;
         self.next_lsn += 1;
         self.log_secs += start.elapsed().as_secs_f64();
-        Ok(lsn)
+        Ok(record.lsn)
     }
 
     /// Take a checkpoint of `db` (which must reflect every bulk logged so

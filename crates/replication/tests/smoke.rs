@@ -1,0 +1,187 @@
+//! Protocol-level smoke tests for the replication crate: subscribe/snapshot/
+//! record/ack/promote over an in-process socket pair, with empty write-sets
+//! (the full engine-driven equivalence tests live in the workspace-level
+//! `tests/replication.rs`).
+
+use gputx_durability::BulkLogRecord;
+use gputx_replication::{PrimaryHub, Replica, ReplicaSeed};
+use gputx_server::socket_pair;
+use gputx_storage::shard::ShardDelta;
+use gputx_storage::Database;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(10);
+
+fn record(lsn: u64) -> BulkLogRecord {
+    BulkLogRecord {
+        lsn,
+        write_set: ShardDelta::default(),
+    }
+}
+
+#[test]
+fn fresh_follower_syncs_snapshot_then_streams_records() {
+    let db = Database::column_store();
+    let hub = PrimaryHub::new(&db);
+    let (a, b) = socket_pair().unwrap();
+    hub.attach(a).unwrap();
+    let replica = Replica::start(b).unwrap();
+
+    assert!(replica.wait_synced(WAIT));
+    assert_eq!(replica.epoch(), hub.epoch());
+    assert_eq!(replica.applied_lsn(), 0);
+
+    for lsn in 0..5 {
+        hub.publish(&record(lsn));
+    }
+    assert!(replica.wait_applied(5, WAIT));
+    assert!(hub.wait_acked(5, WAIT));
+    let stats = replica.stats();
+    assert_eq!(stats.records_applied, 5);
+    assert_eq!(stats.snapshots_installed, 1);
+    assert!(stats.synced);
+    hub.stop();
+    assert!(replica.wait_disconnected(WAIT));
+}
+
+#[test]
+fn caught_up_resume_skips_snapshot() {
+    let db = Database::column_store();
+    let hub = PrimaryHub::new(&db);
+    hub.publish(&record(0));
+    hub.publish(&record(1));
+
+    // Seed that exactly matches the primary's epoch and tail.
+    let seed = ReplicaSeed {
+        db: hub.mirror_db(),
+        epoch: hub.epoch(),
+        applied_lsn: 2,
+    };
+    let (a, b) = socket_pair().unwrap();
+    hub.attach(a).unwrap();
+    let replica = Replica::resume(b, seed).unwrap();
+    assert!(replica.wait_synced(WAIT));
+    // Publishing before the Subscribe registers would (correctly) force a
+    // snapshot; wait until the hub sees the follower to test the fast path.
+    let deadline = std::time::Instant::now() + WAIT;
+    while hub.stats().followers == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    hub.publish(&record(2));
+    assert!(replica.wait_applied(3, WAIT));
+    // No snapshot travelled: the fast path streamed the tail directly.
+    assert_eq!(replica.stats().snapshots_installed, 0);
+    assert_eq!(hub.stats().snapshots_sent, 0);
+    hub.stop();
+}
+
+#[test]
+fn stale_epoch_resume_forces_full_snapshot() {
+    let db = Database::column_store();
+    let hub = PrimaryHub::new(&db);
+    hub.publish(&record(0));
+
+    // Same applied count but a different (older) epoch: must re-snapshot.
+    let seed = ReplicaSeed {
+        db: Database::column_store(),
+        epoch: 1, // valid but never equal to a fresh_epoch()-derived token
+        applied_lsn: 1,
+    };
+    let (a, b) = socket_pair().unwrap();
+    hub.attach(a).unwrap();
+    let replica = Replica::resume(b, seed).unwrap();
+    // The seed already claims applied_lsn 1, so wait on the snapshot install
+    // itself rather than the watermark.
+    let deadline = std::time::Instant::now() + WAIT;
+    while replica.stats().snapshots_installed == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(replica.stats().snapshots_installed, 1);
+    assert_eq!(replica.epoch(), hub.epoch());
+    assert_eq!(replica.applied_lsn(), 1);
+    hub.stop();
+}
+
+#[test]
+fn retire_hands_off_to_best_follower() {
+    let db = Database::column_store();
+    let hub = PrimaryHub::new(&db);
+    let (a, b) = socket_pair().unwrap();
+    hub.attach(a).unwrap();
+    let replica = Replica::start(b).unwrap();
+    assert!(replica.wait_synced(WAIT));
+    hub.publish(&record(0));
+    assert!(hub.wait_acked(1, WAIT));
+
+    assert!(hub.retire());
+    assert!(replica.wait_disconnected(WAIT));
+    let old_epoch = hub.epoch();
+    let offer = replica.stats().promote_offer;
+    assert_eq!(offer, Some(old_epoch));
+    let promotion = replica.promote().expect("synced replica promotes");
+    assert!(promotion.epoch > old_epoch);
+    assert_eq!(promotion.applied_lsn, 1);
+    hub.stop();
+}
+
+#[test]
+fn retire_with_no_followers_reports_false() {
+    let hub = PrimaryHub::new(&Database::column_store());
+    assert!(!hub.retire());
+    hub.stop();
+}
+
+#[test]
+fn promote_before_sync_returns_none() {
+    let (_a, b) = socket_pair().unwrap();
+    // Nobody serving the other end: the replica never syncs.
+    let replica = Replica::start(b).unwrap();
+    assert!(replica.promote().is_none());
+}
+
+#[test]
+fn newer_epoch_follower_fences_stale_primary() {
+    let db = Database::column_store();
+    let hub = PrimaryHub::new(&db);
+    let (a, b) = socket_pair().unwrap();
+    hub.attach(a).unwrap();
+    // A follower claiming a future epoch: this primary must fence itself.
+    let seed = ReplicaSeed {
+        db: Database::column_store(),
+        epoch: hub.epoch() + 10,
+        applied_lsn: 0,
+    };
+    let replica = Replica::resume(b, seed).unwrap();
+    assert!(replica.wait_disconnected(WAIT));
+    // Wait for the fencing to be recorded (session thread races the test).
+    let deadline = std::time::Instant::now() + WAIT;
+    while !hub.stats().fenced && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = hub.stats();
+    assert!(stats.fenced);
+    assert_eq!(stats.fencings, 1);
+
+    // And once fenced, it refuses every later subscription too.
+    let (c, d) = socket_pair().unwrap();
+    hub.attach(c).unwrap();
+    let late = Replica::start(d).unwrap();
+    assert!(late.wait_disconnected(WAIT));
+    assert!(!late.stats().synced);
+    hub.stop();
+}
+
+#[test]
+fn tcp_listener_accepts_followers() {
+    let db = Database::column_store();
+    let hub = PrimaryHub::new(&db);
+    let addr = hub.listen("127.0.0.1:0").unwrap();
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let replica = Replica::start(stream).unwrap();
+    assert!(replica.wait_synced(WAIT));
+    hub.publish(&record(0));
+    assert!(replica.wait_applied(1, WAIT));
+    hub.stop();
+    assert!(replica.wait_disconnected(WAIT));
+}

@@ -267,6 +267,20 @@ impl Drop for Server {
 fn attach_to<S: Duplex>(shared: &Arc<Shared>, stream: S) -> io::Result<()> {
     let read_half = stream.try_clone_box()?;
     let write_half = stream.try_clone_box()?;
+    // Register under the connection-list lock, re-checking `stopping` inside
+    // it: `stop()` stores the flag *before* taking this lock, so either we
+    // see the flag and refuse, or `stop()` sees our entry and closes it.
+    // Spawning first and pushing after (the old order) let a concurrent
+    // `stop()` drain the list between the two — orphaning live threads whose
+    // client then hung instead of resolving `Disconnected`.
+    let mut conns = shared.conns.lock().expect("connection list poisoned");
+    if shared.stopping.load(Ordering::Acquire) {
+        let _ = stream.shutdown_both();
+        return Err(io::Error::new(
+            io::ErrorKind::NotConnected,
+            "server is stopping",
+        ));
+    }
     shared.stats.connections.fetch_add(1, Ordering::Relaxed);
     // Bounded queue: a peer that stops reading responses eventually
     // backpressures its own reader thread instead of buffering unboundedly.
@@ -286,15 +300,11 @@ fn attach_to<S: Duplex>(shared: &Arc<Shared>, stream: S) -> io::Result<()> {
             .spawn(move || responder_loop(&shared, write_half, rx))
             .map_err(io::Error::other)?
     };
-    shared
-        .conns
-        .lock()
-        .expect("connection list poisoned")
-        .push(Connection {
-            stream: Box::new(stream),
-            reader: Some(reader),
-            responder: Some(responder),
-        });
+    conns.push(Connection {
+        stream: Box::new(stream),
+        reader: Some(reader),
+        responder: Some(responder),
+    });
     Ok(())
 }
 

@@ -313,6 +313,179 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
     Ok(resp)
 }
 
+// ---------------------------------------------------------------------------
+// Replication frames
+// ---------------------------------------------------------------------------
+
+/// A message on a primary↔follower replication connection.
+///
+/// Replication shares the request/response frame layer (length + CRC) and the
+/// `[version][kind]` payload prefix, but runs on *dedicated* connections with
+/// its own kind-byte space (`32..`), so a replication frame sent to the
+/// request port (or vice versa) decodes to a typed error, never to a
+/// misinterpreted message. There is no `request_id`: the stream itself is the
+/// correlation — records arrive in LSN order, acks in applied order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplMsg {
+    /// Follower → primary, first frame of every subscription: what the
+    /// follower already has. A primary skips the snapshot only when `epoch`
+    /// matches its own and `applied_lsn` equals its next LSN (the follower is
+    /// exactly caught up); anything else gets a full snapshot first. A
+    /// subscribe carrying an epoch *newer* than the primary's fences the
+    /// primary (it learns it is stale).
+    Subscribe {
+        /// Replication epoch of the follower's current state (`0` = empty).
+        epoch: u64,
+        /// LSN the follower would apply next within that epoch.
+        applied_lsn: u64,
+    },
+    /// Primary → follower: one piece of a `Database::encode_into` snapshot.
+    /// `seq` starts at 0 and increments; a new `seq == 0` chunk discards any
+    /// partially accumulated snapshot (that is the resync path). When `last`
+    /// is set the accumulated bytes decode to the full database, and the
+    /// follower's replay resumes at `next_lsn` under `epoch`.
+    SnapshotChunk {
+        /// Replication epoch the snapshot belongs to.
+        epoch: u64,
+        /// LSN of the first log record that post-dates the snapshot.
+        next_lsn: u64,
+        /// Chunk sequence number within this snapshot, from 0.
+        seq: u32,
+        /// True on the final chunk.
+        last: bool,
+        /// This chunk's slice of the encoded database.
+        bytes: Vec<u8>,
+    },
+    /// Primary → follower: one committed bulk's redo record
+    /// (`BulkLogRecord::encode` bytes), stamped with the primary's epoch and
+    /// the commit wall-clock time the follower uses for lag accounting.
+    LogRecord {
+        /// Replication epoch the record belongs to.
+        epoch: u64,
+        /// Primary wall clock at commit, nanoseconds since the Unix epoch.
+        commit_nanos: u64,
+        /// The framed `BulkLogRecord` payload (LSN + write-set).
+        payload: Vec<u8>,
+    },
+    /// Follower → primary: everything below `applied_lsn` has been applied —
+    /// the replication-lag watermark the primary reports per follower.
+    Ack {
+        /// LSN the follower would apply next (records applied so far).
+        applied_lsn: u64,
+    },
+    /// Primary → follower, controlled handoff: after this frame the sender
+    /// stops streaming and the receiver should promote itself with (at
+    /// least) the given epoch. Uncontrolled promotion (primary loss) skips
+    /// this frame and bumps the epoch locally.
+    Promote {
+        /// Epoch the promoted follower must exceed or match.
+        epoch: u64,
+    },
+}
+
+/// Encode a replication message as a frame payload (no framing).
+pub fn encode_repl(msg: &ReplMsg) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(PROTOCOL_VERSION);
+    match msg {
+        ReplMsg::Subscribe { epoch, applied_lsn } => {
+            w.put_u8(32);
+            w.put_u64(*epoch);
+            w.put_u64(*applied_lsn);
+        }
+        ReplMsg::SnapshotChunk {
+            epoch,
+            next_lsn,
+            seq,
+            last,
+            bytes,
+        } => {
+            w.put_u8(33);
+            w.put_u64(*epoch);
+            w.put_u64(*next_lsn);
+            w.put_u32(*seq);
+            w.put_u8(u8::from(*last));
+            w.put_blob(bytes);
+        }
+        ReplMsg::LogRecord {
+            epoch,
+            commit_nanos,
+            payload,
+        } => {
+            w.put_u8(34);
+            w.put_u64(*epoch);
+            w.put_u64(*commit_nanos);
+            w.put_blob(payload);
+        }
+        ReplMsg::Ack { applied_lsn } => {
+            w.put_u8(35);
+            w.put_u64(*applied_lsn);
+        }
+        ReplMsg::Promote { epoch } => {
+            w.put_u8(36);
+            w.put_u64(*epoch);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a replication payload. Trailing bytes are an error, like the
+/// request/response decoders.
+pub fn decode_repl(payload: &[u8]) -> Result<ReplMsg, WireError> {
+    let mut r = WireReader::new(payload);
+    let version = r.get_u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::Invalid(format!(
+            "unsupported protocol version {version} (this side speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    let msg = match r.get_u8()? {
+        32 => ReplMsg::Subscribe {
+            epoch: r.get_u64()?,
+            applied_lsn: r.get_u64()?,
+        },
+        33 => {
+            let epoch = r.get_u64()?;
+            let next_lsn = r.get_u64()?;
+            let seq = r.get_u32()?;
+            let last = match r.get_u8()? {
+                0 => false,
+                1 => true,
+                flag => {
+                    return Err(WireError::Invalid(format!(
+                        "unknown snapshot-chunk flags {flag:#x}"
+                    )))
+                }
+            };
+            ReplMsg::SnapshotChunk {
+                epoch,
+                next_lsn,
+                seq,
+                last,
+                bytes: r.get_blob()?,
+            }
+        }
+        34 => ReplMsg::LogRecord {
+            epoch: r.get_u64()?,
+            commit_nanos: r.get_u64()?,
+            payload: r.get_blob()?,
+        },
+        35 => ReplMsg::Ack {
+            applied_lsn: r.get_u64()?,
+        },
+        36 => ReplMsg::Promote {
+            epoch: r.get_u64()?,
+        },
+        kind => {
+            return Err(WireError::Invalid(format!(
+                "unknown replication message kind {kind}"
+            )))
+        }
+    };
+    r.expect_end()?;
+    Ok(msg)
+}
+
 /// Write one frame (header + payload) and flush.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
@@ -507,5 +680,80 @@ mod tests {
         let mut payload = encode_request(&Request::Ping { request_id: 1 });
         payload.push(0);
         assert!(decode_request(&payload).is_err());
+    }
+
+    fn roundtrip_repl(msg: ReplMsg) {
+        let payload = encode_repl(&msg);
+        assert_eq!(decode_repl(&payload).unwrap(), msg);
+    }
+
+    #[test]
+    fn replication_messages_round_trip() {
+        roundtrip_repl(ReplMsg::Subscribe {
+            epoch: 0,
+            applied_lsn: 0,
+        });
+        roundtrip_repl(ReplMsg::Subscribe {
+            epoch: u64::MAX,
+            applied_lsn: 17,
+        });
+        roundtrip_repl(ReplMsg::SnapshotChunk {
+            epoch: 3,
+            next_lsn: 42,
+            seq: 0,
+            last: false,
+            bytes: vec![1, 2, 3, 0xFF],
+        });
+        roundtrip_repl(ReplMsg::SnapshotChunk {
+            epoch: 3,
+            next_lsn: 42,
+            seq: 9,
+            last: true,
+            bytes: vec![],
+        });
+        roundtrip_repl(ReplMsg::LogRecord {
+            epoch: 3,
+            commit_nanos: 1_234_567_890,
+            payload: vec![0; 64],
+        });
+        roundtrip_repl(ReplMsg::Ack { applied_lsn: 43 });
+        roundtrip_repl(ReplMsg::Promote { epoch: 4 });
+    }
+
+    #[test]
+    fn replication_and_request_kind_spaces_do_not_overlap() {
+        // A replication frame fed to the request/response decoders (a
+        // follower dialed the wrong port) is a typed error, and vice versa.
+        let repl = encode_repl(&ReplMsg::Ack { applied_lsn: 1 });
+        assert!(decode_request(&repl).is_err());
+        assert!(decode_response(&repl).is_err());
+        let req = encode_request(&Request::Ping { request_id: 1 });
+        assert!(decode_repl(&req).is_err());
+        let resp = encode_response(&Response::Pong { request_id: 1 });
+        assert!(decode_repl(&resp).is_err());
+    }
+
+    #[test]
+    fn replication_decode_hardening() {
+        let mut bad_version = encode_repl(&ReplMsg::Ack { applied_lsn: 1 });
+        bad_version[0] = PROTOCOL_VERSION + 1;
+        assert!(decode_repl(&bad_version).is_err());
+        let mut bad_kind = encode_repl(&ReplMsg::Ack { applied_lsn: 1 });
+        bad_kind[1] = 200;
+        assert!(decode_repl(&bad_kind).is_err());
+        let mut trailing = encode_repl(&ReplMsg::Promote { epoch: 1 });
+        trailing.push(0);
+        assert!(decode_repl(&trailing).is_err());
+        // Truncation anywhere inside a snapshot chunk is a typed error.
+        let chunk = encode_repl(&ReplMsg::SnapshotChunk {
+            epoch: 1,
+            next_lsn: 2,
+            seq: 0,
+            last: true,
+            bytes: vec![7; 32],
+        });
+        for cut in 1..chunk.len() {
+            assert!(decode_repl(&chunk[..cut]).is_err(), "cut at {cut}");
+        }
     }
 }

@@ -112,6 +112,13 @@ impl WireWriter {
         self.buf.extend_from_slice(v);
     }
 
+    /// Append a length-prefixed byte string (read back with
+    /// [`WireReader::get_blob`]).
+    pub fn put_blob(&mut self, v: &[u8]) {
+        self.put_len(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
     /// Append a [`Value`] (tag byte + payload).
     pub fn put_value(&mut self, v: &Value) {
         match v {
@@ -224,6 +231,13 @@ impl<'a> WireReader<'a> {
             )));
         }
         Ok(len as usize)
+    }
+
+    /// Read a length-prefixed byte string written by
+    /// [`WireWriter::put_blob`].
+    pub fn get_blob(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_len()?;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Read a length-prefixed UTF-8 string.

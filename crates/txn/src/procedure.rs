@@ -270,8 +270,8 @@ impl<'a> TxnCtx<'a> {
     }
 
     /// Look up all rows matching a key through an index by interned handle;
-    /// the plan-backed counterpart of [`TxnCtx::lookup`], with the same lazy
-    /// key and identical trace accounting. The planned path returns the
+    /// the multi-row counterpart of [`TxnCtx::lookup_unique_by`], with the
+    /// same lazy key and identical trace accounting. The planned path returns the
     /// plan's row span *borrowed* (`Cow::Borrowed`, zero allocation; its
     /// lifetime comes from the plan, not from `self`, so the context stays
     /// usable); only the live-probe fallback allocates.
@@ -292,30 +292,6 @@ impl<'a> TxnCtx<'a> {
             Some(rows) => std::borrow::Cow::Borrowed(rows),
             None => std::borrow::Cow::Owned(self.db.base().lookup_id(idx, &key()).to_vec()),
         };
-        self.trace.read(16 * rows.len().max(1) as u64);
-        rows
-    }
-
-    /// Look up a row through a unique index (charges an index probe).
-    #[deprecated(
-        since = "0.1.0",
-        note = "resolve an IndexId once (Database::index_id) and use lookup_unique_by"
-    )]
-    pub fn lookup_unique(&mut self, table: TableId, index: &str, key: &IndexKey) -> Option<RowId> {
-        // Hash probe: bucket header + entry.
-        self.trace.read(8);
-        self.trace.read(16);
-        self.db.base().lookup_unique(table, index, key)
-    }
-
-    /// Look up all rows matching a key through an index.
-    #[deprecated(
-        since = "0.1.0",
-        note = "resolve an IndexId once (Database::index_id) and use lookup_by"
-    )]
-    pub fn lookup(&mut self, table: TableId, index: &str, key: &IndexKey) -> Vec<RowId> {
-        self.trace.read(8);
-        let rows = self.db.base().lookup(table, index, key);
         self.trace.read(16 * rows.len().max(1) as u64);
         rows
     }
@@ -773,46 +749,36 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the string-keyed shim must keep working
     fn lookup_helpers_charge_trace_reads() {
         let (mut db, t) = test_db();
+        let pk = db.index_id(t, "pk").expect("index exists");
         let params = vec![Value::Int(2)];
         let mut ctx = TxnCtx::new(&mut db, &params, 0, 9);
         assert_eq!(ctx.txn_id(), 9);
         let row = ctx
-            .lookup_unique(t, "pk", &IndexKey::single(2i64))
+            .lookup_unique_by(pk, || IndexKey::single(2i64))
             .expect("row exists");
         assert_eq!(row, 2);
+        // Hash probe: bucket header (8) + entry (16).
         assert!(ctx.trace.global_reads >= 2);
         assert_eq!(ctx.param_int(0), 2);
     }
 
     #[test]
-    fn handle_lookups_match_string_lookups_and_traces() {
+    fn unplanned_handle_lookups_probe_the_live_index() {
+        // Without an access plan the handle API must fall back to a live
+        // probe — same rows, same trace charges — so procedures behave
+        // identically whether or not the bulk carried plans for them.
         let (mut db, t) = test_db();
         let pk = db.index_id(t, "pk").expect("index exists");
         let params = vec![Value::Int(2)];
-        // String-keyed shim.
-        let mut legacy_trace = {
-            #[allow(deprecated)]
-            let mut ctx = TxnCtx::new(&mut db, &params, 0, 9);
-            #[allow(deprecated)]
-            let row = ctx.lookup_unique(t, "pk", &IndexKey::single(2i64));
-            assert_eq!(row, Some(2));
-            ctx.trace
-        };
-        // Handle-based fast path, unplanned (probes live via the handle).
-        let handle_trace = {
-            let mut ctx = TxnCtx::new(&mut db, &params, 0, 9);
-            let row = ctx.lookup_unique_by(pk, || IndexKey::single(2i64));
-            assert_eq!(row, Some(2));
-            ctx.trace
-        };
-        legacy_trace.path = handle_trace.path;
-        assert_eq!(
-            legacy_trace, handle_trace,
-            "handle lookups must charge the identical trace"
-        );
+        let mut ctx = TxnCtx::new(&mut db, &params, 0, 9);
+        assert_eq!(ctx.lookup_unique_by(pk, || IndexKey::single(2i64)), Some(2));
+        assert_eq!(ctx.lookup_unique_by(pk, || IndexKey::single(99i64)), None);
+        let rows = ctx.lookup_by(pk, || IndexKey::single(3i64));
+        assert_eq!(rows.as_ref(), &[3]);
+        // Three probes: bucket header + entries each time.
+        assert!(ctx.trace.global_reads >= 6);
     }
 
     #[test]

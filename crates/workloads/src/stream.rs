@@ -225,7 +225,7 @@ where
 mod tests {
     use super::*;
     use crate::micro::{MicroConfig, MicroWorkload};
-    use gputx_core::{EngineConfig, PipelineConfig, PipelinedGpuTx};
+    use gputx_core::EngineBuilder;
 
     fn micro_bundle() -> WorkloadBundle {
         MicroWorkload::build(&MicroConfig::default().with_tuples(1024))
@@ -277,14 +277,10 @@ mod tests {
     #[test]
     fn closed_loop_completes_against_the_pipelined_engine() {
         let mut bundle = micro_bundle();
-        let engine = PipelinedGpuTx::new(
-            bundle.db.clone(),
-            bundle.registry.clone(),
-            EngineConfig::default(),
-            PipelineConfig::default()
-                .with_max_bulk_size(64)
-                .with_max_wait_us(500),
-        );
+        let engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+            .with_max_bulk_size(64)
+            .with_max_wait_us(500)
+            .build_pipelined();
         let report = run_closed_loop(
             &mut bundle,
             &ClosedLoopConfig {

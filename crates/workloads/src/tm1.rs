@@ -285,17 +285,22 @@ struct Tm1Handles {
     cf_by_sf: IndexId,
 }
 
-/// The original string-keyed/`Value` procedures, kept verbatim: the
-/// `hotpath` benchmark baseline and the reference the equivalence suite
-/// compares the plan-backed fast path against.
-#[allow(deprecated)]
+/// The original `Value`-typed procedures: the `hotpath` benchmark baseline
+/// and the reference the equivalence suite compares the plan-backed fast
+/// path against. Lookups go through interned [`IndexId`] handles (no access
+/// plans, so every probe hits the live index); reads and writes stay on the
+/// untyped `Value` path.
 fn register_legacy(registry: &mut ProcedureRegistry, h: Tm1Handles) {
     let Tm1Handles {
         sub_t,
         ai_t,
         sf_t,
         cf_t,
-        ..
+        by_nbr,
+        ai_pk,
+        sf_pk,
+        cf_pk,
+        cf_by_sf,
     } = h;
     let root_read = move |params: &[Value]| {
         vec![BasicOp {
@@ -333,7 +338,7 @@ fn register_legacy(registry: &mut ProcedureRegistry, h: Tm1Handles) {
             let sf_type = ctx.param_int(1);
             let start = ctx.param_int(2);
             let end = ctx.param_int(3);
-            let sf_row = ctx.lookup_unique(sf_t, "pk", &IndexKey::pair(s, sf_type));
+            let sf_row = ctx.lookup_unique_by(sf_pk, || IndexKey::pair(s, sf_type));
             let active = match sf_row {
                 Some(r) => ctx.read(sf_t, r, 2).as_int() == 1,
                 None => false,
@@ -342,9 +347,9 @@ fn register_legacy(registry: &mut ProcedureRegistry, h: Tm1Handles) {
                 ctx.abort("no active special facility");
                 return;
             }
-            let cf_rows = ctx.lookup(cf_t, "by_sf", &IndexKey::pair(s, sf_type));
+            let cf_rows = ctx.lookup_by(cf_by_sf, || IndexKey::pair(s, sf_type));
             let mut found = false;
-            for r in cf_rows {
+            for &r in cf_rows.iter() {
                 let st = ctx.read(cf_t, r, 2).as_int();
                 let en = ctx.read(cf_t, r, 3).as_int();
                 if st <= start && end < en {
@@ -365,7 +370,7 @@ fn register_legacy(registry: &mut ProcedureRegistry, h: Tm1Handles) {
         move |ctx| {
             let s = ctx.param_int(0);
             let ai_type = ctx.param_int(1);
-            match ctx.lookup_unique(ai_t, "pk", &IndexKey::pair(s, ai_type)) {
+            match ctx.lookup_unique_by(ai_pk, || IndexKey::pair(s, ai_type)) {
                 Some(r) => {
                     ctx.read(ai_t, r, 2);
                     ctx.read(ai_t, r, 3);
@@ -383,7 +388,7 @@ fn register_legacy(registry: &mut ProcedureRegistry, h: Tm1Handles) {
             let s = ctx.param_int(0) as u64;
             let sf_type = ctx.param_int(2);
             // Two-phase: check existence before any write.
-            let sf_row = ctx.lookup_unique(sf_t, "pk", &IndexKey::pair(s as i64, sf_type));
+            let sf_row = ctx.lookup_unique_by(sf_pk, || IndexKey::pair(s as i64, sf_type));
             let Some(sf_row) = sf_row else {
                 ctx.abort("special facility not found");
                 return;
@@ -401,8 +406,7 @@ fn register_legacy(registry: &mut ProcedureRegistry, h: Tm1Handles) {
         by_sid,
         move |ctx| {
             let nbr = ctx.param_str(1).to_string();
-            let Some(row) = ctx.lookup_unique(sub_t, "by_nbr", &IndexKey::single(nbr.as_str()))
-            else {
+            let Some(row) = ctx.lookup_unique_by(by_nbr, || IndexKey::single(nbr.as_str())) else {
                 ctx.abort("unknown subscriber number");
                 return;
             };
@@ -417,7 +421,7 @@ fn register_legacy(registry: &mut ProcedureRegistry, h: Tm1Handles) {
         by_sid,
         move |ctx| {
             let nbr = ctx.param_str(1).to_string();
-            let Some(s_row) = ctx.lookup_unique(sub_t, "by_nbr", &IndexKey::single(nbr.as_str()))
+            let Some(s_row) = ctx.lookup_unique_by(by_nbr, || IndexKey::single(nbr.as_str()))
             else {
                 ctx.abort("unknown subscriber number");
                 return;
@@ -427,14 +431,14 @@ fn register_legacy(registry: &mut ProcedureRegistry, h: Tm1Handles) {
             let start = ctx.param_int(3);
             let end = ctx.param_int(4);
             if ctx
-                .lookup_unique(sf_t, "pk", &IndexKey::pair(s, sf_type))
+                .lookup_unique_by(sf_pk, || IndexKey::pair(s, sf_type))
                 .is_none()
             {
                 ctx.abort("special facility not found");
                 return;
             }
             if ctx
-                .lookup_unique(cf_t, "pk", &IndexKey::triple(s, sf_type, start))
+                .lookup_unique_by(cf_pk, || IndexKey::triple(s, sf_type, start))
                 .is_some()
             {
                 ctx.abort("call forwarding already exists");
@@ -459,15 +463,14 @@ fn register_legacy(registry: &mut ProcedureRegistry, h: Tm1Handles) {
         by_sid,
         move |ctx| {
             let nbr = ctx.param_str(1).to_string();
-            let Some(_) = ctx.lookup_unique(sub_t, "by_nbr", &IndexKey::single(nbr.as_str()))
-            else {
+            let Some(_) = ctx.lookup_unique_by(by_nbr, || IndexKey::single(nbr.as_str())) else {
                 ctx.abort("unknown subscriber number");
                 return;
             };
             let s = ctx.param_int(0);
             let sf_type = ctx.param_int(2);
             let start = ctx.param_int(3);
-            match ctx.lookup_unique(cf_t, "pk", &IndexKey::triple(s, sf_type, start)) {
+            match ctx.lookup_unique_by(cf_pk, || IndexKey::triple(s, sf_type, start)) {
                 Some(row) => ctx.delete(cf_t, row),
                 None => ctx.abort("call forwarding not found"),
             }

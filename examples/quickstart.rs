@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gputx_core::{EngineConfig, GpuTxEngine};
+use gputx_core::EngineBuilder;
 use gputx_storage::schema::{ColumnDef, TableSchema};
 use gputx_storage::{DataItemId, DataType, Database, Value};
 use gputx_txn::{BasicOp, ProcedureDef, ProcedureRegistry};
@@ -51,7 +51,7 @@ fn main() {
     ));
 
     // 3. Create the engine (loads the database into simulated device memory).
-    let mut engine = GpuTxEngine::new(db, registry, EngineConfig::default());
+    let mut engine = EngineBuilder::new(db, registry).build();
     println!(
         "database loaded to device in {:.3} ms ({} bytes resident)",
         engine.load_time().as_millis(),

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example telecom`
 
 use gputx_core::pipeline::{simulate_pipeline, IntervalSimConfig};
-use gputx_core::{EngineConfig, GpuTxEngine, StrategyKind};
+use gputx_core::{EngineBuilder, EngineConfig, StrategyKind};
 use gputx_sim::SimDuration;
 use gputx_storage::index::IndexKey;
 use gputx_workloads::Tm1Config;
@@ -32,11 +32,9 @@ fn main() {
     );
 
     // Drive the engine end to end with automatic strategy selection.
-    let mut engine = GpuTxEngine::new(
-        bundle.db.clone(),
-        bundle.registry.clone(),
-        EngineConfig::default().with_bulk_size(16_384),
-    );
+    let mut engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .with_bulk_size(16_384)
+        .build();
     for (ty, params) in bundle.generate(80_000) {
         engine.submit(ty, params);
     }

@@ -2,7 +2,7 @@
 """Schema check for the bench-smoke JSON artifacts.
 
 Usage: check_artifact.py <kind> <path>
-       (kind: smoke | pipeline | hotpath | durability | net)
+       (kind: smoke | pipeline | hotpath | durability | net | replication)
 
 CI runs this against every figures artifact before uploading it, so a
 silently-empty or truncated figures run (missing keys, zero transactions, no
@@ -149,6 +149,27 @@ SCHEMAS = {
                 "p99_us": int,
             }
         },
+    },
+    # `figures -- replication --json`
+    "replication": {
+        "required": {
+            "schema": int,
+            "experiment": str,
+            "transactions": int,
+            "bulks": int,
+            "f0_tps": NUMBER,
+            "f1_tps": NUMBER,
+            "f2_tps": NUMBER,
+            "f1_lag_p50_us": NUMBER,
+            "f1_lag_p99_us": NUMBER,
+            "f2_lag_p50_us": NUMBER,
+            "f2_lag_p99_us": NUMBER,
+            "records_shed": int,
+        },
+        # Lag percentiles may legitimately be 0 (sampler can observe the
+        # apply before the primary stamps its commit), but a run that
+        # committed nothing at any follower count proves nothing.
+        "positive": ["transactions", "bulks", "f0_tps", "f1_tps", "f2_tps"],
     },
 }
 

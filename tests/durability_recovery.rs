@@ -15,7 +15,7 @@
 //!   torn-tail flag set iff the cut landed inside a frame.
 
 use gputx_core::config::StrategyChoice;
-use gputx_core::{EngineConfig, GpuTxEngine, PipelineConfig, PipelinedGpuTx};
+use gputx_core::EngineBuilder;
 use gputx_durability::{recover, DurabilityConfig, FsyncPolicy};
 use gputx_exec::ExecutorChoice;
 use gputx_storage::Database;
@@ -42,12 +42,12 @@ fn run_logged_bulks(
     n_txns: usize,
     bulk_size: usize,
 ) -> (Database, Vec<Database>) {
-    let config = EngineConfig::default()
+    let mut engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
         .with_strategy(StrategyChoice::ForceKset)
         .with_bulk_size(bulk_size)
         .with_executor(executor)
-        .with_durability_config(DurabilityConfig::at(dir).with_fsync(fsync));
-    let mut engine = GpuTxEngine::new(bundle.db.clone(), bundle.registry.clone(), config);
+        .with_durability_config(DurabilityConfig::at(dir).with_fsync(fsync))
+        .build();
     for (ty, params) in bundle.generate(n_txns) {
         engine.submit(ty, params);
     }
@@ -91,11 +91,11 @@ fn recovery_equals_live_state_on_tm1_and_micro_serial_and_parallel() {
 fn checkpoint_mid_run_truncates_log_and_recovery_resumes() {
     let mut bundle = MicroWorkload::build(&MicroConfig::default().with_tuples(1024));
     let dir = scratch_dir("mid-ckpt");
-    let config = EngineConfig::default()
+    let mut engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
         .with_strategy(StrategyChoice::ForceKset)
         .with_bulk_size(256)
-        .with_durability(&dir);
-    let mut engine = GpuTxEngine::new(bundle.db.clone(), bundle.registry.clone(), config);
+        .with_durability(&dir)
+        .build();
     for (ty, params) in bundle.generate(1024) {
         engine.submit(ty, params);
     }
@@ -121,18 +121,13 @@ fn checkpoint_mid_run_truncates_log_and_recovery_resumes() {
 fn pipelined_engine_recovers_bit_identical_after_clean_shutdown() {
     let mut bundle = Tm1Config { scale_factor: 1 }.build();
     let dir = scratch_dir("pipeline");
-    let engine_cfg = EngineConfig::default()
+    let engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
         .with_strategy(StrategyChoice::ForceKset)
-        .with_durability_config(DurabilityConfig::at(&dir).with_fsync(FsyncPolicy::EveryN(2)));
-    let engine = PipelinedGpuTx::new(
-        bundle.db.clone(),
-        bundle.registry.clone(),
-        engine_cfg,
-        PipelineConfig::default()
-            .with_max_bulk_size(256)
-            .with_max_wait_us(10_000_000)
-            .with_executor(ExecutorChoice::parallel(2)),
-    );
+        .with_durability_config(DurabilityConfig::at(&dir).with_fsync(FsyncPolicy::EveryN(2)))
+        .with_executor(ExecutorChoice::parallel(2))
+        .with_max_bulk_size(256)
+        .with_max_wait_us(10_000_000)
+        .build_pipelined();
     for (ty, params) in bundle.generate(1500) {
         engine.submit(ty, params).expect("pipeline accepts");
     }

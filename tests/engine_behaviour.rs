@@ -3,8 +3,7 @@
 //! paper's evaluation), and device-memory accounting.
 
 use gputx_core::config::StrategyChoice;
-use gputx_core::{EngineConfig, GpuTxEngine, StrategyKind};
-use gputx_cpu::engine::CpuEngine;
+use gputx_core::{EngineBuilder, EngineConfig, StrategyKind};
 use gputx_sim::CpuSpec;
 use gputx_workloads::{MicroConfig, MicroWorkload, Tm1Config, TpccConfig};
 
@@ -17,11 +16,9 @@ fn auto_selection_prefers_kset_on_wide_workloads_and_part_on_narrow_ones() {
             .with_compute(1)
             .with_tuples(100_000),
     );
-    let mut engine = GpuTxEngine::new(
-        wide.db.clone(),
-        wide.registry.clone(),
-        EngineConfig::default().with_bulk_size(20_000),
-    );
+    let mut engine = EngineBuilder::new(wide.db.clone(), wide.registry.clone())
+        .with_bulk_size(20_000)
+        .build();
     for (ty, params) in wide.generate(20_000) {
         engine.submit(ty, params);
     }
@@ -36,11 +33,9 @@ fn auto_selection_prefers_kset_on_wide_workloads_and_part_on_narrow_ones() {
             .with_tuples(1_000)
             .with_skew(0.98),
     );
-    let mut engine = GpuTxEngine::new(
-        narrow.db.clone(),
-        narrow.registry.clone(),
-        EngineConfig::default().with_bulk_size(4_000),
-    );
+    let mut engine = EngineBuilder::new(narrow.db.clone(), narrow.registry.clone())
+        .with_bulk_size(4_000)
+        .build();
     for (ty, params) in narrow.generate(4_000) {
         engine.submit(ty, params);
     }
@@ -61,8 +56,9 @@ fn gputx_outperforms_the_quad_core_cpu_on_tm1() {
     let gpu = gputx_bench_helpers::gpu_throughput(&mut bundle, n);
     let sigs = bundle.generate_signatures(n, 0);
     let mut cpu_db = bundle.db.clone();
-    let cpu_report =
-        CpuEngine::new(CpuSpec::xeon_e5520()).execute_bulk(&mut cpu_db, &bundle.registry, &sigs);
+    let cpu_report = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .build_cpu(CpuSpec::xeon_e5520())
+        .execute_bulk(&mut cpu_db, &bundle.registry, &sigs);
     assert!(
         gpu.tps() > cpu_report.throughput().tps(),
         "GPUTx ({:.0} ktps) should outperform the quad-core CPU ({:.0} ktps)",
@@ -80,14 +76,11 @@ fn grouping_by_type_improves_throughput_under_divergence() {
         .with_tuples(50_000);
     let run = |passes: u32| {
         let mut bundle = MicroWorkload::build(&cfg);
-        let mut engine = GpuTxEngine::new(
-            bundle.db.clone(),
-            bundle.registry.clone(),
-            EngineConfig::default()
-                .with_bulk_size(16_384)
-                .with_strategy(StrategyChoice::ForceKset)
-                .with_grouping_passes(passes),
-        );
+        let mut engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+            .with_config(EngineConfig::default().with_grouping_passes(passes))
+            .with_bulk_size(16_384)
+            .with_strategy(StrategyChoice::ForceKset)
+            .build();
         for (ty, params) in bundle.generate(16_384) {
             engine.submit(ty, params);
         }
@@ -106,11 +99,7 @@ fn grouping_by_type_improves_throughput_under_divergence() {
 #[test]
 fn device_memory_accounts_for_the_resident_database() {
     let bundle = TpccConfig::default().with_warehouses(2).build();
-    let engine = GpuTxEngine::new(
-        bundle.db.clone(),
-        bundle.registry.clone(),
-        EngineConfig::default(),
-    );
+    let engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone()).build();
     assert_eq!(engine.gpu().memory.used(), bundle.db.device_bytes());
     assert!(engine.load_time().as_millis() > 0.0);
     // Column layout keeps host-only columns (strings) off the device.

@@ -186,7 +186,10 @@ fn execute_bulk_matches_across_apis_strategies_and_threads() {
         let run = |bundle: &WorkloadBundle, choice: ExecutorChoice, strategy: StrategyKind| {
             let mut db = bundle.db.clone();
             let mut gpu = Gpu::c1060();
-            let config = EngineConfig::default().with_executor(choice);
+            let config = EngineConfig {
+                executor: choice,
+                ..EngineConfig::default()
+            };
             let mut ctx = ExecContext {
                 gpu: &mut gpu,
                 db: &mut db,

@@ -20,7 +20,7 @@
 
 use gputx_client::{bench_run, Client, TxnResult};
 use gputx_core::config::StrategyChoice;
-use gputx_core::{EngineConfig, PipelineConfig, PipelinedGpuTx};
+use gputx_core::{EngineBuilder, PipelineConfig, PipelinedGpuTx};
 use gputx_server::proto::{
     self, encode_request, read_frame, write_frame, FrameError, Request, Response,
 };
@@ -60,12 +60,10 @@ fn deterministic_config() -> PipelineConfig {
 }
 
 fn engine_for(bundle: &WorkloadBundle, pipeline: PipelineConfig) -> PipelinedGpuTx {
-    PipelinedGpuTx::new(
-        bundle.db.clone(),
-        bundle.registry.clone(),
-        EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
-        pipeline,
-    )
+    EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .with_strategy(StrategyChoice::ForceKset)
+        .with_pipeline(pipeline)
+        .build_pipelined()
 }
 
 /// Reference: the same stream submitted in-process, no wire. Returns the
@@ -369,6 +367,62 @@ fn engine_drop_with_live_wire_connection_resolves_disconnected() {
     client.ping().expect("connection still serves pings");
     drop(client);
     server.stop();
+}
+
+/// `attach()` on a stopped server is refused outright and the stream is
+/// closed, so the would-be client sees EOF instead of a silent half-open
+/// socket.
+#[test]
+fn attach_after_stop_is_refused() {
+    let bundle = micro();
+    let engine = engine_for(&bundle, deterministic_config());
+    let server = Server::new(engine.handle());
+    server.stop();
+    let (server_end, _client_end) = socket_pair().expect("socketpair");
+    let err = server.attach(server_end).expect_err("attach after stop");
+    assert_eq!(err.kind(), std::io::ErrorKind::NotConnected);
+}
+
+/// `stop()` racing an in-flight `attach()` must never orphan a connection:
+/// either the attach is refused (stream closed, client sees EOF) or it
+/// registers in time for `stop()` to close and join it. Before the
+/// stopping-gate in `attach_to`, `stop()` could drain the connection list
+/// between `attach`'s thread spawns and its registration — leaving live
+/// reader/responder threads whose client then hung forever.
+#[test]
+fn stop_racing_attach_never_orphans_the_client() {
+    use std::io::Read;
+    for _ in 0..32 {
+        let bundle = micro();
+        let engine = engine_for(&bundle, deterministic_config());
+        let server = std::sync::Arc::new(Server::new(engine.handle()));
+        let (server_end, client_end) = socket_pair().expect("socketpair");
+        let attacher = {
+            let server = std::sync::Arc::clone(&server);
+            std::thread::spawn(move || server.attach(server_end))
+        };
+        let stopper = {
+            let server = std::sync::Arc::clone(&server);
+            std::thread::spawn(move || server.stop())
+        };
+        let attached = attacher.join().expect("attach thread");
+        stopper.join().expect("stop thread");
+        // Whatever the interleaving, the client end must reach EOF promptly;
+        // a read that times out here is exactly the orphaned-connection bug.
+        client_end
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let mut buf = [0u8; 1];
+        match (&client_end).read(&mut buf) {
+            Ok(0) => {} // clean EOF
+            Ok(_) => panic!("server sent an unsolicited frame"),
+            Err(e) => assert!(
+                e.kind() != std::io::ErrorKind::WouldBlock
+                    && e.kind() != std::io::ErrorKind::TimedOut,
+                "client read timed out — connection orphaned (attach: {attached:?})"
+            ),
+        }
+    }
 }
 
 /// Closed-loop harness over socket pairs: the bench path itself must be

@@ -58,7 +58,10 @@ fn run_gpu(
 ) -> (Database, Vec<(TxnId, TxnOutcome)>) {
     let mut db = db0.clone();
     let mut gpu = Gpu::c1060();
-    let config = EngineConfig::default().with_executor(choice);
+    let config = EngineConfig {
+        executor: choice,
+        ..EngineConfig::default()
+    };
     let mut ctx = ExecContext {
         gpu: &mut gpu,
         db: &mut db,
@@ -105,8 +108,9 @@ fn assert_equivalent_for(
     let mut serial_db = db0.clone();
     let serial_report = serial_engine.execute_bulk(&mut serial_db, &registry, &sigs);
     let mut parallel_db = db0.clone();
-    let parallel_report = CpuEngine::xeon_quad_core()
+    let parallel_report = gputx_core::EngineBuilder::new(db0.clone(), registry.clone())
         .with_executor(ExecutorChoice::parallel(threads))
+        .build_cpu(gputx_sim::CpuSpec::xeon_e5520())
         .execute_bulk(&mut parallel_db, &registry, &sigs);
     assert_eq!(parallel_report.committed, serial_report.committed);
     assert_eq!(parallel_report.aborted, serial_report.aborted);

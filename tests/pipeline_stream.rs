@@ -10,9 +10,7 @@
 //!   backpressure (seeded stress across 1/2/4/8 worker threads).
 
 use gputx_core::config::StrategyChoice;
-use gputx_core::{
-    execute_bulk, Bulk, EngineConfig, ExecContext, PipelineConfig, PipelinedGpuTx, StrategyKind,
-};
+use gputx_core::{execute_bulk, Bulk, EngineBuilder, EngineConfig, ExecContext, StrategyKind};
 use gputx_exec::{ExecutorChoice, PipelineError, Ticket};
 use gputx_sim::Gpu;
 use gputx_storage::{Database, Value};
@@ -69,19 +67,16 @@ fn pipelined(
     strategy: StrategyChoice,
     threads: usize,
 ) -> (Database, Vec<(TxnId, TxnOutcome)>) {
-    let engine = PipelinedGpuTx::new(
-        db0.clone(),
-        registry.clone(),
-        EngineConfig::default().with_strategy(strategy),
-        PipelineConfig::default()
-            .with_max_bulk_size(BULK)
-            .with_max_wait_us(60_000_000)
-            .with_executor(if threads == 1 {
-                ExecutorChoice::Serial
-            } else {
-                ExecutorChoice::parallel(threads)
-            }),
-    );
+    let engine = EngineBuilder::new(db0.clone(), registry.clone())
+        .with_strategy(strategy)
+        .with_max_bulk_size(BULK)
+        .with_max_wait_us(60_000_000)
+        .with_executor(if threads == 1 {
+            ExecutorChoice::Serial
+        } else {
+            ExecutorChoice::parallel(threads)
+        })
+        .build_pipelined();
     let tickets: Vec<Ticket> = sigs
         .iter()
         .map(|sig| {
@@ -139,12 +134,7 @@ fn pipelined_equals_one_shot_on_micro() {
 #[test]
 fn submit_after_shutdown_errors() {
     let (db0, registry, _) = micro_stream(1, 1);
-    let mut engine = PipelinedGpuTx::new(
-        db0,
-        registry,
-        EngineConfig::default(),
-        PipelineConfig::default(),
-    );
+    let mut engine = EngineBuilder::new(db0, registry).build_pipelined();
     engine
         .submit(0, vec![Value::Int(0)])
         .expect("running engine accepts");
@@ -162,14 +152,10 @@ fn submit_after_shutdown_errors() {
 #[test]
 fn flush_commits_a_partial_bulk() {
     let (db0, registry, sigs) = micro_stream(10, 2);
-    let engine = PipelinedGpuTx::new(
-        db0,
-        registry,
-        EngineConfig::default(),
-        PipelineConfig::default()
-            .with_max_bulk_size(1_000_000)
-            .with_max_wait_us(60_000_000),
-    );
+    let engine = EngineBuilder::new(db0, registry)
+        .with_max_bulk_size(1_000_000)
+        .with_max_wait_us(60_000_000)
+        .build_pipelined();
     let tickets: Vec<Ticket> = sigs
         .iter()
         .map(|s| engine.submit(s.ty, s.params.clone()).unwrap())
@@ -204,20 +190,17 @@ fn soak_backpressure_drops_no_tickets_across_thread_counts() {
     seq_db.apply_insert_buffers();
 
     for threads in [1usize, 2, 4, 8] {
-        let engine = PipelinedGpuTx::new(
-            db0.clone(),
-            registry.clone(),
-            EngineConfig::default().with_strategy(StrategyChoice::ForceKset),
-            PipelineConfig::default()
-                .with_max_bulk_size(32)
-                .with_max_wait_us(200)
-                .with_queue_depth(8)
-                .with_executor(if threads == 1 {
-                    ExecutorChoice::Serial
-                } else {
-                    ExecutorChoice::parallel(threads)
-                }),
-        );
+        let engine = EngineBuilder::new(db0.clone(), registry.clone())
+            .with_strategy(StrategyChoice::ForceKset)
+            .with_max_bulk_size(32)
+            .with_max_wait_us(200)
+            .with_queue_depth(8)
+            .with_executor(if threads == 1 {
+                ExecutorChoice::Serial
+            } else {
+                ExecutorChoice::parallel(threads)
+            })
+            .build_pipelined();
         let tickets: Vec<Ticket> = sigs
             .iter()
             .enumerate()

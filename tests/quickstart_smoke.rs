@@ -3,7 +3,7 @@
 //! accounting) driven entirely through the `gputx_suite` re-exports, so the
 //! top-level crate wiring is covered and the example cannot rot silently.
 
-use gputx_suite::core::{EngineConfig, GpuTxEngine};
+use gputx_suite::core::EngineBuilder;
 use gputx_suite::storage::schema::{ColumnDef, TableSchema};
 use gputx_suite::storage::{DataItemId, DataType, Database, Value};
 use gputx_suite::txn::{BasicOp, ProcedureDef, ProcedureRegistry};
@@ -57,7 +57,7 @@ fn quickstart_flow_end_to_end() {
     ));
 
     // Engine construction loads the database into simulated device memory.
-    let mut engine = GpuTxEngine::new(db, registry, EngineConfig::default());
+    let mut engine = EngineBuilder::new(db, registry).build();
     assert!(
         engine.load_time().as_millis() > 0.0,
         "device load must take simulated time"
