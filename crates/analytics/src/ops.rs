@@ -1,0 +1,292 @@
+//! Scan and aggregate operators over a [`ScanSource`].
+//!
+//! The operators are deliberately source-agnostic: [`ScanSource`] is
+//! implemented both for [`SnapshotHandle`] (the local HTAP read path) and
+//! for [`Database`] (so the *same* scan runs against a replica's
+//! `snapshot_db()` — replica offload — or against a serially replayed
+//! reference state in the consistency harness).
+//!
+//! ## Determinism
+//!
+//! Floating-point addition is not associative, so a naive parallel sum would
+//! depend on the thread count. Every operator here instead works on
+//! fixed-size *blocks* of [`SCAN_BLOCK_ROWS`] rows: each block produces a
+//! partial independently, and partials are reduced **in block order**
+//! regardless of how blocks were assigned to threads. A scan with
+//! `threads = 8` is therefore bit-identical to the same scan with
+//! `threads = 1`, which is what lets the HTAP harness hard-assert equality
+//! between concurrent scans and their serial replay.
+
+use crate::snapshot::SnapshotHandle;
+use gputx_storage::catalog::TableId;
+use gputx_storage::{Database, RowId};
+
+/// Rows per scan block — the unit of parallel partitioning *and* of the
+/// deterministic reduction order.
+pub const SCAN_BLOCK_ROWS: usize = 1024;
+
+/// Anything the scan operators can read: a frozen snapshot, a live (but
+/// externally quiesced) database, or a replica's reconstructed state.
+pub trait ScanSource: Sync {
+    /// Total rows (live and deleted) in `table`.
+    fn source_rows(&self, table: TableId) -> usize;
+    /// Whether `row` is live (not deleted).
+    fn source_is_live(&self, table: TableId, row: RowId) -> bool;
+    /// Read an `Int` column.
+    fn source_i64(&self, table: TableId, row: RowId, col: usize) -> i64;
+    /// Read a numeric column as `f64` (`Int` widens).
+    fn source_f64(&self, table: TableId, row: RowId, col: usize) -> f64;
+}
+
+impl ScanSource for SnapshotHandle {
+    fn source_rows(&self, table: TableId) -> usize {
+        self.num_rows(table)
+    }
+    fn source_is_live(&self, table: TableId, row: RowId) -> bool {
+        self.is_live(table, row)
+    }
+    fn source_i64(&self, table: TableId, row: RowId, col: usize) -> i64 {
+        self.get_i64(table, row, col)
+    }
+    fn source_f64(&self, table: TableId, row: RowId, col: usize) -> f64 {
+        self.get_f64(table, row, col)
+    }
+}
+
+impl ScanSource for Database {
+    fn source_rows(&self, table: TableId) -> usize {
+        self.table(table).num_rows()
+    }
+    fn source_is_live(&self, table: TableId, row: RowId) -> bool {
+        !self.table(table).is_deleted(row)
+    }
+    fn source_i64(&self, table: TableId, row: RowId, col: usize) -> i64 {
+        self.table(table).get_i64(row, col)
+    }
+    fn source_f64(&self, table: TableId, row: RowId, col: usize) -> f64 {
+        self.table(table).get_f64(row, col)
+    }
+}
+
+/// Row filter applied by every operator (deleted rows are always skipped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Every live row matches.
+    All,
+    /// `Int` column equals a value.
+    I64Eq {
+        /// Column index.
+        col: usize,
+        /// Value to match.
+        value: i64,
+    },
+    /// `Int` column within an inclusive range.
+    I64Between {
+        /// Column index.
+        col: usize,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Numeric column at least a bound (`Int` widens to `f64`).
+    F64AtLeast {
+        /// Column index.
+        col: usize,
+        /// Inclusive lower bound.
+        bound: f64,
+    },
+}
+
+impl Predicate {
+    fn matches<S: ScanSource + ?Sized>(&self, src: &S, table: TableId, row: RowId) -> bool {
+        match *self {
+            Predicate::All => true,
+            Predicate::I64Eq { col, value } => src.source_i64(table, row, col) == value,
+            Predicate::I64Between { col, lo, hi } => {
+                let v = src.source_i64(table, row, col);
+                lo <= v && v <= hi
+            }
+            Predicate::F64AtLeast { col, bound } => src.source_f64(table, row, col) >= bound,
+        }
+    }
+}
+
+/// Execution options for a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Worker threads; `0` or `1` scans sequentially on the caller's thread.
+    pub threads: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions { threads: 1 }
+    }
+}
+
+impl ScanOptions {
+    /// Sequential scan on the calling thread.
+    pub fn sequential() -> Self {
+        ScanOptions { threads: 1 }
+    }
+
+    /// Scan partitioned across `threads` scoped worker threads.
+    pub fn parallel(threads: usize) -> Self {
+        ScanOptions { threads }
+    }
+}
+
+/// One output row of [`group_by_i64`], ordered by ascending key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// Grouping key.
+    pub key: i64,
+    /// Matching live rows in the group.
+    pub rows: u64,
+    /// Block-ordered sum of the aggregated column over the group.
+    pub sum: f64,
+}
+
+/// Map every scan block of `table` through `per_block`, in parallel when
+/// requested, and return the per-block results **in block order**.
+fn map_blocks<S, T, F>(src: &S, table: TableId, opts: ScanOptions, per_block: F) -> Vec<T>
+where
+    S: ScanSource + ?Sized,
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let rows = src.source_rows(table);
+    let nblocks = rows.div_ceil(SCAN_BLOCK_ROWS);
+    let block_range = |b: usize| b * SCAN_BLOCK_ROWS..rows.min((b + 1) * SCAN_BLOCK_ROWS);
+    if opts.threads <= 1 || nblocks <= 1 {
+        return (0..nblocks).map(|b| per_block(block_range(b))).collect();
+    }
+    // Same partitioning rule as the bulk executor's conflict-free fan-out;
+    // each worker produces its blocks in order and the spans are stitched
+    // back in block order, so the reduction order never depends on threads.
+    let spans = gputx_exec::partition_ranges(nblocks, opts.threads);
+    let mut out: Vec<T> = Vec::with_capacity(nblocks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|span| {
+                let per_block = &per_block;
+                let span = span.clone();
+                scope.spawn(move || span.map(block_range).map(per_block).collect::<Vec<T>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("scan worker panicked"));
+        }
+    });
+    out
+}
+
+/// Count live rows of `table` matching `pred`.
+pub fn count_rows<S: ScanSource + ?Sized>(
+    src: &S,
+    table: TableId,
+    pred: &Predicate,
+    opts: ScanOptions,
+) -> u64 {
+    map_blocks(src, table, opts, |range| {
+        let mut n = 0u64;
+        for row in range {
+            let row = row as RowId;
+            if src.source_is_live(table, row) && pred.matches(src, table, row) {
+                n += 1;
+            }
+        }
+        n
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Sum an `Int` column over live rows matching `pred` (wrapping on
+/// overflow, like the storage engine's own counters).
+pub fn sum_i64<S: ScanSource + ?Sized>(
+    src: &S,
+    table: TableId,
+    col: usize,
+    pred: &Predicate,
+    opts: ScanOptions,
+) -> i64 {
+    map_blocks(src, table, opts, |range| {
+        let mut acc = 0i64;
+        for row in range {
+            let row = row as RowId;
+            if src.source_is_live(table, row) && pred.matches(src, table, row) {
+                acc = acc.wrapping_add(src.source_i64(table, row, col));
+            }
+        }
+        acc
+    })
+    .into_iter()
+    .fold(0i64, |a, b| a.wrapping_add(b))
+}
+
+/// Sum a numeric column as `f64` over live rows matching `pred`.
+/// Bit-deterministic for every thread count (block-ordered reduction).
+pub fn sum_f64<S: ScanSource + ?Sized>(
+    src: &S,
+    table: TableId,
+    col: usize,
+    pred: &Predicate,
+    opts: ScanOptions,
+) -> f64 {
+    map_blocks(src, table, opts, |range| {
+        let mut acc = 0f64;
+        for row in range {
+            let row = row as RowId;
+            if src.source_is_live(table, row) && pred.matches(src, table, row) {
+                acc += src.source_f64(table, row, col);
+            }
+        }
+        acc
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Group live rows matching `pred` by an `Int` key column and aggregate
+/// count + `f64` sum of `sum_col` per group. Output is sorted by key;
+/// per-group sums reduce in block order, so the result is bit-identical for
+/// every thread count.
+pub fn group_by_i64<S: ScanSource + ?Sized>(
+    src: &S,
+    table: TableId,
+    key_col: usize,
+    sum_col: usize,
+    pred: &Predicate,
+    opts: ScanOptions,
+) -> Vec<GroupRow> {
+    use std::collections::BTreeMap;
+    let partials = map_blocks(src, table, opts, |range| {
+        let mut groups: BTreeMap<i64, (u64, f64)> = BTreeMap::new();
+        for row in range {
+            let row = row as RowId;
+            if src.source_is_live(table, row) && pred.matches(src, table, row) {
+                let entry = groups
+                    .entry(src.source_i64(table, row, key_col))
+                    .or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += src.source_f64(table, row, sum_col);
+            }
+        }
+        groups
+    });
+    let mut merged: BTreeMap<i64, (u64, f64)> = BTreeMap::new();
+    for block in partials {
+        for (key, (rows, sum)) in block {
+            let entry = merged.entry(key).or_insert((0, 0.0));
+            entry.0 += rows;
+            entry.1 += sum;
+        }
+    }
+    merged
+        .into_iter()
+        .map(|(key, (rows, sum))| GroupRow { key, rows, sum })
+        .collect()
+}

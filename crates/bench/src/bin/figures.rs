@@ -27,7 +27,12 @@
 //! connections, longer run, hard-failing on any lost or duplicated ticket
 //! resolution. The extra `replication` experiment measures primary
 //! throughput at 0/1/2 attached followers plus the follower apply-lag
-//! percentiles, asserting every follower converges bit-identically.
+//! percentiles, asserting every follower converges bit-identically. The
+//! extra `htap` experiment drives TM1/TPC-B ingest through the pipelined
+//! engine while scanner threads cut bulk-boundary snapshots and run
+//! aggregate scans concurrently, hard-asserting every scan result equals
+//! the same scan replayed serially against the frozen committed prefix —
+//! plus a replica-offload pass running the same scans on a follower.
 
 use gputx_bench::{
     adhoc_cpu_throughput, adhoc_gpu_throughput, cpu_workload_throughput, gpu_workload_throughput,
@@ -130,6 +135,9 @@ fn main() {
     }
     if wanted.contains(&"replication") {
         replication(json_path.as_deref());
+    }
+    if wanted.contains(&"htap") {
+        htap(json_path.as_deref());
     }
 }
 
@@ -474,6 +482,316 @@ fn replication(json_path: Option<&str>) {
             std::fs::write(path, &json)
                 .unwrap_or_else(|e| panic!("cannot write replication JSON to {path}: {e}"));
             println!("replication metrics written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+/// One scan's comparable result: live-row count, bit-exact aggregate sum
+/// and a full group-by — everything the serial replay must reproduce.
+#[derive(Debug, PartialEq)]
+struct HtapScanResult {
+    count: u64,
+    sum_bits: u64,
+    groups: Vec<gputx_analytics::GroupRow>,
+}
+
+/// The scan the HTAP experiment runs everywhere: against live snapshots,
+/// against serially replayed reference databases and against a replica's
+/// reconstructed state. Aggregates are block-deterministic, so parallel and
+/// sequential runs must agree bit for bit.
+fn htap_scan<S: gputx_analytics::ScanSource + ?Sized>(
+    src: &S,
+    table: gputx_storage::catalog::TableId,
+    key_col: usize,
+    sum_col: usize,
+    opts: gputx_analytics::ScanOptions,
+) -> HtapScanResult {
+    use gputx_analytics::{count_rows, group_by_i64, sum_f64, Predicate};
+    HtapScanResult {
+        count: count_rows(src, table, &Predicate::All, opts),
+        sum_bits: sum_f64(src, table, sum_col, &Predicate::All, opts).to_bits(),
+        groups: group_by_i64(src, table, key_col, sum_col, &Predicate::All, opts),
+    }
+}
+
+/// Per-workload metrics of one HTAP run.
+struct HtapRun {
+    txn_tps: f64,
+    scans: usize,
+    scan_p50_ms: f64,
+    scan_p99_ms: f64,
+    cut_p50_us: f64,
+    cut_p99_us: f64,
+    /// Wall-clock of the replica-offload scan (TM1 only; 0 without it).
+    replica_scan_ms: f64,
+}
+
+/// Drive one workload's transaction stream through the pipelined engine
+/// while a scanner thread concurrently cuts snapshots and scans them, then
+/// hard-verify every observed scan against a serial replay of the retained
+/// committed prefix. With `offload`, also attach a follower and run the
+/// same scan against its reconstructed database.
+fn htap_run(
+    mut bundle: gputx_workloads::WorkloadBundle,
+    table_name: &str,
+    key_col_name: &str,
+    sum_col_name: &str,
+    offload: bool,
+) -> HtapRun {
+    use gputx_analytics::{AnalyticsConfig, ScanOptions};
+    use gputx_core::config::StrategyChoice;
+    use gputx_core::EngineBuilder;
+    use gputx_replication::Replica;
+    use gputx_server::socket_pair;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    const N_TXNS: usize = 8_192;
+    const MAX_BULK: usize = 256;
+    const MAX_SCANS: usize = 48;
+    const WAIT: Duration = Duration::from_secs(30);
+
+    let seed_db = bundle.db.clone();
+    let table = seed_db.table_id(table_name).expect("scan table exists");
+    let schema = seed_db.table(table).schema();
+    let key_col = schema.column_index(key_col_name).expect("key column");
+    let sum_col = schema.column_index(sum_col_name).expect("sum column");
+    let sigs = bundle.generate_signatures(N_TXNS, 0);
+
+    let mut builder = EngineBuilder::new(seed_db.clone(), bundle.registry.clone())
+        .with_strategy(StrategyChoice::ForceKset)
+        .with_max_bulk_size(MAX_BULK)
+        .with_max_wait_us(2_000)
+        .analytics_with(AnalyticsConfig::default().with_retained_records());
+    if offload {
+        builder = builder.replicate();
+    }
+    let session = builder.analytics_session().expect("session attached");
+    let hub = builder.hub();
+    let replica = hub.as_ref().map(|hub| {
+        let (server_end, follower_end) = socket_pair().expect("socketpair");
+        hub.attach(server_end).expect("attach follower");
+        let replica = Replica::start(follower_end).expect("start follower");
+        assert!(replica.wait_synced(WAIT), "follower must finish sync");
+        replica
+    });
+    let engine = builder.build_pipelined();
+
+    // Scanner: cut a snapshot, scan it with 4 worker threads, remember the
+    // result for post-hoc verification; repeat until ingest finishes, then
+    // take one final cut so the committed suffix is covered too.
+    let done = std::sync::Arc::new(AtomicBool::new(false));
+    let scanner = {
+        let session = session.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let opts = ScanOptions::parallel(4);
+            let mut observed: Vec<(u64, f64, f64, HtapScanResult)> = Vec::new();
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                let snap = session.snapshot();
+                let cut_us = session.stats().last_cut_us;
+                let t0 = Instant::now();
+                let result = htap_scan(&snap, table, key_col, sum_col, opts);
+                let scan_ms = t0.elapsed().as_secs_f64() * 1e3;
+                if observed.len() < MAX_SCANS {
+                    observed.push((snap.records_applied(), cut_us, scan_ms, result));
+                }
+                if finished {
+                    return observed;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        })
+    };
+
+    let start = Instant::now();
+    for sig in &sigs {
+        engine
+            .submit(sig.ty, sig.params.clone())
+            .expect("pipeline accepts the htap stream");
+    }
+    let (final_db, stats) = engine.finish().expect("pipeline stays healthy");
+    let wall = start.elapsed().as_secs_f64();
+    done.store(true, Ordering::Release);
+    let mut observed = scanner.join().expect("scanner thread");
+    assert_eq!(stats.committed + stats.aborted, N_TXNS as u64);
+
+    // The hard consistency gate: replay the retained records serially onto
+    // the seed, stopping at each observed snapshot's bulk count, and demand
+    // the concurrent parallel scan saw exactly the serial replay's answer.
+    let retained = session.retained_records();
+    assert_eq!(retained.len() as u64, stats.bulks(), "one record per bulk");
+    observed.sort_by_key(|(records, ..)| *records);
+    let mut replay_db = seed_db.clone();
+    let mut applied = 0usize;
+    for (records, _, _, result) in &observed {
+        while applied < *records as usize {
+            retained[applied].clone().replay_into(&mut replay_db);
+            applied += 1;
+        }
+        let serial = htap_scan(
+            &replay_db,
+            table,
+            key_col,
+            sum_col,
+            ScanOptions::sequential(),
+        );
+        assert_eq!(
+            *result, serial,
+            "concurrent scan at {records} bulks diverged from serial replay"
+        );
+    }
+    // Full-fidelity check of the final cut: every cell of every table.
+    let final_snap = session.snapshot();
+    assert_eq!(final_snap.records_applied(), retained.len() as u64);
+    while applied < retained.len() {
+        retained[applied].clone().replay_into(&mut replay_db);
+        applied += 1;
+    }
+    final_snap
+        .check_against(&replay_db)
+        .expect("final snapshot equals full serial replay");
+    final_snap
+        .check_against(&final_db)
+        .expect("final snapshot equals the engine's own database");
+
+    // Replica offload: the follower's reconstructed database answers the
+    // same scan with the same bits.
+    let mut replica_scan_ms = 0.0;
+    if let Some(replica) = replica {
+        assert!(
+            replica.wait_applied(retained.len() as u64, WAIT),
+            "follower must apply the full stream"
+        );
+        let replica_db = replica
+            .snapshot_db()
+            .expect("synced follower has a snapshot");
+        let t0 = Instant::now();
+        let offloaded = htap_scan(
+            &replica_db,
+            table,
+            key_col,
+            sum_col,
+            ScanOptions::parallel(4),
+        );
+        replica_scan_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let local = htap_scan(
+            &final_snap,
+            table,
+            key_col,
+            sum_col,
+            ScanOptions::parallel(4),
+        );
+        assert_eq!(offloaded, local, "replica-offload scan diverged");
+    }
+    if let Some(hub) = hub {
+        hub.stop();
+    }
+
+    let percentile = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+    let mut scan_ms: Vec<f64> = observed.iter().map(|(_, _, ms, _)| *ms).collect();
+    let mut cut_us: Vec<f64> = observed.iter().map(|(_, us, ..)| *us).collect();
+    scan_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite scan time"));
+    cut_us.sort_by(|a, b| a.partial_cmp(b).expect("finite cut time"));
+    HtapRun {
+        txn_tps: stats.committed as f64 / wall,
+        scans: observed.len(),
+        scan_p50_ms: percentile(&scan_ms, 0.50),
+        scan_p99_ms: percentile(&scan_ms, 0.99),
+        cut_p50_us: percentile(&cut_us, 0.50),
+        cut_p99_us: percentile(&cut_us, 0.99),
+        replica_scan_ms,
+    }
+}
+
+/// HTAP experiment: concurrent analytical scans over bulk-boundary
+/// snapshots while TM1/TPC-B ingest keeps committing, with every scan
+/// hard-verified against a serial replay of the frozen committed prefix.
+/// CI runs this as part of bench-smoke and schema-checks the JSON artifact.
+fn htap(json_path: Option<&str>) {
+    banner("HTAP — concurrent scans over bulk-boundary snapshots (+ replica offload)");
+
+    let tm1 = htap_run(
+        Tm1Config { scale_factor: 1 }.build(),
+        "subscriber",
+        "bit_1",
+        "vlr_location",
+        true,
+    );
+    let tpcb = htap_run(
+        TpcbConfig::default().build(),
+        "account",
+        "a_b_id",
+        "a_balance",
+        false,
+    );
+
+    let mut table = TextTable::new(&[
+        "workload",
+        "txn tps",
+        "scans",
+        "scan p50 (ms)",
+        "scan p99 (ms)",
+        "cut p50 (us)",
+        "cut p99 (us)",
+    ]);
+    for (name, run) in [("tm1", &tm1), ("tpcb", &tpcb)] {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.0}", run.txn_tps),
+            run.scans.to_string(),
+            format!("{:.3}", run.scan_p50_ms),
+            format!("{:.3}", run.scan_p99_ms),
+            format!("{:.0}", run.cut_p50_us),
+            format!("{:.0}", run.cut_p99_us),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "HTAP: OK (every concurrent scan equals its serial replay; \
+         replica-offload scan in {:.3} ms)",
+        tm1.replica_scan_ms
+    );
+
+    // Hand-rolled JSON (the workspace serde is an offline shim). The
+    // `consistent` flag can only be true here — a divergence panics above —
+    // but the artifact records the gate explicitly for the schema check.
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"experiment\": \"htap\",\n  \
+         \"tm1_txn_tps\": {:.3},\n  \"tm1_scans\": {},\n  \
+         \"tm1_scan_p50_ms\": {:.6},\n  \"tm1_scan_p99_ms\": {:.6},\n  \
+         \"tm1_cut_p50_us\": {:.3},\n  \"tm1_cut_p99_us\": {:.3},\n  \
+         \"tpcb_txn_tps\": {:.3},\n  \"tpcb_scans\": {},\n  \
+         \"tpcb_scan_p50_ms\": {:.6},\n  \"tpcb_scan_p99_ms\": {:.6},\n  \
+         \"tpcb_cut_p50_us\": {:.3},\n  \"tpcb_cut_p99_us\": {:.3},\n  \
+         \"replica_scan_ms\": {:.6},\n  \"consistent\": true\n}}\n",
+        tm1.txn_tps,
+        tm1.scans,
+        tm1.scan_p50_ms,
+        tm1.scan_p99_ms,
+        tm1.cut_p50_us,
+        tm1.cut_p99_us,
+        tpcb.txn_tps,
+        tpcb.scans,
+        tpcb.scan_p50_ms,
+        tpcb.scan_p99_ms,
+        tpcb.cut_p50_us,
+        tpcb.cut_p99_us,
+        tm1.replica_scan_ms,
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("cannot write htap JSON to {path}: {e}"));
+            println!("htap metrics written to {path}");
         }
         None => println!("{json}"),
     }

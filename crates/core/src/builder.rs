@@ -24,6 +24,7 @@
 use crate::config::{EngineConfig, PipelineConfig, StrategyChoice};
 use crate::engine::GpuTxEngine;
 use crate::pipeline::PipelinedGpuTx;
+use gputx_analytics::{AnalyticsConfig, AnalyticsSession};
 use gputx_cpu::CpuEngine;
 use gputx_durability::DurabilityConfig;
 use gputx_exec::ExecutorChoice;
@@ -48,6 +49,7 @@ pub struct EngineBuilder {
     config: EngineConfig,
     pipeline: PipelineConfig,
     replication: Option<PrimaryHub>,
+    analytics: Option<AnalyticsSession>,
     /// Epoch the hub must start under when this builder continues a promoted
     /// replica (`None` = mint a fresh epoch).
     epoch_seed: Option<u64>,
@@ -63,6 +65,7 @@ impl EngineBuilder {
             config: EngineConfig::default(),
             pipeline: PipelineConfig::default(),
             replication: None,
+            analytics: None,
             epoch_seed: None,
         }
     }
@@ -181,11 +184,50 @@ impl EngineBuilder {
         self.replication.clone()
     }
 
+    // -- HTAP read path -------------------------------------------------------
+
+    /// Attach an analytics session with default configuration. See
+    /// [`analytics_with`](EngineBuilder::analytics_with).
+    pub fn analytics(self) -> Self {
+        self.analytics_with(AnalyticsConfig::default())
+    }
+
+    /// Attach an [`AnalyticsSession`] to the built engine: every committed
+    /// bulk's redo record — the same one the WAL appends and the replication
+    /// hub ships — is published into the session's snapshot store, so
+    /// scanner threads can cut consistent bulk-boundary snapshots
+    /// ([`AnalyticsSession::snapshot`]) while the engine keeps committing.
+    ///
+    /// Like [`replicate`](EngineBuilder::replicate), the session binds to
+    /// the *initial* database state: its mirror is seeded **now**, from this
+    /// builder's database, so engine and mirror can never start from
+    /// different states. Grab the scanner-side handle with
+    /// [`analytics_session`](EngineBuilder::analytics_session) before
+    /// building.
+    pub fn analytics_with(mut self, config: AnalyticsConfig) -> Self {
+        self.analytics = Some(AnalyticsSession::with_config(&self.db, config));
+        self
+    }
+
+    /// The analytics session created by
+    /// [`analytics`](EngineBuilder::analytics) (`None` without it). The
+    /// session is cloneable; take one before `build` to cut snapshots and
+    /// run scans while the engine runs — and after it shuts down.
+    pub fn analytics_session(&self) -> Option<AnalyticsSession> {
+        self.analytics.clone()
+    }
+
     // -- terminals ------------------------------------------------------------
 
     /// Build the one-shot bulk engine ([`GpuTxEngine`]).
     pub fn build(self) -> GpuTxEngine {
-        GpuTxEngine::with_parts(self.db, self.registry, self.config, self.replication)
+        GpuTxEngine::with_parts(
+            self.db,
+            self.registry,
+            self.config,
+            self.replication,
+            self.analytics,
+        )
     }
 
     /// Build the streaming engine ([`PipelinedGpuTx`]): continuous ingest,
@@ -197,6 +239,7 @@ impl EngineBuilder {
             self.config,
             self.pipeline,
             self.replication,
+            self.analytics,
         )
     }
 
@@ -309,6 +352,48 @@ mod tests {
         assert_eq!(hub.next_lsn(), 1);
         assert!(hub.mirror_db() == *engine.db());
         hub.stop();
+    }
+
+    #[test]
+    fn analytics_session_tracks_commits_and_survives_shutdown() {
+        let (db, reg) = setup(8);
+        let builder = EngineBuilder::new(db, reg).analytics();
+        let session = builder
+            .analytics_session()
+            .expect("analytics() creates the session");
+        assert_eq!(session.records_applied(), 0);
+        let mut engine = builder.build();
+        for i in 0..8 {
+            engine.submit(0, vec![Value::Int(i)]);
+        }
+        engine.run_until_empty();
+        assert_eq!(session.records_applied(), 1);
+        let snap = session.snapshot();
+        snap.check_against(engine.db()).unwrap();
+        assert_eq!(snap.get_i64(0, 5, 1), 1);
+        // The snapshot outlives the engine.
+        drop(engine);
+        assert_eq!(snap.get_i64(0, 5, 1), 1);
+    }
+
+    #[test]
+    fn analytics_rides_the_pipelined_commit_point() {
+        let (db, reg) = setup(16);
+        let builder = EngineBuilder::new(db, reg)
+            .with_max_bulk_size(4)
+            .with_max_wait_us(10_000_000)
+            .analytics();
+        let session = builder.analytics_session().unwrap();
+        let engine = builder.build_pipelined();
+        for i in 0..16 {
+            engine.submit(0, vec![Value::Int(i % 16)]).unwrap();
+        }
+        let (db, stats) = engine.finish().unwrap();
+        assert_eq!(stats.committed, 16);
+        assert!(session.wait_applied(stats.bulks(), std::time::Duration::from_secs(5)));
+        let snap = session.snapshot();
+        assert_eq!(snap.records_applied(), stats.bulks());
+        snap.check_against(&db).unwrap();
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct GpuTxEngine {
     /// `EngineBuilder::replicate`): each committed bulk's redo record is
     /// published to the hub after the local WAL append.
     replication: Option<gputx_replication::PrimaryHub>,
+    /// HTAP read path, when this engine feeds an analytics session (see
+    /// `EngineBuilder::analytics`): each committed bulk's redo record is
+    /// published into the session's snapshot store, last in the consumer
+    /// chain (after WAL append and replication).
+    analytics: Option<gputx_analytics::AnalyticsSession>,
 }
 
 impl GpuTxEngine {
@@ -60,16 +65,18 @@ impl GpuTxEngine {
     /// dropped its durability guarantee would be worse than one that refuses
     /// to start.
     pub fn new(db: Database, registry: ProcedureRegistry, config: EngineConfig) -> Self {
-        Self::with_parts(db, registry, config, None)
+        Self::with_parts(db, registry, config, None, None)
     }
 
-    /// [`GpuTxEngine::new`] plus an optional replication hub whose mirror was
-    /// seeded from `db` — the `EngineBuilder::build` entry point.
+    /// [`GpuTxEngine::new`] plus an optional replication hub and analytics
+    /// session whose mirrors were seeded from `db` — the
+    /// `EngineBuilder::build` entry point.
     pub(crate) fn with_parts(
         db: Database,
         registry: ProcedureRegistry,
         config: EngineConfig,
         replication: Option<gputx_replication::PrimaryHub>,
+        analytics: Option<gputx_analytics::AnalyticsSession>,
     ) -> Self {
         let mut gpu = Gpu::new(config.device.clone());
         let load_time = db.load_to_device(&mut gpu);
@@ -94,6 +101,7 @@ impl GpuTxEngine {
             load_time,
             durability,
             replication,
+            analytics,
         }
     }
 
@@ -143,8 +151,9 @@ impl GpuTxEngine {
         let bulk = Bulk::new(sigs);
         // Arm dirty-field tracking so the bulk's physical writes can be read
         // back into its redo record after commit.
-        let capture = (self.durability.is_some() || self.replication.is_some())
-            .then(|| gputx_durability::WriteCapture::begin(&mut self.db));
+        let capture =
+            (self.durability.is_some() || self.replication.is_some() || self.analytics.is_some())
+                .then(|| gputx_durability::WriteCapture::begin(&mut self.db));
         let mut ctx = ExecContext {
             gpu: &mut self.gpu,
             db: &mut self.db,
@@ -156,10 +165,11 @@ impl GpuTxEngine {
             // One redo record serves the local WAL and the replication hub;
             // the local append comes first so followers never hold a record
             // the primary did not log.
-            let lsn = match (&self.durability, &self.replication) {
-                (Some(d), _) => d.next_lsn(),
-                (None, Some(hub)) => hub.next_lsn(),
-                (None, None) => unreachable!("capture exists only with a consumer"),
+            let lsn = match (&self.durability, &self.replication, &self.analytics) {
+                (Some(d), _, _) => d.next_lsn(),
+                (None, Some(hub), _) => hub.next_lsn(),
+                (None, None, Some(session)) => session.next_lsn(),
+                (None, None, None) => unreachable!("capture exists only with a consumer"),
             };
             let record = gputx_durability::BulkLogRecord {
                 lsn,
@@ -172,6 +182,9 @@ impl GpuTxEngine {
             }
             if let Some(hub) = self.replication.as_ref() {
                 hub.publish(&record);
+            }
+            if let Some(session) = self.analytics.as_ref() {
+                session.publish(&record);
             }
         }
         for (id, o) in &outcome.outcomes {
@@ -288,8 +301,15 @@ impl GpuTxEngine {
         // the same durability directory (fresh checkpoint + truncated log).
         drop(self.durability.take());
         let replication = self.replication.take();
-        let streaming =
-            PipelinedGpuTx::with_parts(self.db, self.registry, self.config, pipeline, replication);
+        let analytics = self.analytics.take();
+        let streaming = PipelinedGpuTx::with_parts(
+            self.db,
+            self.registry,
+            self.config,
+            pipeline,
+            replication,
+            analytics,
+        );
         for sig in pending {
             // The engine just started, so submissions cannot fail; tickets
             // for carried-over transactions are intentionally dropped (the

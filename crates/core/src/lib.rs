@@ -25,7 +25,8 @@
 //!   response-time-vs-throughput figures (Figures 9 and 15).
 //! * [`builder`] — the [`EngineBuilder`]: one fluent construction surface
 //!   for the one-shot, pipelined and CPU engines, including the replication
-//!   role (primary log shipping via `gputx-replication`).
+//!   role (primary log shipping via `gputx-replication`) and the HTAP read
+//!   path (bulk-boundary analytics snapshots via `gputx-analytics`).
 //! * [`error`] — typed engine errors ([`EngineError`]).
 //! * [`engine`] — the [`engine::GpuTxEngine`] facade: register procedures,
 //!   load the database to the device, submit transactions, execute bulks and

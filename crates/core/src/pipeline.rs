@@ -175,6 +175,13 @@ pub struct GpuTxRunner {
     /// and local durability always agree because they consume the *same*
     /// record. Publishing never blocks on a follower (bounded queues shed).
     replication: Option<gputx_replication::PrimaryHub>,
+    /// HTAP read path, when the engine feeds an analytics session (see
+    /// `EngineBuilder::analytics`). The session consumes the same record at
+    /// the same group-commit point, last in the chain: update propagation
+    /// into its snapshot mirror is a redo replay plus dirty-chunk marks;
+    /// the expensive copy-on-write rebuild is paid by scanners at snapshot
+    /// cut time, never here.
+    analytics: Option<gputx_analytics::AnalyticsSession>,
 }
 
 impl GpuTxRunner {
@@ -271,8 +278,9 @@ impl BulkRunner for GpuTxRunner {
         // back into its redo record after commit. Unlike the access plan,
         // the capture cannot move to the grouping stage: it brackets the
         // live database's mutation window.
-        let capture = (self.durability.is_some() || self.replication.is_some())
-            .then(|| gputx_durability::WriteCapture::begin(&mut self.db));
+        let capture =
+            (self.durability.is_some() || self.replication.is_some() || self.analytics.is_some())
+                .then(|| gputx_durability::WriteCapture::begin(&mut self.db));
         let mut outcomes = Vec::with_capacity(bulk.len());
         if let Err(e) = self.run_plan(&bulk, &plan, &mut outcomes) {
             self.discard_insert_buffers();
@@ -291,10 +299,11 @@ impl BulkRunner for GpuTxRunner {
             // epoch) is the way back. Publishing to followers happens after
             // the local append: a record a follower holds is always one the
             // primary logged.
-            let lsn = match (&self.durability, &self.replication) {
-                (Some(d), _) => d.next_lsn(),
-                (None, Some(hub)) => hub.next_lsn(),
-                (None, None) => unreachable!("capture exists only with a consumer"),
+            let lsn = match (&self.durability, &self.replication, &self.analytics) {
+                (Some(d), _, _) => d.next_lsn(),
+                (None, Some(hub), _) => hub.next_lsn(),
+                (None, None, Some(session)) => session.next_lsn(),
+                (None, None, None) => unreachable!("capture exists only with a consumer"),
             };
             let record = BulkLogRecord {
                 lsn,
@@ -309,6 +318,9 @@ impl BulkRunner for GpuTxRunner {
             }
             if let Some(hub) = self.replication.as_ref() {
                 hub.publish(&record);
+            }
+            if let Some(session) = self.analytics.as_ref() {
+                session.publish(&record);
             }
         }
         Ok(outcomes)
@@ -350,18 +362,19 @@ impl PipelinedGpuTx {
         engine_config: EngineConfig,
         pipeline: PipelineConfig,
     ) -> Self {
-        Self::with_parts(db, registry, engine_config, pipeline, None)
+        Self::with_parts(db, registry, engine_config, pipeline, None, None)
     }
 
-    /// [`PipelinedGpuTx::new`] plus an optional replication hub whose mirror
-    /// was seeded from `db` — the `EngineBuilder::build_pipelined` entry
-    /// point.
+    /// [`PipelinedGpuTx::new`] plus an optional replication hub and
+    /// analytics session whose mirrors were seeded from `db` — the
+    /// `EngineBuilder::build_pipelined` entry point.
     pub(crate) fn with_parts(
         db: Database,
         registry: ProcedureRegistry,
         engine_config: EngineConfig,
         pipeline: PipelineConfig,
         replication: Option<gputx_replication::PrimaryHub>,
+        analytics: Option<gputx_analytics::AnalyticsSession>,
     ) -> Self {
         let needs_snapshot = matches!(
             engine_config.strategy,
@@ -390,6 +403,7 @@ impl PipelinedGpuTx {
             policy: ExecPolicy::functional(),
             durability,
             replication,
+            analytics,
         };
         let opts = PipelineOptions {
             max_bulk_size: pipeline.max_bulk_size,

@@ -61,7 +61,7 @@ pub use executor::{
     run_txn, run_txn_planned, ExecError, ExecPolicy, ExecutedTxn, Executor, ExecutorChoice,
     SerialExecutor,
 };
-pub use parallel::ParallelExecutor;
+pub use parallel::{partition_ranges, ParallelExecutor};
 pub use pipeline::{
     BulkCloseCounts, BulkPlanner, BulkRunner, PipelineError, PipelineOptions, PipelineStats,
     PipelinedEngine, StageBusy, SubmitHandle, Ticket, TicketResult,

@@ -32,6 +32,23 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Groups executed by one shard, each tagged with its original group index.
 type ShardGroups = Vec<(usize, Vec<ExecutedTxn>)>;
 
+/// Split `0..len` into at most `parts` contiguous, near-equal ranges (the
+/// last range may be shorter; empty ranges are never produced). This is the
+/// work-partitioning rule the sharded executor uses to assign conflict-free
+/// transactions to workers, exported so other fan-out consumers — the
+/// analytics crate's parallel scans partition snapshot blocks with it —
+/// schedule work the same way.
+pub fn partition_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let span = len.div_ceil(parts.min(len));
+    (0..len)
+        .step_by(span)
+        .map(|start| start..(start + span).min(len))
+        .collect()
+}
+
 /// Run the inline serial fallback with the same panic containment as the
 /// worker path, so `ParallelExecutor` reports a typed [`ExecError`] for a
 /// panicking procedure regardless of whether the bulk was big enough to fan
@@ -283,10 +300,10 @@ impl Executor for ParallelExecutor {
                 SerialExecutor.run_conflict_free(db, registry, policy, txns, plan)
             });
         }
-        // Conflict-free transactions are all independent: contiguous chunks
+        // Conflict-free transactions are all independent: contiguous ranges
         // keep the result in input order with no reassembly step.
-        let n_shards = self.threads.min(txns.len());
-        let chunk_len = txns.len().div_ceil(n_shards);
+        let ranges = partition_ranges(txns.len(), self.threads);
+        let n_shards = ranges.len();
         let shards: Vec<Mutex<ShardDelta>> = self
             .take_deltas(n_shards)
             .into_iter()
@@ -298,10 +315,11 @@ impl Executor for ParallelExecutor {
             let base: &Database = db;
             let shards = &shards;
             std::thread::scope(|scope| {
-                let handles: Vec<_> = txns
-                    .chunks(chunk_len)
+                let handles: Vec<_> = ranges
+                    .iter()
                     .enumerate()
-                    .map(|(s, chunk)| {
+                    .map(|(s, range)| {
+                        let chunk = &txns[range.clone()];
                         scope.spawn(move || {
                             catch_unwind(AssertUnwindSafe(|| {
                                 let mut delta = shards[s].lock().expect("shard mutex poisoned");

@@ -333,6 +333,26 @@ impl ShardDelta {
         Ok(delta)
     }
 
+    /// Visit the coordinates of every distinct field the delta writes — the
+    /// last-writer cells a bulk log record scatters. Consumers that mirror
+    /// the database at a coarser granularity (the analytics engine's chunked
+    /// snapshot store marks copy-on-write chunks this way) learn what a
+    /// record touches without decoding values or replaying it twice.
+    pub fn for_each_updated_field(&self, mut f: impl FnMut(TableId, RowId, u32)) {
+        for slot in &self.slots {
+            f(slot.table, slot.row, slot.col);
+        }
+    }
+
+    /// Visit every final delete-bitmap flag the delta carries (`true` =
+    /// deleted, `false` = undeleted), in unspecified order — the flags are
+    /// last-writer values over disjoint rows, so order never matters.
+    pub fn for_each_delete_flag(&self, mut f: impl FnMut(TableId, RowId, bool)) {
+        for (&(table, row), &flag) in &self.deleted {
+            f(table, row, flag);
+        }
+    }
+
     /// Apply the delta to the database and drain it (the delta keeps its
     /// capacity and can be reused for the next bulk). Field updates and
     /// delete flags are idempotent last-writer values over disjoint keys, so

@@ -2,15 +2,20 @@
 """Schema check for the bench-smoke JSON artifacts.
 
 Usage: check_artifact.py <kind> <path>
-       (kind: smoke | pipeline | hotpath | durability | net | replication)
+       check_artifact.py --self-test
+       (kind: smoke | pipeline | hotpath | durability | net | replication | htap)
 
 CI runs this against every figures artifact before uploading it, so a
 silently-empty or truncated figures run (missing keys, zero transactions, no
-throughput) fails the job instead of uploading a useless artifact.
+throughput) fails the job instead of uploading a useless artifact. An
+unknown schema kind is a hard error: a typo in the workflow must fail the
+job, not skip the check. `--self-test` runs the checker against built-in
+expect-pass/expect-fail fixtures (the lint job runs it on every PR).
 """
 
 import json
 import sys
+import tempfile
 
 NUMBER = (int, float)
 
@@ -171,18 +176,54 @@ SCHEMAS = {
         # committed nothing at any follower count proves nothing.
         "positive": ["transactions", "bulks", "f0_tps", "f1_tps", "f2_tps"],
     },
+    # `figures -- htap --json`
+    "htap": {
+        "required": {
+            "schema": int,
+            "experiment": str,
+            "tm1_txn_tps": NUMBER,
+            "tm1_scans": int,
+            "tm1_scan_p50_ms": NUMBER,
+            "tm1_scan_p99_ms": NUMBER,
+            "tm1_cut_p50_us": NUMBER,
+            "tm1_cut_p99_us": NUMBER,
+            "tpcb_txn_tps": NUMBER,
+            "tpcb_scans": int,
+            "tpcb_scan_p50_ms": NUMBER,
+            "tpcb_scan_p99_ms": NUMBER,
+            "tpcb_cut_p50_us": NUMBER,
+            "tpcb_cut_p99_us": NUMBER,
+            "replica_scan_ms": NUMBER,
+            "consistent": bool,
+        },
+        # An HTAP run that committed nothing or never scanned proves
+        # nothing; cut costs may round to 0 at clock resolution.
+        "positive": ["tm1_txn_tps", "tm1_scans", "tpcb_txn_tps", "tpcb_scans"],
+    },
 }
 
 
-def fail(msg: str) -> None:
-    print(f"ARTIFACT-SCHEMA-FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+class SchemaError(Exception):
+    """A schema violation; the message describes the first one found."""
 
 
-def main() -> None:
-    if len(sys.argv) != 3 or sys.argv[1] not in SCHEMAS:
-        fail(f"usage: {sys.argv[0]} <{'|'.join(SCHEMAS)}> <path>")
-    kind, path = sys.argv[1], sys.argv[2]
+def type_ok(value, expected) -> bool:
+    """isinstance with JSON semantics: bool is only valid when the schema
+    explicitly expects bool (Python's bool subclasses int, so a plain
+    isinstance would let `true` pass for an int metric)."""
+    if expected is bool:
+        return isinstance(value, bool)
+    return isinstance(value, expected) and not isinstance(value, bool)
+
+
+def check(kind: str, path: str) -> str:
+    """Validate one artifact; returns the OK message or raises SchemaError."""
+
+    def fail(msg: str) -> None:
+        raise SchemaError(msg)
+
+    if kind not in SCHEMAS:
+        fail(f"unknown schema kind '{kind}' (known: {', '.join(sorted(SCHEMAS))})")
     schema = SCHEMAS[kind]
     try:
         with open(path, encoding="utf-8") as f:
@@ -194,7 +235,7 @@ def main() -> None:
     for key, expected in schema["required"].items():
         if key not in data:
             fail(f"{path}: missing required key '{key}'")
-        if not isinstance(data[key], expected) or isinstance(data[key], bool):
+        if not type_ok(data[key], expected):
             fail(
                 f"{path}: key '{key}' has type {type(data[key]).__name__}, "
                 f"expected {expected}"
@@ -211,7 +252,7 @@ def main() -> None:
             for ikey, expected in item_schema.items():
                 if ikey not in item:
                     fail(f"{path}: {key}[{i}] missing required key '{ikey}'")
-                if not isinstance(item[ikey], expected) or isinstance(item[ikey], bool):
+                if not type_ok(item[ikey], expected):
                     fail(
                         f"{path}: {key}[{i}].{ikey} has type "
                         f"{type(item[ikey]).__name__}, expected {expected}"
@@ -226,7 +267,119 @@ def main() -> None:
             )
         if data["unmatched_total"] != 0:
             fail(f"{path}: unmatched_total must be 0 (got {data['unmatched_total']})")
-    print(f"ARTIFACT-SCHEMA-OK: {path} matches the '{kind}' schema")
+    if kind == "htap":
+        for wl in ("tm1", "tpcb"):
+            if data[f"{wl}_scan_p99_ms"] < data[f"{wl}_scan_p50_ms"]:
+                fail(
+                    f"{path}: {wl} scan p99 ({data[f'{wl}_scan_p99_ms']}) below "
+                    f"p50 ({data[f'{wl}_scan_p50_ms']})"
+                )
+            if data[f"{wl}_cut_p99_us"] < data[f"{wl}_cut_p50_us"]:
+                fail(
+                    f"{path}: {wl} cut p99 ({data[f'{wl}_cut_p99_us']}) below "
+                    f"p50 ({data[f'{wl}_cut_p50_us']})"
+                )
+        if data["consistent"] is not True:
+            fail(f"{path}: 'consistent' must be true — a scan diverged from replay")
+    return f"ARTIFACT-SCHEMA-OK: {path} matches the '{kind}' schema"
+
+
+# --self-test fixtures: (name, kind, payload-or-None, expect_ok).
+# payload None means "file is not JSON at all".
+_VALID_HTAP = {
+    "schema": 1,
+    "experiment": "htap",
+    "tm1_txn_tps": 50_000.0,
+    "tm1_scans": 48,
+    "tm1_scan_p50_ms": 0.5,
+    "tm1_scan_p99_ms": 5.2,
+    "tm1_cut_p50_us": 5.0,
+    "tm1_cut_p99_us": 640.0,
+    "tpcb_txn_tps": 180_000.0,
+    "tpcb_scans": 23,
+    "tpcb_scan_p50_ms": 0.9,
+    "tpcb_scan_p99_ms": 1.8,
+    "tpcb_cut_p50_us": 60.0,
+    "tpcb_cut_p99_us": 130.0,
+    "replica_scan_ms": 0.5,
+    "consistent": True,
+}
+
+_VALID_REPLICATION = {
+    "schema": 1,
+    "experiment": "replication",
+    "transactions": 12288,
+    "bulks": 48,
+    "f0_tps": 1000.0,
+    "f1_tps": 990.0,
+    "f2_tps": 980.0,
+    "f1_lag_p50_us": 10.0,
+    "f1_lag_p99_us": 50.0,
+    "f2_lag_p50_us": 12.0,
+    "f2_lag_p99_us": 60.0,
+    "records_shed": 0,
+}
+
+
+def _self_test_cases():
+    inconsistent = dict(_VALID_HTAP, consistent=False)
+    crossed = dict(_VALID_HTAP, tm1_scan_p50_ms=9.0)
+    missing = {k: v for k, v in _VALID_HTAP.items() if k != "tm1_scans"}
+    bool_for_int = dict(_VALID_REPLICATION, records_shed=True)
+    string_flag = dict(_VALID_HTAP, consistent="true")
+    zero_scans = dict(_VALID_HTAP, tpcb_scans=0)
+    return [
+        ("htap-valid", "htap", _VALID_HTAP, True),
+        ("htap-inconsistent", "htap", inconsistent, False),
+        ("htap-p50-above-p99", "htap", crossed, False),
+        ("htap-missing-key", "htap", missing, False),
+        ("htap-consistent-as-string", "htap", string_flag, False),
+        ("htap-zero-scans", "htap", zero_scans, False),
+        ("replication-valid", "replication", _VALID_REPLICATION, True),
+        ("replication-bool-for-int", "replication", bool_for_int, False),
+        ("unknown-kind", "nosuchschema", _VALID_HTAP, False),
+        ("not-json", "htap", None, False),
+    ]
+
+
+def self_test() -> None:
+    failures = []
+    for name, kind, payload, expect_ok in _self_test_cases():
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+            f.write("{ not json" if payload is None else json.dumps(payload))
+            path = f.name
+        try:
+            check(kind, path)
+            ok = True
+            detail = "accepted"
+        except SchemaError as e:
+            ok = False
+            detail = str(e)
+        if ok != expect_ok:
+            failures.append(f"{name}: expected {'pass' if expect_ok else 'fail'}, got: {detail}")
+    if failures:
+        for failure in failures:
+            print(f"ARTIFACT-SELFTEST-FAIL: {failure}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ARTIFACT-SELFTEST-OK: {len(_self_test_cases())} cases behaved as expected")
+
+
+def main() -> None:
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        self_test()
+        return
+    if len(sys.argv) != 3:
+        print(
+            f"ARTIFACT-SCHEMA-FAIL: usage: {sys.argv[0]} <{'|'.join(SCHEMAS)}> <path> "
+            f"| {sys.argv[0]} --self-test",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    try:
+        print(check(sys.argv[1], sys.argv[2]))
+    except SchemaError as e:
+        print(f"ARTIFACT-SCHEMA-FAIL: {e}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

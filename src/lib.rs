@@ -5,6 +5,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use gputx_analytics as analytics;
 pub use gputx_client as client;
 pub use gputx_core as core;
 pub use gputx_cpu as cpu;

@@ -173,6 +173,73 @@ fn flush_commits_a_partial_bulk() {
     assert_eq!(stats.transactions(), 10);
 }
 
+/// An analytics snapshot held across pipeline shutdown: every outstanding
+/// ticket still resolves, the snapshot stays readable (bit-identically)
+/// after the engine and the session are gone, and no drop order of
+/// {engine, session, snapshot} deadlocks the stage threads.
+#[test]
+fn snapshot_held_across_pipeline_shutdown() {
+    use gputx_analytics::{count_rows, sum_i64, Predicate, ScanOptions};
+
+    let (db0, registry, sigs) = tm1_stream(600, 0x5a17);
+    let table = db0.table_id("subscriber").expect("TM1 subscriber table");
+    let builder = EngineBuilder::new(db0, registry)
+        .with_strategy(StrategyChoice::ForceKset)
+        .with_max_bulk_size(64)
+        .with_max_wait_us(2_000)
+        .analytics();
+    let session = builder.analytics_session().expect("session attached");
+    let engine = builder.build_pipelined();
+
+    // Submit a first batch and cut a snapshot while the pipeline is hot.
+    let (head, tail) = sigs.split_at(sigs.len() / 2);
+    let mut tickets: Vec<Ticket> = head
+        .iter()
+        .map(|s| engine.submit(s.ty, s.params.clone()).unwrap())
+        .collect();
+    assert!(
+        session.wait_applied(1, std::time::Duration::from_secs(30)),
+        "a bulk must commit before the cut"
+    );
+    let snap = session.snapshot();
+    let frozen = snap.records_applied();
+    let opts = ScanOptions::sequential();
+    let count_before = count_rows(&snap, table, &Predicate::All, opts);
+    let sum_before = sum_i64(&snap, table, 4, &Predicate::All, opts);
+
+    // Keep committing on top of the held snapshot, then shut down with the
+    // snapshot still alive. Shutdown must resolve every ticket.
+    tickets.extend(
+        tail.iter()
+            .map(|s| engine.submit(s.ty, s.params.clone()).unwrap()),
+    );
+    let (final_db, stats) = engine.finish().expect("pipeline healthy");
+    for t in &tickets {
+        t.wait()
+            .expect("every ticket resolves despite the held snapshot");
+    }
+    assert_eq!(stats.transactions(), sigs.len() as u64);
+    assert!(stats.bulks() > frozen, "later bulks committed over the cut");
+
+    // The held snapshot is untouched by the churn and the shutdown...
+    assert_eq!(snap.records_applied(), frozen);
+    assert_eq!(
+        count_rows(&snap, table, &Predicate::All, opts),
+        count_before
+    );
+    assert_eq!(sum_i64(&snap, table, 4, &Predicate::All, opts), sum_before);
+    // ...while a fresh cut from the outliving session sees the final state.
+    let final_snap = session.snapshot();
+    assert_eq!(final_snap.records_applied(), stats.bulks());
+    final_snap.check_against(&final_db).unwrap();
+
+    // No drop order deadlocks: session before snapshots, then the handles.
+    drop(session);
+    assert_eq!(snap.records_applied(), frozen);
+    drop(final_snap);
+    drop(snap);
+}
+
 /// Seeded soak: a conflict-heavy micro stream pushed through tiny bulks and a
 /// tiny admission queue (constant backpressure) at 1/2/4/8 worker threads.
 /// Every ticket must resolve, the commit counts must add up, and the final
