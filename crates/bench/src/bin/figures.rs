@@ -32,7 +32,12 @@
 //! engine while scanner threads cut bulk-boundary snapshots and run
 //! aggregate scans concurrently, hard-asserting every scan result equals
 //! the same scan replayed serially against the frozen committed prefix —
-//! plus a replica-offload pass running the same scans on a follower.
+//! plus a replica-offload pass running the same scans on a follower. The
+//! extra `chaos` experiment runs seeded full-stack fault storms (WAL
+//! append/fsync faults, client-wire drop/corrupt/delay/reset, follower
+//! stall/kill) against the self-healing stack — reconnecting client,
+//! supervised replica, WAL heal — hard-asserting convergence before
+//! emitting the counters as a JSON artifact.
 
 use gputx_bench::{
     adhoc_cpu_throughput, adhoc_gpu_throughput, cpu_workload_throughput, gpu_workload_throughput,
@@ -138,6 +143,9 @@ fn main() {
     }
     if wanted.contains(&"htap") {
         htap(json_path.as_deref());
+    }
+    if wanted.contains(&"chaos") {
+        chaos(json_path.as_deref());
     }
 }
 
@@ -792,6 +800,325 @@ fn htap(json_path: Option<&str>) {
             std::fs::write(path, &json)
                 .unwrap_or_else(|e| panic!("cannot write htap JSON to {path}: {e}"));
             println!("htap metrics written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+/// Counters from one seeded chaos storm, for the table and the JSON artifact.
+struct ChaosRun {
+    committed: u64,
+    ambiguous: u64,
+    faults_injected: u64,
+    wal_heals: u64,
+    client_reconnects: u64,
+    replica_reconnects: u64,
+    wall_secs: f64,
+}
+
+/// One seeded full-stack fault storm (the `tests/chaos.rs` storm, sized for
+/// bench-smoke). Faults hit the WAL (append/fsync), the client wire
+/// (drop/corrupt/delay/reset) and the follower stream (stall/kill); the
+/// reconnecting client, the supervised replica and the WAL heal path absorb
+/// all of them. Every convergence property is hard-asserted — a divergence
+/// panics — so returning *is* the proof; the counters are what the artifact
+/// reports.
+fn chaos_storm(seed: u64, n: usize, max_faults: u64) -> ChaosRun {
+    use gputx_client::{Client, ClientConfig, TxnResult};
+    use gputx_core::config::StrategyChoice;
+    use gputx_core::{EngineBuilder, PipelineConfig};
+    use gputx_durability::recover;
+    use gputx_faults::{BackoffPolicy, FaultPlan, WalState};
+    use gputx_replication::{ReplicaSupervisor, SupervisorConfig};
+    use gputx_server::{chaos_wrap, socket_pair, Duplex, Server};
+    use std::net::Shutdown;
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    const WAIT: Duration = Duration::from_secs(10);
+    // Fast backoff so the storm spends its time injecting, not sleeping.
+    let fast_backoff = |seed: u64| BackoffPolicy {
+        base: Duration::from_millis(1),
+        max: Duration::from_millis(20),
+        max_retries: 50,
+        seed,
+    };
+
+    let dir = std::env::temp_dir().join(format!(
+        "gputx-figures-chaos-{}-{seed:x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut bundle = Tm1Config { scale_factor: 1 }.build();
+    bundle.reseed(seed);
+    let stream = bundle.generate(n);
+    // The stock storm rates are per-frame, so the (rare) per-bulk WAL appends
+    // and follower records barely see faults at this scale; boost them so the
+    // artifact demonstrably exercises heal and replica-resync as well.
+    let plan = FaultPlan {
+        wal_append_error: 0.10,
+        wal_fsync_error: 0.05,
+        follower_stall: 0.08,
+        follower_kill: 0.08,
+        ..FaultPlan::storm(seed)
+    }
+    .with_max_faults(max_faults);
+    let builder = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .with_strategy(StrategyChoice::ForceKset)
+        .with_durability(&dir)
+        .replicate()
+        .faults(plan)
+        .with_pipeline(
+            PipelineConfig::default()
+                .with_max_bulk_size(32)
+                .with_max_wait_us(2_000),
+        );
+    let injector = builder.faults_injector().expect("plan installed");
+    let health = builder.health();
+    let hub = builder.hub().expect("replicate() creates the hub");
+    let engine = builder.build_pipelined();
+
+    let server = Arc::new(Server::new(engine.handle()));
+    server.serve_health(health.clone());
+
+    // Reconnecting client over a chaos-wrapped socket pair; the raw client
+    // end is stashed so quiesce can yank a connection whose in-flight
+    // requests were dropped by the chaos plane.
+    let current: Arc<Mutex<Option<UnixStream>>> = Arc::new(Mutex::new(None));
+    let client = {
+        let server = Arc::clone(&server);
+        let injector = injector.clone();
+        let current = Arc::clone(&current);
+        let generation = AtomicU64::new(0);
+        Client::with_connector(
+            move || {
+                let (server_end, client_end) = socket_pair()?;
+                server.attach(server_end)?;
+                *current.lock().expect("stash lock") = Some(client_end.try_clone()?);
+                let g = generation.fetch_add(1, Ordering::Relaxed);
+                let wire = injector.wire(&format!("client-{g}"));
+                Ok(Box::new(chaos_wrap(client_end, wire)) as Box<dyn Duplex>)
+            },
+            ClientConfig {
+                connect_timeout: None,
+                read_timeout: Some(Duration::from_millis(25)),
+                reconnect: Some(fast_backoff(seed)),
+            },
+        )
+        .expect("first dial succeeds")
+    };
+
+    // Supervised replica over a chaos-wrapped follower stream.
+    let mut sup = {
+        let hub = hub.clone();
+        let injector = injector.clone();
+        let generation = AtomicU64::new(0);
+        ReplicaSupervisor::start(
+            move || {
+                let (server_end, follower_end) = socket_pair()?;
+                hub.attach(server_end)?;
+                let g = generation.fetch_add(1, Ordering::Relaxed);
+                let wire = injector.follower_wire(&format!("follower-{g}"));
+                Ok(Box::new(chaos_wrap(follower_end, wire)) as Box<dyn Duplex>)
+            },
+            SupervisorConfig {
+                backoff: fast_backoff(seed ^ 0xF0),
+            },
+        )
+        .expect("supervisor starts")
+    };
+
+    let started = std::time::Instant::now();
+    let replies: Vec<_> = stream
+        .iter()
+        .map(|(ty, params)| {
+            client
+                .submit(*ty, params.clone())
+                .expect("submit always yields a reply under reconnect")
+        })
+        .collect();
+
+    // Quiesce: stop injecting, barrier on a ping (responses are FIFO), then
+    // yank the connection if any reply is still unresolved — those request
+    // frames were dropped on the wire and can never be answered.
+    injector.disarm();
+    client.ping().expect("post-storm ping");
+    if replies.iter().any(|r| r.try_get().is_none()) {
+        if let Some(stream) = current.lock().expect("stash lock").take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    let (mut committed, mut ambiguous, mut resolved) = (0u64, 0u64, 0u64);
+    for reply in &replies {
+        match reply.wait() {
+            Ok(TxnResult::Committed(_)) => committed += 1,
+            Ok(TxnResult::Disconnected) => ambiguous += 1,
+            Ok(TxnResult::Aborted(_) | TxnResult::QueueFull | TxnResult::BulkFailed(_)) => {}
+            Ok(other) => panic!("submit resolved as {other:?}"),
+            Err(e) => panic!("reconnecting client must not surface hard errors: {e}"),
+        }
+        resolved += 1;
+    }
+    assert_eq!(resolved, n as u64, "every reply resolves exactly once");
+    assert_eq!(client.unmatched_responses(), 0, "no orphaned responses");
+
+    // The yank resolves ambiguous replies while the server may still be
+    // executing those submits: drain the pipeline and wait for the publish
+    // stream to go quiet before reading the final LSN.
+    engine.flush().expect("pipeline drains");
+    let deadline = std::time::Instant::now() + WAIT;
+    let published = loop {
+        let before = hub.next_lsn();
+        std::thread::sleep(Duration::from_millis(50));
+        if hub.next_lsn() == before || std::time::Instant::now() >= deadline {
+            break before;
+        }
+    };
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    assert!(
+        sup.wait_applied(published, WAIT),
+        "supervised replica must converge after the storm (lsn {published})"
+    );
+
+    // Health over the wire agrees with the in-process surfaces.
+    let report = client.health().expect("health probe after the storm");
+    assert_ne!(report.wal, WalState::Disabled, "durability is configured");
+    assert_eq!(report.faults_injected, injector.injected());
+    assert_eq!(report.repl_next_lsn, published);
+
+    let client_reconnects = client.reconnects();
+    drop(client);
+    server.stop();
+    let sup_db = sup.snapshot_db().expect("converged replica snapshots");
+    let sup_stats = sup.stats();
+    sup.stop();
+    let (final_db, stats) = engine.finish().expect("pipeline finishes cleanly");
+    let mirror = hub.mirror_db();
+    hub.stop();
+
+    // Convergence chain: engine == mirror == supervised replica == recovery.
+    assert!(mirror == final_db, "replication mirror == engine state");
+    assert!(sup_db == final_db, "supervised replica == engine state");
+    if health.report().wal != WalState::Degraded {
+        let recovered = recover(&dir).expect("post-storm recovery");
+        assert!(
+            recovered.db == final_db,
+            "recovery must replay to the engine's final state"
+        );
+    }
+
+    // Nothing lost, nothing duplicated: an acked commit is real and every
+    // commit beyond the acked set is covered by an ambiguous submit.
+    let engine_committed = stats.committed;
+    assert!(
+        engine_committed >= committed,
+        "an acked commit must have committed"
+    );
+    assert!(
+        engine_committed <= committed + ambiguous,
+        "commits beyond the acked set must all be ambiguous submits"
+    );
+    assert!(!sup_stats.gave_up, "the supervisor must not give up");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    ChaosRun {
+        committed: engine_committed,
+        ambiguous,
+        faults_injected: injector.injected(),
+        wal_heals: health.report().heals,
+        client_reconnects,
+        replica_reconnects: sup_stats.reconnects,
+        wall_secs,
+    }
+}
+
+/// Chaos experiment: deterministic seeded fault storms across WAL, wire and
+/// replication, absorbed by the self-healing stack. Convergence is
+/// hard-asserted inside each run (a divergence panics before any JSON is
+/// written). CI runs this as part of bench-smoke and schema-checks the JSON
+/// artifact, which gates on the literal `"convergence": true`.
+fn chaos(json_path: Option<&str>) {
+    banner("Chaos — seeded fault storms across WAL, wire and replication");
+
+    const SEEDS: [u64; 2] = [0xFA11_0C01, 0xFA11_0C02];
+    const N: usize = 1_200;
+    const MAX_FAULTS: u64 = 160;
+    let runs: Vec<(u64, ChaosRun)> = SEEDS
+        .iter()
+        .map(|&seed| (seed, chaos_storm(seed, N, MAX_FAULTS)))
+        .collect();
+
+    let mut table = TextTable::new(&[
+        "seed",
+        "txns",
+        "committed",
+        "ambiguous",
+        "faults",
+        "heals",
+        "cli reconnects",
+        "repl reconnects",
+        "tps",
+    ]);
+    for (seed, run) in &runs {
+        table.row(vec![
+            format!("{seed:#x}"),
+            N.to_string(),
+            run.committed.to_string(),
+            run.ambiguous.to_string(),
+            run.faults_injected.to_string(),
+            run.wal_heals.to_string(),
+            run.client_reconnects.to_string(),
+            run.replica_reconnects.to_string(),
+            format!("{:.0}", run.committed as f64 / run.wall_secs),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let transactions = (SEEDS.len() * N) as u64;
+    let committed: u64 = runs.iter().map(|(_, r)| r.committed).sum();
+    let ambiguous: u64 = runs.iter().map(|(_, r)| r.ambiguous).sum();
+    let faults_injected: u64 = runs.iter().map(|(_, r)| r.faults_injected).sum();
+    let wal_heals: u64 = runs.iter().map(|(_, r)| r.wal_heals).sum();
+    let client_reconnects: u64 = runs.iter().map(|(_, r)| r.client_reconnects).sum();
+    let replica_reconnects: u64 = runs.iter().map(|(_, r)| r.replica_reconnects).sum();
+    let wall: f64 = runs.iter().map(|(_, r)| r.wall_secs).sum();
+    println!(
+        "chaos: OK ({} seeds converged; {faults_injected} faults absorbed, \
+         {wal_heals} WAL heals, {client_reconnects} client + {replica_reconnects} \
+         replica reconnects, no commit lost or duplicated)",
+        SEEDS.len()
+    );
+
+    // Hand-rolled JSON (the workspace serde is an offline shim). The
+    // `convergence` flag can only be true here — a divergence panics inside
+    // `chaos_storm` — but the artifact records the gate explicitly for the
+    // schema check.
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"experiment\": \"chaos\",\n  \
+         \"seeds\": {},\n  \"transactions\": {},\n  \"committed\": {},\n  \
+         \"ambiguous\": {},\n  \"faults_injected\": {},\n  \
+         \"wal_heals\": {},\n  \"client_reconnects\": {},\n  \
+         \"replica_reconnects\": {},\n  \"throughput_tps\": {:.3},\n  \
+         \"convergence\": true\n}}\n",
+        SEEDS.len(),
+        transactions,
+        committed,
+        ambiguous,
+        faults_injected,
+        wal_heals,
+        client_reconnects,
+        replica_reconnects,
+        committed as f64 / wall,
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("cannot write chaos JSON to {path}: {e}"));
+            println!("chaos metrics written to {path}");
         }
         None => println!("{json}"),
     }

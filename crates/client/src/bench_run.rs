@@ -372,6 +372,7 @@ fn record(
         Ok(TxnResult::BulkFailed(_)) => stats.bulk_failed += 1,
         Ok(TxnResult::Disconnected)
         | Ok(TxnResult::Pong)
+        | Ok(TxnResult::Health(_))
         | Err(ClientError::Io(_))
         | Err(ClientError::ConnectionClosed(_)) => stats.errors += 1,
     }

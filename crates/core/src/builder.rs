@@ -53,6 +53,12 @@ pub struct EngineBuilder {
     /// Epoch the hub must start under when this builder continues a promoted
     /// replica (`None` = mint a fresh epoch).
     epoch_seed: Option<u64>,
+    /// Installed fault-injection plane (`None` = no faults, zero cost).
+    faults: Option<gputx_faults::FaultInjector>,
+    /// Supervised-heal policy for a poisoned WAL writer.
+    heal_policy: gputx_faults::HealPolicy,
+    /// Health surface shared between the built engine and any server.
+    health: gputx_faults::Health,
 }
 
 impl EngineBuilder {
@@ -67,6 +73,9 @@ impl EngineBuilder {
             replication: None,
             analytics: None,
             epoch_seed: None,
+            faults: None,
+            heal_policy: gputx_faults::HealPolicy::default(),
+            health: gputx_faults::Health::new(),
         }
     }
 
@@ -153,6 +162,43 @@ impl EngineBuilder {
         self
     }
 
+    // -- robustness -----------------------------------------------------------
+
+    /// Install a deterministic fault-injection plan (see
+    /// [`FaultPlan`](gputx_faults::FaultPlan)): the built engine's WAL
+    /// writer consults the plan's seeded decision stream on every
+    /// append/fsync, and [`faults_injector`](EngineBuilder::faults_injector)
+    /// exposes the injector for wrapping wire and replication streams
+    /// (`gputx_server::chaos_wrap`). Engines built without this pay a single
+    /// `Option` branch at the injection sites.
+    pub fn faults(mut self, plan: gputx_faults::FaultPlan) -> Self {
+        self.faults = Some(gputx_faults::FaultInjector::new(plan));
+        self
+    }
+
+    /// The injector installed by [`faults`](EngineBuilder::faults)
+    /// (`None` without it). Cloneable; take one before building to derive
+    /// wire/follower fault streams or to drive the quiesce switch.
+    pub fn faults_injector(&self) -> Option<gputx_faults::FaultInjector> {
+        self.faults.clone()
+    }
+
+    /// Tune the supervised WAL heal path: how many automatic
+    /// checkpoint-into-fresh-epoch heals are attempted after a poisoned log
+    /// writer before the engine degrades, and whether a degraded engine
+    /// keeps accepting (unlogged) writes.
+    pub fn heal_policy(mut self, policy: gputx_faults::HealPolicy) -> Self {
+        self.heal_policy = policy;
+        self
+    }
+
+    /// The health surface the built engine updates at its group-commit
+    /// point. Clone it before building and hand it to
+    /// `Server::serve_health` to answer wire `Health` requests.
+    pub fn health(&self) -> gputx_faults::Health {
+        self.health.clone()
+    }
+
     // -- replication role ----------------------------------------------------
 
     /// Make the built engine a replication primary with default
@@ -227,6 +273,11 @@ impl EngineBuilder {
             self.config,
             self.replication,
             self.analytics,
+            crate::pipeline::RobustnessParts {
+                faults: self.faults,
+                heal_policy: self.heal_policy,
+                health: self.health,
+            },
         )
     }
 
@@ -240,6 +291,11 @@ impl EngineBuilder {
             self.pipeline,
             self.replication,
             self.analytics,
+            crate::pipeline::RobustnessParts {
+                faults: self.faults,
+                heal_policy: self.heal_policy,
+                health: self.health,
+            },
         )
     }
 

@@ -51,6 +51,12 @@ pub struct GpuTxEngine {
     /// published into the session's snapshot store, last in the consumer
     /// chain (after WAL append and replication).
     analytics: Option<gputx_analytics::AnalyticsSession>,
+    /// Supervised-heal policy for a poisoned WAL writer.
+    heal_policy: gputx_faults::HealPolicy,
+    /// Automatic heals still allowed before degrading.
+    heals_left: u32,
+    /// Shared health surface updated at the group-commit point.
+    health: gputx_faults::Health,
 }
 
 impl GpuTxEngine {
@@ -65,11 +71,19 @@ impl GpuTxEngine {
     /// dropped its durability guarantee would be worse than one that refuses
     /// to start.
     pub fn new(db: Database, registry: ProcedureRegistry, config: EngineConfig) -> Self {
-        Self::with_parts(db, registry, config, None, None)
+        Self::with_parts(
+            db,
+            registry,
+            config,
+            None,
+            None,
+            crate::pipeline::RobustnessParts::default(),
+        )
     }
 
     /// [`GpuTxEngine::new`] plus an optional replication hub and analytics
-    /// session whose mirrors were seeded from `db` — the
+    /// session whose mirrors were seeded from `db`, and the robustness
+    /// surface (fault plane, heal policy, health) — the
     /// `EngineBuilder::build` entry point.
     pub(crate) fn with_parts(
         db: Database,
@@ -77,11 +91,28 @@ impl GpuTxEngine {
         config: EngineConfig,
         replication: Option<gputx_replication::PrimaryHub>,
         analytics: Option<gputx_analytics::AnalyticsSession>,
+        robustness: crate::pipeline::RobustnessParts,
     ) -> Self {
         let mut gpu = Gpu::new(config.device.clone());
         let load_time = db.load_to_device(&mut gpu);
-        let durability = Durability::from_config(&config.durability, &db)
+        let mut durability = Durability::from_config(&config.durability, &db)
             .unwrap_or_else(|e| panic!("cannot initialize durability: {e}"));
+        let crate::pipeline::RobustnessParts {
+            faults,
+            heal_policy,
+            health,
+        } = robustness;
+        if let Some(injector) = faults.as_ref() {
+            if let Some(d) = durability.as_mut() {
+                d.set_faults(injector);
+            }
+            health.attach_injector(injector.clone());
+        }
+        health.set_wal(if durability.is_some() {
+            gputx_faults::WalState::Healthy
+        } else {
+            gputx_faults::WalState::Disabled
+        });
         // Keep WAL and stream numbering in lockstep: a fresh WAL starts at
         // LSN 0, so a hub that already shipped records restarts its stream
         // (new epoch, followers resync).
@@ -102,7 +133,16 @@ impl GpuTxEngine {
             durability,
             replication,
             analytics,
+            heals_left: heal_policy.heal_budget,
+            heal_policy,
+            health,
         }
+    }
+
+    /// The engine's shared health surface (WAL state including automatic
+    /// heals and degradation, replication progress, fault-plane activity).
+    pub fn health(&self) -> gputx_faults::Health {
+        self.health.clone()
     }
 
     /// Submit a transaction (`Execute procedure_name(parameters)`); returns
@@ -176,9 +216,30 @@ impl GpuTxEngine {
                 write_set: capture.finish(&mut self.db),
             };
             if let Some(durability) = self.durability.as_mut() {
-                durability
-                    .append_record(&record)
-                    .unwrap_or_else(|e| panic!("durability log append failed: {e}"));
+                if durability.append_record(&record).is_err() {
+                    // Supervised heal, mirroring the pipelined runner: the
+                    // bulk's effects are already in `db`, so a fresh
+                    // checkpoint absorbs the record that never landed.
+                    let mut healed = false;
+                    while self.heals_left > 0 {
+                        self.heals_left -= 1;
+                        if durability.heal(&self.db, 1).is_ok() {
+                            self.health.record_heal();
+                            healed = true;
+                            break;
+                        }
+                    }
+                    if !healed {
+                        self.health.set_wal(gputx_faults::WalState::Degraded);
+                        assert!(
+                            self.heal_policy.writes_when_degraded,
+                            "durability log append failed and the heal budget \
+                             is exhausted (writes_when_degraded = false)"
+                        );
+                        // Log superseded; serve on, unlogged.
+                        self.durability = None;
+                    }
+                }
             }
             if let Some(hub) = self.replication.as_ref() {
                 hub.publish(&record);
@@ -309,6 +370,11 @@ impl GpuTxEngine {
             pipeline,
             replication,
             analytics,
+            crate::pipeline::RobustnessParts {
+                faults: None,
+                heal_policy: self.heal_policy,
+                health: self.health,
+            },
         );
         for sig in pending {
             // The engine just started, so submissions cannot fail; tickets

@@ -182,6 +182,23 @@ pub struct GpuTxRunner {
     /// the expensive copy-on-write rebuild is paid by scanners at snapshot
     /// cut time, never here.
     analytics: Option<gputx_analytics::AnalyticsSession>,
+    /// Supervised-heal policy for a poisoned WAL writer (see
+    /// [`GpuTxRunner::heal_or_degrade`]).
+    heal_policy: gputx_faults::HealPolicy,
+    /// Automatic heals still allowed before degrading.
+    heals_left: u32,
+    /// Shared health surface updated at the group-commit point.
+    health: gputx_faults::Health,
+}
+
+/// Robustness knobs threaded from `EngineBuilder` into the engines: the
+/// installed fault plane (if any), the WAL heal policy and the shared
+/// health surface.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RobustnessParts {
+    pub(crate) faults: Option<gputx_faults::FaultInjector>,
+    pub(crate) heal_policy: gputx_faults::HealPolicy,
+    pub(crate) health: gputx_faults::Health,
 }
 
 impl GpuTxRunner {
@@ -251,6 +268,46 @@ impl GpuTxRunner {
         }
         Ok(())
     }
+
+    /// Supervised recovery from a failed redo-record append. The failing
+    /// bulk's effects are already applied to the live database, so a fresh
+    /// checkpoint absorbs them: [`Durability::heal`] snapshots the full
+    /// state under a fresh log epoch and advances the LSN past the record
+    /// that never landed — after which this bulk is durable (via the
+    /// snapshot) and the writer is clean again. Each heal consumes one unit
+    /// of the bounded [`HealPolicy::heal_budget`](gputx_faults::HealPolicy);
+    /// once it is spent (or healing itself keeps failing) the engine
+    /// degrades visibly instead of panicking: reads are always served, and
+    /// writes either continue unlogged
+    /// ([`writes_when_degraded`](gputx_faults::HealPolicy) — durability is
+    /// dropped, the health surface reports `Degraded`) or keep failing with
+    /// the poisoned writer's error so no caller is ever told "durable" for
+    /// work the log cannot reproduce.
+    fn heal_or_degrade(&mut self, cause: &std::io::Error) -> Result<(), ExecError> {
+        let durability = self
+            .durability
+            .as_mut()
+            .expect("heal_or_degrade is only reached with durability configured");
+        while self.heals_left > 0 {
+            self.heals_left -= 1;
+            if durability.heal(&self.db, 1).is_ok() {
+                self.health.record_heal();
+                return Ok(());
+            }
+        }
+        self.health.set_wal(gputx_faults::WalState::Degraded);
+        if self.heal_policy.writes_when_degraded {
+            // The log is superseded; drop it and serve on, unlogged. The
+            // hub/analytics keep numbering from their own counters, which
+            // never saw the failed record either.
+            self.durability = None;
+            Ok(())
+        } else {
+            Err(ExecError::LogAppendFailed {
+                message: format!("durability degraded (heal budget exhausted): {cause}"),
+            })
+        }
+    }
 }
 
 impl BulkRunner for GpuTxRunner {
@@ -310,14 +367,18 @@ impl BulkRunner for GpuTxRunner {
                 write_set: capture.finish(&mut self.db),
             };
             if let Some(durability) = self.durability.as_mut() {
-                durability
-                    .append_record(&record)
-                    .map_err(|e| ExecError::LogAppendFailed {
-                        message: e.to_string(),
-                    })?;
+                if let Err(e) = durability.append_record(&record) {
+                    self.heal_or_degrade(&e)?;
+                }
             }
             if let Some(hub) = self.replication.as_ref() {
                 hub.publish(&record);
+                let acks = hub.follower_acks();
+                self.health.set_replication(
+                    acks.len() as u64,
+                    hub.next_lsn(),
+                    acks.iter().copied().min().unwrap_or(0),
+                );
             }
             if let Some(session) = self.analytics.as_ref() {
                 session.publish(&record);
@@ -349,6 +410,7 @@ impl BulkRunner for GpuTxRunner {
 #[derive(Debug)]
 pub struct PipelinedGpuTx {
     engine: PipelinedEngine<GpuTxPlanner, GpuTxRunner>,
+    health: gputx_faults::Health,
 }
 
 impl PipelinedGpuTx {
@@ -362,11 +424,20 @@ impl PipelinedGpuTx {
         engine_config: EngineConfig,
         pipeline: PipelineConfig,
     ) -> Self {
-        Self::with_parts(db, registry, engine_config, pipeline, None, None)
+        Self::with_parts(
+            db,
+            registry,
+            engine_config,
+            pipeline,
+            None,
+            None,
+            RobustnessParts::default(),
+        )
     }
 
     /// [`PipelinedGpuTx::new`] plus an optional replication hub and
-    /// analytics session whose mirrors were seeded from `db` — the
+    /// analytics session whose mirrors were seeded from `db`, and the
+    /// robustness surface (fault plane, heal policy, health) — the
     /// `EngineBuilder::build_pipelined` entry point.
     pub(crate) fn with_parts(
         db: Database,
@@ -375,13 +446,30 @@ impl PipelinedGpuTx {
         pipeline: PipelineConfig,
         replication: Option<gputx_replication::PrimaryHub>,
         analytics: Option<gputx_analytics::AnalyticsSession>,
+        robustness: RobustnessParts,
     ) -> Self {
         let needs_snapshot = matches!(
             engine_config.strategy,
             StrategyChoice::ForceKset | StrategyChoice::Auto
         );
-        let durability = Durability::from_config(&engine_config.durability, &db)
+        let mut durability = Durability::from_config(&engine_config.durability, &db)
             .unwrap_or_else(|e| panic!("cannot initialize durability: {e}"));
+        let RobustnessParts {
+            faults,
+            heal_policy,
+            health,
+        } = robustness;
+        if let Some(injector) = faults.as_ref() {
+            if let Some(d) = durability.as_mut() {
+                d.set_faults(injector);
+            }
+            health.attach_injector(injector.clone());
+        }
+        health.set_wal(if durability.is_some() {
+            gputx_faults::WalState::Healthy
+        } else {
+            gputx_faults::WalState::Disabled
+        });
         // A freshly created WAL numbers records from 0; a hub that already
         // shipped records must restart its stream too (new epoch, followers
         // resync) so both consumers keep numbering the same records
@@ -404,6 +492,9 @@ impl PipelinedGpuTx {
             durability,
             replication,
             analytics,
+            heals_left: heal_policy.heal_budget,
+            heal_policy,
+            health: health.clone(),
         };
         let opts = PipelineOptions {
             max_bulk_size: pipeline.max_bulk_size,
@@ -412,7 +503,16 @@ impl PipelinedGpuTx {
         };
         PipelinedGpuTx {
             engine: PipelinedEngine::new(planner, runner, opts),
+            health,
         }
+    }
+
+    /// The engine's shared health surface: WAL state (including automatic
+    /// heals and degradation), replication progress and fault-plane
+    /// activity, updated at the group-commit point. Clone it into a server
+    /// (`Server::serve_health`) to answer wire `Health` requests.
+    pub fn health(&self) -> gputx_faults::Health {
+        self.health.clone()
     }
 
     /// Submit a transaction; blocks while the admission queue is full

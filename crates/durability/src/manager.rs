@@ -146,6 +146,7 @@ pub struct Durability {
     epoch: u64,
     next_lsn: u64,
     log_secs: f64,
+    faults: Option<std::sync::Arc<gputx_faults::WalFaults>>,
 }
 
 /// A fresh durability-epoch token. Epochs tie a checkpoint to the WAL
@@ -193,7 +194,17 @@ impl Durability {
             epoch,
             next_lsn: 0,
             log_secs: 0.0,
+            faults: None,
         })
+    }
+
+    /// Install the fault plane's WAL decision stream on this manager. The
+    /// current writer and every fresh writer opened by later checkpoints
+    /// share the same stream, so one seeded schedule spans heals.
+    pub fn set_faults(&mut self, injector: &gputx_faults::FaultInjector) {
+        let stream = std::sync::Arc::new(injector.wal("wal"));
+        self.wal.set_faults(Some(stream.clone()));
+        self.faults = Some(stream);
     }
 
     /// [`Durability::create`] from a [`DurabilityConfig`]; `Ok(None)` when
@@ -258,9 +269,30 @@ impl Durability {
         let wal_path = self.dir.join(WAL_FILE);
         write_checkpoint(self.dir.join(CHECKPOINT_FILE), db, self.next_lsn, epoch)?;
         self.wal = WalWriter::create(&wal_path, self.fsync, epoch)?;
+        self.wal.set_faults(self.faults.clone());
         checkpoint::fsync_dir(&wal_path)?;
         self.epoch = epoch;
         Ok(())
+    }
+
+    /// Supervised heal after a poisoned log writer: `records_absorbed`
+    /// logically-committed records whose appends never landed (their effects
+    /// are already in `db`) are absorbed into a fresh checkpoint by
+    /// advancing the LSN past them — so downstream consumers of the same
+    /// record stream (replication, analytics) stay in step — and a fresh
+    /// log epoch is opened. On success the manager accepts appends again.
+    pub fn heal(&mut self, db: &Database, records_absorbed: u64) -> io::Result<()> {
+        let saved = self.next_lsn;
+        self.next_lsn += records_absorbed;
+        // On failure, roll the LSN back so the log sequence stays in step
+        // with replication/analytics consumers that never saw the record.
+        match self.checkpoint(db) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.next_lsn = saved;
+                Err(e)
+            }
+        }
     }
 
     /// Force every appended record to stable storage regardless of policy.

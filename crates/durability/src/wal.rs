@@ -119,6 +119,7 @@ pub struct WalWriter {
     bytes: u64,
     syncs: u64,
     poisoned: bool,
+    faults: Option<std::sync::Arc<gputx_faults::WalFaults>>,
 }
 
 impl WalWriter {
@@ -146,7 +147,17 @@ impl WalWriter {
             bytes: (WAL_MAGIC.len() + 8) as u64,
             syncs: 0,
             poisoned: false,
+            faults: None,
         })
+    }
+
+    /// Install a deterministic fault-decision stream. Each append/sync first
+    /// consults the stream; an injected fault behaves exactly like the real
+    /// I/O error it models (including poisoning the writer). The stream is
+    /// shared via `Arc` so a fresh post-checkpoint writer continues it
+    /// rather than replaying it from the start.
+    pub fn set_faults(&mut self, faults: Option<std::sync::Arc<gputx_faults::WalFaults>>) {
+        self.faults = faults;
     }
 
     fn poisoned_error() -> io::Error {
@@ -183,6 +194,22 @@ impl WalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&gputx_storage::wire::crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        match self.faults.as_ref().and_then(|f| f.on_append()) {
+            Some(gputx_faults::WalFault::AppendError) => {
+                self.poison();
+                return Err(io::Error::other("injected WAL append error"));
+            }
+            Some(gputx_faults::WalFault::ShortWrite) => {
+                // Model a torn write: a prefix of the frame reaches the file,
+                // then the append fails. `poison` truncates back to the last
+                // intact frame, same as a real short write would be handled.
+                let torn = frame.len() / 2;
+                let _ = self.file.write_all(&frame[..torn]);
+                self.poison();
+                return Err(io::Error::other("injected WAL short write"));
+            }
+            _ => {}
+        }
         if let Err(e) = self.file.write_all(&frame) {
             self.poison();
             return Err(e);
@@ -211,6 +238,10 @@ impl WalWriter {
             return Err(Self::poisoned_error());
         }
         if self.unsynced > 0 {
+            if self.faults.as_ref().and_then(|f| f.on_sync()).is_some() {
+                self.poison();
+                return Err(io::Error::other("injected WAL fsync error"));
+            }
             if let Err(e) = self.file.sync_all() {
                 self.poison();
                 return Err(e);

@@ -41,9 +41,11 @@
 
 mod primary;
 mod replica;
+mod supervisor;
 
 pub use primary::{PrimaryHub, PrimaryStats, ReplicationOptions};
 pub use replica::{Promotion, Replica, ReplicaSeed, ReplicaStats};
+pub use supervisor::{ReplicaSupervisor, SupervisorConfig, SupervisorStats};
 
 /// Wall clock as nanoseconds since the Unix epoch (`0` if the clock is
 /// before it). Stamped on every shipped record by the primary; the replica's

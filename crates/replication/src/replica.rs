@@ -276,6 +276,15 @@ impl Replica {
         }
     }
 
+    /// Shut the transport down without joining the reader: unblocks the
+    /// session from another thread holding only a shared reference (the
+    /// supervisor's stop path). The reader notices the close, finishes
+    /// applying what it already received, and marks the session
+    /// disconnected; [`stop`](Replica::stop) or `Drop` still joins it.
+    pub fn disconnect(&self) {
+        let _ = self.stream.shutdown_both();
+    }
+
     /// Close the session and join the reader thread. Idempotent; the state
     /// (and [`Promotion`] via [`promote`](Replica::promote)) stays available.
     pub fn stop(&mut self) {

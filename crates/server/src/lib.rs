@@ -59,6 +59,15 @@ pub trait Duplex: Read + Write + Send + 'static {
     /// Shut down both directions of the socket itself (not just this handle),
     /// so the peer observes EOF even while other clones are alive.
     fn shutdown_both(&self) -> io::Result<()>;
+    /// Bound how long a blocked `read` may wait before failing with
+    /// `WouldBlock`/`TimedOut`, letting a reader thread poll a shutdown flag
+    /// instead of hanging forever on a peer that vanished without a FIN.
+    /// The default is a no-op for transports without timeout support —
+    /// callers must treat a timeout as *optional* and keep the shutdown
+    /// path (`shutdown_both`) as the guaranteed unblocker.
+    fn set_read_timeout(&self, _timeout: Option<std::time::Duration>) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 impl Duplex for TcpStream {
@@ -67,6 +76,9 @@ impl Duplex for TcpStream {
     }
     fn shutdown_both(&self) -> io::Result<()> {
         self.shutdown(std::net::Shutdown::Both)
+    }
+    fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
     }
 }
 
@@ -77,6 +89,9 @@ impl Duplex for UnixStream {
     fn shutdown_both(&self) -> io::Result<()> {
         self.shutdown(std::net::Shutdown::Both)
     }
+    fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
 }
 
 impl Duplex for Box<dyn Duplex> {
@@ -85,6 +100,85 @@ impl Duplex for Box<dyn Duplex> {
     }
     fn shutdown_both(&self) -> io::Result<()> {
         (**self).shutdown_both()
+    }
+    fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        (**self).set_read_timeout(timeout)
+    }
+}
+
+/// A [`Duplex`] that consults a deterministic
+/// [`WireFaults`](gputx_faults::WireFaults) decision stream on every read
+/// and write: writes may be silently dropped, corrupted (one byte flipped)
+/// or delayed, reads delayed; either direction may tear the connection down
+/// with a reset. Built by [`chaos_wrap`]; wraps any transport, so the same
+/// chaos plane serves the client wire and replication follower streams.
+pub struct ChaosDuplex {
+    inner: Box<dyn Duplex>,
+    faults: Arc<gputx_faults::WireFaults>,
+}
+
+/// Wrap `stream` so its I/O consults the given fault-decision stream.
+/// Clones (reader/writer halves) share the stream's per-direction counters.
+pub fn chaos_wrap<S: Duplex>(stream: S, faults: gputx_faults::WireFaults) -> ChaosDuplex {
+    ChaosDuplex {
+        inner: Box::new(stream),
+        faults: Arc::new(faults),
+    }
+}
+
+impl ChaosDuplex {
+    fn reset(&self) -> io::Error {
+        let _ = self.inner.shutdown_both();
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected connection reset")
+    }
+}
+
+impl Read for ChaosDuplex {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.faults.on_read() {
+            Some(gputx_faults::WireFault::Delay(d)) => std::thread::sleep(d),
+            Some(gputx_faults::WireFault::Reset) => return Err(self.reset()),
+            _ => {}
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl Write for ChaosDuplex {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.faults.on_write() {
+            // Report success without writing: with one-write-per-frame
+            // callers (`write_frame`) this drops the frame cleanly.
+            Some(gputx_faults::WireFault::Drop) => return Ok(buf.len()),
+            Some(gputx_faults::WireFault::Corrupt) if !buf.is_empty() => {
+                let mut garbled = buf.to_vec();
+                let mid = garbled.len() / 2;
+                garbled[mid] ^= 0xA5;
+                return self.inner.write(&garbled);
+            }
+            Some(gputx_faults::WireFault::Delay(d)) => std::thread::sleep(d),
+            Some(gputx_faults::WireFault::Reset) => return Err(self.reset()),
+            _ => {}
+        }
+        self.inner.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Duplex for ChaosDuplex {
+    fn try_clone_box(&self) -> io::Result<Box<dyn Duplex>> {
+        Ok(Box::new(ChaosDuplex {
+            inner: self.inner.try_clone_box()?,
+            faults: Arc::clone(&self.faults),
+        }))
+    }
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.inner.shutdown_both()
+    }
+    fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
     }
 }
 
@@ -107,6 +201,12 @@ pub struct ServerStats {
     pub responses: u64,
     /// Malformed frames / dirty disconnects (each also closes a connection).
     pub protocol_errors: u64,
+    /// Connections refused at the [`ServerConfig::max_connections`] cap
+    /// (each was answered with a typed `Error` frame before closing).
+    pub refused: u64,
+    /// Connections closed by the idle reaper
+    /// ([`ServerConfig::idle_timeout`]).
+    pub idle_reaped: u64,
 }
 
 #[derive(Debug, Default)]
@@ -115,6 +215,21 @@ struct StatCounters {
     requests: AtomicU64,
     responses: AtomicU64,
     protocol_errors: AtomicU64,
+    refused: AtomicU64,
+    idle_reaped: AtomicU64,
+}
+
+/// Hardening knobs for a [`Server`]. The default is fully open: no
+/// connection cap, no idle reaping — the PR 6 behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Most connections served concurrently; an excess accept is answered
+    /// with a typed [`proto::Response::Error`] frame and closed (counted in
+    /// [`ServerStats::refused`]). `None` = unlimited.
+    pub max_connections: Option<usize>,
+    /// Close connections that have not produced a complete request for this
+    /// long (counted in [`ServerStats::idle_reaped`]). `None` = never.
+    pub idle_timeout: Option<std::time::Duration>,
 }
 
 /// What the reader hands the responder, in request order.
@@ -129,6 +244,9 @@ struct Connection {
     stream: Box<dyn Duplex>,
     reader: Option<JoinHandle<()>>,
     responder: Option<JoinHandle<()>>,
+    /// Milliseconds since the server's start instant at the last complete
+    /// request (or attach), for the idle reaper.
+    last_activity_ms: Arc<AtomicU64>,
 }
 
 struct Shared {
@@ -137,6 +255,18 @@ struct Shared {
     stopping: AtomicBool,
     stats: StatCounters,
     conns: Mutex<Vec<Connection>>,
+    config: ServerConfig,
+    /// Health surface served to wire `Health` requests (None until
+    /// [`Server::serve_health`]).
+    health: Mutex<Option<gputx_faults::Health>>,
+    /// Reaper clock origin.
+    started: std::time::Instant,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
 }
 
 /// The front door: owns the accept loop(s) and per-connection threads, and
@@ -161,21 +291,50 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     acceptors: Mutex<Vec<(SocketAddr, JoinHandle<()>)>>,
+    reaper: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Server {
-    /// Create a server forwarding into the pipeline behind `handle`.
+    /// Create a server forwarding into the pipeline behind `handle`, with
+    /// default (fully open) [`ServerConfig`].
     pub fn new(handle: SubmitHandle) -> Server {
+        Self::with_config(handle, ServerConfig::default())
+    }
+
+    /// [`Server::new`] with hardening knobs: a connection cap and/or an
+    /// idle-connection reaper.
+    pub fn with_config(handle: SubmitHandle, config: ServerConfig) -> Server {
+        let idle_timeout = config.idle_timeout;
+        let shared = Arc::new(Shared {
+            handle,
+            max_frame_len: MAX_FRAME_LEN,
+            stopping: AtomicBool::new(false),
+            stats: StatCounters::default(),
+            conns: Mutex::new(Vec::new()),
+            config,
+            health: Mutex::new(None),
+            started: std::time::Instant::now(),
+        });
+        let reaper = idle_timeout.map(|timeout| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gputx-idle-reaper".into())
+                .spawn(move || reaper_loop(&shared, timeout))
+                .expect("spawn reaper thread")
+        });
         Server {
-            shared: Arc::new(Shared {
-                handle,
-                max_frame_len: MAX_FRAME_LEN,
-                stopping: AtomicBool::new(false),
-                stats: StatCounters::default(),
-                conns: Mutex::new(Vec::new()),
-            }),
+            shared,
             acceptors: Mutex::new(Vec::new()),
+            reaper: Mutex::new(reaper),
         }
+    }
+
+    /// Serve `health` to wire [`proto::Request::Health`] requests (take it
+    /// from `EngineBuilder::health` / `PipelinedGpuTx::health`). Without
+    /// this, Health requests answer with an
+    /// [`unwired`](gputx_faults::HealthReport::unwired) report.
+    pub fn serve_health(&self, health: gputx_faults::Health) {
+        *self.shared.health.lock().expect("health lock poisoned") = Some(health);
     }
 
     /// Bind a TCP listener and start accepting connections on a background
@@ -223,6 +382,8 @@ impl Server {
             requests: self.shared.stats.requests.load(Ordering::Relaxed),
             responses: self.shared.stats.responses.load(Ordering::Relaxed),
             protocol_errors: self.shared.stats.protocol_errors.load(Ordering::Relaxed),
+            refused: self.shared.stats.refused.load(Ordering::Relaxed),
+            idle_reaped: self.shared.stats.idle_reaped.load(Ordering::Relaxed),
         }
     }
 
@@ -239,6 +400,9 @@ impl Server {
             let _ = handle.join();
         }
         drop(acceptors);
+        if let Some(reaper) = self.reaper.lock().expect("reaper lock poisoned").take() {
+            let _ = reaper.join();
+        }
         // Force readers to EOF, then join both per-connection threads. The
         // responders finish on their own: every queued ticket resolves
         // (engine alive → outcome, engine gone → Disconnected).
@@ -281,16 +445,36 @@ fn attach_to<S: Duplex>(shared: &Arc<Shared>, stream: S) -> io::Result<()> {
             "server is stopping",
         ));
     }
+    // Connection cap: answer the excess accept with a typed Error frame so
+    // the peer learns *why* instead of seeing a bare hangup, then close.
+    if let Some(cap) = shared.config.max_connections {
+        if conns.iter().filter(|c| conn_live(c)).count() >= cap {
+            shared.stats.refused.fetch_add(1, Ordering::Relaxed);
+            let payload = proto::encode_response(&Response::Error {
+                request_id: 0,
+                message: format!("server at connection capacity ({cap})"),
+            });
+            let mut write_half = stream.try_clone_box()?;
+            let _ = write_frame(&mut write_half, &payload);
+            let _ = stream.shutdown_both();
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "server at connection capacity",
+            ));
+        }
+    }
     shared.stats.connections.fetch_add(1, Ordering::Relaxed);
     // Bounded queue: a peer that stops reading responses eventually
     // backpressures its own reader thread instead of buffering unboundedly.
     let (tx, rx) = sync_channel::<Outgoing>(1024);
     let conn_id = shared.stats.connections.load(Ordering::Relaxed);
+    let last_activity_ms = Arc::new(AtomicU64::new(shared.now_ms()));
     let reader = {
         let shared = Arc::clone(shared);
+        let activity = Arc::clone(&last_activity_ms);
         std::thread::Builder::new()
             .name(format!("gputx-conn-{conn_id}-reader"))
-            .spawn(move || reader_loop(&shared, read_half, &tx))
+            .spawn(move || reader_loop(&shared, read_half, &tx, &activity))
             .map_err(io::Error::other)?
     };
     let responder = {
@@ -304,14 +488,74 @@ fn attach_to<S: Duplex>(shared: &Arc<Shared>, stream: S) -> io::Result<()> {
         stream: Box::new(stream),
         reader: Some(reader),
         responder: Some(responder),
+        last_activity_ms,
     });
     Ok(())
+}
+
+/// True while either per-connection thread is still running.
+fn conn_live(conn: &Connection) -> bool {
+    let reader_done = conn.reader.as_ref().map_or(true, |h| h.is_finished());
+    let responder_done = conn.responder.as_ref().map_or(true, |h| h.is_finished());
+    !(reader_done && responder_done)
+}
+
+/// Periodically close connections idle past `timeout` and prune finished
+/// ones from the registry (so a capped server frees slots without waiting
+/// for `stop`). Joining finished threads here is cheap; the shutdown of an
+/// idle socket unblocks its reader, which drops the queue, which lets the
+/// responder drain and exit.
+fn reaper_loop(shared: &Shared, timeout: std::time::Duration) {
+    let timeout_ms = timeout.as_millis().max(1) as u64;
+    let tick = (timeout / 4).clamp(
+        std::time::Duration::from_millis(5),
+        std::time::Duration::from_millis(250),
+    );
+    while !shared.stopping.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        let now = shared.now_ms();
+        let mut conns = shared.conns.lock().expect("connection list poisoned");
+        if shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        let mut kept = Vec::with_capacity(conns.len());
+        for mut conn in conns.drain(..) {
+            if !conn_live(&conn) {
+                // Already closed on its own: reclaim the slot quietly.
+                if let Some(h) = conn.reader.take() {
+                    let _ = h.join();
+                }
+                if let Some(h) = conn.responder.take() {
+                    let _ = h.join();
+                }
+                continue;
+            }
+            if now.saturating_sub(conn.last_activity_ms.load(Ordering::Relaxed)) > timeout_ms {
+                shared.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                let _ = conn.stream.shutdown_both();
+                if let Some(h) = conn.reader.take() {
+                    let _ = h.join();
+                }
+                if let Some(h) = conn.responder.take() {
+                    let _ = h.join();
+                }
+                continue;
+            }
+            kept.push(conn);
+        }
+        *conns = kept;
+    }
 }
 
 /// Parse frames and feed the pipeline until EOF, a malformed frame, or a
 /// transport error. Dropping `tx` at the end is what lets the responder
 /// finish draining and close the connection.
-fn reader_loop(shared: &Shared, mut stream: Box<dyn Duplex>, tx: &SyncSender<Outgoing>) {
+fn reader_loop(
+    shared: &Shared,
+    mut stream: Box<dyn Duplex>,
+    tx: &SyncSender<Outgoing>,
+    activity: &AtomicU64,
+) {
     loop {
         let payload = match read_frame(&mut stream, shared.max_frame_len) {
             Ok(Some(p)) => p,
@@ -342,8 +586,19 @@ fn reader_loop(shared: &Shared, mut stream: Box<dyn Duplex>, tx: &SyncSender<Out
             }
         };
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        activity.store(shared.now_ms(), Ordering::Relaxed);
         let out = match request {
             Request::Ping { request_id } => Outgoing::Immediate(Response::Pong { request_id }),
+            Request::Health { request_id } => {
+                let report = shared
+                    .health
+                    .lock()
+                    .expect("health lock poisoned")
+                    .as_ref()
+                    .map(|h| h.report())
+                    .unwrap_or_else(gputx_faults::HealthReport::unwired);
+                Outgoing::Immediate(Response::Health { request_id, report })
+            }
             Request::Submit {
                 request_id,
                 txn_type,

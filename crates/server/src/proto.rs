@@ -95,13 +95,22 @@ pub enum Request {
         /// Client-assigned correlation id, echoed by the response.
         request_id: u64,
     },
+    /// Ask for the engine's [`HealthReport`](gputx_faults::HealthReport):
+    /// WAL state (including heals/degradation), replication progress, last
+    /// injected fault. Read-only and always safe to retry.
+    Health {
+        /// Client-assigned correlation id, echoed by the response.
+        request_id: u64,
+    },
 }
 
 impl Request {
     /// The client-assigned correlation id.
     pub fn request_id(&self) -> u64 {
         match self {
-            Request::Submit { request_id, .. } | Request::Ping { request_id } => *request_id,
+            Request::Submit { request_id, .. }
+            | Request::Ping { request_id }
+            | Request::Health { request_id } => *request_id,
         }
     }
 }
@@ -156,6 +165,14 @@ pub enum Response {
         /// Echo of the request's correlation id.
         request_id: u64,
     },
+    /// Answer to [`Request::Health`].
+    Health {
+        /// Echo of the request's correlation id.
+        request_id: u64,
+        /// The engine's health snapshot (a server with no health surface
+        /// wired answers [`HealthReport::unwired`](gputx_faults::HealthReport::unwired)).
+        report: gputx_faults::HealthReport,
+    },
 }
 
 impl Response {
@@ -168,7 +185,8 @@ impl Response {
             | Response::BulkFailed { request_id, .. }
             | Response::Disconnected { request_id }
             | Response::Error { request_id, .. }
-            | Response::Pong { request_id } => *request_id,
+            | Response::Pong { request_id }
+            | Response::Health { request_id, .. } => *request_id,
         }
     }
 }
@@ -198,6 +216,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::Ping { request_id } => payload_header(&mut w, 1, *request_id),
+        Request::Health { request_id } => payload_header(&mut w, 2, *request_id),
     }
     w.into_bytes()
 }
@@ -231,6 +250,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_str(message);
         }
         Response::Pong { request_id } => payload_header(&mut w, 6, *request_id),
+        Response::Health { request_id, report } => {
+            payload_header(&mut w, 7, *request_id);
+            w.put_u8(report.wal.as_u8());
+            w.put_u64(report.heals);
+            w.put_u64(report.repl_followers);
+            w.put_u64(report.repl_next_lsn);
+            w.put_u64(report.repl_min_acked);
+            w.put_u64(report.faults_injected);
+            w.put_str(report.last_fault.as_deref().unwrap_or(""));
+        }
     }
     w.into_bytes()
 }
@@ -277,6 +306,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             }
         }
         1 => Request::Ping { request_id },
+        2 => Request::Health { request_id },
         kind => return Err(WireError::Invalid(format!("unknown request kind {kind}"))),
     };
     r.expect_end()?;
@@ -307,6 +337,30 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             message: r.get_str()?,
         },
         6 => Response::Pong { request_id },
+        7 => {
+            let wal = gputx_faults::WalState::from_u8(r.get_u8()?);
+            let heals = r.get_u64()?;
+            let repl_followers = r.get_u64()?;
+            let repl_next_lsn = r.get_u64()?;
+            let repl_min_acked = r.get_u64()?;
+            let faults_injected = r.get_u64()?;
+            let last_fault = match r.get_str()? {
+                s if s.is_empty() => None,
+                s => Some(s),
+            };
+            Response::Health {
+                request_id,
+                report: gputx_faults::HealthReport {
+                    wal,
+                    heals,
+                    repl_followers,
+                    repl_next_lsn,
+                    repl_min_acked,
+                    faults_injected,
+                    last_fault,
+                },
+            }
+        }
         kind => return Err(WireError::Invalid(format!("unknown response kind {kind}"))),
     };
     r.expect_end()?;
@@ -570,6 +624,7 @@ mod tests {
             no_wait: true,
         });
         roundtrip_request(Request::Ping { request_id: 99 });
+        roundtrip_request(Request::Health { request_id: 100 });
     }
 
     #[test]
@@ -593,6 +648,22 @@ mod tests {
             message: "bad frame".into(),
         });
         roundtrip_response(Response::Pong { request_id: 6 });
+        roundtrip_response(Response::Health {
+            request_id: 7,
+            report: gputx_faults::HealthReport::unwired(),
+        });
+        roundtrip_response(Response::Health {
+            request_id: 8,
+            report: gputx_faults::HealthReport {
+                wal: gputx_faults::WalState::Healed,
+                heals: 3,
+                repl_followers: 2,
+                repl_next_lsn: 100,
+                repl_min_acked: 97,
+                faults_injected: 12,
+                last_fault: Some("wal/fsync-error#12".into()),
+            },
+        });
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 Usage: check_artifact.py <kind> <path>
        check_artifact.py --self-test
-       (kind: smoke | pipeline | hotpath | durability | net | replication | htap)
+       (kind: smoke | pipeline | hotpath | durability | net | replication |
+              htap | chaos)
 
 CI runs this against every figures artifact before uploading it, so a
 silently-empty or truncated figures run (missing keys, zero transactions, no
@@ -200,6 +201,27 @@ SCHEMAS = {
         # nothing; cut costs may round to 0 at clock resolution.
         "positive": ["tm1_txn_tps", "tm1_scans", "tpcb_txn_tps", "tpcb_scans"],
     },
+    # `figures -- chaos --json`
+    "chaos": {
+        "required": {
+            "schema": int,
+            "experiment": str,
+            "seeds": int,
+            "transactions": int,
+            "committed": int,
+            "ambiguous": int,
+            "faults_injected": int,
+            "wal_heals": int,
+            "client_reconnects": int,
+            "replica_reconnects": int,
+            "throughput_tps": NUMBER,
+            "convergence": bool,
+        },
+        # A chaos run that injected no faults or committed nothing exercised
+        # nothing; heal/reconnect counters may legitimately be 0 per seed but
+        # the fault storm itself must have fired.
+        "positive": ["seeds", "transactions", "committed", "faults_injected"],
+    },
 }
 
 
@@ -281,6 +303,18 @@ def check(kind: str, path: str) -> str:
                 )
         if data["consistent"] is not True:
             fail(f"{path}: 'consistent' must be true — a scan diverged from replay")
+    if kind == "chaos":
+        if data["convergence"] is not True:
+            fail(f"{path}: 'convergence' must be true — a storm run diverged")
+        # Engine commits and client-side ambiguous resolutions overlap (an
+        # ambiguous submit may have committed), so each is bounded by the
+        # submitted total but their sum is not.
+        for key in ("committed", "ambiguous"):
+            if data[key] > data["transactions"]:
+                fail(
+                    f"{path}: {key} ({data[key]}) exceeds transactions "
+                    f"({data['transactions']}) — duplicated resolutions"
+                )
     return f"ARTIFACT-SCHEMA-OK: {path} matches the '{kind}' schema"
 
 
@@ -303,6 +337,21 @@ _VALID_HTAP = {
     "tpcb_cut_p99_us": 130.0,
     "replica_scan_ms": 0.5,
     "consistent": True,
+}
+
+_VALID_CHAOS = {
+    "schema": 1,
+    "experiment": "chaos",
+    "seeds": 2,
+    "transactions": 2400,
+    "committed": 725,
+    "ambiguous": 2261,
+    "faults_injected": 120,
+    "wal_heals": 2,
+    "client_reconnects": 17,
+    "replica_reconnects": 2,
+    "throughput_tps": 1168.4,
+    "convergence": True,
 }
 
 _VALID_REPLICATION = {
@@ -328,6 +377,9 @@ def _self_test_cases():
     bool_for_int = dict(_VALID_REPLICATION, records_shed=True)
     string_flag = dict(_VALID_HTAP, consistent="true")
     zero_scans = dict(_VALID_HTAP, tpcb_scans=0)
+    diverged = dict(_VALID_CHAOS, convergence=False)
+    no_faults = dict(_VALID_CHAOS, faults_injected=0)
+    dup_commits = dict(_VALID_CHAOS, committed=2401)
     return [
         ("htap-valid", "htap", _VALID_HTAP, True),
         ("htap-inconsistent", "htap", inconsistent, False),
@@ -337,6 +389,10 @@ def _self_test_cases():
         ("htap-zero-scans", "htap", zero_scans, False),
         ("replication-valid", "replication", _VALID_REPLICATION, True),
         ("replication-bool-for-int", "replication", bool_for_int, False),
+        ("chaos-valid", "chaos", _VALID_CHAOS, True),
+        ("chaos-diverged", "chaos", diverged, False),
+        ("chaos-no-faults", "chaos", no_faults, False),
+        ("chaos-duplicated-commits", "chaos", dup_commits, False),
         ("unknown-kind", "nosuchschema", _VALID_HTAP, False),
         ("not-json", "htap", None, False),
     ]

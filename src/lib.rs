@@ -11,6 +11,7 @@ pub use gputx_core as core;
 pub use gputx_cpu as cpu;
 pub use gputx_durability as durability;
 pub use gputx_exec as exec;
+pub use gputx_faults as faults;
 pub use gputx_replication as replication;
 pub use gputx_server as server;
 pub use gputx_sim as sim;

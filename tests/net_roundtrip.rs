@@ -18,13 +18,13 @@
 //!   clean per-connection errors, never a panic and never a committed
 //!   partial request (proptest).
 
-use gputx_client::{bench_run, Client, TxnResult};
+use gputx_client::{bench_run, Client, ClientConfig, TxnResult};
 use gputx_core::config::StrategyChoice;
 use gputx_core::{EngineBuilder, PipelineConfig, PipelinedGpuTx};
 use gputx_server::proto::{
     self, encode_request, read_frame, write_frame, FrameError, Request, Response,
 };
-use gputx_server::{socket_pair, Server};
+use gputx_server::{socket_pair, Duplex, Server, ServerConfig};
 use gputx_storage::wire::crc32;
 use gputx_storage::{Database, Value};
 use gputx_txn::{TxnSignature, TxnTypeId};
@@ -462,6 +462,288 @@ fn bench_harness_socket_pair_run_is_lossless() {
     engine.finish().expect("clean finish");
     assert!(report.is_lossless(), "harness lost a resolution");
     assert!(report.committed() > 0, "harness must commit transactions");
+}
+
+/// A transport whose `shutdown_both` is a no-op: models peers/transports
+/// where close cannot unblock a reader stuck in `read`. The client's
+/// Drop-join guarantee must then come from the read timeout + closing flag.
+struct NoShutdown(std::os::unix::net::UnixStream);
+
+impl std::io::Read for NoShutdown {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+impl Write for NoShutdown {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl Duplex for NoShutdown {
+    fn try_clone_box(&self) -> std::io::Result<Box<dyn Duplex>> {
+        Ok(Box::new(NoShutdown(self.0.try_clone()?)))
+    }
+    fn shutdown_both(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.0.set_read_timeout(timeout)
+    }
+}
+
+/// Regression: dropping a client whose server died without a FIN (and whose
+/// transport cannot be shut down) must not hang. The reader polls the
+/// closing flag on read timeouts, so `close`/`Drop` always join.
+#[test]
+fn client_drop_joins_even_without_fin_or_shutdown() {
+    let (server_end, client_end) = socket_pair().expect("socketpair");
+    let config = ClientConfig {
+        read_timeout: Some(Duration::from_millis(50)),
+        ..ClientConfig::default()
+    };
+    let client = Client::from_duplex_with(NoShutdown(client_end), config).expect("client");
+    // The peer is silent and never closes; without the timeout the reader
+    // would block in `read` forever and the no-op shutdown could not
+    // unblock it.
+    let start = std::time::Instant::now();
+    drop(client);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "client drop must join the reader promptly"
+    );
+    drop(server_end);
+}
+
+/// A reconnect-enabled client survives its connection being reset out from
+/// under it: read-only pings retry onto a fresh connection, later submits
+/// flow there, and nothing is ever retransmitted (unmatched stays 0).
+#[test]
+fn reconnecting_client_survives_connection_reset() {
+    use std::sync::{Arc, Mutex};
+    let mut bundle = tm1();
+    let stream = bundle.generate(64);
+    let engine = engine_for(
+        &bundle,
+        PipelineConfig::default()
+            .with_max_bulk_size(8)
+            .with_max_wait_us(500),
+    );
+    let server = Arc::new(Server::new(engine.handle()));
+    // The connector stashes a handle to the latest client-side stream so the
+    // test can yank the wire.
+    let current: Arc<Mutex<Option<std::os::unix::net::UnixStream>>> = Arc::new(Mutex::new(None));
+    let client = Client::with_connector(
+        {
+            let server = Arc::clone(&server);
+            let current = Arc::clone(&current);
+            move || {
+                let (server_end, client_end) = socket_pair()?;
+                server.attach(server_end)?;
+                *current.lock().expect("stash lock") = Some(client_end.try_clone()?);
+                Ok(Box::new(client_end) as Box<dyn Duplex>)
+            }
+        },
+        ClientConfig {
+            connect_timeout: None,
+            read_timeout: Some(Duration::from_millis(25)),
+            reconnect: Some(gputx_faults::BackoffPolicy::default()),
+        },
+    )
+    .expect("initial connect");
+    assert_eq!(client.reconnects(), 0);
+
+    // Work flows on the first connection.
+    let (ty0, params0) = stream[0].clone();
+    let first = client.submit(ty0, params0).expect("pre-reset submit");
+    client.ping().expect("pre-reset barrier");
+    assert!(matches!(
+        first.wait().expect("pre-reset reply"),
+        TxnResult::Committed(_) | TxnResult::Aborted(_)
+    ));
+
+    // Yank the wire. The reset lands on a quiesced connection, so no
+    // in-flight submit is ambiguous here.
+    current
+        .lock()
+        .expect("stash lock")
+        .as_ref()
+        .expect("connected at least once")
+        .shutdown(std::net::Shutdown::Both)
+        .expect("reset");
+
+    // Read-only ping heals across the outage.
+    client.ping().expect("ping survives the reset");
+    assert!(client.reconnects() >= 1, "a reconnect must have happened");
+
+    // Submits commit on the fresh connection. Right after the reset a
+    // submit can race the reader noticing EOF and resolve `Disconnected`
+    // (ambiguous, never retransmitted) — later ones land.
+    let mut committed = false;
+    for (ty, params) in stream.iter().skip(1) {
+        match client
+            .submit(*ty, params.clone())
+            .expect("post-reset submit")
+            .wait()
+            .expect("post-reset reply")
+        {
+            TxnResult::Committed(_) => {
+                committed = true;
+                break;
+            }
+            TxnResult::Aborted(_) | TxnResult::Disconnected => continue,
+            other => panic!("unexpected post-reset resolution {other:?}"),
+        }
+    }
+    assert!(committed, "a submit must commit after the reconnect");
+    assert_eq!(client.unmatched_responses(), 0);
+    drop(client);
+    server.stop();
+    engine.finish().expect("clean finish");
+}
+
+/// The wire `Health` request: unwired servers answer the canonical unwired
+/// report; a server given the engine's health surface reports live WAL
+/// state.
+#[test]
+fn health_report_served_over_wire() {
+    let bundle = tm1();
+    let dir = std::env::temp_dir().join(format!("gputx-net-health-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let builder = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .with_strategy(StrategyChoice::ForceKset)
+        .with_durability(&dir)
+        .with_pipeline(deterministic_config());
+    let health = builder.health();
+    let engine = builder.build_pipelined();
+    let server = Server::new(engine.handle());
+
+    let (server_end, client_end) = socket_pair().expect("socketpair");
+    server.attach(server_end).expect("attach");
+    let client = Client::from_duplex(client_end).expect("client");
+
+    // Nothing served yet: the canonical unwired report.
+    let unwired = client.health().expect("health answered");
+    assert_eq!(unwired, gputx_faults::HealthReport::unwired());
+
+    server.serve_health(health);
+    let report = client.health().expect("health answered");
+    assert_eq!(report.wal, gputx_faults::WalState::Healthy);
+    assert_eq!(report.heals, 0);
+    assert_eq!(report.faults_injected, 0);
+
+    drop(client);
+    server.stop();
+    engine.finish().expect("clean finish");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The connection cap answers the excess accept with a typed Error frame
+/// (so the peer learns why) and frees capacity once a connection closes.
+#[test]
+fn connection_cap_refuses_excess_with_typed_error() {
+    let bundle = tm1();
+    let engine = engine_for(&bundle, deterministic_config());
+    let server = Server::with_config(
+        engine.handle(),
+        ServerConfig {
+            max_connections: Some(1),
+            idle_timeout: None,
+        },
+    );
+    let (s1, c1) = socket_pair().expect("socketpair");
+    server
+        .attach(s1)
+        .expect("first connection is under the cap");
+    let (s2, mut c2) = socket_pair().expect("socketpair");
+    let err = server
+        .attach(s2)
+        .expect_err("second connection is over the cap");
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    // The refused peer got a typed Error frame, then EOF.
+    let payload = read_frame(&mut c2, proto::MAX_FRAME_LEN)
+        .expect("refusal frame")
+        .expect("frame before close");
+    match proto::decode_response(&payload).expect("server speaks the protocol") {
+        Response::Error {
+            request_id: 0,
+            message,
+        } => assert!(
+            message.contains("capacity"),
+            "unexpected refusal: {message}"
+        ),
+        other => panic!("expected a connection-scoped Error, got {other:?}"),
+    }
+    assert!(matches!(
+        read_frame(&mut c2, proto::MAX_FRAME_LEN),
+        Ok(None)
+    ));
+    assert_eq!(server.stats().refused, 1);
+
+    // The under-cap connection still serves.
+    let mut client = Client::from_duplex(c1).expect("client");
+    client.ping().expect("under-cap connection serves");
+    client.close();
+    drop(client);
+
+    // Capacity frees once the server notices the close; re-attach succeeds
+    // within a bounded retry window.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let attached = loop {
+        let (s3, c3) = socket_pair().expect("socketpair");
+        match server.attach(s3) {
+            Ok(()) => break Some(c3),
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("capacity never freed: {e}"),
+        }
+    };
+    let client = Client::from_duplex(attached.expect("reattached")).expect("client");
+    client.ping().expect("freed capacity serves");
+    drop(client);
+    server.stop();
+    engine.finish().expect("clean finish");
+}
+
+/// The idle reaper closes connections that stop producing requests, and the
+/// server keeps serving fresh ones.
+#[test]
+fn idle_reaper_closes_stale_connections() {
+    let bundle = tm1();
+    let engine = engine_for(&bundle, deterministic_config());
+    let server = Server::with_config(
+        engine.handle(),
+        ServerConfig {
+            max_connections: None,
+            idle_timeout: Some(Duration::from_millis(50)),
+        },
+    );
+    let (server_end, client_end) = socket_pair().expect("socketpair");
+    server.attach(server_end).expect("attach");
+    let client = Client::from_duplex(client_end).expect("client");
+    client.ping().expect("live connection serves");
+
+    // Go idle; the reaper shuts the connection down.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.stats().idle_reaped == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().idle_reaped, 1, "idle connection reaped");
+    drop(client);
+
+    // A fresh connection still serves.
+    let (s2, c2) = socket_pair().expect("socketpair");
+    server.attach(s2).expect("attach after reap");
+    let client = Client::from_duplex(c2).expect("client");
+    client.ping().expect("fresh connection after reap");
+    drop(client);
+    server.stop();
+    engine.finish().expect("clean finish");
 }
 
 mod codec_fuzz {

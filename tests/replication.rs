@@ -19,7 +19,9 @@
 
 use gputx_core::EngineBuilder;
 use gputx_durability::BulkLogRecord;
-use gputx_replication::{Replica, ReplicaSeed, ReplicationOptions};
+use gputx_replication::{
+    Replica, ReplicaSeed, ReplicaSupervisor, ReplicationOptions, SupervisorConfig,
+};
 use gputx_server::proto::{encode_repl, read_frame, write_frame, ReplMsg, MAX_FRAME_LEN};
 use gputx_server::socket_pair;
 use gputx_storage::{Database, WireWriter};
@@ -333,6 +335,88 @@ fn follower_killed_mid_run_resyncs_and_converges() {
     assert!(
         replica.snapshot_db().expect("synced") == *engine.db(),
         "resynced follower must be bit-identical to the primary"
+    );
+    hub.stop();
+}
+
+/// The supervised version of kill/resync: the wire dies repeatedly under a
+/// [`ReplicaSupervisor`], which re-dials with backoff, resumes from
+/// everything already applied (epoch re-validated by the subscribe
+/// handshake), and converges to the primary — no manual seed plumbing.
+#[test]
+fn supervised_replica_reconnects_and_converges() {
+    use std::sync::{Arc, Mutex};
+    const PER_BULK: usize = 24;
+    let bundle = micro(128, 0xFEED);
+    let sigs = {
+        let mut b = micro(128, 0xFEED);
+        b.generate_signatures(8 * PER_BULK, 0)
+    };
+    let builder = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone()).replicate();
+    let hub = builder.hub().expect("hub");
+    let mut engine = builder.build();
+
+    // The connector stashes the latest follower-side stream so the test can
+    // yank the wire out from under the supervisor.
+    let current: Arc<Mutex<Option<UnixStream>>> = Arc::new(Mutex::new(None));
+    let mut sup = ReplicaSupervisor::start(
+        {
+            let hub = hub.clone();
+            let current = Arc::clone(&current);
+            move || {
+                let (server_end, follower_end) = socket_pair()?;
+                hub.attach(server_end)?;
+                *current.lock().expect("stash lock") = Some(follower_end.try_clone()?);
+                Ok(Box::new(follower_end) as Box<dyn gputx_server::Duplex>)
+            }
+        },
+        SupervisorConfig::default(),
+    )
+    .expect("supervisor starts");
+    assert!(sup.wait_synced(WAIT), "initial sync");
+
+    let run_bulks = |engine: &mut gputx_core::GpuTxEngine, range: std::ops::Range<usize>| {
+        for chunk in sigs[range.start * PER_BULK..range.end * PER_BULK].chunks(PER_BULK) {
+            for sig in chunk {
+                engine.submit(sig.ty, sig.params.clone());
+            }
+            engine.execute_pending().expect("bulk executes");
+        }
+    };
+    run_bulks(&mut engine, 0..3);
+    assert!(sup.wait_applied(3, WAIT), "live session applies");
+
+    // Two outages, each with commits while the wire is down: the supervisor
+    // must resync through each (log tail or snapshot, the primary's choice).
+    for (kill, watermark) in [(3usize, 6u64), (6, 8)] {
+        current
+            .lock()
+            .expect("stash lock")
+            .as_ref()
+            .expect("connected at least once")
+            .shutdown(Shutdown::Both)
+            .expect("yank the wire");
+        run_bulks(&mut engine, kill..watermark as usize);
+        assert!(
+            sup.wait_applied(watermark, WAIT),
+            "supervisor catches up to LSN {watermark} after the outage"
+        );
+    }
+    let stats = sup.stats();
+    assert!(
+        stats.reconnects >= 2,
+        "each outage forces a reconnect, got {stats:?}"
+    );
+    assert!(!stats.gave_up, "retry budget never exhausted: {stats:?}");
+    assert!(
+        sup.snapshot_db().expect("synced") == *engine.db(),
+        "supervised follower must be bit-identical to the primary"
+    );
+    sup.stop();
+    // State survives stop: the final seed is the converged database.
+    assert!(
+        sup.seed().db == *engine.db(),
+        "seed after stop is the converged state"
     );
     hub.stop();
 }
