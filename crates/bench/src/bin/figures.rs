@@ -37,7 +37,12 @@
 //! append/fsync faults, client-wire drop/corrupt/delay/reset, follower
 //! stall/kill) against the self-healing stack — reconnecting client,
 //! supervised replica, WAL heal — hard-asserting convergence before
-//! emitting the counters as a JSON artifact.
+//! emitting the counters as a JSON artifact. The extra `tpcc` experiment
+//! drives the weighted TPC-C standard mix through the network front door
+//! against an adaptive pipelined engine and reports tpm-C (NewOrder commits
+//! per minute), then drives the hot-key ledger through the adaptive
+//! one-shot engine and reports the per-strategy decision histogram, which
+//! must be non-degenerate (the phases force K-SET ↔ TPL switching).
 
 use gputx_bench::{
     adhoc_cpu_throughput, adhoc_gpu_throughput, cpu_workload_throughput, gpu_workload_throughput,
@@ -146,6 +151,9 @@ fn main() {
     }
     if wanted.contains(&"chaos") {
         chaos(json_path.as_deref());
+    }
+    if wanted.contains(&"tpcc") {
+        tpcc(json_path.as_deref());
     }
 }
 
@@ -334,6 +342,185 @@ fn net_soak() {
         "NET-SOAK: OK (lossless under {} connections)",
         report.connections
     );
+}
+
+/// TPC-C experiment: the weighted standard mix (45 % NewOrder, 43 % Payment,
+/// 4 % each OrderStatus/Delivery/StockLevel) driven by closed-loop clients
+/// over loopback TCP against an adaptive pipelined engine, summarized as
+/// tpm-C — the spec's metric, counting only NewOrder commits per minute —
+/// followed by the hot-key ledger driven through the adaptive one-shot
+/// engine with bulks aligned to its phases, whose per-strategy decision
+/// histogram must be non-degenerate (uniform phases pick K-SET, hot-chain
+/// phases pick TPL). CI bench-smoke runs this and schema-checks the JSON.
+fn tpcc(json_path: Option<&str>) {
+    use gputx_client::bench_run::{run_bench, BenchConfig, BenchMode};
+    use gputx_client::Client;
+    use gputx_core::EngineBuilder;
+    use gputx_server::Server;
+    use gputx_txn::TxnTypeId;
+    use gputx_workloads::LedgerConfig;
+
+    banner("TPC-C — standard mix over loopback TCP, adaptive engine (tpm-C)");
+    let warehouses = 2u64;
+    let connections = 2usize;
+    let mut bundle = TpccConfig::default().with_warehouses(warehouses).build();
+    let type_names: Vec<String> = (0..bundle.registry.num_types())
+        .map(|t| bundle.registry.get(t as TxnTypeId).name.clone())
+        .collect();
+    let streams: Vec<_> = (0..connections).map(|_| bundle.generate(4_096)).collect();
+    let engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+        .adaptive()
+        .with_max_bulk_size(256)
+        .with_max_wait_us(2_000)
+        .build_pipelined();
+    let server = Server::new(engine.handle());
+    let addr = server
+        .listen("127.0.0.1:0")
+        .expect("bind a loopback listener");
+    let report = run_bench(
+        &BenchConfig {
+            connections,
+            mode: BenchMode::Closed,
+            warmup: std::time::Duration::from_millis(200),
+            measure: std::time::Duration::from_millis(1_500),
+            max_in_flight: 32,
+        },
+        &type_names,
+        &streams,
+        &|_| Client::connect(addr),
+    )
+    .expect("connect to the loopback server");
+    server.stop();
+    let wire_decisions = engine
+        .decision_stats()
+        .expect("the adaptive pipelined engine records decisions");
+    engine
+        .finish()
+        .expect("pipeline stages must stay healthy under the TPC-C mix");
+
+    // Executed-mix table: commit/abort counts per type plus each type's
+    // share of the executed (committed + aborted) transactions.
+    let executed_total: u64 = report
+        .per_type
+        .iter()
+        .map(|t| t.committed + t.aborted)
+        .sum();
+    let share = |t: &gputx_client::bench_run::TypeStats| {
+        if executed_total == 0 {
+            0.0
+        } else {
+            (t.committed + t.aborted) as f64 * 100.0 / executed_total as f64
+        }
+    };
+    let mut table = TextTable::new(&["type", "committed", "aborted", "mix share (%)"]);
+    for t in &report.per_type {
+        table.row(vec![
+            t.name.clone(),
+            t.committed.to_string(),
+            t.aborted.to_string(),
+            format!("{:.1}", share(t)),
+        ]);
+    }
+    println!("{}", table.render());
+    let tpm_c = report.tpm_of("NEW_ORDER");
+    println!(
+        "TPCC-TPMC: {tpm_c:.0} tpm-C ({:.0} tpm all types, {:.0} tps) over {} connections, \
+         {} warehouses; adaptive made {} bulk decisions on the wire path",
+        report.tpm(),
+        report.throughput_tps(),
+        report.connections,
+        warehouses,
+        wire_decisions.total(),
+    );
+    assert!(
+        report.is_lossless(),
+        "every submitted request must resolve exactly once"
+    );
+    assert!(tpm_c > 0.0, "a TPC-C run must commit NewOrders");
+
+    // The ledger pass: deterministic phase-aligned bulks through the
+    // adaptive one-shot engine, so the decision histogram provably needs
+    // both K-SET (uniform phases) and TPL (hot-chain phases).
+    let mut ledger = LedgerConfig::default().build();
+    let mut ledger_engine = EngineBuilder::new(ledger.db.clone(), ledger.registry.clone())
+        .adaptive()
+        .with_bulk_size(256)
+        .build();
+    let ledger_n = 2_048usize;
+    for (ty, params) in ledger.generate(ledger_n) {
+        ledger_engine.submit(ty, params);
+    }
+    ledger_engine.run_until_empty();
+    let ledger_committed = ledger_engine.total_committed();
+    let stats = ledger_engine
+        .decision_stats()
+        .expect("the adaptive one-shot engine records decisions");
+    let strategies_used = stats.histogram().iter().filter(|(_, n)| *n > 0).count();
+    println!(
+        "TPCC-LEDGER: {} bulks — kset {}, part {}, tpl {}, {} switches \
+         ({} strategies used, {} of {} committed)",
+        stats.total(),
+        stats.kset,
+        stats.part,
+        stats.tpl,
+        stats.switches,
+        strategies_used,
+        ledger_committed,
+        ledger_n,
+    );
+    assert!(
+        stats.non_degenerate(),
+        "the ledger's phases must force at least two strategies: {stats:?}"
+    );
+
+    let per_type_json: Vec<String> = report
+        .per_type
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"committed\": {},\n      \
+                 \"aborted\": {},\n      \"share\": {:.3}\n    }}",
+                t.name,
+                t.committed,
+                t.aborted,
+                share(t),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"experiment\": \"tpcc\",\n  \"workload\": \"tpcc\",\n  \
+         \"warehouses\": {},\n  \"connections\": {},\n  \"elapsed_secs\": {:.3},\n  \
+         \"committed\": {},\n  \"throughput_tps\": {:.3},\n  \"tpm\": {:.3},\n  \
+         \"tpm_c\": {:.3},\n  \"wire_decisions\": {},\n  \"per_type\": [\n{}\n  ],\n  \
+         \"ledger\": {{\n    \"transactions\": {},\n    \"committed\": {},\n    \
+         \"bulks\": {},\n    \"decisions\": {{\n      \"kset\": {},\n      \"part\": {},\n      \
+         \"tpl\": {}\n    }},\n    \"switches\": {},\n    \"strategies_used\": {}\n  }}\n}}\n",
+        warehouses,
+        report.connections,
+        report.elapsed_secs,
+        report.committed(),
+        report.throughput_tps(),
+        report.tpm(),
+        tpm_c,
+        wire_decisions.total(),
+        per_type_json.join(",\n"),
+        ledger_n,
+        ledger_committed,
+        stats.total(),
+        stats.kset,
+        stats.part,
+        stats.tpl,
+        stats.switches,
+        strategies_used,
+    );
+    match json_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("cannot write tpcc JSON to {path}: {e}"));
+            println!("tpcc metrics written to {path}");
+        }
+        None => println!("{json}"),
+    }
 }
 
 /// Replication experiment for CI: a TM1-backed primary committing a fixed

@@ -94,6 +94,7 @@ pub fn gpu_workload_throughput(
             StrategyChoice::Auto => {
                 gputx_core::select::choose_by_rule(&profile, &config.thresholds)
             }
+            StrategyChoice::Adaptive => gputx_core::adaptive::cost_based_choice(config, &profile),
         };
         let mut ctx = ExecContext {
             gpu: &mut gpu,

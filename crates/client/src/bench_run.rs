@@ -166,6 +166,21 @@ impl BenchReport {
         self.throughput_tps() * 60.0
     }
 
+    /// Committed transactions per minute of one named type — the tpm-C
+    /// summary number when driven by the TPC-C mix (`tpm_of("NEW_ORDER")`):
+    /// the spec counts only NewOrder commits, with the other four types
+    /// weighted into the submitted stream. Returns 0 for an unknown name.
+    pub fn tpm_of(&self, name: &str) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.per_type
+            .iter()
+            .filter(|t| t.name == name)
+            .map(|t| t.committed as f64 * 60.0 / self.elapsed_secs)
+            .sum()
+    }
+
     /// True iff every submitted request resolved exactly once and no
     /// response went unmatched.
     pub fn is_lossless(&self) -> bool {
@@ -380,4 +395,59 @@ fn record(
 
 fn elapsed_us(sent_at: Instant, now: Instant) -> u64 {
     now.saturating_duration_since(sent_at).as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A report whose per-type stats come from an explicit outcome tally.
+    fn report_from(counts: &[(&str, u64, u64)], elapsed_secs: f64) -> BenchReport {
+        let per_type = counts
+            .iter()
+            .map(|(name, committed, aborted)| TypeStats {
+                committed: *committed,
+                aborted: *aborted,
+                ..TypeStats::new(name)
+            })
+            .collect();
+        BenchReport {
+            per_type,
+            elapsed_secs,
+            connections: 1,
+            submitted_total: 0,
+            resolved_total: 0,
+            unmatched_total: 0,
+        }
+    }
+
+    #[test]
+    fn tpm_c_agrees_with_hand_counted_new_order_commits() {
+        // Simulated measurement window: a TPC-C-shaped outcome stream where
+        // the hand count of NewOrder commits is 93 over half a minute.
+        let outcomes = [
+            ("NEW_ORDER", 93u64, 7u64),
+            ("PAYMENT", 88, 2),
+            ("ORDER_STATUS", 9, 0),
+            ("DELIVERY", 8, 1),
+            ("STOCK_LEVEL", 8, 0),
+        ];
+        let report = report_from(&outcomes, 30.0);
+        let hand_counted_new_order = 93.0;
+        assert!((report.tpm_of("NEW_ORDER") - hand_counted_new_order * 2.0).abs() < 1e-9);
+        // The all-types tpm keeps counting everything.
+        let all: u64 = outcomes.iter().map(|(_, c, _)| *c).sum();
+        assert!((report.tpm() - all as f64 * 2.0).abs() < 1e-9);
+        // Aborted NewOrders never count toward tpm-C.
+        assert!(report.tpm_of("NEW_ORDER") < (93 + 7) as f64 * 2.0);
+    }
+
+    #[test]
+    fn tpm_of_unknown_type_or_empty_window_is_zero() {
+        let report = report_from(&[("NEW_ORDER", 10, 0)], 60.0);
+        assert_eq!(report.tpm_of("NO_SUCH_TYPE"), 0.0);
+        let degenerate = report_from(&[("NEW_ORDER", 10, 0)], 0.0);
+        assert_eq!(degenerate.tpm_of("NEW_ORDER"), 0.0);
+        assert_eq!(degenerate.tpm(), 0.0);
+    }
 }

@@ -107,6 +107,46 @@ impl EngineBuilder {
         self
     }
 
+    /// Select execution strategies adaptively
+    /// ([`StrategyChoice::Adaptive`]): every formed bulk is profiled and
+    /// K-SET/PART/TPL are scored through the SIMT and CPU cost models; the
+    /// cheapest wins, with hysteresis against thrashing (see
+    /// [`crate::adaptive`]). In the pipelined engine the selector also feeds
+    /// bulk-size suggestions back into the admission stage. Decisions are
+    /// observable through `decision_stats()` on either engine flavor.
+    ///
+    /// # Examples
+    ///
+    /// A pipelined TPC-C run reporting the strategy decision histogram:
+    ///
+    /// ```
+    /// use gputx_core::EngineBuilder;
+    /// use gputx_workloads::TpccConfig;
+    ///
+    /// let mut bundle = TpccConfig {
+    ///     warehouses: 2,
+    ///     ..TpccConfig::default()
+    /// }
+    /// .build();
+    /// let engine = EngineBuilder::new(bundle.db.clone(), bundle.registry.clone())
+    ///     .adaptive()
+    ///     .with_max_bulk_size(256)
+    ///     .with_max_wait_us(10_000_000)
+    ///     .build_pipelined();
+    /// for (ty, params) in bundle.generate(512) {
+    ///     engine.submit(ty, params).unwrap();
+    /// }
+    /// engine.flush().unwrap();
+    /// let stats = engine.decision_stats().expect("adaptive engines record decisions");
+    /// assert!(stats.total() >= 2, "512 transactions at a 256 close threshold");
+    /// for (strategy, bulks) in stats.histogram() {
+    ///     println!("{strategy:?}: {bulks} bulks");
+    /// }
+    /// ```
+    pub fn adaptive(self) -> Self {
+        self.with_strategy(StrategyChoice::Adaptive)
+    }
+
     /// Maximum transactions per one-shot bulk.
     pub fn with_bulk_size(mut self, bulk_size: usize) -> Self {
         self.config.bulk_size = bulk_size;
@@ -363,6 +403,50 @@ mod tests {
         let reports = engine.run_until_empty();
         assert_eq!(reports.len(), 2);
         assert_eq!(engine.total_committed(), 16);
+    }
+
+    #[test]
+    fn adaptive_builder_records_decisions_on_both_flavors() {
+        let (db, reg) = setup(64);
+        let mut engine = EngineBuilder::new(db.clone(), reg.clone())
+            .adaptive()
+            .with_bulk_size(32)
+            .build();
+        for i in 0..64 {
+            engine.submit(0, vec![Value::Int(i % 64)]);
+        }
+        engine.run_until_empty();
+        assert_eq!(engine.total_committed(), 64);
+        let stats = engine.decision_stats().expect("adaptive one-shot engine");
+        assert_eq!(stats.total(), 2, "64 transactions in bulks of 32");
+        // Conflict-free touches: the selector must never have picked TPL.
+        assert_eq!(stats.tpl, 0);
+
+        let engine = EngineBuilder::new(db, reg)
+            .adaptive()
+            .with_max_bulk_size(32)
+            .with_max_wait_us(10_000_000)
+            .build_pipelined();
+        for i in 0..64 {
+            engine.submit(0, vec![Value::Int(i % 64)]).unwrap();
+        }
+        engine.flush().unwrap();
+        let stats = engine
+            .decision_stats()
+            .expect("adaptive pipelined engine, observable while running");
+        assert!(stats.total() >= 2);
+        assert_eq!(stats.tpl, 0);
+        let (_, pipe_stats) = engine.finish().unwrap();
+        assert_eq!(pipe_stats.committed, 64);
+    }
+
+    #[test]
+    fn non_adaptive_engines_report_no_decision_stats() {
+        let (db, reg) = setup(4);
+        let engine = EngineBuilder::new(db.clone(), reg.clone()).build();
+        assert!(engine.decision_stats().is_none());
+        let engine = EngineBuilder::new(db, reg).build_pipelined();
+        assert!(engine.decision_stats().is_none());
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub enum StrategyChoice {
     ForceKset,
     /// Use the rule-based selection of Appendix D, Algorithm 1.
     Auto,
+    /// Use the cost-model-driven adaptive selector (see
+    /// [`crate::adaptive`]): per-bulk profiling scored through the SIMT and
+    /// CPU cost models, with hysteresis and decision stats. Constructed
+    /// through `EngineBuilder::adaptive()`.
+    Adaptive,
 }
 
 /// Thresholds of the rule-based strategy selection (Appendix D, Algorithm 1).

@@ -7,8 +7,9 @@
 //! strategy and executes it on the (simulated) GPU. Results are collected in a
 //! result pool on the host.
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveSelector, DecisionStats};
 use crate::bulk::{Bulk, BulkReport};
-use crate::config::{EngineConfig, PipelineConfig};
+use crate::config::{EngineConfig, PipelineConfig, StrategyChoice};
 use crate::pipeline::PipelinedGpuTx;
 use crate::profiler::{profile_bulk, BulkProfile};
 use crate::select::choose_strategy;
@@ -57,6 +58,12 @@ pub struct GpuTxEngine {
     heals_left: u32,
     /// Shared health surface updated at the group-commit point.
     health: gputx_faults::Health,
+    /// Cost-model strategy selector, present under
+    /// `StrategyChoice::Adaptive`. The one-shot engine applies its strategy
+    /// decisions but keeps `config.bulk_size` bulk boundaries — sizing
+    /// feedback is a streaming-engine feature (see
+    /// [`PipelinedGpuTx::decision_stats`]).
+    selector: Option<AdaptiveSelector>,
 }
 
 impl GpuTxEngine {
@@ -121,6 +128,15 @@ impl GpuTxEngine {
                 hub.rotate_epoch();
             }
         }
+        let selector = matches!(config.strategy, StrategyChoice::Adaptive).then(|| {
+            AdaptiveSelector::new(
+                &config,
+                AdaptiveConfig {
+                    bulk_ceiling: config.bulk_size,
+                    ..AdaptiveConfig::default()
+                },
+            )
+        });
         GpuTxEngine {
             gpu,
             db,
@@ -136,6 +152,7 @@ impl GpuTxEngine {
             heals_left: heal_policy.heal_budget,
             heal_policy,
             health,
+            selector,
         }
     }
 
@@ -175,8 +192,19 @@ impl GpuTxEngine {
     /// Returns `None` when the pool is empty.
     pub fn execute_pending(&mut self) -> Option<BulkReport> {
         let profile = self.profile_next_bulk()?;
-        let strategy = choose_strategy(&self.config, &profile);
+        let strategy = match self.selector.as_mut() {
+            // Adaptive: cost-model scoring with hysteresis and decision
+            // stats; bulk boundaries stay at `config.bulk_size`.
+            Some(selector) => selector.decide(&profile).strategy,
+            None => choose_strategy(&self.config, &profile),
+        };
         self.execute_pending_with(strategy)
+    }
+
+    /// Snapshot of the adaptive selector's decision stats; `None` unless the
+    /// engine runs with `StrategyChoice::Adaptive`.
+    pub fn decision_stats(&self) -> Option<DecisionStats> {
+        self.selector.as_ref().map(|s| s.stats_handle().snapshot())
     }
 
     /// Generate and execute one bulk with an explicit strategy. With

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod adaptive;
 pub mod builder;
 pub mod bulk;
 pub mod config;
@@ -48,6 +49,7 @@ pub mod relaxed;
 pub mod select;
 pub mod strategy;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveSelector, Decision, DecisionStats, StrategyScores};
 pub use builder::EngineBuilder;
 pub use bulk::{Bulk, BulkReport};
 pub use config::{EngineConfig, PipelineConfig, StrategyChoice};

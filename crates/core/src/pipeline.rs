@@ -16,6 +16,7 @@
 //!   behind the paper's Figures 9 and 15 (periodic bulk cuts under a uniform
 //!   arrival process, simulated time only).
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveSelector, DecisionStats, DecisionStatsHandle};
 use crate::bulk::Bulk;
 use crate::config::{EngineConfig, PipelineConfig, StrategyChoice};
 use crate::profiler::profile_bulk;
@@ -23,8 +24,8 @@ use crate::select::choose_strategy;
 use crate::strategy::{execute_bulk, ExecContext, StrategyKind};
 use gputx_durability::{BulkLogRecord, Durability};
 use gputx_exec::{
-    run_txn_planned, BulkPlanner, BulkRunner, ExecError, ExecPolicy, Executor, PipelineError,
-    PipelineOptions, PipelineStats, PipelinedEngine, SubmitHandle, Ticket,
+    run_txn_planned, BulkPlanner, BulkRunner, BulkSizeKnob, ExecError, ExecPolicy, Executor,
+    PipelineError, PipelineOptions, PipelineStats, PipelinedEngine, SubmitHandle, Ticket,
 };
 use gputx_sim::{Gpu, SimDuration, Throughput};
 use gputx_storage::{Database, Value};
@@ -50,10 +51,17 @@ pub struct GpuTxPlanner {
     registry: ProcedureRegistry,
     /// Frozen copy of the database for read/write-set evaluation and
     /// profiling. Only populated when the configured strategy can ask for it
-    /// (K-SET or Auto) — ForcePart/ForceTpl plan from signatures alone, so
-    /// they skip the whole-database clone.
+    /// (K-SET, Auto or Adaptive) — ForcePart/ForceTpl plan from signatures
+    /// alone, so they skip the whole-database clone.
     snapshot: Option<Database>,
     config: EngineConfig,
+    /// The cost-model selector, present under `StrategyChoice::Adaptive`.
+    /// It lives here because this is the grouping stage: decisions happen
+    /// where bulks are formed into plans, overlapped with execution.
+    selector: Option<AdaptiveSelector>,
+    /// Feedback channel to the admission stage: each adaptive decision
+    /// publishes its bulk-size suggestion here.
+    size_knob: Option<BulkSizeKnob>,
 }
 
 impl GpuTxPlanner {
@@ -95,6 +103,18 @@ impl BulkPlanner for GpuTxPlanner {
             StrategyChoice::Auto => {
                 let profile = profile_bulk(&self.registry, self.snapshot(), bulk);
                 choose_strategy(&self.config, &profile)
+            }
+            StrategyChoice::Adaptive => {
+                let profile = profile_bulk(&self.registry, self.snapshot(), bulk);
+                let selector = self
+                    .selector
+                    .as_mut()
+                    .expect("Adaptive strategy always installs a selector");
+                let decision = selector.decide(&profile);
+                if let Some(knob) = self.size_knob.as_ref() {
+                    knob.set(decision.suggested_bulk_size);
+                }
+                decision.strategy
             }
         };
         let plan = match strategy {
@@ -411,6 +431,9 @@ impl BulkRunner for GpuTxRunner {
 pub struct PipelinedGpuTx {
     engine: PipelinedEngine<GpuTxPlanner, GpuTxRunner>,
     health: gputx_faults::Health,
+    /// Observer handle onto the adaptive selector's decision stats; present
+    /// only under `StrategyChoice::Adaptive`.
+    decisions: Option<DecisionStatsHandle>,
 }
 
 impl PipelinedGpuTx {
@@ -450,7 +473,7 @@ impl PipelinedGpuTx {
     ) -> Self {
         let needs_snapshot = matches!(
             engine_config.strategy,
-            StrategyChoice::ForceKset | StrategyChoice::Auto
+            StrategyChoice::ForceKset | StrategyChoice::Auto | StrategyChoice::Adaptive
         );
         let mut durability = Durability::from_config(&engine_config.durability, &db)
             .unwrap_or_else(|e| panic!("cannot initialize durability: {e}"));
@@ -479,10 +502,27 @@ impl PipelinedGpuTx {
                 hub.rotate_epoch();
             }
         }
+        // Under Adaptive the grouping stage holds the selector (decisions
+        // happen where bulks become plans) and feeds sizing suggestions back
+        // into admission through a shared knob.
+        let adaptive = matches!(engine_config.strategy, StrategyChoice::Adaptive);
+        let selector = adaptive.then(|| {
+            AdaptiveSelector::new(
+                &engine_config,
+                AdaptiveConfig {
+                    bulk_ceiling: pipeline.max_bulk_size,
+                    ..AdaptiveConfig::default()
+                },
+            )
+        });
+        let decisions = selector.as_ref().map(|s| s.stats_handle());
+        let size_knob = adaptive.then(BulkSizeKnob::new);
         let planner = GpuTxPlanner {
             registry: registry.clone(),
             snapshot: needs_snapshot.then(|| db.clone()),
             config: engine_config,
+            selector,
+            size_knob: size_knob.clone(),
         };
         let runner = GpuTxRunner {
             db,
@@ -502,9 +542,18 @@ impl PipelinedGpuTx {
             queue_depth: pipeline.queue_depth,
         };
         PipelinedGpuTx {
-            engine: PipelinedEngine::new(planner, runner, opts),
+            engine: PipelinedEngine::new_with_knob(planner, runner, opts, size_knob),
             health,
+            decisions,
         }
+    }
+
+    /// Snapshot of the adaptive selector's per-bulk decision stats (strategy
+    /// histogram, switches, sizing); `None` unless the engine was built with
+    /// `StrategyChoice::Adaptive` (`EngineBuilder::adaptive()`). Available
+    /// live, while the engine is still running.
+    pub fn decision_stats(&self) -> Option<DecisionStats> {
+        self.decisions.as_ref().map(|d| d.snapshot())
     }
 
     /// The engine's shared health surface: WAL state (including automatic

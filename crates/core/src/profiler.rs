@@ -29,6 +29,11 @@ pub struct BulkProfile {
     pub zero_set_size: usize,
     /// `c`: number of cross-partition transactions (no single partition key).
     pub cross_partition: usize,
+    /// Number of distinct partition keys among the single-partition
+    /// transactions — the parallelism PART can extract (the adaptive
+    /// selector divides this by the configured partition size to estimate
+    /// group count).
+    pub distinct_partitions: usize,
     /// Number of distinct transaction types present in the bulk.
     pub distinct_types: usize,
     /// Per-type transaction counts, indexed by type id.
@@ -49,10 +54,17 @@ pub fn profile_bulk(
     let zero_set_size = ranks.zero_set().len();
     let depth = ranks.max_depth();
 
-    let cross_partition = bulk
-        .iter()
-        .filter(|sig| registry.partition_key(sig).is_none())
-        .count();
+    let mut cross_partition = 0usize;
+    let mut partition_keys = std::collections::BTreeSet::new();
+    for sig in bulk {
+        match registry.partition_key(sig) {
+            Some(key) => {
+                partition_keys.insert(key);
+            }
+            None => cross_partition += 1,
+        }
+    }
+    let distinct_partitions = partition_keys.len();
 
     let mut type_histogram = vec![0usize; registry.num_types()];
     for sig in bulk {
@@ -67,6 +79,7 @@ pub fn profile_bulk(
         depth,
         zero_set_size,
         cross_partition,
+        distinct_partitions,
         distinct_types,
         type_histogram,
     }
@@ -182,6 +195,7 @@ mod tests {
         assert_eq!(p.depth, 0);
         assert_eq!(p.zero_set_size, 50);
         assert_eq!(p.cross_partition, 0);
+        assert_eq!(p.distinct_partitions, 50);
         assert_eq!(p.distinct_types, 1);
         assert_eq!(p.type_histogram, vec![50, 0]);
     }
@@ -203,6 +217,7 @@ mod tests {
             "first writer of row 7 plus the cross-partition txn"
         );
         assert_eq!(p.cross_partition, 1);
+        assert_eq!(p.distinct_partitions, 1, "every chained update hits row 7");
         assert_eq!(p.distinct_types, 2);
     }
 

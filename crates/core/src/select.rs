@@ -34,6 +34,11 @@ pub fn choose_strategy(config: &EngineConfig, profile: &BulkProfile) -> Strategy
         StrategyChoice::ForcePart => StrategyKind::Part,
         StrategyChoice::ForceKset => StrategyKind::Kset,
         StrategyChoice::Auto => choose_by_rule(profile, &config.thresholds),
+        // The stateless resolution: cost-model scoring without hysteresis.
+        // Engines that execute a *stream* of bulks hold an
+        // `adaptive::AdaptiveSelector` instead, which adds hysteresis and
+        // decision stats on top of the same scores.
+        StrategyChoice::Adaptive => crate::adaptive::cost_based_choice(config, profile),
     }
 }
 
@@ -47,6 +52,7 @@ mod tests {
             depth,
             zero_set_size: zero,
             cross_partition: cross,
+            distinct_partitions: 64,
             distinct_types: 1,
             type_histogram: vec![10_000],
         }
@@ -105,5 +111,14 @@ mod tests {
             StrategyKind::Kset
         );
         assert_eq!(choose_strategy(&base, &p), StrategyKind::Kset);
+    }
+
+    #[test]
+    fn adaptive_choice_resolves_through_the_cost_model() {
+        // A wide conflict-free bulk: the cost model, like the rule, lands on
+        // K-SET (and the conflict-free invariant forbids TPL outright).
+        let p = profile(10_000, 0, 0);
+        let c = EngineConfig::default().with_strategy(StrategyChoice::Adaptive);
+        assert_eq!(choose_strategy(&c, &p), StrategyKind::Kset);
     }
 }

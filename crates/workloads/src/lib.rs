@@ -16,6 +16,9 @@
 //! * [`tpcc`] — TPC-C (simplified but structurally faithful): nine tables,
 //!   five transaction types, warehouse×district as the partitioning key, with
 //!   the customer-by-last-name splits of Appendix E.
+//! * [`ledger`] — a hot-key payments ledger whose generator alternates
+//!   between uniform and skewed phases, forcing a cost-driven selector to
+//!   switch strategies mid-run (the adaptive-execution stress workload).
 //! * [`skew`] — skewed key generators shared by the workloads.
 //! * [`stream`] — open-loop (arrival-rate-controlled, optionally bursty) and
 //!   closed-loop (submit-after-complete) stream drivers for the streaming
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ledger;
 pub mod micro;
 pub mod skew;
 pub mod stream;
@@ -38,6 +42,7 @@ pub mod tpcb;
 pub mod tpcc;
 pub mod workload;
 
+pub use ledger::LedgerConfig;
 pub use micro::{MicroConfig, MicroWorkload};
 pub use stream::{
     run_closed_loop, run_open_loop, ClosedLoopConfig, ClosedLoopReport, OpenLoopConfig,

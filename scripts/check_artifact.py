@@ -4,7 +4,7 @@
 Usage: check_artifact.py <kind> <path>
        check_artifact.py --self-test
        (kind: smoke | pipeline | hotpath | durability | net | replication |
-              htap | chaos)
+              htap | chaos | tpcc)
 
 CI runs this against every figures artifact before uploading it, so a
 silently-empty or truncated figures run (missing keys, zero transactions, no
@@ -222,6 +222,35 @@ SCHEMAS = {
         # the fault storm itself must have fired.
         "positive": ["seeds", "transactions", "committed", "faults_injected"],
     },
+    # `figures -- tpcc --json`
+    "tpcc": {
+        "required": {
+            "schema": int,
+            "experiment": str,
+            "workload": str,
+            "warehouses": int,
+            "connections": int,
+            "elapsed_secs": NUMBER,
+            "committed": int,
+            "throughput_tps": NUMBER,
+            "tpm": NUMBER,
+            "tpm_c": NUMBER,
+            "wire_decisions": int,
+            "per_type": list,
+            "ledger": dict,
+        },
+        # A TPC-C run that committed no NewOrders (tpm_c == 0) or made no
+        # adaptive decisions on the wire path proves nothing.
+        "positive": ["connections", "committed", "throughput_tps", "tpm_c", "wire_decisions"],
+        "list_items": {
+            "per_type": {
+                "name": str,
+                "committed": int,
+                "aborted": int,
+                "share": NUMBER,
+            }
+        },
+    },
 }
 
 
@@ -315,6 +344,43 @@ def check(kind: str, path: str) -> str:
                     f"{path}: {key} ({data[key]}) exceeds transactions "
                     f"({data['transactions']}) — duplicated resolutions"
                 )
+    if kind == "tpcc":
+        ledger = data["ledger"]
+        ledger_schema = {
+            "transactions": int,
+            "committed": int,
+            "bulks": int,
+            "decisions": dict,
+            "switches": int,
+            "strategies_used": int,
+        }
+        for lkey, expected in ledger_schema.items():
+            if lkey not in ledger:
+                fail(f"{path}: ledger missing required key '{lkey}'")
+            if not type_ok(ledger[lkey], expected):
+                fail(
+                    f"{path}: ledger.{lkey} has type {type(ledger[lkey]).__name__}, "
+                    f"expected {expected}"
+                )
+        decisions = ledger["decisions"]
+        for strategy in ("kset", "part", "tpl"):
+            if not type_ok(decisions.get(strategy), int):
+                fail(f"{path}: ledger.decisions.{strategy} must be an int")
+        if ledger["bulks"] <= 0 or ledger["committed"] <= 0:
+            fail(f"{path}: the ledger pass executed nothing — empty run?")
+        total = sum(decisions[s] for s in ("kset", "part", "tpl"))
+        if total != ledger["bulks"]:
+            fail(
+                f"{path}: ledger decisions sum to {total} but {ledger['bulks']} "
+                f"bulks ran — unaccounted strategy decisions"
+            )
+        used = sum(1 for s in ("kset", "part", "tpl") if decisions[s] > 0)
+        if used < 2 or ledger["strategies_used"] != used:
+            fail(
+                f"{path}: the ledger decision histogram must be non-degenerate "
+                f"(>= 2 strategies; got {decisions}, strategies_used "
+                f"{ledger['strategies_used']})"
+            )
     return f"ARTIFACT-SCHEMA-OK: {path} matches the '{kind}' schema"
 
 
@@ -370,6 +436,39 @@ _VALID_REPLICATION = {
 }
 
 
+_VALID_TPCC = {
+    "schema": 1,
+    "experiment": "tpcc",
+    "workload": "tpcc",
+    "warehouses": 2,
+    "connections": 2,
+    "elapsed_secs": 1.5,
+    "committed": 83155,
+    "throughput_tps": 55436.7,
+    "tpm": 3326200.0,
+    "tpm_c": 1510960.0,
+    "wire_decisions": 2989,
+    "per_type": [
+        {"name": "NEW_ORDER", "committed": 37774, "aborted": 0, "share": 44.8},
+        {"name": "PAYMENT", "committed": 36165, "aborted": 0, "share": 42.9},
+    ],
+    "ledger": {
+        "transactions": 2048,
+        "committed": 2048,
+        "bulks": 8,
+        "decisions": {"kset": 4, "part": 0, "tpl": 4},
+        "switches": 7,
+        "strategies_used": 2,
+    },
+}
+
+
+def _tpcc_with_ledger(**overrides):
+    fixture = dict(_VALID_TPCC)
+    fixture["ledger"] = dict(_VALID_TPCC["ledger"], **overrides)
+    return fixture
+
+
 def _self_test_cases():
     inconsistent = dict(_VALID_HTAP, consistent=False)
     crossed = dict(_VALID_HTAP, tm1_scan_p50_ms=9.0)
@@ -380,6 +479,10 @@ def _self_test_cases():
     diverged = dict(_VALID_CHAOS, convergence=False)
     no_faults = dict(_VALID_CHAOS, faults_injected=0)
     dup_commits = dict(_VALID_CHAOS, committed=2401)
+    zero_tpmc = dict(_VALID_TPCC, tpm_c=0.0)
+    bad_decision_sum = _tpcc_with_ledger(decisions={"kset": 4, "part": 1, "tpl": 4})
+    degenerate = _tpcc_with_ledger(decisions={"kset": 8, "part": 0, "tpl": 0}, strategies_used=1)
+    miscounted_used = _tpcc_with_ledger(strategies_used=3)
     return [
         ("htap-valid", "htap", _VALID_HTAP, True),
         ("htap-inconsistent", "htap", inconsistent, False),
@@ -393,6 +496,11 @@ def _self_test_cases():
         ("chaos-diverged", "chaos", diverged, False),
         ("chaos-no-faults", "chaos", no_faults, False),
         ("chaos-duplicated-commits", "chaos", dup_commits, False),
+        ("tpcc-valid", "tpcc", _VALID_TPCC, True),
+        ("tpcc-zero-tpmc", "tpcc", zero_tpmc, False),
+        ("tpcc-decision-sum-mismatch", "tpcc", bad_decision_sum, False),
+        ("tpcc-degenerate-histogram", "tpcc", degenerate, False),
+        ("tpcc-miscounted-strategies-used", "tpcc", miscounted_used, False),
         ("unknown-kind", "nosuchschema", _VALID_HTAP, False),
         ("not-json", "htap", None, False),
     ]

@@ -1,7 +1,7 @@
 //! The plan-backed typed fast path is bit-identical to the legacy
 //! `Value`/hash path.
 //!
-//! Each bundled workload (TM1, TPC-B, micro) can be built against either
+//! Each bundled workload (TM1, TPC-B, micro, TPC-C) can be built against either
 //! storage-access API (`AccessApi::Legacy` / `AccessApi::Planned`). For the
 //! same seed both variants receive the identical transaction stream; this
 //! suite asserts that executing it produces identical per-transaction
@@ -22,7 +22,7 @@ use gputx_sim::Gpu;
 use gputx_storage::{Database, Value};
 use gputx_txn::{AccessPlan, ProcedureRegistry, TxnScratch, TxnSignature};
 use gputx_workloads::{
-    AccessApi, MicroConfig, MicroWorkload, Tm1Config, TpcbConfig, WorkloadBundle,
+    AccessApi, MicroConfig, MicroWorkload, Tm1Config, TpcbConfig, TpccConfig, WorkloadBundle,
 };
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -44,6 +44,13 @@ fn variants(
                 &MicroConfig::default().with_tuples(512).with_skew(0.3),
                 api,
             ),
+            // Single-partition so the partition-grouping tests apply; the
+            // cross-partition planned path is covered by the workload's own
+            // suite and the adaptive equivalence matrix.
+            "tpcc" => TpccConfig::default()
+                .with_warehouses(2)
+                .single_partition_only()
+                .build_with_api(api),
             other => panic!("unknown workload {other}"),
         }
     };
@@ -74,7 +81,7 @@ fn variants(
 /// transaction by transaction; the final databases must be equal.
 #[test]
 fn serial_per_txn_traces_outcomes_and_state_match() {
-    for name in ["tm1", "tpcb", "micro"] {
+    for name in ["tm1", "tpcb", "micro", "tpcc"] {
         let (legacy, planned, sigs) = variants(name, 1_500, 7);
         let mut legacy_db = legacy.db.clone();
         let legacy_out: Vec<_> = sigs
@@ -85,8 +92,8 @@ fn serial_per_txn_traces_outcomes_and_state_match() {
 
         let plan = AccessPlan::build(&planned.registry, &planned.db, &sigs);
         let plan = (!plan.is_empty()).then_some(plan);
-        if name == "tm1" {
-            assert!(plan.is_some(), "TM1 procedures declare plan callbacks");
+        if name == "tm1" || name == "tpcc" {
+            assert!(plan.is_some(), "{name} procedures declare plan callbacks");
         }
         let mut planned_db = planned.db.clone();
         let mut scratch = TxnScratch::default();
@@ -116,7 +123,7 @@ fn serial_per_txn_traces_outcomes_and_state_match() {
 /// reference, including traces.
 #[test]
 fn parallel_executor_matches_legacy_serial_reference() {
-    for name in ["tm1", "tpcb", "micro"] {
+    for name in ["tm1", "tpcb", "micro", "tpcc"] {
         let (legacy, planned, sigs) = variants(name, 1_200, 11);
         // One group per partition key, in timestamp order.
         let groups = |bundle: &WorkloadBundle, sigs: &[TxnSignature]| {
@@ -181,7 +188,7 @@ fn parallel_executor_matches_legacy_serial_reference() {
 /// legacy bundle.
 #[test]
 fn execute_bulk_matches_across_apis_strategies_and_threads() {
-    for name in ["tm1", "tpcb", "micro"] {
+    for name in ["tm1", "tpcb", "micro", "tpcc"] {
         let (legacy, planned, sigs) = variants(name, 1_000, 23);
         let run = |bundle: &WorkloadBundle, choice: ExecutorChoice, strategy: StrategyKind| {
             let mut db = bundle.db.clone();
@@ -277,7 +284,7 @@ fn stale_plan_revalidates_and_falls_back_correctly() {
 /// report the same procedure names in the same order as the other.
 #[test]
 fn both_apis_register_identical_type_tables() {
-    for name in ["tm1", "tpcb", "micro"] {
+    for name in ["tm1", "tpcb", "micro", "tpcc"] {
         let (legacy, planned, _) = variants(name, 1, 1);
         assert_eq!(legacy.registry.num_types(), planned.registry.num_types());
         for ty in 0..legacy.registry.num_types() as u32 {
@@ -298,7 +305,7 @@ fn both_apis_register_identical_type_tables() {
 /// declared read/write sets and partition keys agree on every signature.
 #[test]
 fn declared_sets_and_partition_keys_agree() {
-    for name in ["tm1", "tpcb", "micro"] {
+    for name in ["tm1", "tpcb", "micro", "tpcc"] {
         let (legacy, planned, sigs) = variants(name, 400, 3);
         let db: &Database = &legacy.db;
         let check = |a: &ProcedureRegistry, b: &ProcedureRegistry| {
